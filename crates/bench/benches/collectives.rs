@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the simulated distributed primitives: SpMSpV
+//! across grid sizes (host cost of the simulator, not simulated seconds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcm_dist::{dist_spmspv, DistCscMatrix, DistSparseVec, MachineModel, ProcGrid, SimClock};
+use rcm_graphgen::suite_matrix;
+use rcm_sparse::{Select2ndMin, Vidx};
+
+fn bench_dist_spmspv(c: &mut Criterion) {
+    let a = suite_matrix("Serena").unwrap().generate(0.005);
+    let n = a.n_rows();
+    let mut group = c.benchmark_group("dist-spmspv");
+    group.sample_size(10);
+    for procs in [1usize, 4, 16, 64] {
+        let grid = ProcGrid::square(procs).unwrap();
+        let dmat = DistCscMatrix::from_global(grid, &a, None);
+        let entries: Vec<(Vidx, i64)> = (0..n as Vidx).step_by(7).map(|v| (v, v as i64)).collect();
+        let x = DistSparseVec::from_entries(dmat.layout().clone(), entries);
+        group.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, _| {
+            b.iter(|| {
+                let mut clock = SimClock::new(MachineModel::edison(), 1);
+                let y = dist_spmspv::<i64, Select2ndMin>(&dmat, &x, &mut clock);
+                std::hint::black_box((y.total_nnz(), clock.now()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_matrix_distribution(c: &mut Criterion) {
+    let a = suite_matrix("nd24k").unwrap().generate(0.02);
+    let mut group = c.benchmark_group("dist-matrix-build");
+    group.sample_size(10);
+    for procs in [4usize, 64, 256] {
+        let grid = ProcGrid::square(procs).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(procs), &grid, |b, grid| {
+            b.iter(|| std::hint::black_box(DistCscMatrix::from_global(*grid, &a, Some(1)).nnz()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dist_spmspv, bench_matrix_distribution);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmarks of the four RCM implementations on a suite matrix
+//! (the data behind Table II's runtime columns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcm_core::{algebraic_rcm, dist_rcm, par_rcm, rcm_nosort, DistRcmConfig};
+use rcm_graphgen::suite_matrix;
+
+fn bench_rcm_algorithms(c: &mut Criterion) {
+    let a = suite_matrix("thermal2").unwrap().generate(0.01);
+    let mut group = c.benchmark_group("rcm");
+    group.sample_size(10);
+
+    group.bench_function("serial", |b| {
+        b.iter(|| std::hint::black_box(rcm_core::rcm(&a)))
+    });
+    group.bench_function("algebraic", |b| {
+        b.iter(|| std::hint::black_box(algebraic_rcm(&a).0))
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("shared-{threads}t"), |b| {
+            b.iter(|| std::hint::black_box(par_rcm(&a, threads).0))
+        });
+    }
+    group.bench_function("nosort", |b| {
+        b.iter(|| std::hint::black_box(rcm_nosort(&a)))
+    });
+    // Simulator overhead: wall time of the distributed run (the *simulated*
+    // seconds are what the experiments report; this measures the harness).
+    group.bench_function("dist-sim-16procs", |b| {
+        let cfg = DistRcmConfig::flat_on_edison(16);
+        b.iter(|| std::hint::black_box(dist_rcm(&a, &cfg).sim_seconds))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rcm_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion microbenchmarks of the SORTPERM step: the paper's specialized
+//! distributed bucket sort against a plain global comparison sort (the
+//! HykSort-style alternative it outperforms, §IV-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcm_dist::{dist_sortperm, DistDenseVec, DistSparseVec, MachineModel, ProcGrid, SimClock, VecLayout};
+use rcm_sparse::Vidx;
+
+fn frontier(n: usize, layout: &VecLayout) -> (DistSparseVec<i64>, DistDenseVec<Vidx>) {
+    let entries: Vec<(Vidx, i64)> = (0..n as Vidx)
+        .filter(|v| v % 3 != 1)
+        .map(|v| (v, (v as i64 * 31) % 64))
+        .collect();
+    let degrees: Vec<Vidx> = (0..n as Vidx).map(|v| (v * 17 + 5) % 97).collect();
+    (
+        DistSparseVec::from_entries(layout.clone(), entries),
+        DistDenseVec::from_global(layout.clone(), &degrees),
+    )
+}
+
+fn bench_sortperm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sortperm");
+    group.sample_size(20);
+    for n in [10_000usize, 100_000] {
+        for procs in [1usize, 16, 64] {
+            let grid = ProcGrid::square(procs).unwrap();
+            let layout = VecLayout::new(n, grid);
+            let (x, d) = frontier(n, &layout);
+            group.throughput(Throughput::Elements(x.total_nnz() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("bucket-p{procs}"), n),
+                &(x, d),
+                |b, (x, d)| {
+                    b.iter(|| {
+                        let mut clock = SimClock::new(MachineModel::edison(), 1);
+                        let (labels, count) = dist_sortperm(x, d, (0, 64), 0, &mut clock);
+                        std::hint::black_box((labels.total_nnz(), count))
+                    });
+                },
+            );
+        }
+        // Baseline: one global comparison sort of the same tuples.
+        let grid = ProcGrid::square(1).unwrap();
+        let layout = VecLayout::new(n, grid);
+        let (x, d) = frontier(n, &layout);
+        group.bench_with_input(BenchmarkId::new("std-sort", n), &(x, d), |b, (x, d)| {
+            b.iter(|| {
+                let mut tuples: Vec<(i64, Vidx, Vidx)> = x.parts[0]
+                    .iter()
+                    .map(|&(g, l)| (l, d.parts[0][g as usize], g))
+                    .collect();
+                tuples.sort_unstable();
+                std::hint::black_box(tuples.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sortperm);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion microbenchmarks of the sequential SpMSpV kernel — the paper's
+//! dominant primitive (Fig. 4 shows it is the most expensive operation at
+//! low concurrency).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcm_graphgen::suite_matrix;
+use rcm_sparse::{spmspv, Select2ndMin, SparseVec, SpmspvWorkspace, Vidx};
+
+fn bench_spmspv(c: &mut Criterion) {
+    let a = suite_matrix("ldoor").unwrap().generate(0.005);
+    let n = a.n_rows();
+    let mut group = c.benchmark_group("spmspv");
+    group.sample_size(20);
+    for frontier_size in [1usize, 64, 4096, n / 8] {
+        let frontier_size = frontier_size.min(n);
+        let entries: Vec<(Vidx, i64)> = (0..frontier_size)
+            .map(|k| (((k * n) / frontier_size) as Vidx, k as i64))
+            .collect();
+        let x = SparseVec::from_entries(n, entries);
+        let work: usize = x.ind().map(|k| a.col_nnz(k as usize)).sum();
+        group.throughput(Throughput::Elements(work as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(frontier_size),
+            &x,
+            |b, x| {
+                let mut ws = SpmspvWorkspace::new(n);
+                b.iter(|| {
+                    let (y, _) = spmspv::<i64, Select2ndMin>(&a, x, &mut ws);
+                    std::hint::black_box(y.nnz())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmspv);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! `repro` — regenerate the tables and figures of Azad et al. (IPDPS 2017).
+//!
+//! ```text
+//! repro [--scale <mult>] [--quick] [--out <dir>] <experiment>...
+//!
+//! experiments:
+//!   fig1      CG+block-Jacobi solve time, natural vs RCM ordering
+//!   fig3      matrix-suite statistics table
+//!   table2    shared-memory baseline vs distributed runtime
+//!   fig4      distributed runtime breakdown (per matrix, per core count)
+//!   fig5      SpMSpV computation vs communication split
+//!   fig6      flat MPI vs hybrid breakdown on ldoor
+//!   ablation  sorting-strategy ablation (§VI future work)
+//!   all       everything above
+//! ```
+//!
+//! Tables print to stdout and are written as CSV under the output directory
+//! (default `results/`).
+
+use rcm_bench::{
+    ablation_sort_modes, compression_table, fig1_cg_solve, fig3_suite_table, fig4_breakdown, fig5_spmspv_split,
+    fig6_flat_vs_hybrid, gather_vs_distributed, machine_sensitivity, quality_comparison,
+    run_hybrid_sweep, scaling_summary, table2_shared_memory, ExpConfig, Table,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale <mult>] [--quick] [--out <dir>] \
+         <fig1|fig3|table2|fig4|fig5|fig6|ablation|quality|gather|sensitivity|compress|all>..."
+    );
+    std::process::exit(2);
+}
+
+fn emit(cfg: &ExpConfig, name: &str, table: &Table) {
+    println!("{}", table.render());
+    match table.write_csv(&cfg.results_dir, name) {
+        Ok(path) => println!("[csv] {}\n", path.display()),
+        Err(e) => eprintln!("[csv] failed to write {name}: {e}"),
+    }
+}
+
+fn main() {
+    let mut cfg = ExpConfig::default();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.scale_mult = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => {
+                cfg.results_dir = args.next().unwrap_or_else(|| usage()).into();
+            }
+            "--quick" => cfg.quick = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        usage();
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+
+    println!(
+        "# distributed-rcm reproduction (scale multiplier {}, {} mode)\n",
+        cfg.scale_mult,
+        if cfg.quick { "quick" } else { "full" }
+    );
+
+    if want("fig3") {
+        emit(&cfg, "fig3_suite", &fig3_suite_table(&cfg));
+    }
+    if want("fig1") {
+        emit(&cfg, "fig1_cg", &fig1_cg_solve(&cfg));
+    }
+    if want("table2") {
+        emit(&cfg, "table2_shared", &table2_shared_memory(&cfg));
+    }
+    if want("fig4") || want("fig5") {
+        let panels = run_hybrid_sweep(&cfg);
+        if want("fig4") {
+            for (panel, t) in panels.iter().zip(fig4_breakdown(&panels)) {
+                emit(&cfg, &format!("fig4_{}", panel.name), &t);
+            }
+            emit(&cfg, "fig4_summary", &scaling_summary(&panels));
+        }
+        if want("fig5") {
+            for (panel, t) in panels.iter().zip(fig5_spmspv_split(&panels)) {
+                emit(&cfg, &format!("fig5_{}", panel.name), &t);
+            }
+        }
+    }
+    if want("fig6") {
+        emit(&cfg, "fig6_flat_mpi", &fig6_flat_vs_hybrid(&cfg));
+    }
+    if want("ablation") {
+        emit(&cfg, "ablation_sort", &ablation_sort_modes(&cfg));
+    }
+    if want("quality") {
+        emit(&cfg, "quality_heuristics", &quality_comparison(&cfg));
+    }
+    if want("gather") {
+        emit(&cfg, "gather_vs_dist", &gather_vs_distributed(&cfg));
+    }
+    if want("sensitivity") {
+        emit(&cfg, "machine_sensitivity", &machine_sensitivity(&cfg));
+    }
+    if want("compress") {
+        emit(&cfg, "compression", &compression_table(&cfg));
+    }
+}

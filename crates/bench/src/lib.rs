@@ -1,0 +1,17 @@
+//! Benchmark and reproduction harness for the distributed-RCM workspace.
+//!
+//! * [`experiments`] — runners that regenerate every table and figure of
+//!   Azad et al. (IPDPS 2017); the `repro` binary is a thin CLI over them.
+//! * [`report`] — plain-text table rendering and CSV export.
+//! * `benches/` — criterion microbenchmarks of the computational kernels
+//!   (SpMSpV, SORTPERM, the four RCM implementations, the simulator).
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    ablation_sort_modes, compression_table, fig1_cg_solve, fig3_suite_table, fig4_breakdown, fig5_spmspv_split,
+    fig6_flat_vs_hybrid, gather_vs_distributed, machine_sensitivity, quality_comparison,
+    run_hybrid_sweep, scaling_summary, table2_shared_memory, ExpConfig, SweepPanel,
+};
+pub use report::{fmt_count, fmt_secs, Table};

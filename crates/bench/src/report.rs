@@ -1,0 +1,175 @@
+//! Plain-text table rendering and CSV output for the experiment harness.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A simple column-aligned table that can also serialize itself to CSV.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{c:>w$}", w = w);
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Serialize as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(out, "{}", self.header.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|s| esc(s)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Write the CSV under `dir/<name>.csv`, creating the directory.
+    pub fn write_csv(&self, dir: impl AsRef<Path>, name: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.as_ref().join(format!("{name}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Format seconds with sensible precision for runtime tables.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Format large counts with thousands separators.
+pub fn fmt_count(mut v: u64) -> String {
+    let mut groups = Vec::new();
+    loop {
+        groups.push(format!("{:03}", v % 1000));
+        v /= 1000;
+        if v == 0 {
+            break;
+        }
+    }
+    let mut s = groups.pop().unwrap();
+    s = s.trim_start_matches('0').to_string();
+    if s.is_empty() {
+        s = "0".to_string();
+    }
+    for g in groups.iter().rev() {
+        s.push(',');
+        s.push_str(g);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("long-name"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["v,1".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"v,1\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_is_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_count_groups_thousands() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1000), "1,000");
+        assert_eq!(fmt_count(29_000_000), "29,000,000");
+        assert_eq!(fmt_count(1_000_005), "1,000,005");
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(123.4), "123");
+        assert_eq!(fmt_secs(1.5), "1.50");
+        assert!(fmt_secs(0.0123).ends_with("ms"));
+        assert!(fmt_secs(1e-5).ends_with("us"));
+    }
+}

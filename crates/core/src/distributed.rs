@@ -1,0 +1,586 @@
+//! The distributed-memory RCM algorithm — Algorithms 3 and 4 of the paper
+//! executed on the `rcm-dist` simulated runtime.
+//!
+//! The driver reproduces the paper's structure exactly:
+//!
+//! 1. Distribute the matrix over a square `√p′ × √p′` process grid
+//!    (`p′` = cores / threads-per-process), optionally applying the random
+//!    load-balance permutation of §IV-A.
+//! 2. Find a pseudo-peripheral vertex with repeated level-synchronous BFS
+//!    (Algorithm 4): distributed SpMSpV over `(select2nd, min)`, SELECT of
+//!    unvisited vertices, SET of level numbers, and a final REDUCE picking
+//!    the minimum-degree vertex of the last level.
+//! 3. Label the component (Algorithm 3): the same BFS skeleton plus the
+//!    distributed SORTPERM bucket sort that assigns labels in
+//!    `(parent label, degree, vertex)` order.
+//! 4. Repeat 2–3 per connected component; reverse all labels; map back to
+//!    original vertex ids.
+//!
+//! Every step charges simulated time to a [`SimClock`] under the phase
+//! taxonomy of Fig. 4 (`Peripheral/Ordering × SpMSpV/Sort/Other`), which is
+//! what the benchmark harness plots.
+//!
+//! Determinism: with `balance_seed = None` the returned permutation is
+//! *identical* to [`crate::algebraic::algebraic_rcm`] for every grid size —
+//! the cross-implementation tests rely on this. A load-balance permutation
+//! relabels vertices internally, which can change `(degree, id)` tie-breaks;
+//! quality is unaffected but exact orderings may differ.
+
+use rcm_dist::{
+    dist_argmin, dist_find_unvisited_min_degree, dist_gather_values, dist_is_nonempty,
+    dist_select, dist_set, dist_sortperm, dist_spmspv, DistCscMatrix, DistDenseVec,
+    DistSparseVec, HybridConfig, MachineModel, Phase, SimClock,
+};
+use rcm_sparse::{CscMatrix, Label, Permutation, Select2ndMin, Vidx, UNVISITED};
+
+/// How (and whether) frontier vertices are sorted before labeling — the
+/// §VI "future work" ablation knob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SortMode {
+    /// Per-level distributed bucket sort (the paper's algorithm).
+    #[default]
+    Full,
+    /// No sorting: label frontier vertices in global index order. Saves the
+    /// per-level AllToAlls at the price of ordering quality.
+    NoSort,
+    /// Label by BFS level only, with one global sort at the very end keyed
+    /// by `(level, degree, vertex)`.
+    GlobalSortAtEnd,
+    /// Per-level sorting like [`SortMode::Full`], but with a *general* PSRS
+    /// sample sort instead of the paper's specialized bucket sort — the
+    /// §IV-B "state-of-the-art general sorting library" baseline. Produces
+    /// the identical ordering at a higher simulated cost.
+    GeneralSamplesort,
+}
+
+/// Configuration of a distributed RCM run.
+#[derive(Clone, Copy, Debug)]
+pub struct DistRcmConfig {
+    /// Machine cost model.
+    pub machine: MachineModel,
+    /// Cores and threads-per-process.
+    pub hybrid: HybridConfig,
+    /// Seed of the load-balance permutation (§IV-A); `None` disables it.
+    pub balance_seed: Option<u64>,
+    /// Sorting strategy (ablation; default = the paper's algorithm).
+    pub sort_mode: SortMode,
+}
+
+impl DistRcmConfig {
+    /// The paper's preferred configuration: Edison model, 6 threads/process.
+    pub fn hybrid_on_edison(cores: usize) -> Self {
+        DistRcmConfig {
+            machine: MachineModel::edison(),
+            hybrid: HybridConfig::new(cores, 6),
+            balance_seed: None,
+            sort_mode: SortMode::Full,
+        }
+    }
+
+    /// Flat-MPI configuration (1 thread per process, Fig. 6).
+    pub fn flat_on_edison(cores: usize) -> Self {
+        DistRcmConfig {
+            machine: MachineModel::edison(),
+            hybrid: HybridConfig::new(cores, 1),
+            balance_seed: None,
+            sort_mode: SortMode::Full,
+        }
+    }
+}
+
+/// Per-BFS-level execution record of the ordering pass (level-synchronous
+/// behaviour made visible: frontier width and simulated time per level).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelStat {
+    /// Vertices labeled in this level.
+    pub frontier: usize,
+    /// Simulated seconds this level took (all phases).
+    pub seconds: f64,
+}
+
+/// Result of a distributed RCM run.
+#[derive(Clone, Debug)]
+pub struct DistRcmResult {
+    /// The RCM ordering (old vertex id → new label), in *original* ids.
+    pub perm: Permutation,
+    /// Simulated wall-clock seconds (sum of all phases).
+    pub sim_seconds: f64,
+    /// Per-phase compute/communication breakdown (Figs. 4–6).
+    pub breakdown: rcm_dist::Breakdown,
+    /// Process-grid side length (`√p′`).
+    pub grid_side: usize,
+    /// Threads per process used by the cost model.
+    pub threads_per_proc: usize,
+    /// Connected components labeled.
+    pub components: usize,
+    /// BFS sweeps spent in pseudo-peripheral searches.
+    pub peripheral_bfs: usize,
+    /// Frontier-expansion iterations in the ordering passes.
+    pub levels: usize,
+    /// Total messages the cost model counted.
+    pub messages: u64,
+    /// Total bytes the cost model counted.
+    pub bytes: u64,
+    /// Per-level trace of the ordering passes (concatenated across
+    /// components).
+    pub level_stats: Vec<LevelStat>,
+}
+
+/// Distributed pseudo-peripheral search (Algorithm 4) from `start`.
+/// Returns the vertex and its eccentricity; charges `Peripheral*` phases.
+fn dist_pseudo_peripheral(
+    a: &DistCscMatrix,
+    degrees: &DistDenseVec<Vidx>,
+    start: Vidx,
+    clock: &mut SimClock,
+    bfs_count: &mut usize,
+) -> (Vidx, usize) {
+    let layout = a.layout().clone();
+    let mut r = start;
+    let mut nlvl: i64 = -1;
+    loop {
+        // One full level-synchronous BFS from r.
+        clock.set_phase(Phase::PeripheralOther);
+        let mut levels: DistDenseVec<Label> = DistDenseVec::filled(layout.clone(), UNVISITED);
+        clock.charge_elems(layout.max_local_len());
+        levels.set(r, 0);
+        let mut cur = DistSparseVec::singleton(layout.clone(), r, 0 as Label);
+        let mut ecc: i64 = 0;
+        *bfs_count += 1;
+        loop {
+            clock.set_phase(Phase::PeripheralOther);
+            dist_gather_values(&mut cur, &levels, clock);
+            clock.set_phase(Phase::PeripheralSpmspv);
+            let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, clock);
+            clock.set_phase(Phase::PeripheralOther);
+            let mut next = dist_select(&next, &levels, |l| l == UNVISITED, clock);
+            if !dist_is_nonempty(&next, clock) {
+                break;
+            }
+            ecc += 1;
+            // Stamp the new frontier with its level and record it in L.
+            let mut max_scan = 0usize;
+            for part in &mut next.parts {
+                max_scan = max_scan.max(part.len());
+                for (_, v) in part.iter_mut() {
+                    *v = ecc;
+                }
+            }
+            clock.charge_elems(max_scan);
+            dist_set(&mut levels, &next, clock);
+            cur = next;
+        }
+        if ecc <= nlvl {
+            return (r, ecc as usize);
+        }
+        nlvl = ecc;
+        // r ← REDUCE(L_cur, D): minimum-degree vertex of the last level.
+        clock.set_phase(Phase::PeripheralOther);
+        let v = dist_argmin(&cur, degrees, clock).unwrap_or(r);
+        if v == r {
+            return (r, ecc as usize);
+        }
+        r = v;
+    }
+}
+
+/// Assign labels to the frontier without sorting (SortMode::NoSort): global
+/// index order via an ExScan of per-rank counts.
+fn assign_unsorted_labels(
+    next: &DistSparseVec<Label>,
+    nv: Label,
+    clock: &mut SimClock,
+) -> (DistSparseVec<Label>, usize) {
+    let p = next.layout.nprocs();
+    let machine = *clock.machine();
+    let mut parts = Vec::with_capacity(p);
+    let mut running = 0usize;
+    let mut max_scan = 0usize;
+    for part in &next.parts {
+        max_scan = max_scan.max(part.len());
+        let labeled: Vec<(Vidx, Label)> = part
+            .iter()
+            .enumerate()
+            .map(|(k, &(g, _))| (g, nv + (running + k) as Label))
+            .collect();
+        running += part.len();
+        parts.push(labeled);
+    }
+    clock.charge_elems(max_scan);
+    if p > 1 {
+        clock.charge_comm(machine.t_allreduce(p, 8), p as u64, 8);
+    }
+    (
+        DistSparseVec {
+            layout: next.layout.clone(),
+            parts,
+        },
+        running,
+    )
+}
+
+/// Label one component (Algorithm 3) rooted at `root`. Returns the number of
+/// ordering levels traversed.
+#[allow(clippy::too_many_arguments)]
+fn dist_label_component(
+    a: &DistCscMatrix,
+    degrees: &DistDenseVec<Vidx>,
+    root: Vidx,
+    order: &mut DistDenseVec<Label>,
+    nv: &mut Label,
+    sort_mode: SortMode,
+    clock: &mut SimClock,
+    level_stats: &mut Vec<LevelStat>,
+) -> usize {
+    let layout = a.layout().clone();
+    let mut levels = 0usize;
+
+    if sort_mode == SortMode::GlobalSortAtEnd {
+        // BFS stamping levels, then one global SORTPERM keyed by
+        // (level, degree, vertex) over the whole component.
+        let component = dist_bfs_levels(a, root, order, clock);
+        let ecc = component
+            .parts
+            .iter()
+            .flatten()
+            .map(|&(_, l)| l)
+            .max()
+            .unwrap_or(0);
+        clock.set_phase(Phase::OrderingSort);
+        let (labels, count) = dist_sortperm(&component, degrees, (0, ecc + 1), *nv, clock);
+        clock.set_phase(Phase::OrderingOther);
+        dist_set(order, &labels, clock);
+        *nv += count as Label;
+        return ecc as usize;
+    }
+
+    clock.set_phase(Phase::OrderingOther);
+    order.set(root, *nv);
+    let mut batch_start = *nv;
+    *nv += 1;
+    let mut cur = DistSparseVec::singleton(layout, root, 0 as Label);
+
+    loop {
+        let level_t0 = clock.now();
+        clock.set_phase(Phase::OrderingOther);
+        // L_cur ← SET(L_cur, R).
+        dist_gather_values(&mut cur, order, clock);
+        // L_next ← SPMSPV(A, L_cur, (select2nd, min)).
+        clock.set_phase(Phase::OrderingSpmspv);
+        let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, clock);
+        // L_next ← SELECT(L_next, R = −1).
+        clock.set_phase(Phase::OrderingOther);
+        let next = dist_select(&next, order, |r| r == UNVISITED, clock);
+        if !dist_is_nonempty(&next, clock) {
+            break;
+        }
+        levels += 1;
+        // R_next ← SORTPERM(L_next, D) + nv.
+        let (labels, count) = match sort_mode {
+            SortMode::Full => {
+                clock.set_phase(Phase::OrderingSort);
+                dist_sortperm(&next, degrees, (batch_start, *nv), *nv, clock)
+            }
+            SortMode::NoSort => {
+                clock.set_phase(Phase::OrderingOther);
+                assign_unsorted_labels(&next, *nv, clock)
+            }
+            SortMode::GeneralSamplesort => {
+                clock.set_phase(Phase::OrderingSort);
+                rcm_dist::dist_sortperm_samplesort(&next, degrees, *nv, clock)
+            }
+            SortMode::GlobalSortAtEnd => unreachable!("handled above"),
+        };
+        // R ← SET(R, R_next); nv ← nv + nnz(R_next).
+        clock.set_phase(Phase::OrderingOther);
+        dist_set(order, &labels, clock);
+        batch_start = *nv;
+        *nv += count as Label;
+        level_stats.push(LevelStat {
+            frontier: count,
+            seconds: clock.now() - level_t0,
+        });
+        cur = next;
+    }
+    levels
+}
+
+/// Plain BFS stamping 1-based levels of `root`'s component into a sparse
+/// result (and marking `order` with a placeholder so SELECT keeps working).
+/// Used only by `SortMode::GlobalSortAtEnd`.
+fn dist_bfs_levels(
+    a: &DistCscMatrix,
+    root: Vidx,
+    order: &mut DistDenseVec<Label>,
+    clock: &mut SimClock,
+) -> DistSparseVec<Label> {
+    let layout = a.layout().clone();
+    clock.set_phase(Phase::OrderingOther);
+    // Reuse `order` as the visited marker with a sentinel the final SET will
+    // overwrite (labels are assigned by the caller's global sortperm).
+    const VISITING: Label = Label::MAX;
+    order.set(root, VISITING);
+    let mut all = DistSparseVec::singleton(layout.clone(), root, 0 as Label);
+    let mut cur = all.clone();
+    let mut level: Label = 0;
+    loop {
+        clock.set_phase(Phase::OrderingSpmspv);
+        let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, clock);
+        clock.set_phase(Phase::OrderingOther);
+        let mut next = dist_select(&next, order, |r| r == UNVISITED, clock);
+        if !dist_is_nonempty(&next, clock) {
+            break;
+        }
+        level += 1;
+        let mut max_scan = 0usize;
+        for part in &mut next.parts {
+            max_scan = max_scan.max(part.len());
+            for (_, v) in part.iter_mut() {
+                *v = level;
+            }
+        }
+        clock.charge_elems(max_scan);
+        let mut stamp = next.clone();
+        for part in &mut stamp.parts {
+            for (_, v) in part.iter_mut() {
+                *v = VISITING;
+            }
+        }
+        dist_set(order, &stamp, clock);
+        // Accumulate (vertex, level) pairs.
+        for (rank, part) in next.parts.iter().enumerate() {
+            all.parts[rank].extend_from_slice(part);
+        }
+        cur = next;
+    }
+    for part in &mut all.parts {
+        part.sort_unstable_by_key(|&(g, _)| g);
+    }
+    all
+}
+
+/// Run distributed RCM on a symmetric pattern matrix.
+///
+/// Panics when the configuration's process count is not a perfect square
+/// (the paper's CombBLAS restriction, §V-A).
+pub fn dist_rcm(a: &CscMatrix, config: &DistRcmConfig) -> DistRcmResult {
+    let grid = config
+        .hybrid
+        .grid()
+        .unwrap_or_else(|| panic!("{} processes do not form a square grid", config.hybrid.nprocs()));
+    let dmat = DistCscMatrix::from_global(grid, a, config.balance_seed);
+    let mut clock = SimClock::new(config.machine, config.hybrid.threads_per_proc);
+    let n = a.n_rows();
+
+    let degrees = dmat.degrees_dvec();
+    clock.set_phase(Phase::OrderingOther);
+    let mut order: DistDenseVec<Label> = DistDenseVec::filled(dmat.layout().clone(), UNVISITED);
+    clock.charge_elems(dmat.layout().max_local_len());
+
+    let mut nv: Label = 0;
+    let mut components = 0usize;
+    let mut peripheral_bfs = 0usize;
+    let mut levels = 0usize;
+    let mut level_stats: Vec<LevelStat> = Vec::new();
+    while (nv as usize) < n {
+        clock.set_phase(Phase::PeripheralOther);
+        let seed = dist_find_unvisited_min_degree(&order, &degrees, &mut clock)
+            .expect("unvisited vertex must exist");
+        let (root, _ecc) =
+            dist_pseudo_peripheral(&dmat, &degrees, seed, &mut clock, &mut peripheral_bfs);
+        components += 1;
+        levels += dist_label_component(
+            &dmat,
+            &degrees,
+            root,
+            &mut order,
+            &mut nv,
+            config.sort_mode,
+            &mut clock,
+            &mut level_stats,
+        );
+    }
+
+    // Reverse (CM → RCM) and map back to original vertex ids.
+    let labels_internal: Vec<Vidx> = order
+        .to_global()
+        .iter()
+        .map(|&l| (n as Label - 1 - l) as Vidx)
+        .collect();
+    let labels_original = dmat.to_original(&labels_internal);
+    let perm = Permutation::from_new_of_old(labels_original)
+        .expect("RCM labels form a bijection");
+
+    let messages = clock.messages;
+    let bytes = clock.bytes;
+    let breakdown = clock.into_breakdown();
+    DistRcmResult {
+        perm,
+        sim_seconds: breakdown.total(),
+        breakdown,
+        grid_side: grid.pr,
+        threads_per_proc: config.hybrid.threads_per_proc,
+        components,
+        peripheral_bfs,
+        levels,
+        messages,
+        bytes,
+        level_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebraic::algebraic_rcm;
+    use rcm_sparse::{matrix_bandwidth, CooBuilder};
+
+    fn scrambled_path(n: usize, stride: usize) -> CscMatrix {
+        let mut b = CooBuilder::new(n, n);
+        for v in 0..n - 1 {
+            b.push_sym(v as Vidx, (v + 1) as Vidx);
+        }
+        let a = b.build();
+        let perm: Vec<Vidx> = (0..n).map(|i| ((i * stride) % n) as Vidx).collect();
+        a.permute_sym(&Permutation::from_new_of_old(perm).unwrap())
+    }
+
+    fn grid_graph(w: usize) -> CscMatrix {
+        let mut b = CooBuilder::new(w * w, w * w);
+        for y in 0..w {
+            for x in 0..w {
+                let u = (y * w + x) as Vidx;
+                if x + 1 < w {
+                    b.push_sym(u, u + 1);
+                }
+                if y + 1 < w {
+                    b.push_sym(u, u + w as Vidx);
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn config_with_cores(cores: usize) -> DistRcmConfig {
+        DistRcmConfig {
+            machine: MachineModel::edison(),
+            hybrid: HybridConfig::new(cores, 1),
+            balance_seed: None,
+            sort_mode: SortMode::Full,
+        }
+    }
+
+    #[test]
+    fn distributed_equals_algebraic_on_every_grid() {
+        let a = scrambled_path(37, 11);
+        let (expect, _) = algebraic_rcm(&a);
+        for procs in [1usize, 4, 9, 16] {
+            let res = dist_rcm(&a, &config_with_cores(procs));
+            assert_eq!(res.perm, expect, "diverged on {procs} ranks");
+        }
+    }
+
+    #[test]
+    fn distributed_equals_algebraic_on_2d_grid_graph() {
+        let a = grid_graph(11);
+        let (expect, _) = algebraic_rcm(&a);
+        for procs in [1usize, 9, 25] {
+            let res = dist_rcm(&a, &config_with_cores(procs));
+            assert_eq!(res.perm, expect, "diverged on {procs} ranks");
+        }
+    }
+
+    #[test]
+    fn distributed_handles_components() {
+        let mut b = CooBuilder::new(12, 12);
+        b.push_sym(0, 1);
+        b.push_sym(1, 2);
+        b.push_sym(5, 6);
+        b.push_sym(7, 8);
+        b.push_sym(8, 9);
+        b.push_sym(9, 7);
+        let a = b.build();
+        let (expect, _) = algebraic_rcm(&a);
+        let res = dist_rcm(&a, &config_with_cores(4));
+        assert_eq!(res.perm, expect);
+        assert_eq!(res.components, 7); // {0,1,2} {3} {4} {5,6} {7,8,9} {10} {11}
+    }
+
+    #[test]
+    fn balance_permutation_preserves_quality() {
+        let a = scrambled_path(60, 17);
+        let plain = dist_rcm(&a, &config_with_cores(4));
+        let mut cfg = config_with_cores(4);
+        cfg.balance_seed = Some(99);
+        let balanced = dist_rcm(&a, &cfg);
+        let bw_plain = matrix_bandwidth(&a.permute_sym(&plain.perm));
+        let bw_balanced = matrix_bandwidth(&a.permute_sym(&balanced.perm));
+        assert_eq!(bw_plain, 1);
+        assert_eq!(bw_balanced, 1);
+    }
+
+    #[test]
+    fn more_ranks_cost_more_communication() {
+        let a = grid_graph(14);
+        let r1 = dist_rcm(&a, &config_with_cores(1));
+        let r16 = dist_rcm(&a, &config_with_cores(16));
+        assert_eq!(r1.breakdown.comm_total(), 0.0);
+        assert!(r16.breakdown.comm_total() > 0.0);
+        assert!(r16.messages > 0);
+        // Compute per rank shrinks: the max-over-ranks compute on 16 ranks
+        // must be below the single-rank compute.
+        assert!(r16.breakdown.compute_total() < r1.breakdown.compute_total());
+    }
+
+    #[test]
+    fn hybrid_threads_speed_up_compute() {
+        let a = grid_graph(14);
+        let mut flat = config_with_cores(4);
+        flat.hybrid = HybridConfig::new(4, 1);
+        let mut hybrid = config_with_cores(4);
+        hybrid.hybrid = HybridConfig::new(24, 6); // same 4-rank grid, 6 threads
+        let rf = dist_rcm(&a, &flat);
+        let rh = dist_rcm(&a, &hybrid);
+        assert_eq!(rf.perm, rh.perm);
+        assert!(rh.breakdown.compute_total() < rf.breakdown.compute_total());
+        assert_eq!(rf.grid_side, rh.grid_side);
+    }
+
+    #[test]
+    fn nosort_is_valid_but_lower_quality_on_grids() {
+        let a = grid_graph(13);
+        let mut cfg = config_with_cores(4);
+        cfg.sort_mode = SortMode::NoSort;
+        let res = dist_rcm(&a, &cfg);
+        assert_eq!(res.perm.len(), a.n_rows());
+        // Still a bandwidth reducer on a shuffled path, just not optimal.
+        let full = dist_rcm(&a, &config_with_cores(4));
+        let bw_nosort = matrix_bandwidth(&a.permute_sym(&res.perm));
+        let bw_full = matrix_bandwidth(&a.permute_sym(&full.perm));
+        assert!(bw_full <= bw_nosort);
+    }
+
+    #[test]
+    fn global_sort_at_end_is_valid() {
+        let a = grid_graph(9);
+        let mut cfg = config_with_cores(4);
+        cfg.sort_mode = SortMode::GlobalSortAtEnd;
+        let res = dist_rcm(&a, &cfg);
+        assert_eq!(res.perm.len(), a.n_rows());
+        let bw = matrix_bandwidth(&a.permute_sym(&res.perm));
+        assert!(bw < a.n_rows() / 2, "global-sort RCM should still help: {bw}");
+    }
+
+    #[test]
+    fn breakdown_phases_are_populated() {
+        let a = grid_graph(12);
+        let res = dist_rcm(&a, &config_with_cores(9));
+        for ph in Phase::ALL {
+            let pair = res.breakdown.get(ph);
+            assert!(pair.compute > 0.0 || pair.comm > 0.0, "{ph:?} empty");
+        }
+        assert!(res.peripheral_bfs >= 2);
+        assert!(res.levels > 0);
+        assert!((res.sim_seconds - res.breakdown.total()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,252 @@
+//! BFS level structures and the pseudo-peripheral vertex finder.
+//!
+//! The starting vertex strongly impacts RCM quality (§II-A): a vertex of
+//! (near-)maximal eccentricity is wanted. Finding a true peripheral vertex
+//! is prohibitively expensive, so the George–Liu refinement of the
+//! Gibbs–Poole–Stockmeyer heuristic (Algorithm 2 of the paper) is used:
+//! repeatedly BFS, hop to a minimum-degree vertex of the last level, and
+//! stop when the eccentricity no longer grows.
+
+use rcm_sparse::{CscMatrix, Vidx};
+
+/// The rooted level structure `L(v) = {L₀(v), …, L_ℓ(v)}` restricted to the
+/// connected component of the root.
+#[derive(Clone, Debug)]
+pub struct LevelStructure {
+    /// Level of each vertex; `-1` for vertices outside the root's component.
+    pub level_of: Vec<i32>,
+    /// Vertices in BFS order; level `k` occupies
+    /// `order[starts[k]..starts[k+1]]`.
+    pub order: Vec<Vidx>,
+    /// Level boundaries into `order`; `starts.len() == height + 1`.
+    pub starts: Vec<usize>,
+}
+
+impl LevelStructure {
+    /// Number of levels (eccentricity of the root + 1).
+    pub fn height(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Eccentricity `ℓ(root)` within the component.
+    pub fn eccentricity(&self) -> usize {
+        self.height().saturating_sub(1)
+    }
+
+    /// Vertices of level `k`.
+    pub fn level(&self, k: usize) -> &[Vidx] {
+        &self.order[self.starts[k]..self.starts[k + 1]]
+    }
+
+    /// Width `ν(v)`: the size of the largest level.
+    pub fn width(&self) -> usize {
+        (0..self.height()).map(|k| self.level(k).len()).max().unwrap_or(0)
+    }
+
+    /// Number of vertices reached (the component size).
+    pub fn component_size(&self) -> usize {
+        self.order.len()
+    }
+}
+
+/// Breadth-first search from `root`, producing the rooted level structure.
+pub fn bfs_level_structure(a: &CscMatrix, root: Vidx) -> LevelStructure {
+    let n = a.n_rows();
+    assert!((root as usize) < n, "root {root} out of range");
+    let mut level_of = vec![-1i32; n];
+    let mut order = Vec::new();
+    let mut starts = vec![0usize];
+    level_of[root as usize] = 0;
+    order.push(root);
+    let mut frontier_begin = 0usize;
+    let mut level = 0i32;
+    loop {
+        // `frontier_end` closes the current level; the expansion below
+        // appends the next one.
+        let frontier_end = order.len();
+        starts.push(frontier_end);
+        level += 1;
+        for idx in frontier_begin..frontier_end {
+            let v = order[idx];
+            for &w in a.col(v as usize) {
+                if level_of[w as usize] < 0 {
+                    level_of[w as usize] = level;
+                    order.push(w);
+                }
+            }
+        }
+        if order.len() == frontier_end {
+            break;
+        }
+        frontier_begin = frontier_end;
+    }
+    LevelStructure {
+        level_of,
+        order,
+        starts,
+    }
+}
+
+/// Result of the pseudo-peripheral search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PseudoPeripheral {
+    /// The pseudo-peripheral vertex.
+    pub vertex: Vidx,
+    /// Its eccentricity within the component.
+    pub eccentricity: usize,
+    /// Number of full BFS sweeps performed (`|iters|` in the paper's cost
+    /// analysis).
+    pub bfs_count: usize,
+}
+
+/// George–Liu pseudo-peripheral vertex finder (Algorithm 2 of the paper),
+/// starting from `start`.
+///
+/// Repeats: BFS from `r`; pick the minimum-degree vertex `v` (ties toward
+/// the smaller id) in the last level; if `ℓ(v) > ℓ(r)` continue from `v`,
+/// else stop and return `v`.
+pub fn pseudo_peripheral(a: &CscMatrix, start: Vidx) -> PseudoPeripheral {
+    let degrees = a.degrees();
+    pseudo_peripheral_with_degrees(a, start, &degrees)
+}
+
+/// [`pseudo_peripheral`] with a precomputed degree vector.
+pub fn pseudo_peripheral_with_degrees(
+    a: &CscMatrix,
+    start: Vidx,
+    degrees: &[Vidx],
+) -> PseudoPeripheral {
+    let mut r = start;
+    let mut ls = bfs_level_structure(a, r);
+    let mut bfs_count = 1;
+    let mut ecc = ls.eccentricity();
+    loop {
+        // Shrink: minimum-degree vertex of the last level.
+        let last = ls.level(ls.height() - 1);
+        let v = *last
+            .iter()
+            .min_by_key(|&&w| (degrees[w as usize], w))
+            .expect("last level is nonempty");
+        if v == r {
+            break;
+        }
+        let ls_v = bfs_level_structure(a, v);
+        bfs_count += 1;
+        let ecc_v = ls_v.eccentricity();
+        r = v;
+        ls = ls_v;
+        if ecc_v <= ecc {
+            ecc = ecc_v;
+            break;
+        }
+        ecc = ecc_v;
+    }
+    PseudoPeripheral {
+        vertex: r,
+        eccentricity: ecc,
+        bfs_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcm_sparse::CooBuilder;
+
+    fn path(n: usize) -> CscMatrix {
+        let mut b = CooBuilder::new(n, n);
+        for v in 0..n - 1 {
+            b.push_sym(v as Vidx, (v + 1) as Vidx);
+        }
+        b.build()
+    }
+
+    fn star(n: usize) -> CscMatrix {
+        let mut b = CooBuilder::new(n, n);
+        for v in 1..n {
+            b.push_sym(0, v as Vidx);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn levels_of_path_from_middle() {
+        let a = path(7);
+        let ls = bfs_level_structure(&a, 3);
+        assert_eq!(ls.eccentricity(), 3);
+        assert_eq!(ls.level(0), &[3]);
+        let mut l1 = ls.level(1).to_vec();
+        l1.sort_unstable();
+        assert_eq!(l1, vec![2, 4]);
+        assert_eq!(ls.component_size(), 7);
+        assert_eq!(ls.width(), 2);
+    }
+
+    #[test]
+    fn levels_respect_components() {
+        // Two disjoint edges.
+        let mut b = CooBuilder::new(4, 4);
+        b.push_sym(0, 1);
+        b.push_sym(2, 3);
+        let a = b.build();
+        let ls = bfs_level_structure(&a, 0);
+        assert_eq!(ls.component_size(), 2);
+        assert_eq!(ls.level_of[2], -1);
+        assert_eq!(ls.level_of[3], -1);
+    }
+
+    #[test]
+    fn pseudo_peripheral_of_path_is_an_endpoint() {
+        let a = path(10);
+        let pp = pseudo_peripheral(&a, 4);
+        assert!(pp.vertex == 0 || pp.vertex == 9, "got {}", pp.vertex);
+        assert_eq!(pp.eccentricity, 9);
+        assert!(pp.bfs_count >= 2);
+    }
+
+    #[test]
+    fn pseudo_peripheral_of_star_is_a_leaf() {
+        let a = star(6);
+        let pp = pseudo_peripheral(&a, 0);
+        assert_ne!(pp.vertex, 0);
+        assert_eq!(pp.eccentricity, 2);
+    }
+
+    #[test]
+    fn pseudo_peripheral_is_deterministic() {
+        let a = path(30);
+        assert_eq!(pseudo_peripheral(&a, 13), pseudo_peripheral(&a, 13));
+    }
+
+    #[test]
+    fn singleton_component() {
+        let a = CscMatrix::empty(3);
+        let ls = bfs_level_structure(&a, 1);
+        assert_eq!(ls.component_size(), 1);
+        assert_eq!(ls.eccentricity(), 0);
+        let pp = pseudo_peripheral(&a, 1);
+        assert_eq!(pp.vertex, 1);
+        assert_eq!(pp.eccentricity, 0);
+    }
+
+    #[test]
+    fn grid_peripheral_reaches_a_corner_distance() {
+        // 2D grid: diameter from corner to corner = (w-1)+(h-1).
+        let w = 8;
+        let mut b = CooBuilder::new(w * w, w * w);
+        for y in 0..w {
+            for x in 0..w {
+                let u = (y * w + x) as Vidx;
+                if x + 1 < w {
+                    b.push_sym(u, u + 1);
+                }
+                if y + 1 < w {
+                    b.push_sym(u, u + w as Vidx);
+                }
+            }
+        }
+        let a = b.build();
+        let pp = pseudo_peripheral(&a, (w * w / 2) as Vidx);
+        assert_eq!(pp.eccentricity, 2 * (w - 1));
+    }
+}

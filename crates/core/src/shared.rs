@@ -1,0 +1,258 @@
+//! Shared-memory (multithreaded) level-synchronous RCM — the SpMP-style
+//! baseline of Table II.
+//!
+//! The paper compares its distributed implementation against SpMP (Park et
+//! al.), which implements the level-synchronous shared-memory RCM of
+//! Karantasis et al. \[8\]. This module provides an equivalent baseline using
+//! real OS threads:
+//!
+//! * frontier expansion is split across threads, each emitting
+//!   `(vertex, parent-label)` candidates for unvisited neighbours *without*
+//!   claiming them (no atomics on the hot path — `visited` is only read
+//!   during a level and written between levels),
+//! * candidates are merged and deduplicated keeping the minimum parent
+//!   label, reproducing the `(select2nd, min)` semantics, then
+//! * sorted by `(parent label, degree, vertex)` and labeled.
+//!
+//! The result is *deterministic* and identical to the sequential and
+//! algebraic orderings — thread count changes runtime, never the answer.
+
+use crate::peripheral::pseudo_peripheral_with_degrees;
+use rcm_sparse::{CscMatrix, Permutation, Vidx};
+
+/// Statistics of a shared-memory RCM run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SharedRcmStats {
+    /// Connected components processed.
+    pub components: usize,
+    /// BFS sweeps in the pseudo-peripheral searches.
+    pub peripheral_bfs: usize,
+    /// Ordering levels traversed.
+    pub levels: usize,
+}
+
+/// Candidate entry emitted during parallel expansion:
+/// `(vertex, parent label, degree)` — ordered so that sorting by the tuple
+/// groups duplicates of a vertex with the minimum parent first.
+type Candidate = (Vidx, Vidx, Vidx);
+
+/// Expand one frontier level in parallel.
+///
+/// `frontier` holds the current level in label order; `base_label` is the
+/// label of `frontier[0]`. Returns deduplicated candidates sorted by
+/// `(parent label, degree, vertex)`, ready for labeling.
+fn expand_level(
+    a: &CscMatrix,
+    degrees: &[Vidx],
+    visited: &[bool],
+    frontier: &[Vidx],
+    base_label: Vidx,
+    nthreads: usize,
+) -> Vec<Candidate> {
+    let nthreads = nthreads.max(1).min(frontier.len().max(1));
+    let chunk = frontier.len().div_ceil(nthreads);
+    let mut per_thread: Vec<Vec<Candidate>> = Vec::new();
+    if nthreads == 1 || frontier.len() < 256 {
+        // Not worth spawning below this size.
+        let mut out = Vec::new();
+        for (off, &v) in frontier.iter().enumerate() {
+            let parent_label = base_label + off as Vidx;
+            for &w in a.col(v as usize) {
+                if !visited[w as usize] {
+                    out.push((w, parent_label, degrees[w as usize]));
+                }
+            }
+        }
+        out.sort_unstable();
+        per_thread.push(out);
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = frontier
+                .chunks(chunk)
+                .enumerate()
+                .map(|(c, slice)| {
+                    scope.spawn(move || {
+                        let mut out: Vec<Candidate> = Vec::new();
+                        let chunk_base = base_label + (c * chunk) as Vidx;
+                        for (off, &v) in slice.iter().enumerate() {
+                            let parent_label = chunk_base + off as Vidx;
+                            for &w in a.col(v as usize) {
+                                if !visited[w as usize] {
+                                    out.push((w, parent_label, degrees[w as usize]));
+                                }
+                            }
+                        }
+                        // Pre-sort locally so the merge below is linear.
+                        out.sort_unstable();
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_thread.push(h.join().expect("expansion thread panicked"));
+            }
+        });
+    }
+
+    // K-way merge by (vertex, parent) keeping the first (= minimum-parent)
+    // occurrence of each vertex.
+    let total: usize = per_thread.iter().map(Vec::len).sum();
+    let mut merged: Vec<Candidate> = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; per_thread.len()];
+    loop {
+        let mut best: Option<(Candidate, usize)> = None;
+        for (t, list) in per_thread.iter().enumerate() {
+            if cursors[t] < list.len() {
+                let cand = list[cursors[t]];
+                if best.is_none_or(|(b, _)| cand < b) {
+                    best = Some((cand, t));
+                }
+            }
+        }
+        match best {
+            None => break,
+            Some((cand, t)) => {
+                cursors[t] += 1;
+                match merged.last() {
+                    Some(&(v, _, _)) if v == cand.0 => {} // duplicate vertex: min parent kept
+                    _ => merged.push(cand),
+                }
+            }
+        }
+    }
+    // Relabel order: (parent label, degree, vertex).
+    merged.sort_unstable_by_key(|&(v, parent, deg)| (parent, deg, v));
+    merged
+}
+
+/// Multithreaded RCM with `nthreads` worker threads.
+///
+/// Produces exactly the same permutation as [`crate::serial::rcm`] and
+/// [`crate::algebraic::algebraic_rcm`] for any thread count.
+pub fn par_rcm(a: &CscMatrix, nthreads: usize) -> (Permutation, SharedRcmStats) {
+    let (cm, stats) = par_cuthill_mckee(a, nthreads);
+    (cm.reversed(), stats)
+}
+
+/// Multithreaded Cuthill-McKee (unreversed).
+pub fn par_cuthill_mckee(a: &CscMatrix, nthreads: usize) -> (Permutation, SharedRcmStats) {
+    assert_eq!(a.n_rows(), a.n_cols());
+    let n = a.n_rows();
+    let degrees = a.degrees();
+    let mut visited = vec![false; n];
+    let mut order: Vec<Vidx> = Vec::with_capacity(n);
+    let mut stats = SharedRcmStats::default();
+
+    while order.len() < n {
+        let seed = (0..n)
+            .filter(|&v| !visited[v])
+            .min_by_key(|&v| (degrees[v], v as Vidx))
+            .expect("unvisited vertex exists") as Vidx;
+        let pp = pseudo_peripheral_with_degrees(a, seed, &degrees);
+        stats.components += 1;
+        stats.peripheral_bfs += pp.bfs_count;
+
+        let root = pp.vertex;
+        visited[root as usize] = true;
+        let mut base_label = order.len() as Vidx;
+        order.push(root);
+        let mut frontier = vec![root];
+        while !frontier.is_empty() {
+            let cands = expand_level(a, &degrees, &visited, &frontier, base_label, nthreads);
+            if cands.is_empty() {
+                break;
+            }
+            stats.levels += 1;
+            base_label = order.len() as Vidx;
+            let mut next = Vec::with_capacity(cands.len());
+            for &(v, _, _) in &cands {
+                visited[v as usize] = true;
+                order.push(v);
+                next.push(v);
+            }
+            frontier = next;
+        }
+    }
+    (
+        Permutation::from_order(&order).expect("CM visits each vertex once"),
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial;
+    use rcm_sparse::CooBuilder;
+
+    fn scrambled_grid(w: usize, stride: usize) -> CscMatrix {
+        let mut b = CooBuilder::new(w * w, w * w);
+        for y in 0..w {
+            for x in 0..w {
+                let u = (y * w + x) as Vidx;
+                if x + 1 < w {
+                    b.push_sym(u, u + 1);
+                }
+                if y + 1 < w {
+                    b.push_sym(u, u + w as Vidx);
+                }
+            }
+        }
+        let n = w * w;
+        let perm: Vec<Vidx> = (0..n).map(|i| ((i * stride) % n) as Vidx).collect();
+        b.build()
+            .permute_sym(&Permutation::from_new_of_old(perm).unwrap())
+    }
+
+    #[test]
+    fn matches_serial_for_any_thread_count() {
+        let a = scrambled_grid(13, 23);
+        let (expect, _) = serial::rcm(&a);
+        for t in [1usize, 2, 3, 4, 8] {
+            let (got, _) = par_rcm(&a, t);
+            assert_eq!(got, expect, "{t} threads diverged");
+        }
+    }
+
+    #[test]
+    fn large_frontier_takes_threaded_path() {
+        // A star graph has one giant level — forces the threaded branch.
+        let n = 2000;
+        let mut b = CooBuilder::new(n, n);
+        for v in 1..n {
+            b.push_sym(0, v as Vidx);
+        }
+        let a = b.build();
+        let (p, stats) = par_rcm(&a, 4);
+        assert_eq!(p.len(), n);
+        assert_eq!(stats.components, 1);
+        let (expect, _) = serial::rcm(&a);
+        assert_eq!(p, expect);
+    }
+
+    #[test]
+    fn components_counted() {
+        let mut b = CooBuilder::new(6, 6);
+        b.push_sym(0, 1);
+        b.push_sym(2, 3);
+        let a = b.build();
+        let (p, stats) = par_rcm(&a, 2);
+        assert_eq!(p.len(), 6);
+        assert_eq!(stats.components, 4);
+    }
+
+    #[test]
+    fn duplicate_candidates_keep_min_parent() {
+        // Diamond: 0-1, 0-2, 1-3, 2-3. From root 0, vertex 3 is reachable
+        // from both 1 and 2; it must attach to the smaller label.
+        let mut b = CooBuilder::new(4, 4);
+        b.push_sym(0, 1);
+        b.push_sym(0, 2);
+        b.push_sym(1, 3);
+        b.push_sym(2, 3);
+        let a = b.build();
+        let (p, _) = par_rcm(&a, 2);
+        let (expect, _) = serial::rcm(&a);
+        assert_eq!(p, expect);
+    }
+}

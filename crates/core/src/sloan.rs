@@ -1,0 +1,238 @@
+//! Sloan's profile/wavefront-reduction ordering.
+//!
+//! The paper cites Sloan's algorithm \[6\] alongside (R)CM as the standard
+//! bandwidth/profile heuristics; implementing it gives the quality
+//! comparison RCM is usually judged against: Sloan typically produces
+//! *better profiles* (envelope sizes) at somewhat higher cost, while RCM is
+//! simpler, cheaper and parallelizes (which is the paper's whole point).
+//!
+//! This is the classical formulation (Sloan 1986, in the Kumfert–Pothen
+//! notation): vertices move through `inactive → preactive → active →
+//! numbered`, and the next vertex is the highest-priority preactive/active
+//! vertex with priority
+//!
+//! ```text
+//!   P(v) = W1 · dist(v, e) − W2 · (deg(v) + 1)
+//! ```
+//!
+//! where `e` is the far end of a pseudo-diameter. The max-priority queue is
+//! a lazy binary heap (stale entries are skipped on pop).
+
+use crate::peripheral::{bfs_level_structure, pseudo_peripheral_with_degrees};
+use rcm_sparse::{CscMatrix, Permutation, Vidx};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Weights of Sloan's priority function. Sloan's recommended `(2, 1)` is the
+/// default; Kumfert–Pothen explore class-dependent weights.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SloanWeights {
+    /// Weight of the distance-to-end (global) term.
+    pub w1: i64,
+    /// Weight of the degree (local) term.
+    pub w2: i64,
+}
+
+impl Default for SloanWeights {
+    fn default() -> Self {
+        SloanWeights { w1: 2, w2: 1 }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Inactive,
+    Preactive,
+    Active,
+    Numbered,
+}
+
+/// Sloan ordering with default weights.
+pub fn sloan(a: &CscMatrix) -> Permutation {
+    sloan_with_weights(a, SloanWeights::default())
+}
+
+/// Sloan ordering with explicit weights.
+pub fn sloan_with_weights(a: &CscMatrix, weights: SloanWeights) -> Permutation {
+    assert_eq!(a.n_rows(), a.n_cols(), "Sloan needs a square matrix");
+    let n = a.n_rows();
+    let degrees = a.degrees();
+    let mut status = vec![Status::Inactive; n];
+    let mut order: Vec<Vidx> = Vec::with_capacity(n);
+
+    while order.len() < n {
+        // Pseudo-diameter endpoints (s, e) of the next component.
+        let seed = (0..n)
+            .filter(|&v| status[v] == Status::Inactive)
+            .min_by_key(|&v| (degrees[v], v as Vidx))
+            .expect("an unnumbered vertex exists") as Vidx;
+        let s = pseudo_peripheral_with_degrees(a, seed, &degrees).vertex;
+        let ls = bfs_level_structure(a, s);
+        let e = *ls
+            .level(ls.height() - 1)
+            .iter()
+            .min_by_key(|&&w| (degrees[w as usize], w))
+            .expect("last level nonempty");
+        // Distances to the far end e, within the component.
+        let dist_e = bfs_level_structure(a, e).level_of;
+
+        // Initial priorities.
+        let mut priority: Vec<i64> = (0..n)
+            .map(|v| {
+                let d = dist_e[v].max(0) as i64;
+                weights.w1 * d - weights.w2 * (degrees[v] as i64 + 1)
+            })
+            .collect();
+
+        let mut heap: BinaryHeap<(i64, Reverse<Vidx>)> = BinaryHeap::new();
+        status[s as usize] = Status::Preactive;
+        heap.push((priority[s as usize], Reverse(s)));
+
+        while let Some((p, Reverse(v))) = heap.pop() {
+            let v = v as usize;
+            // Lazy deletion: skip stale or already-numbered entries.
+            if status[v] == Status::Numbered || p != priority[v] {
+                continue;
+            }
+            if status[v] == Status::Preactive {
+                // Examining a preactive vertex activates the local front
+                // around it: its neighbours gain W2 and become candidates.
+                for &w in a.col(v) {
+                    let w = w as usize;
+                    priority[w] += weights.w2;
+                    if status[w] == Status::Inactive {
+                        status[w] = Status::Preactive;
+                    }
+                    if status[w] != Status::Numbered {
+                        heap.push((priority[w], Reverse(w as Vidx)));
+                    }
+                }
+            }
+            status[v] = Status::Numbered;
+            order.push(v as Vidx);
+            // Newly exposed neighbours: preactive neighbours of v become
+            // active and bump *their* neighbourhoods.
+            for &w in a.col(v) {
+                let w = w as usize;
+                if status[w] == Status::Preactive {
+                    status[w] = Status::Active;
+                    priority[w] += weights.w2;
+                    heap.push((priority[w], Reverse(w as Vidx)));
+                    for &x in a.col(w) {
+                        let x = x as usize;
+                        if status[x] != Status::Numbered {
+                            priority[x] += weights.w2;
+                            if status[x] == Status::Inactive {
+                                status[x] = Status::Preactive;
+                            }
+                            heap.push((priority[x], Reverse(x as Vidx)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Permutation::from_order(&order).expect("Sloan numbers each vertex exactly once")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::{ordering_bandwidth, ordering_profile};
+    use rcm_sparse::CooBuilder;
+
+    fn scrambled_grid(w: usize, stride: usize) -> CscMatrix {
+        let mut b = CooBuilder::new(w * w, w * w);
+        for y in 0..w {
+            for x in 0..w {
+                let u = (y * w + x) as Vidx;
+                if x + 1 < w {
+                    b.push_sym(u, u + 1);
+                }
+                if y + 1 < w {
+                    b.push_sym(u, u + w as Vidx);
+                }
+            }
+        }
+        let n = w * w;
+        let perm: Vec<Vidx> = (0..n).map(|i| ((i * stride) % n) as Vidx).collect();
+        b.build()
+            .permute_sym(&Permutation::from_new_of_old(perm).unwrap())
+    }
+
+    #[test]
+    fn sloan_is_a_valid_permutation() {
+        let a = scrambled_grid(9, 13);
+        let p = sloan(&a);
+        assert_eq!(p.len(), 81);
+        assert_eq!(p.then(&p.inverse()), Permutation::identity(81));
+    }
+
+    #[test]
+    fn sloan_reduces_profile_substantially() {
+        let a = scrambled_grid(15, 41);
+        let id = Permutation::identity(a.n_rows());
+        let before = ordering_profile(&a, &id);
+        let after = ordering_profile(&a, &sloan(&a));
+        assert!(
+            after * 3 < before,
+            "Sloan should cut the profile: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn sloan_profile_competitive_with_rcm() {
+        // Sloan targets the profile; on meshes it is usually at least close
+        // to RCM (often better). Allow 30% slack to avoid flaky coupling to
+        // tie-breaking details.
+        let a = scrambled_grid(14, 23);
+        let p_sloan = ordering_profile(&a, &sloan(&a));
+        let p_rcm = ordering_profile(&a, &crate::rcm(&a));
+        assert!(
+            (p_sloan as f64) <= p_rcm as f64 * 1.3,
+            "Sloan profile {p_sloan} should be competitive with RCM {p_rcm}"
+        );
+    }
+
+    #[test]
+    fn handles_components_and_isolated_vertices() {
+        let mut b = CooBuilder::new(7, 7);
+        b.push_sym(0, 1);
+        b.push_sym(1, 2);
+        b.push_sym(4, 5);
+        let a = b.build();
+        let p = sloan(&a);
+        assert_eq!(p.len(), 7);
+    }
+
+    #[test]
+    fn custom_weights_change_the_ordering() {
+        // Grids are too degree-homogeneous for the weights to matter; glue a
+        // star onto a path so the local (degree) and global (distance) terms
+        // genuinely compete.
+        let n = 40usize;
+        let mut b = CooBuilder::new(n, n);
+        for v in 0..19u32 {
+            b.push_sym(v, v + 1);
+        }
+        for v in 21..40u32 {
+            b.push_sym(20, v);
+        }
+        b.push_sym(10, 20);
+        let a = b.build();
+        let p1 = sloan_with_weights(&a, SloanWeights { w1: 1000, w2: 1 });
+        let p2 = sloan_with_weights(&a, SloanWeights { w1: 1, w2: 1000 });
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn path_is_ordered_end_to_end() {
+        let mut b = CooBuilder::new(6, 6);
+        for v in 0..5u32 {
+            b.push_sym(v, v + 1);
+        }
+        let a = b.build();
+        let p = sloan(&a);
+        assert_eq!(ordering_bandwidth(&a, &p), 1);
+    }
+}

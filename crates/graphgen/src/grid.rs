@@ -1,0 +1,316 @@
+//! Regular-grid (stencil) matrix generators.
+//!
+//! These model the discretized-PDE matrices that dominate the paper's suite:
+//! 2D/3D meshes with various stencil widths, optional multiple degrees of
+//! freedom per node (FEM-style), and optional axis "skip" links that shorten
+//! the graph diameter without changing the degree much (used to match
+//! medium-diameter matrices like `Serena`).
+
+use rcm_sparse::{CooBuilder, CscMatrix, Vidx};
+
+/// Description of a 3D stencil-pattern generator.
+#[derive(Clone, Debug)]
+pub struct StencilSpec {
+    /// Grid extents.
+    pub nx: usize,
+    /// Grid extents.
+    pub ny: usize,
+    /// Grid extents.
+    pub nz: usize,
+    /// Neighbour offsets (must not include the origin). Symmetric sets
+    /// produce symmetric matrices; [`StencilSpec::build`] asserts symmetry.
+    pub offsets: Vec<(i32, i32, i32)>,
+    /// Degrees of freedom per grid node; dofs of a node form a clique, and a
+    /// node-level edge couples all dof pairs (dense FEM blocks).
+    pub dofs: usize,
+}
+
+impl StencilSpec {
+    /// The 6-neighbour (7-point minus diagonal) stencil.
+    pub fn offsets_7pt() -> Vec<(i32, i32, i32)> {
+        vec![
+            (1, 0, 0),
+            (-1, 0, 0),
+            (0, 1, 0),
+            (0, -1, 0),
+            (0, 0, 1),
+            (0, 0, -1),
+        ]
+    }
+
+    /// All 26 neighbours in the unit Chebyshev ball (27-point stencil).
+    pub fn offsets_27pt() -> Vec<(i32, i32, i32)> {
+        Self::offsets_chebyshev(1)
+    }
+
+    /// All nonzero offsets within Chebyshev radius `r` — `(2r+1)³ − 1`
+    /// neighbours. Radius 3 reproduces the ~400 average degree of `nd24k`.
+    pub fn offsets_chebyshev(r: i32) -> Vec<(i32, i32, i32)> {
+        let mut v = Vec::new();
+        for dx in -r..=r {
+            for dy in -r..=r {
+                for dz in -r..=r {
+                    if (dx, dy, dz) != (0, 0, 0) {
+                        v.push((dx, dy, dz));
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// 27-point offsets plus ±2 axis skips: shortens the graph diameter by
+    /// roughly 2× while adding only 6 neighbours.
+    pub fn offsets_27pt_with_skips() -> Vec<(i32, i32, i32)> {
+        let mut v = Self::offsets_27pt();
+        for d in [2, -2] {
+            v.push((d, 0, 0));
+            v.push((0, d, 0));
+            v.push((0, 0, d));
+        }
+        v
+    }
+
+    /// Number of rows of the generated matrix.
+    pub fn n_rows(&self) -> usize {
+        self.nx * self.ny * self.nz * self.dofs
+    }
+
+    /// Build the pattern matrix (natural lexicographic node numbering, dofs
+    /// innermost).
+    pub fn build(&self) -> CscMatrix {
+        assert!(self.dofs >= 1);
+        assert!(self.nx >= 1 && self.ny >= 1 && self.nz >= 1);
+        // Offsets must be a symmetric set for the matrix to be symmetric.
+        for &(dx, dy, dz) in &self.offsets {
+            assert!(
+                self.offsets.contains(&(-dx, -dy, -dz)),
+                "offset set is not symmetric: missing -({dx},{dy},{dz})"
+            );
+            assert!((dx, dy, dz) != (0, 0, 0), "origin offset not allowed");
+        }
+        let (nx, ny, nz, d) = (self.nx, self.ny, self.nz, self.dofs);
+        let n = self.n_rows();
+        let node = |x: usize, y: usize, z: usize| -> usize { (z * ny + y) * nx + x };
+        // Estimated entries: |offsets|·n·d + intra-node cliques.
+        let est = n * self.offsets.len() * d + n * d.saturating_sub(1);
+        let mut b = CooBuilder::with_capacity(n, n, est);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let u = node(x, y, z);
+                    // Intra-node dof clique (directed entries; set is symmetric).
+                    for i in 0..d {
+                        for j in 0..d {
+                            if i != j {
+                                b.push((u * d + i) as Vidx, (u * d + j) as Vidx);
+                            }
+                        }
+                    }
+                    for &(dx, dy, dz) in &self.offsets {
+                        let xx = x as i64 + dx as i64;
+                        let yy = y as i64 + dy as i64;
+                        let zz = z as i64 + dz as i64;
+                        if xx < 0
+                            || yy < 0
+                            || zz < 0
+                            || xx >= nx as i64
+                            || yy >= ny as i64
+                            || zz >= nz as i64
+                        {
+                            continue;
+                        }
+                        let v = node(xx as usize, yy as usize, zz as usize);
+                        // Couple every dof pair of the two nodes (directed;
+                        // the mirrored offset emits the reverse entries).
+                        for i in 0..d {
+                            for j in 0..d {
+                                b.push((u * d + i) as Vidx, (v * d + j) as Vidx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// 2D 5-point stencil (classic Laplacian) on an `nx × ny` grid.
+pub fn grid2d_5pt(nx: usize, ny: usize) -> CscMatrix {
+    StencilSpec {
+        nx,
+        ny,
+        nz: 1,
+        offsets: vec![(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0)],
+        dofs: 1,
+    }
+    .build()
+}
+
+/// 2D 9-point stencil on an `nx × ny` grid.
+pub fn grid2d_9pt(nx: usize, ny: usize) -> CscMatrix {
+    let offsets = StencilSpec::offsets_chebyshev(1)
+        .into_iter()
+        .filter(|&(_, _, dz)| dz == 0)
+        .collect();
+    StencilSpec {
+        nx,
+        ny,
+        nz: 1,
+        offsets,
+        dofs: 1,
+    }
+    .build()
+}
+
+/// 3D 7-point stencil.
+pub fn grid3d_7pt(nx: usize, ny: usize, nz: usize) -> CscMatrix {
+    StencilSpec {
+        nx,
+        ny,
+        nz,
+        offsets: StencilSpec::offsets_7pt(),
+        dofs: 1,
+    }
+    .build()
+}
+
+/// 3D 27-point stencil.
+pub fn grid3d_27pt(nx: usize, ny: usize, nz: usize) -> CscMatrix {
+    StencilSpec {
+        nx,
+        ny,
+        nz,
+        offsets: StencilSpec::offsets_27pt(),
+        dofs: 1,
+    }
+    .build()
+}
+
+/// General stencil constructor (see [`StencilSpec`]).
+pub fn grid3d_stencil(spec: StencilSpec) -> CscMatrix {
+    spec.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2d_5pt_structure() {
+        let m = grid2d_5pt(3, 3);
+        assert_eq!(m.n_rows(), 9);
+        assert!(m.is_symmetric());
+        // Corner has degree 2, edge 3, center 4.
+        let mut degs = m.degrees();
+        degs.sort_unstable();
+        assert_eq!(degs, vec![2, 2, 2, 2, 3, 3, 3, 3, 4]);
+    }
+
+    #[test]
+    fn grid3d_7pt_interior_degree() {
+        let m = grid3d_7pt(3, 3, 3);
+        assert_eq!(m.n_rows(), 27);
+        assert!(m.is_symmetric());
+        // Center node (1,1,1) = index 13 has all 6 neighbours.
+        assert_eq!(m.degrees()[13], 6);
+    }
+
+    #[test]
+    fn grid3d_27pt_interior_degree() {
+        let m = grid3d_27pt(3, 3, 3);
+        assert_eq!(m.degrees()[13], 26);
+    }
+
+    #[test]
+    fn dofs_blow_up_rows_and_degree() {
+        let spec = StencilSpec {
+            nx: 3,
+            ny: 1,
+            nz: 1,
+            offsets: vec![(1, 0, 0), (-1, 0, 0)],
+            dofs: 2,
+        };
+        let m = spec.build();
+        assert_eq!(m.n_rows(), 6);
+        assert!(m.is_symmetric());
+        // Middle node: 2 node-neighbours × 2 dofs + 1 intra-node dof = 5.
+        assert_eq!(m.degrees()[2], 5);
+        assert_eq!(m.degrees()[3], 5);
+        // End node: 1 neighbour × 2 + 1 = 3.
+        assert_eq!(m.degrees()[0], 3);
+    }
+
+    #[test]
+    fn chebyshev_offsets_count() {
+        assert_eq!(StencilSpec::offsets_chebyshev(1).len(), 26);
+        assert_eq!(StencilSpec::offsets_chebyshev(2).len(), 124);
+        assert_eq!(StencilSpec::offsets_chebyshev(3).len(), 342);
+    }
+
+    #[test]
+    fn skips_shorten_diameter() {
+        // On a 1D-ish path the +-2 skips halve the hop count.
+        let base = StencilSpec {
+            nx: 20,
+            ny: 1,
+            nz: 1,
+            offsets: StencilSpec::offsets_7pt(),
+            dofs: 1,
+        }
+        .build();
+        let skip = StencilSpec {
+            nx: 20,
+            ny: 1,
+            nz: 1,
+            offsets: StencilSpec::offsets_27pt_with_skips(),
+            dofs: 1,
+        }
+        .build();
+        // BFS from vertex 0: eccentricity via simple traversal.
+        let ecc = |m: &CscMatrix| {
+            let n = m.n_rows();
+            let mut dist = vec![usize::MAX; n];
+            dist[0] = 0;
+            let mut frontier = vec![0u32];
+            let mut level = 0;
+            while !frontier.is_empty() {
+                level += 1;
+                let mut next = Vec::new();
+                for &v in &frontier {
+                    for &w in m.col(v as usize) {
+                        if dist[w as usize] == usize::MAX {
+                            dist[w as usize] = level;
+                            next.push(w);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            dist.iter().copied().max().unwrap()
+        };
+        assert_eq!(ecc(&base), 19);
+        assert_eq!(ecc(&skip), 10);
+    }
+
+    #[test]
+    fn single_node_grid() {
+        let m = grid3d_7pt(1, 1, 1);
+        assert_eq!(m.n_rows(), 1);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn asymmetric_offsets_rejected() {
+        StencilSpec {
+            nx: 2,
+            ny: 2,
+            nz: 1,
+            offsets: vec![(1, 0, 0)],
+            dofs: 1,
+        }
+        .build();
+    }
+}

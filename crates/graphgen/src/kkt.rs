@@ -1,0 +1,130 @@
+//! KKT (saddle-point) matrix generator — the `nlpkkt240` stand-in.
+//!
+//! The `nlpkkt*` family comes from 3D PDE-constrained optimization: the KKT
+//! system
+//!
+//! ```text
+//!   [ H   Aᵀ ]
+//!   [ A   0  ]
+//! ```
+//!
+//! couples two variables per grid cell (state + control) through a 7-point
+//! Hessian block `H` and one constraint per cell tying the cell's variables
+//! to its neighbours' states. The result is a very sparse (≈10 nnz/row),
+//! very high diameter (≈ 3·g for a g³ grid) symmetric indefinite matrix —
+//! exactly the regime where level-synchronous BFS scaling suffers.
+
+use rcm_sparse::{CooBuilder, CscMatrix, Vidx};
+
+/// Build an `nlpkkt`-style KKT pattern on a `g × g × g` grid.
+///
+/// Layout: rows `0..2·g³` are the state/control variables (interleaved per
+/// cell), rows `2·g³..3·g³` the constraints. Total `3·g³` rows.
+pub fn kkt_3d(g: usize) -> CscMatrix {
+    assert!(g >= 1);
+    let cells = g * g * g;
+    let nvar = 2 * cells;
+    let n = nvar + cells;
+    let cell = |x: usize, y: usize, z: usize| -> usize { (z * g + y) * g + x };
+    let state = |c: usize| -> Vidx { (2 * c) as Vidx };
+    let control = |c: usize| -> Vidx { (2 * c + 1) as Vidx };
+    let constraint = |c: usize| -> Vidx { (nvar + c) as Vidx };
+
+    let mut b = CooBuilder::with_capacity(n, n, n * 12);
+    let neighbours = |x: usize, y: usize, z: usize| {
+        let mut v = Vec::with_capacity(6);
+        if x > 0 {
+            v.push(cell(x - 1, y, z));
+        }
+        if x + 1 < g {
+            v.push(cell(x + 1, y, z));
+        }
+        if y > 0 {
+            v.push(cell(x, y - 1, z));
+        }
+        if y + 1 < g {
+            v.push(cell(x, y + 1, z));
+        }
+        if z > 0 {
+            v.push(cell(x, y, z - 1));
+        }
+        if z + 1 < g {
+            v.push(cell(x, y, z + 1));
+        }
+        v
+    };
+
+    for z in 0..g {
+        for y in 0..g {
+            for x in 0..g {
+                let c = cell(x, y, z);
+                // H block: state-state 7-point coupling + state-control at
+                // the same cell.
+                b.push_sym(state(c), control(c));
+                for nb in neighbours(x, y, z) {
+                    if nb > c {
+                        b.push_sym(state(c), state(nb));
+                    }
+                }
+                // A block: the cell's constraint touches its own state and
+                // control and the neighbouring states (discretized PDE
+                // constraint), symmetric in the KKT system.
+                b.push_sym(constraint(c), state(c));
+                b.push_sym(constraint(c), control(c));
+                for nb in neighbours(x, y, z) {
+                    b.push_sym(constraint(c), state(nb));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_are_three_g_cubed() {
+        let m = kkt_3d(4);
+        assert_eq!(m.n_rows(), 3 * 64);
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn sparse_rows_like_nlpkkt() {
+        let m = kkt_3d(8);
+        let avg = m.nnz() as f64 / m.n_rows() as f64;
+        // Paper: nlpkkt240 averages ≈9.7 nnz/row.
+        assert!(avg > 6.0 && avg < 14.0, "avg nnz/row = {avg}");
+    }
+
+    #[test]
+    fn connected_single_component() {
+        let m = kkt_3d(3);
+        let n = m.n_rows();
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in m.col(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    count += 1;
+                    stack.push(w as usize);
+                }
+            }
+        }
+        assert_eq!(count, n);
+    }
+
+    #[test]
+    fn tiny_grid_is_valid() {
+        let m = kkt_3d(1);
+        assert_eq!(m.n_rows(), 3);
+        assert!(m.is_symmetric());
+        // One cell: state-control, constraint-state, constraint-control.
+        assert_eq!(m.nnz(), 6);
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic sparse-matrix generators for the distributed-RCM evaluation.
+//!
+//! The paper (Azad et al., IPDPS 2017) evaluates on nine SuiteSparse /
+//! nuclear-CI matrices plus `thermal2` (Fig. 1). Those inputs are proprietary
+//! or impractically large to redistribute, so this crate generates
+//! *structural stand-ins*: for each paper matrix we reproduce the three
+//! properties that drive RCM's parallel behaviour —
+//!
+//! 1. **degree distribution** (work per frontier vertex),
+//! 2. **pseudo-diameter regime** (number of level-synchronous BFS steps,
+//!    which sets the latency-bound portion of the runtime), and
+//! 3. **frontier width** (per-level work, which sets the bandwidth-bound
+//!    portion).
+//!
+//! Matrices are emitted with a deterministic random vertex shuffle applied,
+//! mimicking the unstructured "natural" orderings of real FEM meshes (the
+//! paper's pre-RCM bandwidths are near `n`, e.g. 686,979 for the 952k-row
+//! `ldoor`). Use the `*_natural` constructors to keep lexicographic
+//! numbering.
+//!
+//! See [`mod@suite`] for the registry mapping paper matrix names to generators
+//! and recorded paper statistics, and DESIGN.md §1 for the substitution
+//! rationale.
+
+pub mod grid;
+pub mod kkt;
+pub mod random;
+pub mod shuffle;
+pub mod stats;
+pub mod suite;
+
+pub use grid::{grid2d_5pt, grid2d_9pt, grid3d_27pt, grid3d_7pt, grid3d_stencil, StencilSpec};
+pub use kkt::kkt_3d;
+pub use random::{chained_er, erdos_renyi_connected, rmat, watts_strogatz};
+pub use shuffle::{random_permutation, shuffled};
+pub use stats::{graph_stats, GraphStats};
+pub use suite::{suite, suite_matrix, PaperStats, SuiteMatrix};

@@ -1,0 +1,79 @@
+//! Seeded random vertex permutations.
+//!
+//! Two uses in this workspace:
+//! * giving generated meshes an "unstructured" natural ordering (real FEM
+//!   matrices arrive with large bandwidth; lexicographic grid numbering
+//!   would make the pre-RCM baseline unrealistically good), and
+//! * the load-balancing permutation the distributed matrix applies before
+//!   running RCM (§IV-A of the paper).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcm_sparse::{CscMatrix, Permutation, Vidx};
+
+/// A uniformly random permutation of `{0, …, n-1}` drawn from `seed`.
+pub fn random_permutation(n: usize, seed: u64) -> Permutation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<Vidx> = (0..n as Vidx).collect();
+    // Fisher–Yates.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+    Permutation::from_new_of_old(v).expect("Fisher-Yates yields a bijection")
+}
+
+/// Apply a seeded random symmetric permutation to a matrix: `PAPᵀ`.
+pub fn shuffled(a: &CscMatrix, seed: u64) -> CscMatrix {
+    a.permute_sym(&random_permutation(a.n_cols(), seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcm_sparse::coo::CooBuilder;
+
+    #[test]
+    fn permutation_is_deterministic_per_seed() {
+        let a = random_permutation(100, 7);
+        let b = random_permutation(100, 7);
+        let c = random_permutation(100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shuffle_preserves_structure_invariants() {
+        let mut b = CooBuilder::new(50, 50);
+        for v in 0..49u32 {
+            b.push_sym(v, v + 1);
+        }
+        let m = b.build();
+        let s = shuffled(&m, 42);
+        assert_eq!(s.nnz(), m.nnz());
+        assert!(s.is_symmetric());
+        let mut d1 = m.degrees();
+        let mut d2 = s.degrees();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn shuffle_typically_increases_path_bandwidth() {
+        let mut b = CooBuilder::new(200, 200);
+        for v in 0..199u32 {
+            b.push_sym(v, v + 1);
+        }
+        let m = b.build();
+        assert_eq!(rcm_sparse::matrix_bandwidth(&m), 1);
+        let s = shuffled(&m, 1);
+        assert!(rcm_sparse::matrix_bandwidth(&s) > 10);
+    }
+
+    #[test]
+    fn tiny_sizes_do_not_panic() {
+        assert_eq!(random_permutation(0, 1).len(), 0);
+        assert_eq!(random_permutation(1, 1).len(), 1);
+    }
+}

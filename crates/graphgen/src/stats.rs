@@ -1,0 +1,145 @@
+//! Structural statistics of generated matrices.
+//!
+//! The stand-in generators are validated against three structural knobs
+//! (degree regime, diameter regime, frontier-width profile — see the crate
+//! docs); this module computes those statistics so tests and EXPERIMENTS.md
+//! can report target-vs-achieved per matrix.
+
+use rcm_sparse::{connected_components, CscMatrix, Vidx};
+
+/// Summary statistics of a symmetric pattern matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Vertices.
+    pub n: usize,
+    /// Stored nonzeros (directed edge slots).
+    pub nnz: usize,
+    /// Average degree (nnz / n).
+    pub avg_degree: f64,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Connected components.
+    pub components: usize,
+    /// Eccentricity of a pseudo-peripheral vertex of the largest component
+    /// (a lower bound on the diameter — the paper's "pseudo-diameter").
+    pub pseudo_diameter: usize,
+    /// Maximum BFS level width from that vertex.
+    pub max_frontier: usize,
+}
+
+/// Compute [`GraphStats`]. Cost: a few BFS sweeps over the matrix.
+pub fn graph_stats(a: &CscMatrix) -> GraphStats {
+    let n = a.n_rows();
+    let degrees = a.degrees();
+    let comps = connected_components(a);
+    // Pick a vertex in the largest component.
+    let largest_id = (0..comps.count())
+        .max_by_key(|&c| comps.sizes[c])
+        .unwrap_or(0) as Vidx;
+    let start = (0..n)
+        .find(|&v| comps.component_of[v] == largest_id)
+        .unwrap_or(0) as Vidx;
+
+    // George–Liu style pseudo-diameter sweep (duplicated in miniature here
+    // to keep graphgen independent of rcm-core).
+    let (mut root, mut ecc, _) = bfs_ecc(a, start, &degrees);
+    let widths;
+    loop {
+        let (r2, e2, w2) = bfs_ecc(a, root, &degrees);
+        if e2 <= ecc {
+            widths = w2;
+            break;
+        }
+        ecc = e2;
+        root = r2;
+    }
+
+    GraphStats {
+        n,
+        nnz: a.nnz(),
+        avg_degree: if n == 0 { 0.0 } else { a.nnz() as f64 / n as f64 },
+        min_degree: degrees.iter().copied().min().unwrap_or(0) as usize,
+        max_degree: degrees.iter().copied().max().unwrap_or(0) as usize,
+        components: comps.count(),
+        pseudo_diameter: ecc,
+        max_frontier: widths,
+    }
+}
+
+/// One BFS: returns (min-degree vertex of last level, eccentricity, max
+/// frontier width).
+fn bfs_ecc(a: &CscMatrix, root: Vidx, degrees: &[Vidx]) -> (Vidx, usize, usize) {
+    let n = a.n_rows();
+    let mut level = vec![-1i32; n];
+    level[root as usize] = 0;
+    let mut frontier = vec![root];
+    let mut ecc = 0usize;
+    let mut max_width = 1usize;
+    let mut last = frontier.clone();
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &w in a.col(v as usize) {
+                if level[w as usize] < 0 {
+                    level[w as usize] = level[v as usize] + 1;
+                    next.push(w);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        ecc += 1;
+        max_width = max_width.max(next.len());
+        last = next.clone();
+        frontier = next;
+    }
+    let far = last
+        .iter()
+        .copied()
+        .min_by_key(|&w| (degrees[w as usize], w))
+        .unwrap_or(root);
+    (far, ecc, max_width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::grid2d_5pt;
+    use crate::suite::suite_matrix;
+
+    #[test]
+    fn stats_of_a_grid() {
+        let a = grid2d_5pt(10, 10);
+        let s = graph_stats(&a);
+        assert_eq!(s.n, 100);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.min_degree, 2);
+        assert_eq!(s.max_degree, 4);
+        // Corner-to-corner Manhattan distance.
+        assert_eq!(s.pseudo_diameter, 18);
+        assert!(s.max_frontier >= 9);
+    }
+
+    #[test]
+    fn diameter_regimes_separate_suite_classes() {
+        let low = graph_stats(&suite_matrix("Li7Nmax6").unwrap().generate(0.005));
+        let high = graph_stats(&suite_matrix("nlpkkt240").unwrap().generate(0.001));
+        assert!(
+            low.pseudo_diameter * 4 < high.pseudo_diameter,
+            "CI matrix diam {} should be far below KKT diam {}",
+            low.pseudo_diameter,
+            high.pseudo_diameter
+        );
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = graph_stats(&rcm_sparse::CscMatrix::empty(3));
+        assert_eq!(s.components, 3);
+        assert_eq!(s.pseudo_diameter, 0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+}

@@ -1,0 +1,428 @@
+//! The evaluation-suite registry: one entry per matrix in Fig. 3 of the
+//! paper, plus `thermal2` (Fig. 1).
+//!
+//! Each [`SuiteMatrix`] records the statistics the paper publishes for the
+//! real matrix (dimensions, nonzeros, pre/post-RCM bandwidth,
+//! pseudo-diameter) and provides a scalable synthetic generator reproducing
+//! the same structural class. `scale` is the approximate fraction of the
+//! paper's row count: `scale = 1.0` regenerates paper-sized matrices (up to
+//! hundreds of millions of nonzeros — only for big-memory machines), while
+//! the per-matrix [`SuiteMatrix::default_scale`] keeps every matrix around
+//! 0.5–2.5 M nonzeros so the full reproduction runs on a laptop.
+//!
+//! Generators return matrices whose vertices have been deterministically
+//! shuffled (seeded) to model unstructured mesh numbering — this is what
+//! makes the pre-RCM bandwidths of the paper's table enormous (e.g. 686,979
+//! for `ldoor`). Use [`SuiteMatrix::generate_natural`] for lexicographic
+//! numbering.
+
+use crate::grid::StencilSpec;
+use crate::kkt::kkt_3d;
+use crate::random::chained_er;
+use crate::shuffle::shuffled;
+use rcm_sparse::CscMatrix;
+
+/// Statistics the paper reports for the real matrix (Fig. 3 and §V-B).
+#[derive(Clone, Copy, Debug)]
+pub struct PaperStats {
+    /// Rows (= columns; all matrices are symmetric).
+    pub rows: usize,
+    /// Nonzeros.
+    pub nnz: usize,
+    /// Bandwidth of the natural (input) ordering.
+    pub bw_pre: usize,
+    /// Bandwidth after RCM (the paper's distributed implementation).
+    pub bw_post: usize,
+    /// Pseudo-diameter (number of BFS levels from a pseudo-peripheral root).
+    pub pseudo_diameter: usize,
+}
+
+/// One matrix class of the evaluation suite.
+#[derive(Clone)]
+pub struct SuiteMatrix {
+    /// Paper name, e.g. `"ldoor"`.
+    pub name: &'static str,
+    /// Application domain, from Fig. 3.
+    pub description: &'static str,
+    /// Published statistics of the real matrix.
+    pub paper: PaperStats,
+    /// Scale at which the full reproduction runs comfortably on a laptop.
+    pub default_scale: f64,
+    /// True for the nine Fig. 3 / Fig. 4 matrices (`thermal2` is Fig. 1 only).
+    pub in_fig3: bool,
+    generator: fn(f64) -> CscMatrix,
+    seed: u64,
+}
+
+impl SuiteMatrix {
+    /// Generate at `scale` (≈ fraction of paper rows) with the natural
+    /// lexicographic ordering.
+    pub fn generate_natural(&self, scale: f64) -> CscMatrix {
+        assert!(scale > 0.0, "scale must be positive");
+        (self.generator)(scale)
+    }
+
+    /// Generate at `scale` with the registry's deterministic vertex shuffle
+    /// (unstructured "natural" numbering, as real meshes arrive).
+    pub fn generate(&self, scale: f64) -> CscMatrix {
+        shuffled(&self.generate_natural(scale), self.seed ^ 0x5eed)
+    }
+
+    /// Generate at the recommended laptop-friendly scale.
+    pub fn generate_default(&self) -> CscMatrix {
+        self.generate(self.default_scale)
+    }
+}
+
+/// Linear-dimension factor for a 3D generator so that the node count scales
+/// by `scale`.
+fn dim3(base: usize, scale: f64) -> usize {
+    ((base as f64) * scale.cbrt()).round().max(3.0) as usize
+}
+
+/// Linear-dimension factor for a 2D generator.
+fn dim2(base: usize, scale: f64) -> usize {
+    ((base as f64) * scale.sqrt()).round().max(3.0) as usize
+}
+
+/// Row-count scaling for the random-graph generators.
+fn count(base: usize, scale: f64) -> usize {
+    ((base as f64) * scale).round().max(16.0) as usize
+}
+
+fn gen_nd24k(scale: f64) -> CscMatrix {
+    // 3D mesh problem with very high connectivity (~400 nnz/row):
+    // Chebyshev radius-3 stencil on a cube.
+    StencilSpec {
+        nx: dim3(42, scale),
+        ny: dim3(42, scale),
+        nz: dim3(42, scale),
+        offsets: StencilSpec::offsets_chebyshev(3),
+        dofs: 1,
+    }
+    .build()
+}
+
+fn gen_ldoor(scale: f64) -> CscMatrix {
+    // Structural FEM on an elongated thin part: 2 dofs/node, 27-point,
+    // 178:52:52 aspect ratio reproduces the large pseudo-diameter.
+    StencilSpec {
+        nx: dim3(178, scale),
+        ny: dim3(52, scale),
+        nz: dim3(52, scale),
+        offsets: StencilSpec::offsets_27pt(),
+        dofs: 2,
+    }
+    .build()
+}
+
+fn gen_serena(scale: f64) -> CscMatrix {
+    // Gas-reservoir simulation: medium degree (~46), medium diameter (58).
+    // 27-point stencil with ±2 axis skips halves the diameter of the cube.
+    StencilSpec {
+        nx: dim3(111, scale),
+        ny: dim3(111, scale),
+        nz: dim3(111, scale),
+        offsets: StencilSpec::offsets_27pt_with_skips(),
+        dofs: 1,
+    }
+    .build()
+}
+
+fn gen_audikw(scale: f64) -> CscMatrix {
+    // Structural problem, 3 dofs/node, 27-point: ~80 nnz/row like audikw_1.
+    StencilSpec {
+        nx: dim3(68, scale),
+        ny: dim3(68, scale),
+        nz: dim3(68, scale),
+        offsets: StencilSpec::offsets_27pt(),
+        dofs: 3,
+    }
+    .build()
+}
+
+fn gen_dielfilter(scale: f64) -> CscMatrix {
+    // Higher-order finite elements: like audikw_1 but slightly larger grid.
+    StencilSpec {
+        nx: dim3(72, scale),
+        ny: dim3(72, scale),
+        nz: dim3(72, scale),
+        offsets: StencilSpec::offsets_27pt(),
+        dofs: 3,
+    }
+    .build()
+}
+
+fn gen_flan(scale: f64) -> CscMatrix {
+    // 3D model of a steel flange: elongated, 3 dofs, highest diameter of the
+    // FEM group (199).
+    StencilSpec {
+        nx: dim3(200, scale),
+        ny: dim3(52, scale),
+        nz: dim3(52, scale),
+        offsets: StencilSpec::offsets_27pt(),
+        dofs: 3,
+    }
+    .build()
+}
+
+fn gen_li7(scale: f64) -> CscMatrix {
+    // Nuclear configuration interaction: dense random coupling within
+    // excitation blocks, chain of blocks → degree ~320, diameter ~7.
+    chained_er(count(664_000, scale), 4, 280, 40, 0x4c17)
+}
+
+fn gen_nm7(scale: f64) -> CscMatrix {
+    // Nm7: same class, fewer blocks → diameter ~5, degree ~110.
+    chained_er(count(4_000_000, scale), 2, 90, 20, 0x0717)
+}
+
+fn gen_nlpkkt(scale: f64) -> CscMatrix {
+    // Symmetric indefinite KKT matrix: rows = 3 g³ ≈ paper_rows · scale.
+    let g = ((78_000_000.0 * scale / 3.0).cbrt()).round().max(4.0) as usize;
+    kkt_3d(g)
+}
+
+fn gen_thermal2(scale: f64) -> CscMatrix {
+    // Unstructured 2D thermal FEM: 5-point grid, ~4 nnz/row like thermal2.
+    crate::grid::grid2d_5pt(dim2(1100, scale), dim2(1100, scale))
+}
+
+/// The full registry: the nine Fig. 3 matrices followed by `thermal2`.
+pub fn suite() -> Vec<SuiteMatrix> {
+    vec![
+        SuiteMatrix {
+            name: "nd24k",
+            description: "3D mesh problem",
+            paper: PaperStats {
+                rows: 72_000,
+                nnz: 29_000_000,
+                bw_pre: 68_114,
+                bw_post: 10_294,
+                pseudo_diameter: 14,
+            },
+            default_scale: 0.05,
+            in_fig3: true,
+            generator: gen_nd24k,
+            seed: 0xd24b,
+        },
+        SuiteMatrix {
+            name: "ldoor",
+            description: "structural problem",
+            paper: PaperStats {
+                rows: 952_000,
+                nnz: 42_490_000,
+                bw_pre: 686_979,
+                bw_post: 9_259,
+                pseudo_diameter: 178,
+            },
+            default_scale: 0.02,
+            in_fig3: true,
+            generator: gen_ldoor,
+            seed: 0x1d00,
+        },
+        SuiteMatrix {
+            name: "Serena",
+            description: "gas reservoir simulation",
+            paper: PaperStats {
+                rows: 1_390_000,
+                nnz: 64_100_000,
+                bw_pre: 81_578,
+                bw_post: 81_218,
+                pseudo_diameter: 58,
+            },
+            default_scale: 0.02,
+            in_fig3: true,
+            generator: gen_serena,
+            seed: 0x5e1e,
+        },
+        SuiteMatrix {
+            name: "audikw_1",
+            description: "structural problem",
+            paper: PaperStats {
+                rows: 943_000,
+                nnz: 78_000_000,
+                bw_pre: 925_946,
+                bw_post: 35_170,
+                pseudo_diameter: 82,
+            },
+            default_scale: 0.015,
+            in_fig3: true,
+            generator: gen_audikw,
+            seed: 0xa0d1,
+        },
+        SuiteMatrix {
+            name: "dielFilterV3real",
+            description: "higher-order finite element",
+            paper: PaperStats {
+                rows: 1_100_000,
+                nnz: 89_300_000,
+                bw_pre: 1_036_475,
+                bw_post: 23_813,
+                pseudo_diameter: 84,
+            },
+            default_scale: 0.015,
+            in_fig3: true,
+            generator: gen_dielfilter,
+            seed: 0xd1e1,
+        },
+        SuiteMatrix {
+            name: "Flan_1565",
+            description: "3D model of a steel flange",
+            paper: PaperStats {
+                rows: 1_600_000,
+                nnz: 114_000_000,
+                bw_pre: 20_702,
+                bw_post: 20_600,
+                pseudo_diameter: 199,
+            },
+            default_scale: 0.015,
+            in_fig3: true,
+            generator: gen_flan,
+            seed: 0xf1a2,
+        },
+        SuiteMatrix {
+            name: "Li7Nmax6",
+            description: "nuclear configuration interaction",
+            paper: PaperStats {
+                rows: 664_000,
+                nnz: 212_000_000,
+                bw_pre: 663_498,
+                bw_post: 490_000,
+                pseudo_diameter: 7,
+            },
+            default_scale: 0.01,
+            in_fig3: true,
+            generator: gen_li7,
+            seed: 0x1147,
+        },
+        SuiteMatrix {
+            name: "Nm7",
+            description: "nuclear configuration interaction",
+            paper: PaperStats {
+                rows: 4_000_000,
+                nnz: 437_000_000,
+                bw_pre: 4_073_382,
+                bw_post: 3_692_599,
+                pseudo_diameter: 5,
+            },
+            default_scale: 0.005,
+            in_fig3: true,
+            generator: gen_nm7,
+            seed: 0x0a07,
+        },
+        SuiteMatrix {
+            name: "nlpkkt240",
+            description: "symmetric indefinite KKT matrix",
+            paper: PaperStats {
+                rows: 78_000_000,
+                nnz: 760_000_000,
+                bw_pre: 14_169_841,
+                bw_post: 361_755,
+                pseudo_diameter: 243,
+            },
+            default_scale: 0.004,
+            in_fig3: true,
+            generator: gen_nlpkkt,
+            seed: 0x2240,
+        },
+        SuiteMatrix {
+            name: "thermal2",
+            description: "steady-state thermal FEM (Fig. 1)",
+            paper: PaperStats {
+                rows: 1_200_000,
+                nnz: 4_900_000,
+                bw_pre: 1_226_000,
+                bw_post: 795,
+                pseudo_diameter: 1324,
+            },
+            default_scale: 0.04,
+            in_fig3: false,
+            generator: gen_thermal2,
+            seed: 0x7e42,
+        },
+    ]
+}
+
+/// Look up a suite entry by paper name (case-insensitive).
+pub fn suite_matrix(name: &str) -> Option<SuiteMatrix> {
+    suite()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_ten_entries_nine_in_fig3() {
+        let s = suite();
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.iter().filter(|m| m.in_fig3).count(), 9);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(suite_matrix("ldoor").is_some());
+        assert!(suite_matrix("LDOOR").is_some());
+        assert!(suite_matrix("nope").is_none());
+    }
+
+    #[test]
+    fn tiny_scale_matrices_are_symmetric_and_nonempty() {
+        for m in suite() {
+            let a = m.generate(0.001);
+            assert!(a.nnz() > 0, "{} empty", m.name);
+            assert!(a.is_symmetric(), "{} asymmetric", m.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = suite_matrix("nd24k").unwrap();
+        assert_eq!(m.generate(0.002), m.generate(0.002));
+    }
+
+    #[test]
+    fn shuffle_differs_from_natural() {
+        let m = suite_matrix("thermal2").unwrap();
+        let nat = m.generate_natural(0.002);
+        let shuf = m.generate(0.002);
+        assert_eq!(nat.nnz(), shuf.nnz());
+        assert_ne!(nat, shuf);
+        // Shuffled bandwidth should be much worse than lexicographic.
+        assert!(rcm_sparse::matrix_bandwidth(&shuf) > 2 * rcm_sparse::matrix_bandwidth(&nat));
+    }
+
+    #[test]
+    fn default_scale_row_counts_are_laptop_sized() {
+        for m in suite() {
+            let a = m.generate_default();
+            assert!(
+                a.nnz() < 6_000_000,
+                "{}: default-scale nnz {} too large",
+                m.name,
+                a.nnz()
+            );
+            assert!(a.n_rows() >= 500, "{}: suspiciously small", m.name);
+        }
+    }
+
+    #[test]
+    fn avg_degree_tracks_paper_class() {
+        // Degree regime (not exact value) must match: nd24k ~400, ldoor ~45,
+        // li7 ~320, nlpkkt ~10.
+        let check = |name: &str, lo: f64, hi: f64| {
+            let m = suite_matrix(name).unwrap();
+            let a = m.generate_default();
+            let avg = a.nnz() as f64 / a.n_rows() as f64;
+            assert!(avg >= lo && avg <= hi, "{name}: avg degree {avg} outside [{lo},{hi}]");
+        };
+        check("nd24k", 150.0, 450.0);
+        check("ldoor", 30.0, 60.0);
+        check("Li7Nmax6", 150.0, 400.0);
+        check("nlpkkt240", 6.0, 14.0);
+        check("thermal2", 3.0, 6.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the generators: structural invariants for
+//! arbitrary parameters.
+
+use proptest::prelude::*;
+use rcm_graphgen::grid::StencilSpec;
+use rcm_graphgen::{chained_er, erdos_renyi_connected, random_permutation, shuffled, watts_strogatz};
+use rcm_sparse::connected_components;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn stencil_matrices_are_symmetric_connected(
+        nx in 1usize..8, ny in 1usize..8, nz in 1usize..5, dofs in 1usize..4
+    ) {
+        let spec = StencilSpec {
+            nx, ny, nz,
+            offsets: StencilSpec::offsets_7pt(),
+            dofs,
+        };
+        let a = spec.build();
+        prop_assert_eq!(a.n_rows(), nx * ny * nz * dofs);
+        prop_assert!(a.is_symmetric());
+        let c = connected_components(&a);
+        // A 7-pt grid with multi-dof cliques is connected unless there is
+        // only one node and one dof (no edges — still one component).
+        prop_assert!(c.is_connected());
+    }
+
+    #[test]
+    fn chebyshev_stencil_degree_bound(nx in 2usize..7, r in 1i32..3) {
+        let spec = StencilSpec {
+            nx, ny: nx, nz: nx,
+            offsets: StencilSpec::offsets_chebyshev(r),
+            dofs: 1,
+        };
+        let a = spec.build();
+        let bound = (2 * r + 1).pow(3) as u32 - 1;
+        prop_assert!(a.degrees().iter().all(|&d| d <= bound));
+        // Interior vertex (if the grid is big enough) hits the bound.
+        if nx as i32 > 2 * r {
+            let mid = nx / 2;
+            let idx = (mid * nx + mid) * nx + mid;
+            prop_assert_eq!(a.degrees()[idx], bound);
+        }
+    }
+
+    #[test]
+    fn er_graphs_are_connected_for_any_seed(
+        n in 2usize..300, extra in 0usize..500, seed in 0u64..1000
+    ) {
+        let a = erdos_renyi_connected(n, extra, seed);
+        prop_assert!(a.is_symmetric());
+        prop_assert!(connected_components(&a).is_connected());
+    }
+
+    #[test]
+    fn chained_er_is_connected_and_deterministic(
+        n in 8usize..400, blocks in 1usize..6, intra in 0usize..12, inter in 0usize..6, seed in 0u64..500
+    ) {
+        prop_assume!(n >= blocks * 2);
+        let a = chained_er(n, blocks, intra, inter, seed);
+        let b = chained_er(n, blocks, intra, inter, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(connected_components(&a).is_connected());
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_edge_budget(
+        n in 10usize..200, k in 1usize..4, p in 0.0f64..1.0, seed in 0u64..300
+    ) {
+        prop_assume!(n > 2 * k);
+        let a = watts_strogatz(n, k, p, seed);
+        prop_assert!(a.is_symmetric());
+        // Rewiring can only merge parallel edges, never create them: at most
+        // n·k undirected edges = 2·n·k stored entries.
+        prop_assert!(a.nnz() <= 2 * n * k);
+        // With no rewiring, exactly the ring lattice.
+        if p == 0.0 {
+            prop_assert_eq!(a.nnz(), 2 * n * k);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_structure(n in 2usize..200, seed in 0u64..500) {
+        let a = erdos_renyi_connected(n, n, seed);
+        let s = shuffled(&a, seed ^ 0xff);
+        prop_assert_eq!(a.nnz(), s.nnz());
+        prop_assert!(s.is_symmetric());
+        let mut d1 = a.degrees();
+        let mut d2 = s.degrees();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        prop_assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn random_permutations_are_bijections(n in 0usize..500, seed in 0u64..1000) {
+        let p = random_permutation(n, seed);
+        prop_assert_eq!(p.len(), n);
+        // The Permutation constructor validates; also check determinism.
+        prop_assert_eq!(p, random_permutation(n, seed));
+    }
+}

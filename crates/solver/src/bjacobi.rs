@@ -1,0 +1,176 @@
+//! Block-Jacobi preconditioning with IC(0) blocks.
+//!
+//! `M⁻¹ = diag(B₁⁻¹, …, B_p⁻¹)` where `B_k` is the k-th diagonal block of
+//! `A` under a contiguous row partition — exactly PETSc's default
+//! block-Jacobi + local incomplete factorization used in the paper's Fig. 1
+//! experiment. The block boundaries coincide with the distributed row
+//! partition, which is why the preconditioner's strength depends on the
+//! matrix *ordering*: RCM clusters strong couplings into the diagonal
+//! blocks, while a scattered "natural" ordering leaves the blocks nearly
+//! diagonal and the preconditioner nearly useless.
+
+use crate::ic0::Ic0Factor;
+use rcm_sparse::{CsrNumeric, Vidx};
+
+/// Interface for preconditioners used by the CG driver.
+pub trait Preconditioner {
+    /// `z ← M⁻¹ r`.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+/// No preconditioning (plain CG).
+pub struct IdentityPrecond;
+
+impl Preconditioner for IdentityPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Point-Jacobi (diagonal scaling).
+pub struct JacobiPrecond {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPrecond {
+    /// Build from the matrix diagonal (zero diagonals become 1).
+    pub fn new(a: &CsrNumeric) -> Self {
+        let inv_diag = (0..a.n_rows())
+            .map(|i| {
+                let d = a.get(i as Vidx, i as Vidx);
+                if d.abs() > 0.0 {
+                    1.0 / d
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        JacobiPrecond { inv_diag }
+    }
+}
+
+impl Preconditioner for JacobiPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+    }
+}
+
+/// Block-Jacobi with IC(0)-factored diagonal blocks.
+pub struct BlockJacobi {
+    ranges: Vec<(usize, usize)>,
+    factors: Vec<Ic0Factor>,
+}
+
+impl BlockJacobi {
+    /// Build with `nblocks` contiguous equal blocks (the distributed row
+    /// partition of a `nblocks`-rank solver).
+    pub fn new(a: &CsrNumeric, nblocks: usize) -> Self {
+        assert!(nblocks >= 1);
+        let n = a.n_rows();
+        let mut ranges = Vec::with_capacity(nblocks);
+        let mut factors = Vec::with_capacity(nblocks);
+        for b in 0..nblocks {
+            let (s, e) = rcm_dist::block_range(n, nblocks, b);
+            ranges.push((s, e));
+            // Extract the diagonal block in local numbering.
+            let mut triplets: Vec<(Vidx, Vidx, f64)> = Vec::new();
+            for i in s..e {
+                for (c, v) in a.row_cols(i).iter().zip(a.row_vals(i)) {
+                    let c = *c as usize;
+                    if c >= s && c < e {
+                        triplets.push(((i - s) as Vidx, (c - s) as Vidx, *v));
+                    }
+                }
+            }
+            let block = CsrNumeric::from_triplets(e - s, e - s, triplets);
+            factors.push(Ic0Factor::new(&block));
+        }
+        BlockJacobi { ranges, factors }
+    }
+
+    /// Number of blocks.
+    pub fn nblocks(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Total strictly-lower nonzeros across all factors (used by the
+    /// distributed time model for the preconditioner-application cost).
+    pub fn factor_nnz(&self) -> usize {
+        self.factors.iter().map(|f| f.nnz_lower() + f.n()).sum()
+    }
+}
+
+impl Preconditioner for BlockJacobi {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+        for ((s, e), f) in self.ranges.iter().zip(&self.factors) {
+            f.solve_in_place(&mut z[*s..*e]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcm_sparse::CooBuilder;
+
+    fn path_laplacian(n: usize, shift: f64) -> CsrNumeric {
+        let mut b = CooBuilder::new(n, n);
+        for v in 0..n - 1 {
+            b.push_sym(v as Vidx, (v + 1) as Vidx);
+        }
+        CsrNumeric::laplacian_from_pattern(&b.build(), shift)
+    }
+
+    #[test]
+    fn one_block_is_full_ic0() {
+        let a = path_laplacian(16, 0.2);
+        let bj = BlockJacobi::new(&a, 1);
+        assert_eq!(bj.nblocks(), 1);
+        // IC(0) of a tridiagonal SPD matrix is exact → M⁻¹ A x = x.
+        let x_true: Vec<f64> = (0..16).map(|i| (i as f64) - 8.0).collect();
+        let mut b = vec![0.0; 16];
+        a.spmv(&x_true, &mut b);
+        let mut z = vec![0.0; 16];
+        bj.apply(&b, &mut z);
+        for (zi, ti) in z.iter().zip(&x_true) {
+            assert!((zi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn multi_block_apply_is_blockwise() {
+        let a = path_laplacian(10, 0.5);
+        let bj = BlockJacobi::new(&a, 2);
+        assert_eq!(bj.nblocks(), 2);
+        let r = vec![1.0; 10];
+        let mut z = vec![0.0; 10];
+        bj.apply(&r, &mut z);
+        assert!(z.iter().all(|v| v.is_finite()));
+        // The block solve must differ from the exact solve because the
+        // coupling between rows 4 and 5 is dropped.
+        let full = BlockJacobi::new(&a, 1);
+        let mut z_full = vec![0.0; 10];
+        full.apply(&r, &mut z_full);
+        assert!(z.iter().zip(&z_full).any(|(a, b)| (a - b).abs() > 1e-9));
+    }
+
+    #[test]
+    fn jacobi_inverts_diagonal() {
+        let a = CsrNumeric::from_triplets(2, 2, vec![(0, 0, 2.0), (1, 1, 4.0)]);
+        let j = JacobiPrecond::new(&a);
+        let mut z = vec![0.0; 2];
+        j.apply(&[2.0, 4.0], &mut z);
+        assert_eq!(z, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn identity_copies() {
+        let p = IdentityPrecond;
+        let mut z = vec![0.0; 3];
+        p.apply(&[1.0, 2.0, 3.0], &mut z);
+        assert_eq!(z, vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-iteration time model for distributed CG — the substrate of Fig. 1.
+//!
+//! The paper's Fig. 1 shows PETSc CG+block-Jacobi solve time on 1–256 cores
+//! for `thermal2` under natural vs RCM ordering, with the RCM advantage
+//! *growing* with core count ("possibly due to reduced communication
+//! costs"). This module models one CG iteration on a 1D row-block
+//! partition:
+//!
+//! * **SpMV halo exchange** — for each rank, the set of off-block columns
+//!   its rows touch determines both the partner count (latency) and the
+//!   exchanged volume (bandwidth). A small-bandwidth (RCM) matrix touches
+//!   only neighbouring blocks; a scattered natural ordering talks to
+//!   everyone, which is exactly the effect the figure demonstrates.
+//! * **Local compute** — SpMV over `nnz/p` entries, block IC(0) solves,
+//!   AXPYs.
+//! * **Dot products** — two AllReduces per iteration.
+//!
+//! Combined with *measured* iteration counts from [`crate::cg::pcg`], total
+//! solve time = iterations × per-iteration time.
+
+use rcm_dist::{block_index, block_range, MachineModel};
+use rcm_sparse::CscMatrix;
+
+/// Cost summary of one CG iteration at a given rank count.
+#[derive(Clone, Copy, Debug)]
+pub struct CgIterationCost {
+    /// Ranks in the 1D partition.
+    pub ranks: usize,
+    /// Local compute seconds (SpMV + preconditioner + vector ops),
+    /// max over ranks.
+    pub compute: f64,
+    /// Halo-exchange seconds (latency + bandwidth, max over ranks).
+    pub halo: f64,
+    /// AllReduce seconds for the dot products.
+    pub reductions: f64,
+    /// Largest per-rank partner count in the halo exchange.
+    pub max_partners: usize,
+    /// Largest per-rank received halo volume (elements).
+    pub max_halo_elems: usize,
+}
+
+impl CgIterationCost {
+    /// Total seconds per iteration.
+    pub fn total(&self) -> f64 {
+        self.compute + self.halo + self.reductions
+    }
+}
+
+/// Analyze one CG iteration of a matrix with pattern `a` distributed over
+/// `ranks` contiguous row blocks on `machine`.
+///
+/// `factor_nnz` is the total nonzero count of the preconditioner factors
+/// (two triangular sweeps per application); pass 0 for unpreconditioned CG.
+pub fn cg_iteration_cost(
+    a: &CscMatrix,
+    machine: &MachineModel,
+    ranks: usize,
+    factor_nnz: usize,
+) -> CgIterationCost {
+    assert!(ranks >= 1);
+    let n = a.n_rows();
+    // --- Halo analysis: distinct off-block columns per rank ---------------
+    let mut max_partners = 0usize;
+    let mut max_halo = 0usize;
+    let mut max_local_nnz = 0usize;
+    for rank in 0..ranks {
+        let (s, e) = block_range(n, ranks, rank);
+        let mut partners = vec![false; ranks];
+        let mut halo_cols = std::collections::BTreeSet::new();
+        let mut local_nnz = 0usize;
+        // Symmetric pattern: the columns referenced by rows [s, e) equal the
+        // rows present in columns [s, e).
+        for c in s..e {
+            for &r in a.col(c) {
+                local_nnz += 1;
+                let r = r as usize;
+                if r < s || r >= e {
+                    let owner = block_index(n, ranks, r);
+                    partners[owner] = true;
+                    halo_cols.insert(r);
+                }
+            }
+        }
+        let pc = partners.iter().filter(|&&x| x).count();
+        max_partners = max_partners.max(pc);
+        max_halo = max_halo.max(halo_cols.len());
+        max_local_nnz = max_local_nnz.max(local_nnz);
+    }
+
+    // --- Compute: SpMV + preconditioner + vector ops ----------------------
+    let spmv = machine.edge_cost * max_local_nnz as f64;
+    let precond = machine.edge_cost * 2.0 * (factor_nnz as f64 / ranks as f64);
+    let vec_ops = machine.elem_cost * 6.0 * (n as f64 / ranks as f64);
+    let compute = spmv + precond + vec_ops;
+
+    // --- Communication -----------------------------------------------------
+    let halo = if ranks > 1 {
+        machine.alpha * max_partners as f64 + machine.beta * (max_halo * 8 * 2) as f64
+    } else {
+        0.0
+    };
+    let reductions = 2.0 * machine.t_allreduce(ranks, 8);
+
+    CgIterationCost {
+        ranks,
+        compute,
+        halo,
+        reductions,
+        max_partners,
+        max_halo_elems: max_halo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcm_core::rcm;
+    use rcm_sparse::{CooBuilder, Permutation, Vidx};
+
+    fn grid_pattern(w: usize) -> CscMatrix {
+        let mut b = CooBuilder::new(w * w, w * w);
+        for y in 0..w {
+            for x in 0..w {
+                let u = (y * w + x) as Vidx;
+                if x + 1 < w {
+                    b.push_sym(u, u + 1);
+                }
+                if y + 1 < w {
+                    b.push_sym(u, u + w as Vidx);
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn scrambled(a: &CscMatrix, stride: usize) -> CscMatrix {
+        let n = a.n_rows();
+        let p: Vec<Vidx> = (0..n).map(|i| ((i * stride) % n) as Vidx).collect();
+        a.permute_sym(&Permutation::from_new_of_old(p).unwrap())
+    }
+
+    #[test]
+    fn single_rank_has_no_comm() {
+        let a = grid_pattern(12);
+        let c = cg_iteration_cost(&a, &MachineModel::edison(), 1, 0);
+        assert_eq!(c.halo, 0.0);
+        assert_eq!(c.reductions, 0.0);
+        assert!(c.compute > 0.0);
+        assert_eq!(c.max_partners, 0);
+    }
+
+    #[test]
+    fn banded_matrix_talks_to_neighbours_only() {
+        let a = grid_pattern(20); // natural order: bandwidth = 20
+        let c = cg_iteration_cost(&a, &MachineModel::edison(), 8, 0);
+        assert!(c.max_partners <= 2, "banded: {} partners", c.max_partners);
+    }
+
+    #[test]
+    fn scrambled_matrix_talks_to_everyone() {
+        let a = scrambled(&grid_pattern(20), 101);
+        let c = cg_iteration_cost(&a, &MachineModel::edison(), 8, 0);
+        // Stride scrambling spreads each block's rows far across the index
+        // space: most of the 7 possible partners are touched.
+        assert!(c.max_partners >= 4, "scrambled: {} partners", c.max_partners);
+    }
+
+    #[test]
+    fn rcm_reduces_halo_volume() {
+        let a = scrambled(&grid_pattern(24), 91);
+        let machine = MachineModel::edison();
+        let natural = cg_iteration_cost(&a, &machine, 16, 0);
+        let perm = rcm(&a);
+        let reordered = a.permute_sym(&perm);
+        let after = cg_iteration_cost(&reordered, &machine, 16, 0);
+        assert!(
+            after.max_halo_elems < natural.max_halo_elems / 2,
+            "halo {} -> {}",
+            natural.max_halo_elems,
+            after.max_halo_elems
+        );
+        assert!(after.halo < natural.halo);
+    }
+
+    #[test]
+    fn compute_shrinks_with_ranks() {
+        let a = grid_pattern(24);
+        let machine = MachineModel::edison();
+        let c1 = cg_iteration_cost(&a, &machine, 1, 0);
+        let c16 = cg_iteration_cost(&a, &machine, 16, 0);
+        assert!(c16.compute < c1.compute / 8.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the solver substrate on random SPD systems.
+
+use proptest::prelude::*;
+use rcm_dist::MachineModel;
+use rcm_solver::{cg_iteration_cost, dist_pcg, pcg, BlockJacobi, Ic0Factor, IdentityPrecond};
+use rcm_sparse::{CooBuilder, CscMatrix, CsrNumeric, Vidx};
+
+/// Random connected symmetric pattern (path backbone + extra edges).
+fn random_pattern(n: usize, extra: &[(usize, usize)]) -> CscMatrix {
+    let mut b = CooBuilder::new(n, n);
+    for v in 0..n.saturating_sub(1) {
+        b.push_sym(v as Vidx, (v + 1) as Vidx);
+    }
+    for &(u, v) in extra {
+        if u % n != v % n {
+            b.push_sym((u % n) as Vidx, (v % n) as Vidx);
+        }
+    }
+    b.build()
+}
+
+fn manufactured(a: &CsrNumeric) -> (Vec<f64>, Vec<f64>) {
+    let n = a.n_rows();
+    let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+    let mut b = vec![0.0; n];
+    a.spmv(&x, &mut b);
+    (x, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cg_recovers_manufactured_solutions(
+        n in 2usize..60,
+        extra in proptest::collection::vec((0usize..60, 0usize..60), 0..60),
+        shift in 0.05f64..2.0,
+    ) {
+        let a = CsrNumeric::laplacian_from_pattern(&random_pattern(n, &extra), shift);
+        let (x_true, b) = manufactured(&a);
+        let res = pcg(&a, &b, &IdentityPrecond, 1e-10, 20 * n + 50);
+        prop_assert!(res.converged, "residual {}", res.relative_residual);
+        let err: f64 = res.x.iter().zip(&x_true).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+        prop_assert!(err < 1e-5, "max error {err}");
+    }
+
+    #[test]
+    fn block_jacobi_never_slows_convergence_catastrophically(
+        n in 4usize..50,
+        extra in proptest::collection::vec((0usize..50, 0usize..50), 0..40),
+        blocks in 1usize..6,
+    ) {
+        let a = CsrNumeric::laplacian_from_pattern(&random_pattern(n, &extra), 0.2);
+        let (_, b) = manufactured(&a);
+        let bj = BlockJacobi::new(&a, blocks);
+        let plain = pcg(&a, &b, &IdentityPrecond, 1e-8, 40 * n + 100);
+        let pre = pcg(&a, &b, &bj, 1e-8, 40 * n + 100);
+        prop_assert!(pre.converged && plain.converged);
+        // SPD preconditioning: iterations should not blow up (allow slack
+        // for tiny systems where counts are all small).
+        prop_assert!(pre.iterations <= plain.iterations + 5);
+    }
+
+    #[test]
+    fn ic0_solve_is_linear_and_spd(
+        n in 2usize..40,
+        extra in proptest::collection::vec((0usize..40, 0usize..40), 0..30),
+    ) {
+        let a = CsrNumeric::laplacian_from_pattern(&random_pattern(n, &extra), 0.3);
+        let f = Ic0Factor::new(&a);
+        // Linearity: solve(2r) == 2 solve(r).
+        let r: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let mut z1 = r.clone();
+        f.solve_in_place(&mut z1);
+        let mut z2: Vec<f64> = r.iter().map(|v| v * 2.0).collect();
+        f.solve_in_place(&mut z2);
+        for (a1, a2) in z1.iter().zip(&z2) {
+            prop_assert!((a2 - 2.0 * a1).abs() < 1e-9);
+        }
+        // SPD application: rᵀ M⁻¹ r > 0 for r ≠ 0.
+        let dot: f64 = r.iter().zip(&z1).map(|(x, y)| x * y).sum();
+        prop_assert!(dot > 0.0);
+    }
+
+    #[test]
+    fn dist_cg_matches_sequential_solution(
+        n in 4usize..40,
+        extra in proptest::collection::vec((0usize..40, 0usize..40), 0..30),
+        ranks in 1usize..6,
+    ) {
+        let a = CsrNumeric::laplacian_from_pattern(&random_pattern(n, &extra), 0.2);
+        let (_, b) = manufactured(&a);
+        let machine = MachineModel::edison();
+        let seq = pcg(&a, &b, &IdentityPrecond, 1e-9, 20 * n + 50);
+        let dist = dist_pcg(&a, &b, &IdentityPrecond, 1e-9, 20 * n + 50, ranks, &machine);
+        prop_assert!(seq.converged && dist.converged);
+        for (u, v) in seq.x.iter().zip(&dist.x) {
+            prop_assert!((u - v).abs() < 1e-6);
+        }
+        if ranks == 1 {
+            prop_assert_eq!(dist.halo_seconds, 0.0);
+        }
+    }
+
+    #[test]
+    fn iteration_cost_comm_terms_grow_with_ranks(
+        n in 16usize..50,
+        extra in proptest::collection::vec((0usize..50, 0usize..50), 5..40),
+    ) {
+        let pat = random_pattern(n, &extra);
+        let machine = MachineModel::edison();
+        let c2 = cg_iteration_cost(&pat, &machine, 2, 0);
+        let c8 = cg_iteration_cost(&pat, &machine, 8, 0);
+        prop_assert!(c8.reductions >= c2.reductions);
+        prop_assert!(c8.compute <= c2.compute + 1e-12);
+    }
+
+    #[test]
+    fn jacobi_precond_is_exact_for_diagonal_systems(d in proptest::collection::vec(0.5f64..10.0, 1..30)) {
+        let n = d.len();
+        let a = CsrNumeric::from_triplets(
+            n, n,
+            d.iter().enumerate().map(|(i, &v)| (i as Vidx, i as Vidx, v)).collect(),
+        );
+        let (x_true, b) = manufactured(&a);
+        let res = pcg(&a, &b, &rcm_solver::JacobiPrecond::new(&a), 1e-12, 5);
+        prop_assert!(res.converged);
+        prop_assert!(res.iterations <= 1);
+        for (u, v) in res.x.iter().zip(&x_true) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+}

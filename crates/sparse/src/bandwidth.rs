@@ -1,0 +1,179 @@
+//! Ordering-quality metrics: bandwidth, envelope (profile) and wavefront.
+//!
+//! Definitions follow §II-A of the paper. For a symmetric matrix `A`, let
+//! `f_i(A)` be the row index of the first nonzero in column `i`; the i-th
+//! bandwidth is `β_i(A) = i − f_i(A)` (clamped at 0 for columns whose first
+//! nonzero is on/below the diagonal), the overall bandwidth is
+//! `β(A) = max_i β_i(A)`, and the profile (envelope size) is `Σ_i β_i(A)`.
+
+use crate::csc::CscMatrix;
+
+/// Overall bandwidth `β(A) = max_i (i − f_i(A))`.
+pub fn bandwidth(a: &CscMatrix) -> usize {
+    let mut bw = 0usize;
+    for c in 0..a.n_cols() {
+        bw = bw.max(col_bandwidth(a, c));
+    }
+    bw
+}
+
+/// The i-th bandwidth `β_i(A)` of column `i`.
+#[inline]
+pub fn col_bandwidth(a: &CscMatrix, c: usize) -> usize {
+    match a.col(c).first() {
+        Some(&first) if (first as usize) < c => c - first as usize,
+        _ => 0,
+    }
+}
+
+/// Envelope size (profile) `|Env(A)| = Σ_i β_i(A)`.
+pub fn envelope_size(a: &CscMatrix) -> u64 {
+    (0..a.n_cols()).map(|c| col_bandwidth(a, c) as u64).sum()
+}
+
+/// Maximum and root-mean-square *wavefront*. The wavefront at step `i` is
+/// the number of rows `j ≥ i` that have a nonzero in columns `0..=i`; it
+/// governs the working-set size of envelope-based factorizations and is the
+/// quantity Sloan's algorithm minimises.
+pub fn wavefront(a: &CscMatrix) -> (usize, f64) {
+    let n = a.n_cols();
+    if n == 0 {
+        return (0, 0.0);
+    }
+    // Row j enters the front when column min-neighbour(j) is reached and
+    // leaves after column j itself is eliminated.
+    let mut first_col = (0..n).collect::<Vec<usize>>();
+    for c in 0..n {
+        for &r in a.col(c) {
+            let r = r as usize;
+            if c < first_col[r] {
+                first_col[r] = c;
+            }
+        }
+    }
+    let mut enters = vec![0i64; n + 1];
+    for j in 0..n {
+        enters[first_col[j]] += 1;
+        enters[j + 1] -= 1;
+    }
+    let mut active = 0i64;
+    let mut maxw = 0i64;
+    let mut sumsq = 0f64;
+    for e in enters.iter().take(n) {
+        active += e;
+        maxw = maxw.max(active);
+        sumsq += (active as f64) * (active as f64);
+    }
+    (maxw as usize, (sumsq / n as f64).sqrt())
+}
+
+/// Summary of ordering quality for reporting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BandwidthReport {
+    /// Overall bandwidth `β(A)`.
+    pub bandwidth: usize,
+    /// Envelope size (profile) `|Env(A)|`.
+    pub profile: u64,
+    /// Maximum wavefront.
+    pub max_wavefront: usize,
+    /// Root-mean-square wavefront.
+    pub rms_wavefront: f64,
+}
+
+impl BandwidthReport {
+    /// Compute all quality metrics for a (symmetric) matrix.
+    pub fn of(a: &CscMatrix) -> Self {
+        let (maxw, rmsw) = wavefront(a);
+        BandwidthReport {
+            bandwidth: bandwidth(a),
+            profile: envelope_size(a),
+            max_wavefront: maxw,
+            rms_wavefront: rmsw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooBuilder;
+    use crate::perm::Permutation;
+    use crate::Vidx;
+
+    fn path_graph(n: usize) -> CscMatrix {
+        let mut b = CooBuilder::new(n, n);
+        for v in 0..n - 1 {
+            b.push_sym(v as Vidx, (v + 1) as Vidx);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn diagonal_matrix_has_zero_bandwidth() {
+        let m = CscMatrix::eye(5);
+        assert_eq!(bandwidth(&m), 0);
+        assert_eq!(envelope_size(&m), 0);
+    }
+
+    #[test]
+    fn path_in_natural_order_has_bandwidth_one() {
+        let m = path_graph(6);
+        assert_eq!(bandwidth(&m), 1);
+        assert_eq!(envelope_size(&m), 5); // columns 1..=5 each contribute 1
+    }
+
+    #[test]
+    fn scrambled_path_has_larger_bandwidth() {
+        let m = path_graph(6);
+        // Send vertex 0 to position 5: edge (0,1) now spans |5-?| > 1.
+        let p = Permutation::from_new_of_old(vec![5, 0, 1, 2, 3, 4]).unwrap();
+        let pm = m.permute_sym(&p);
+        assert!(bandwidth(&pm) > 1);
+        assert_eq!(bandwidth(&pm), 5);
+    }
+
+    #[test]
+    fn arrow_matrix_bandwidth() {
+        // Star graph centered at the last vertex (arrowhead matrix pointing
+        // down-right): column n-1 touches row 0 → β = n-1.
+        let n = 7;
+        let mut b = CooBuilder::new(n, n);
+        for v in 0..n - 1 {
+            b.push_sym(v as Vidx, (n - 1) as Vidx);
+        }
+        let m = b.build();
+        assert_eq!(bandwidth(&m), n - 1);
+        // Profile: only column n-1 has entries above the diagonal at distance
+        // ... every column v < n-1 has entry (n-1, v) below diagonal (β_v = 0),
+        // column n-1 has first nonzero at row 0 → β = n-1.
+        assert_eq!(envelope_size(&m), (n - 1) as u64);
+    }
+
+    #[test]
+    fn wavefront_of_tridiagonal() {
+        let m = path_graph(5);
+        let (maxw, rmsw) = wavefront(&m);
+        // Tridiagonal: at each step the active front holds the current and
+        // next row → max wavefront 2 (except the final step).
+        assert_eq!(maxw, 2);
+        assert!(rmsw > 1.0 && rmsw <= 2.0);
+    }
+
+    #[test]
+    fn report_is_consistent() {
+        let m = path_graph(8);
+        let r = BandwidthReport::of(&m);
+        assert_eq!(r.bandwidth, 1);
+        assert_eq!(r.profile, 7);
+        assert_eq!(r.max_wavefront, 2);
+    }
+
+    #[test]
+    fn empty_matrix_report() {
+        let m = CscMatrix::empty(0);
+        let r = BandwidthReport::of(&m);
+        assert_eq!(r.bandwidth, 0);
+        assert_eq!(r.profile, 0);
+        assert_eq!(r.max_wavefront, 0);
+    }
+}

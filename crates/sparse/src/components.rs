@@ -1,0 +1,127 @@
+//! Connected components of a symmetric pattern matrix.
+//!
+//! RCM processes one component at a time (Algorithm 3 assumes a connected
+//! graph; the drivers reseed per component). This module provides the
+//! standalone component analysis used by tests, statistics and callers that
+//! want to inspect structure before ordering.
+
+use crate::csc::CscMatrix;
+use crate::Vidx;
+
+/// Component labeling of a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// `component_of[v]` is the 0-based component id of vertex `v`;
+    /// components are numbered by their smallest vertex id.
+    pub component_of: Vec<Vidx>,
+    /// Vertex count of each component.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// True when the whole graph is one component (or empty).
+    pub fn is_connected(&self) -> bool {
+        self.count() <= 1
+    }
+
+    /// Size of the largest component.
+    pub fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Label connected components with an iterative BFS (no recursion — safe for
+/// path-like graphs of any length).
+pub fn connected_components(a: &CscMatrix) -> Components {
+    assert_eq!(a.n_rows(), a.n_cols(), "components need a square matrix");
+    let n = a.n_rows();
+    let mut component_of = vec![Vidx::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue: Vec<Vidx> = Vec::new();
+    for v in 0..n {
+        if component_of[v] != Vidx::MAX {
+            continue;
+        }
+        let id = sizes.len() as Vidx;
+        let mut size = 1usize;
+        component_of[v] = id;
+        queue.clear();
+        queue.push(v as Vidx);
+        while let Some(u) = queue.pop() {
+            for &w in a.col(u as usize) {
+                if component_of[w as usize] == Vidx::MAX {
+                    component_of[w as usize] = id;
+                    size += 1;
+                    queue.push(w);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components {
+        component_of,
+        sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooBuilder;
+
+    #[test]
+    fn single_path_is_connected() {
+        let mut b = CooBuilder::new(5, 5);
+        for v in 0..4u32 {
+            b.push_sym(v, v + 1);
+        }
+        let c = connected_components(&b.build());
+        assert!(c.is_connected());
+        assert_eq!(c.sizes, vec![5]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_components() {
+        let c = connected_components(&CscMatrix::empty(4));
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.largest(), 1);
+        assert_eq!(c.component_of, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mixed_components() {
+        let mut b = CooBuilder::new(7, 7);
+        b.push_sym(0, 1);
+        b.push_sym(1, 2);
+        b.push_sym(4, 5);
+        let c = connected_components(&b.build());
+        assert_eq!(c.count(), 4); // {0,1,2}, {3}, {4,5}, {6}
+        assert_eq!(c.sizes, vec![3, 1, 2, 1]);
+        assert_eq!(c.component_of[5], c.component_of[4]);
+        assert_ne!(c.component_of[0], c.component_of[4]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let c = connected_components(&CscMatrix::empty(0));
+        assert_eq!(c.count(), 0);
+        assert!(c.is_connected());
+    }
+
+    #[test]
+    fn long_path_does_not_overflow_stack() {
+        let n = 200_000;
+        let mut b = CooBuilder::new(n, n);
+        for v in 0..(n - 1) as u32 {
+            b.push_sym(v, v + 1);
+        }
+        let c = connected_components(&b.build());
+        assert!(c.is_connected());
+        assert_eq!(c.largest(), n);
+    }
+}

@@ -1,0 +1,246 @@
+//! Numeric CSR matrices for the iterative-solver substrate (Fig. 1).
+//!
+//! The RCM code itself is pattern-only; the conjugate-gradient solver needs
+//! values. [`CsrNumeric`] is a minimal, well-tested f64 CSR with symmetric
+//! permutation and SpMV — enough to reproduce the paper's PETSc experiment.
+
+use crate::csc::CscMatrix;
+use crate::perm::Permutation;
+use crate::Vidx;
+
+/// A numeric sparse matrix in compressed-sparse-row layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrNumeric {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<Vidx>,
+    values: Vec<f64>,
+}
+
+impl CsrNumeric {
+    /// Build from triplets; duplicate entries are summed.
+    pub fn from_triplets(
+        n_rows: usize,
+        n_cols: usize,
+        mut triplets: Vec<(Vidx, Vidx, f64)>,
+    ) -> Self {
+        triplets.sort_unstable_by_key(|a| (a.0, a.1));
+        // Sum duplicates in place.
+        let mut merged: Vec<(Vidx, Vidx, f64)> = Vec::with_capacity(triplets.len());
+        for t in triplets {
+            match merged.last_mut() {
+                Some(last) if last.0 == t.0 && last.1 == t.1 => last.2 += t.2,
+                _ => merged.push(t),
+            }
+        }
+        let mut row_ptr = vec![0usize; n_rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for r in 0..n_rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let col_idx = merged.iter().map(|&(_, c, _)| c).collect();
+        let values = merged.iter().map(|&(_, _, v)| v).collect();
+        CsrNumeric {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Give a pattern matrix numeric values via a callback `(row, col) → v`.
+    pub fn from_pattern(pattern: &CscMatrix, mut value: impl FnMut(Vidx, Vidx) -> f64) -> Self {
+        let mut triplets = Vec::with_capacity(pattern.nnz());
+        for (r, c) in pattern.iter_entries() {
+            triplets.push((r, c, value(r, c)));
+        }
+        Self::from_triplets(pattern.n_rows(), pattern.n_cols(), triplets)
+    }
+
+    /// Construct a symmetric positive-definite matrix from a symmetric
+    /// adjacency pattern: a graph Laplacian shifted by `diag_shift`
+    /// (`L = D − A + shift·I`), guaranteed SPD for `diag_shift > 0`.
+    pub fn laplacian_from_pattern(pattern: &CscMatrix, diag_shift: f64) -> Self {
+        assert!(pattern.is_symmetric());
+        let n = pattern.n_rows();
+        let mut triplets = Vec::with_capacity(pattern.nnz() + n);
+        let mut diag = vec![diag_shift; n];
+        for (r, c) in pattern.iter_entries() {
+            if r as usize != c as usize {
+                triplets.push((r, c, -1.0));
+                diag[c as usize] += 1.0;
+            }
+        }
+        for (i, &d) in diag.iter().enumerate() {
+            triplets.push((i as Vidx, i as Vidx, d));
+        }
+        Self::from_triplets(n, n, triplets)
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column indices of row `r`.
+    pub fn row_cols(&self, r: usize) -> &[Vidx] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Values of row `r` (parallel to [`Self::row_cols`]).
+    pub fn row_vals(&self, r: usize) -> &[f64] {
+        &self.values[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Value at `(r, c)` or 0 when not stored.
+    pub fn get(&self, r: Vidx, c: Vidx) -> f64 {
+        let cols = self.row_cols(r as usize);
+        match cols.binary_search(&c) {
+            Ok(k) => self.row_vals(r as usize)[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `y = A·x`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols);
+        assert_eq!(y.len(), self.n_rows);
+        for (r, out) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            let cols = self.row_cols(r);
+            let vals = self.row_vals(r);
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c as usize];
+            }
+            *out = acc;
+        }
+    }
+
+    /// Symmetric permutation `PAPᵀ` (square matrices).
+    pub fn permute_sym(&self, perm: &Permutation) -> CsrNumeric {
+        assert_eq!(self.n_rows, self.n_cols);
+        assert_eq!(perm.len(), self.n_rows);
+        let p = perm.as_new_of_old();
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.n_rows {
+            for (c, v) in self.row_cols(r).iter().zip(self.row_vals(r)) {
+                triplets.push((p[r], p[*c as usize], *v));
+            }
+        }
+        CsrNumeric::from_triplets(self.n_rows, self.n_cols, triplets)
+    }
+
+    /// Structural pattern as a [`CscMatrix`] (transpose of the CSR structure;
+    /// identical for symmetric matrices).
+    pub fn pattern(&self) -> CscMatrix {
+        let mut b = crate::coo::CooBuilder::new(self.n_rows, self.n_cols);
+        for r in 0..self.n_rows {
+            for &c in self.row_cols(r) {
+                b.push(r as Vidx, c);
+            }
+        }
+        b.build()
+    }
+
+    /// Check numeric symmetry within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.n_rows != self.n_cols {
+            return false;
+        }
+        for r in 0..self.n_rows {
+            for (c, v) in self.row_cols(r).iter().zip(self.row_vals(r)) {
+                if (self.get(*c, r as Vidx) - v).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooBuilder;
+
+    fn small_spd() -> CsrNumeric {
+        // 2x2 SPD: [[4, 1], [1, 3]]
+        CsrNumeric::from_triplets(2, 2, vec![(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)])
+    }
+
+    #[test]
+    fn spmv_small() {
+        let a = small_spd();
+        let x = vec![1.0, 2.0];
+        let mut y = vec![0.0; 2];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, vec![6.0, 7.0]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let a = CsrNumeric::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0)]);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn laplacian_is_spd_structured() {
+        let mut b = CooBuilder::new(3, 3);
+        b.push_sym(0, 1);
+        b.push_sym(1, 2);
+        let pat = b.build();
+        let l = CsrNumeric::laplacian_from_pattern(&pat, 0.5);
+        assert!(l.is_symmetric(1e-12));
+        assert_eq!(l.get(0, 0), 1.5);
+        assert_eq!(l.get(1, 1), 2.5);
+        assert_eq!(l.get(0, 1), -1.0);
+        // Diagonally dominant with positive diagonal → SPD.
+        for r in 0..3 {
+            let off: f64 = l
+                .row_cols(r)
+                .iter()
+                .zip(l.row_vals(r))
+                .filter(|(c, _)| **c as usize != r)
+                .map(|(_, v)| v.abs())
+                .sum();
+            assert!(l.get(r as Vidx, r as Vidx) > off);
+        }
+    }
+
+    #[test]
+    fn permute_sym_preserves_spmv_up_to_permutation() {
+        let a = small_spd();
+        let p = Permutation::from_new_of_old(vec![1, 0]).unwrap();
+        let pa = a.permute_sym(&p);
+        let x = vec![1.0, 2.0];
+        let px = p.apply_to_slice(&x);
+        let mut y = vec![0.0; 2];
+        let mut py = vec![0.0; 2];
+        a.spmv(&x, &mut y);
+        pa.spmv(&px, &mut py);
+        assert_eq!(p.apply_to_slice(&y), py);
+    }
+
+    #[test]
+    fn pattern_roundtrip() {
+        let a = small_spd();
+        let pat = a.pattern();
+        assert_eq!(pat.nnz(), 4);
+        assert!(pat.is_symmetric());
+    }
+}

@@ -1,0 +1,82 @@
+//! Dense-vector helpers implementing the local Table-I primitives.
+//!
+//! Dense vectors store information about *all* vertices (length always `n`):
+//! the ordering vector `R`, the level vector `L`, and the degree vector `D`
+//! of Algorithms 3 and 4. We use plain `Vec<T>` plus free functions rather
+//! than a wrapper type so callers keep full slice ergonomics; [`DenseVec`] is
+//! provided as a documented alias.
+
+use crate::spvec::SparseVec;
+use crate::Vidx;
+
+/// Alias emphasising a vector of per-vertex data of length `n`.
+pub type DenseVec<T> = Vec<T>;
+
+/// `SET(y, x)`: overwrite `y[i]` with `x[i]` for every stored entry of the
+/// sparse vector `x`; all other entries of `y` are untouched.
+pub fn dense_set<T: Copy>(y: &mut [T], x: &SparseVec<T>) {
+    assert_eq!(y.len(), x.len(), "SET: length mismatch");
+    for &(i, v) in x.entries() {
+        y[i as usize] = v;
+    }
+}
+
+/// `REDUCE(x, y, op)`: fold the dense values `y[i]` over the stored indices
+/// `i` of `x`. Returns `None` when `x` has no entries.
+pub fn dense_reduce<T, Y: Copy>(
+    x: &SparseVec<T>,
+    y: &[Y],
+    mut op: impl FnMut(Y, Y) -> Y,
+) -> Option<Y>
+where
+    T: Copy,
+{
+    assert_eq!(y.len(), x.len(), "REDUCE: length mismatch");
+    let mut it = x.ind().map(|i| y[i as usize]);
+    let first = it.next()?;
+    Some(it.fold(first, &mut op))
+}
+
+/// Argmin-style reduction used by Algorithm 4 line 16: over the stored
+/// indices of `x`, find the index whose dense value `y[i]` is smallest,
+/// breaking ties toward the smaller index. Returns `None` for an empty `x`.
+pub fn dense_argmin<T: Copy, Y: Copy + Ord>(x: &SparseVec<T>, y: &[Y]) -> Option<Vidx> {
+    assert_eq!(y.len(), x.len());
+    x.ind().min_by_key(|&i| (y[i as usize], i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_overwrites_only_stored_entries() {
+        let mut y = vec![-1i64; 5];
+        let x = SparseVec::from_entries(5, vec![(1, 10i64), (3, 30)]);
+        dense_set(&mut y, &x);
+        assert_eq!(y, vec![-1, 10, -1, 30, -1]);
+    }
+
+    #[test]
+    fn reduce_min_matches_table1_example() {
+        // Table I example: reduction op = min over dense values at sparse indices.
+        let x = SparseVec::from_entries(6, vec![(0, ()), (2, ()), (5, ())]);
+        let y = vec![9u32, 1, 4, 0, 7, 6];
+        let mv = dense_reduce(&x, &y, |a, b| a.min(b));
+        assert_eq!(mv, Some(4));
+    }
+
+    #[test]
+    fn reduce_empty_is_none() {
+        let x: SparseVec<()> = SparseVec::new(3);
+        let y = vec![1u32, 2, 3];
+        assert_eq!(dense_reduce(&x, &y, |a, b| a.min(b)), None);
+    }
+
+    #[test]
+    fn argmin_breaks_ties_to_lower_index() {
+        let x = SparseVec::from_entries(4, vec![(1, ()), (2, ()), (3, ())]);
+        let y = vec![0u32, 5, 5, 7];
+        assert_eq!(dense_argmin(&x, &y), Some(1));
+    }
+}

@@ -1,0 +1,62 @@
+//! Sparse-matrix substrate for the distributed Reverse Cuthill-McKee library.
+//!
+//! This crate provides everything the RCM algorithms of Azad et al. (IPDPS
+//! 2017) need from a sparse linear-algebra layer, implemented from scratch:
+//!
+//! * [`CooBuilder`] — triplet (coordinate) accumulation with symmetrization
+//!   and duplicate removal.
+//! * [`CscMatrix`] — a compressed-sparse-column *pattern* matrix (no stored
+//!   numerical values; RCM only consumes structure). Supports symmetric
+//!   permutation (`PAPᵀ`), transposition, 2D block extraction and degree
+//!   queries.
+//! * [`CsrNumeric`] — a numeric CSR matrix used by the iterative-solver crate.
+//! * [`SparseVec`] / dense-vector helpers — the *local* counterparts of the
+//!   paper's Table I primitives (`IND`, `SELECT`, `SET`, `REDUCE`).
+//! * [`Semiring`] and [`fn@spmspv`] — sparse matrix–sparse vector
+//!   multiplication over a user-chosen semiring; the RCM traversal uses the
+//!   `(select2nd, min)` semiring ([`Select2ndMin`]).
+//! * [`mod@bandwidth`] — bandwidth, envelope/profile and
+//!   wavefront metrics used to evaluate ordering quality.
+//! * [`mm`] — Matrix Market I/O so real SuiteSparse matrices can be used
+//!   in place of the synthetic generators.
+//! * [`Permutation`] — validated vertex orderings with composition/inverse.
+//!
+//! Indices are `u32` throughout the pattern code (supporting matrices with up
+//! to ~4 billion rows), matching the memory-conscious layout the paper's
+//! CombBLAS backend uses.
+
+pub mod bandwidth;
+pub mod components;
+pub mod coo;
+pub mod csc;
+pub mod csr_num;
+pub mod densevec;
+pub mod mm;
+pub mod perm;
+pub mod semiring;
+pub mod spmspv;
+pub mod spvec;
+pub mod spy;
+
+pub use bandwidth::{bandwidth as matrix_bandwidth, envelope_size, BandwidthReport};
+pub use components::{connected_components, Components};
+pub use coo::CooBuilder;
+pub use csc::CscMatrix;
+pub use csr_num::CsrNumeric;
+pub use densevec::{dense_reduce, dense_set, DenseVec};
+pub use perm::Permutation;
+pub use semiring::{BoolOr, MinIdx, Select2ndMin, Semiring};
+pub use spmspv::{spmspv, spmspv_ref, SpmspvWorkspace};
+pub use spvec::SparseVec;
+pub use spy::spy;
+
+/// Index type used for vertices / rows / columns in pattern matrices.
+pub type Vidx = u32;
+
+/// Label type used for orderings: `-1` means "not yet labeled", otherwise the
+/// value is a 0-based label. `i64` comfortably holds labels for any `u32`
+/// indexed matrix.
+pub type Label = i64;
+
+/// Sentinel for "vertex not yet visited / labeled".
+pub const UNVISITED: Label = -1;

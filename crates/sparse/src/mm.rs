@@ -1,0 +1,347 @@
+//! Matrix Market I/O.
+//!
+//! Supports the subset of the format needed to ingest SuiteSparse matrices
+//! for RCM: `matrix coordinate` with `pattern`, `real` or `integer` fields
+//! and `general` or `symmetric` symmetry. Values are discarded when reading
+//! into a pattern matrix; [`read_numeric`] keeps them.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::coo::CooBuilder;
+use crate::csc::CscMatrix;
+use crate::csr_num::CsrNumeric;
+use crate::Vidx;
+
+/// Errors raised by the Matrix Market parser.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file contents.
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(msg) => write!(f, "Matrix Market parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Field {
+    Pattern,
+    Real,
+    Integer,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Symmetry {
+    General,
+    Symmetric,
+}
+
+struct Header {
+    field: Field,
+    symmetry: Symmetry,
+    n_rows: usize,
+    n_cols: usize,
+    nnz: usize,
+}
+
+fn parse_header(lines: &mut impl Iterator<Item = Result<String, std::io::Error>>) -> Result<Header, MmError> {
+    let banner = lines
+        .next()
+        .ok_or_else(|| MmError::Parse("empty file".into()))??;
+    let banner_lc = banner.to_ascii_lowercase();
+    let toks: Vec<&str> = banner_lc.split_whitespace().collect();
+    if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
+        return Err(MmError::Parse(format!("bad banner: {banner}")));
+    }
+    if toks[2] != "coordinate" {
+        return Err(MmError::Parse(format!(
+            "only coordinate format supported, got {}",
+            toks[2]
+        )));
+    }
+    let field = match toks[3] {
+        "pattern" => Field::Pattern,
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        other => return Err(MmError::Parse(format!("unsupported field type {other}"))),
+    };
+    let symmetry = match toks[4] {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        other => return Err(MmError::Parse(format!("unsupported symmetry {other}"))),
+    };
+    // Skip comments, find the size line.
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let dims: Vec<&str> = t.split_whitespace().collect();
+        if dims.len() != 3 {
+            return Err(MmError::Parse(format!("bad size line: {t}")));
+        }
+        let n_rows = dims[0]
+            .parse::<usize>()
+            .map_err(|e| MmError::Parse(e.to_string()))?;
+        let n_cols = dims[1]
+            .parse::<usize>()
+            .map_err(|e| MmError::Parse(e.to_string()))?;
+        let nnz = dims[2]
+            .parse::<usize>()
+            .map_err(|e| MmError::Parse(e.to_string()))?;
+        return Ok(Header {
+            field,
+            symmetry,
+            n_rows,
+            n_cols,
+            nnz,
+        });
+    }
+    Err(MmError::Parse("missing size line".into()))
+}
+
+/// Read a pattern [`CscMatrix`] from Matrix Market text. Symmetric files are
+/// expanded to both triangles; numeric values (if any) are ignored.
+pub fn read_pattern<R: Read>(reader: R) -> Result<CscMatrix, MmError> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines();
+    let h = parse_header(&mut lines)?;
+    let mut b = CooBuilder::with_capacity(h.n_rows, h.n_cols, h.nnz * 2);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| MmError::Parse("short entry line".into()))?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| MmError::Parse(e.to_string()))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| MmError::Parse("short entry line".into()))?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| MmError::Parse(e.to_string()))?;
+        if h.field != Field::Pattern && it.next().is_none() {
+            return Err(MmError::Parse("missing value on entry line".into()));
+        }
+        if r == 0 || c == 0 || r > h.n_rows || c > h.n_cols {
+            return Err(MmError::Parse(format!("entry ({r},{c}) out of bounds")));
+        }
+        let (r, c) = ((r - 1) as Vidx, (c - 1) as Vidx);
+        match h.symmetry {
+            Symmetry::General => b.push(r, c),
+            Symmetry::Symmetric => b.push_sym(r, c),
+        }
+        seen += 1;
+    }
+    if seen != h.nnz {
+        return Err(MmError::Parse(format!(
+            "header declares {} entries, file has {seen}",
+            h.nnz
+        )));
+    }
+    Ok(b.build())
+}
+
+/// Read a numeric [`CsrNumeric`] from Matrix Market text (pattern files get
+/// value 1.0 on every entry).
+pub fn read_numeric<R: Read>(reader: R) -> Result<CsrNumeric, MmError> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines();
+    let h = parse_header(&mut lines)?;
+    let mut triplets: Vec<(Vidx, Vidx, f64)> = Vec::with_capacity(h.nnz * 2);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| MmError::Parse("short entry line".into()))?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| MmError::Parse(e.to_string()))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| MmError::Parse("short entry line".into()))?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| MmError::Parse(e.to_string()))?;
+        let v: f64 = match h.field {
+            Field::Pattern => 1.0,
+            _ => it
+                .next()
+                .ok_or_else(|| MmError::Parse("missing value".into()))?
+                .parse()
+                .map_err(|e: std::num::ParseFloatError| MmError::Parse(e.to_string()))?,
+        };
+        if r == 0 || c == 0 || r > h.n_rows || c > h.n_cols {
+            return Err(MmError::Parse(format!("entry ({r},{c}) out of bounds")));
+        }
+        let (r, c) = ((r - 1) as Vidx, (c - 1) as Vidx);
+        triplets.push((r, c, v));
+        if h.symmetry == Symmetry::Symmetric && r != c {
+            triplets.push((c, r, v));
+        }
+        seen += 1;
+    }
+    if seen != h.nnz {
+        return Err(MmError::Parse(format!(
+            "header declares {} entries, file has {seen}",
+            h.nnz
+        )));
+    }
+    Ok(CsrNumeric::from_triplets(h.n_rows, h.n_cols, triplets))
+}
+
+/// Write a pattern matrix as `coordinate pattern general` Matrix Market text.
+pub fn write_pattern<W: Write>(a: &CscMatrix, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate pattern general")?;
+    writeln!(w, "% written by rcm-sparse")?;
+    writeln!(w, "{} {} {}", a.n_rows(), a.n_cols(), a.nnz())?;
+    for (r, c) in a.iter_entries() {
+        writeln!(w, "{} {}", r + 1, c + 1)?;
+    }
+    Ok(())
+}
+
+/// Convenience: read a pattern matrix from a file path.
+pub fn read_pattern_file(path: impl AsRef<Path>) -> Result<CscMatrix, MmError> {
+    let f = std::fs::File::open(path)?;
+    read_pattern(f)
+}
+
+/// Convenience: write a pattern matrix to a file path.
+pub fn write_pattern_file(a: &CscMatrix, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_pattern(a, std::io::BufWriter::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SYMMETRIC_SAMPLE: &str = "\
+%%MatrixMarket matrix coordinate pattern symmetric
+% a 4-vertex path stored as lower triangle
+4 4 3
+2 1
+3 2
+4 3
+";
+
+    #[test]
+    fn read_symmetric_pattern_expands_triangles() {
+        let m = read_pattern(SYMMETRIC_SAMPLE.as_bytes()).unwrap();
+        assert_eq!(m.n_rows(), 4);
+        assert_eq!(m.nnz(), 6);
+        assert!(m.is_symmetric());
+        assert!(m.contains(0, 1) && m.contains(1, 0));
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let m = read_pattern(SYMMETRIC_SAMPLE.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_pattern(&m, &mut buf).unwrap();
+        let m2 = read_pattern(buf.as_slice()).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn read_real_general() {
+        let text = "\
+%%MatrixMarket matrix coordinate real general
+2 3 2
+1 1 1.5
+2 3 -2.0
+";
+        let m = read_pattern(text.as_bytes()).unwrap();
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), 3);
+        assert_eq!(m.nnz(), 2);
+        let num = read_numeric(text.as_bytes()).unwrap();
+        assert_eq!(num.get(0, 0), 1.5);
+        assert_eq!(num.get(1, 2), -2.0);
+    }
+
+    #[test]
+    fn read_numeric_symmetric_mirrors_values() {
+        let text = "\
+%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 4.0
+2 1 1.0
+";
+        let num = read_numeric(text.as_bytes()).unwrap();
+        assert_eq!(num.get(0, 1), 1.0);
+        assert_eq!(num.get(1, 0), 1.0);
+        assert!(num.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn bad_banner_is_rejected() {
+        let text = "%%NotMatrixMarket nothing\n1 1 0\n";
+        assert!(read_pattern(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn nnz_mismatch_is_rejected() {
+        let text = "\
+%%MatrixMarket matrix coordinate pattern general
+2 2 3
+1 1
+2 2
+";
+        assert!(matches!(
+            read_pattern(text.as_bytes()),
+            Err(MmError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_entry_is_rejected() {
+        let text = "\
+%%MatrixMarket matrix coordinate pattern general
+2 2 1
+3 1
+";
+        assert!(read_pattern(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "\
+%%MatrixMarket matrix coordinate pattern general
+% comment
+
+2 2 1
+% another comment
+1 2
+";
+        let m = read_pattern(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 1);
+    }
+}

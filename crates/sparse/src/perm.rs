@@ -1,0 +1,194 @@
+//! Vertex permutations (orderings) with validity checking.
+//!
+//! A [`Permutation`] maps *old* vertex ids to *new* labels. RCM produces such
+//! a map; applying it to a matrix yields `PAPᵀ`.
+
+use crate::Vidx;
+
+/// A bijection on `{0, …, n-1}`.
+///
+/// Internally stores `new_of_old`: `new_of_old[v]` is the new label of old
+/// vertex `v`. The inverse view (`old_of_new`) is computed on demand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    new_of_old: Vec<Vidx>,
+}
+
+impl Permutation {
+    /// Identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            new_of_old: (0..n as Vidx).collect(),
+        }
+    }
+
+    /// Build from a `new_of_old` map, validating bijectivity.
+    ///
+    /// Returns `None` if the input is not a permutation of `0..n`.
+    pub fn from_new_of_old(new_of_old: Vec<Vidx>) -> Option<Self> {
+        let n = new_of_old.len();
+        let mut seen = vec![false; n];
+        for &l in &new_of_old {
+            let l = l as usize;
+            if l >= n || seen[l] {
+                return None;
+            }
+            seen[l] = true;
+        }
+        Some(Permutation { new_of_old })
+    }
+
+    /// Build from an ordering sequence: `order[k]` is the old vertex that
+    /// receives new label `k` (i.e. the `old_of_new` view).
+    pub fn from_order(order: &[Vidx]) -> Option<Self> {
+        let n = order.len();
+        let mut new_of_old = vec![Vidx::MAX; n];
+        for (k, &v) in order.iter().enumerate() {
+            let v = v as usize;
+            if v >= n || new_of_old[v] != Vidx::MAX {
+                return None;
+            }
+            new_of_old[v] = k as Vidx;
+        }
+        Some(Permutation { new_of_old })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.new_of_old.len()
+    }
+
+    /// True when the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.new_of_old.is_empty()
+    }
+
+    /// New label of old vertex `v`.
+    #[inline]
+    pub fn new_of(&self, v: Vidx) -> Vidx {
+        self.new_of_old[v as usize]
+    }
+
+    /// The raw `new_of_old` slice.
+    pub fn as_new_of_old(&self) -> &[Vidx] {
+        &self.new_of_old
+    }
+
+    /// The inverse view: element `k` is the old vertex with new label `k`.
+    pub fn old_of_new(&self) -> Vec<Vidx> {
+        let mut out = vec![0 as Vidx; self.new_of_old.len()];
+        for (old, &new) in self.new_of_old.iter().enumerate() {
+            out[new as usize] = old as Vidx;
+        }
+        out
+    }
+
+    /// Inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        Permutation {
+            new_of_old: self.old_of_new(),
+        }
+    }
+
+    /// Reverse the ordering: new label `k` becomes `n-1-k`.
+    ///
+    /// This converts a Cuthill-McKee ordering into Reverse Cuthill-McKee.
+    pub fn reversed(&self) -> Permutation {
+        let n = self.new_of_old.len() as Vidx;
+        Permutation {
+            new_of_old: self.new_of_old.iter().map(|&l| n - 1 - l).collect(),
+        }
+    }
+
+    /// Composition: apply `self` first, then `after` (both old→new maps);
+    /// the result maps `v ↦ after[self[v]]`.
+    pub fn then(&self, after: &Permutation) -> Permutation {
+        assert_eq!(self.len(), after.len(), "permutation size mismatch");
+        Permutation {
+            new_of_old: self
+                .new_of_old
+                .iter()
+                .map(|&mid| after.new_of_old[mid as usize])
+                .collect(),
+        }
+    }
+
+    /// Permute a data slice: `out[new_of_old[i]] = data[i]`.
+    pub fn apply_to_slice<T: Clone>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len());
+        let mut out: Vec<T> = data.to_vec();
+        for (old, &new) in self.new_of_old.iter().enumerate() {
+            out[new as usize] = data[old].clone();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(5);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.new_of(3), 3);
+        assert_eq!(p.inverse(), p);
+    }
+
+    #[test]
+    fn from_new_of_old_rejects_non_bijections() {
+        assert!(Permutation::from_new_of_old(vec![0, 0, 1]).is_none());
+        assert!(Permutation::from_new_of_old(vec![0, 3, 1]).is_none());
+        assert!(Permutation::from_new_of_old(vec![2, 0, 1]).is_some());
+    }
+
+    #[test]
+    fn from_order_matches_inverse() {
+        // order: vertex 2 gets label 0, vertex 0 label 1, vertex 1 label 2.
+        let p = Permutation::from_order(&[2, 0, 1]).unwrap();
+        assert_eq!(p.new_of(2), 0);
+        assert_eq!(p.new_of(0), 1);
+        assert_eq!(p.new_of(1), 2);
+        assert_eq!(p.old_of_new(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn from_order_rejects_duplicates() {
+        assert!(Permutation::from_order(&[0, 0, 1]).is_none());
+    }
+
+    #[test]
+    fn reversed_flips_labels() {
+        let p = Permutation::from_new_of_old(vec![0, 1, 2, 3]).unwrap();
+        let r = p.reversed();
+        assert_eq!(r.as_new_of_old(), &[3, 2, 1, 0]);
+        // Reversing twice is the identity transformation.
+        assert_eq!(r.reversed(), p);
+    }
+
+    #[test]
+    fn composition_applies_in_order() {
+        let a = Permutation::from_new_of_old(vec![1, 2, 0]).unwrap();
+        let b = Permutation::from_new_of_old(vec![2, 0, 1]).unwrap();
+        let c = a.then(&b);
+        // v=0: a->1, b->0
+        assert_eq!(c.new_of(0), 0);
+        assert_eq!(c.new_of(1), 1);
+        assert_eq!(c.new_of(2), 2);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::from_new_of_old(vec![3, 0, 2, 1]).unwrap();
+        assert_eq!(p.then(&p.inverse()), Permutation::identity(4));
+        assert_eq!(p.inverse().then(&p), Permutation::identity(4));
+    }
+
+    #[test]
+    fn apply_to_slice_moves_data() {
+        let p = Permutation::from_new_of_old(vec![2, 0, 1]).unwrap();
+        let data = vec!["a", "b", "c"];
+        assert_eq!(p.apply_to_slice(&data), vec!["b", "c", "a"]);
+    }
+}

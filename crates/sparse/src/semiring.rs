@@ -1,0 +1,103 @@
+//! Semirings for sparse matrix–sparse vector multiplication.
+//!
+//! The paper replaces the usual `(multiply, add)` of linear algebra with
+//! overloaded operators (§III-A): for the RCM traversal the semiring is
+//! `(select2nd, min)` — "multiplying" a (pattern) matrix entry by a vector
+//! value passes the vector value through unchanged, and colliding products in
+//! the same output row keep the minimum. This guarantees each newly
+//! discovered vertex attaches to the parent with the smallest label (Fig. 2),
+//! which is what makes the exploration deterministic.
+//!
+//! Matrices here are pattern-only, so `multiply` takes just the vector value.
+
+use crate::Vidx;
+
+/// A semiring over vector element type `T` for pattern-matrix SpMSpV.
+///
+/// `multiply(x)` combines an (implicit, boolean) matrix entry with the vector
+/// value `x`; `add` combines two products that land on the same output index.
+/// Both must be pure; `add` must be associative and commutative for the
+/// result to be independent of traversal order.
+pub trait Semiring<T: Copy> {
+    /// "Multiplication": combine a present matrix entry with vector value.
+    fn multiply(x: T) -> T;
+    /// "Addition": merge two products targeting the same output index.
+    fn add(a: T, b: T) -> T;
+}
+
+/// The RCM BFS semiring `(select2nd, min)` of Algorithm 3 / Figure 2.
+///
+/// Values are parent labels; each discovered vertex keeps the minimum label
+/// among all of its already-visited neighbours.
+pub struct Select2ndMin;
+
+impl Semiring<i64> for Select2ndMin {
+    #[inline]
+    fn multiply(x: i64) -> i64 {
+        x
+    }
+    #[inline]
+    fn add(a: i64, b: i64) -> i64 {
+        a.min(b)
+    }
+}
+
+/// Plain boolean BFS semiring: values carry no information, reachability
+/// only. Used where the paper notes "the overloaded addition … can be
+/// replaced by any equivalent operation" (Algorithm 4).
+pub struct BoolOr;
+
+impl Semiring<()> for BoolOr {
+    #[inline]
+    fn multiply(_x: ()) {}
+    #[inline]
+    fn add(_a: (), _b: ()) {}
+}
+
+/// Semiring carrying `(value, index)` pairs and keeping the lexicographic
+/// minimum; useful for deterministic parent selection when values can tie.
+pub struct MinIdx;
+
+impl Semiring<(i64, Vidx)> for MinIdx {
+    #[inline]
+    fn multiply(x: (i64, Vidx)) -> (i64, Vidx) {
+        x
+    }
+    #[inline]
+    fn add(a: (i64, Vidx), b: (i64, Vidx)) -> (i64, Vidx) {
+        a.min(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select2nd_min_keeps_smaller_label() {
+        assert_eq!(Select2ndMin::multiply(7), 7);
+        assert_eq!(Select2ndMin::add(3, 5), 3);
+        assert_eq!(Select2ndMin::add(5, 3), 3);
+    }
+
+    #[test]
+    fn select2nd_min_is_associative_on_samples() {
+        let vals = [-1i64, 0, 1, 5, 100];
+        for &a in &vals {
+            for &b in &vals {
+                for &c in &vals {
+                    assert_eq!(
+                        Select2ndMin::add(Select2ndMin::add(a, b), c),
+                        Select2ndMin::add(a, Select2ndMin::add(b, c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minidx_orders_lexicographically() {
+        assert_eq!(MinIdx::add((2, 9), (2, 3)), (2, 3));
+        assert_eq!(MinIdx::add((1, 9), (2, 3)), (1, 9));
+    }
+}

@@ -1,0 +1,210 @@
+//! Sequential sparse matrix–sparse vector multiplication over a semiring.
+//!
+//! `SPMSPV(A, x, SR)` (Table I): for every stored entry `x[k]`, visit column
+//! `A(:, k)` and merge the products into the output with the semiring's
+//! `add`. The serial complexity is `Σ_{k ∈ IND(x)} nnz(A(:, k))`.
+//!
+//! The implementation uses a *sparse accumulator* (SPA): a dense value
+//! scratchpad plus a stamp array, reusable across calls via
+//! [`SpmspvWorkspace`] so each multiplication allocates nothing.
+
+use crate::csc::CscMatrix;
+use crate::semiring::Semiring;
+use crate::spvec::SparseVec;
+use crate::Vidx;
+
+/// Reusable scratch space for [`spmspv`] — a classic stamped sparse
+/// accumulator sized to the number of matrix rows.
+pub struct SpmspvWorkspace<T> {
+    values: Vec<T>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    touched: Vec<Vidx>,
+}
+
+impl<T: Copy + Default> SpmspvWorkspace<T> {
+    /// Workspace for matrices with `n_rows` rows.
+    pub fn new(n_rows: usize) -> Self {
+        SpmspvWorkspace {
+            values: vec![T::default(); n_rows],
+            stamp: vec![0; n_rows],
+            epoch: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Grow (never shrinks) to accommodate `n_rows`.
+    pub fn ensure(&mut self, n_rows: usize) {
+        if self.values.len() < n_rows {
+            self.values.resize(n_rows, T::default());
+            self.stamp.resize(n_rows, 0);
+        }
+    }
+
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrapped around: reset to keep correctness.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.touched.clear();
+    }
+}
+
+/// Multiply pattern matrix `a` by sparse vector `x` over semiring `S`.
+///
+/// Returns a sparse vector of length `a.n_rows()` whose entry at row `r` is
+/// the semiring-sum of `S::multiply(x[k])` over all stored `(r, k)` with
+/// `x[k]` stored. Output entries are sorted by index.
+///
+/// Also returns the number of traversed matrix nonzeros (the serial work
+/// `Σ nnz(A(:, k))`), which the distributed simulator charges as compute.
+pub fn spmspv<T, S>(
+    a: &CscMatrix,
+    x: &SparseVec<T>,
+    ws: &mut SpmspvWorkspace<T>,
+) -> (SparseVec<T>, usize)
+where
+    T: Copy + Default,
+    S: Semiring<T>,
+{
+    assert_eq!(a.n_cols(), x.len(), "dimension mismatch in SpMSpV");
+    ws.ensure(a.n_rows());
+    ws.begin();
+    let mut work = 0usize;
+    for &(k, xv) in x.entries() {
+        let col = a.col(k as usize);
+        work += col.len();
+        let prod = S::multiply(xv);
+        for &r in col {
+            let ri = r as usize;
+            if ws.stamp[ri] == ws.epoch {
+                ws.values[ri] = S::add(ws.values[ri], prod);
+            } else {
+                ws.stamp[ri] = ws.epoch;
+                ws.values[ri] = prod;
+                ws.touched.push(r);
+            }
+        }
+    }
+    ws.touched.sort_unstable();
+    let entries: Vec<(Vidx, T)> = ws
+        .touched
+        .iter()
+        .map(|&r| (r, ws.values[r as usize]))
+        .collect();
+    (SparseVec::from_sorted_entries(a.n_rows(), entries), work)
+}
+
+/// Naive reference implementation (dense accumulation, fresh allocation) for
+/// differential testing of [`spmspv`] and of the distributed version.
+pub fn spmspv_ref<T, S>(a: &CscMatrix, x: &SparseVec<T>) -> SparseVec<T>
+where
+    T: Copy + Default,
+    S: Semiring<T>,
+{
+    assert_eq!(a.n_cols(), x.len());
+    let mut acc: Vec<Option<T>> = vec![None; a.n_rows()];
+    for &(k, xv) in x.entries() {
+        let prod = S::multiply(xv);
+        for &r in a.col(k as usize) {
+            let slot = &mut acc[r as usize];
+            *slot = Some(match *slot {
+                Some(old) => S::add(old, prod),
+                None => prod,
+            });
+        }
+    }
+    let entries: Vec<(Vidx, T)> = acc
+        .iter()
+        .enumerate()
+        .filter_map(|(r, v)| v.map(|v| (r as Vidx, v)))
+        .collect();
+    SparseVec::from_sorted_entries(a.n_rows(), entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooBuilder;
+    use crate::semiring::Select2ndMin;
+
+    /// The 8-vertex example of Figure 2 in the paper.
+    ///
+    /// Vertices a..h = 0..7; BFS tree rooted at a; current frontier {e, b}
+    /// with labels e=2, b=3; expected next frontier {c, f, g} where c picks
+    /// parent e (label 2) over b (label 3).
+    fn figure2_matrix() -> CscMatrix {
+        let mut b = CooBuilder::new(8, 8);
+        // Edges from the figure: a-b, a-e, b-c, b-d, e-c, e-f, c-g, f-g, d-h?
+        // (The figure shows: a adj {b, e}; b adj {a, c, d}; e adj {a, c, f};
+        //  c adj {b, e, g}; d adj {b}; f adj {e, g}; g adj {c, f}; h isolated-ish via d.)
+        let edges = [(0, 1), (0, 4), (1, 2), (1, 3), (4, 2), (4, 5), (2, 6), (5, 6), (3, 7)];
+        for (u, v) in edges {
+            b.push_sym(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn figure2_example_minimum_parent_label_wins() {
+        let a = figure2_matrix();
+        // Frontier: e (vertex 4) labeled 2, b (vertex 1) labeled 3.
+        let x = SparseVec::from_entries(8, vec![(4, 2i64), (1, 3)]);
+        let mut ws = SpmspvWorkspace::new(8);
+        let (y, work) = spmspv::<i64, Select2ndMin>(&a, &x, &mut ws);
+        // Neighbours of {e, b}: a, c, f (from e), a, c, d (from b).
+        // Output rows: a(0), c(2), d(3), f(5).
+        let got: Vec<_> = y.entries().to_vec();
+        assert_eq!(got, vec![(0, 2), (2, 2), (3, 3), (5, 2)]);
+        // Work = deg(e) + deg(b) = 3 + 3.
+        assert_eq!(work, 6);
+    }
+
+    #[test]
+    fn matches_reference_on_figure2() {
+        let a = figure2_matrix();
+        let x = SparseVec::from_entries(8, vec![(4, 2i64), (1, 3)]);
+        let mut ws = SpmspvWorkspace::new(8);
+        let (y, _) = spmspv::<i64, Select2ndMin>(&a, &x, &mut ws);
+        let yref = spmspv_ref::<i64, Select2ndMin>(&a, &x);
+        assert_eq!(y, yref);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let a = figure2_matrix();
+        let x: SparseVec<i64> = SparseVec::new(8);
+        let mut ws = SpmspvWorkspace::new(8);
+        let (y, work) = spmspv::<i64, Select2ndMin>(&a, &x, &mut ws);
+        assert!(y.is_empty());
+        assert_eq!(work, 0);
+    }
+
+    #[test]
+    fn workspace_reuse_across_calls_is_clean() {
+        let a = figure2_matrix();
+        let mut ws = SpmspvWorkspace::new(8);
+        let x1 = SparseVec::from_entries(8, vec![(0, 0i64)]);
+        let (y1, _) = spmspv::<i64, Select2ndMin>(&a, &x1, &mut ws);
+        assert_eq!(y1.entries(), &[(1, 0), (4, 0)]);
+        // Second call must not see stale accumulator state.
+        let x2 = SparseVec::from_entries(8, vec![(7, 9i64)]);
+        let (y2, _) = spmspv::<i64, Select2ndMin>(&a, &x2, &mut ws);
+        assert_eq!(y2.entries(), &[(3, 9)]);
+    }
+
+    #[test]
+    fn epoch_wraparound_resets_stamps() {
+        let a = figure2_matrix();
+        let mut ws = SpmspvWorkspace::new(8);
+        ws.epoch = u32::MAX - 1;
+        let x = SparseVec::from_entries(8, vec![(0, 1i64)]);
+        let (y1, _) = spmspv::<i64, Select2ndMin>(&a, &x, &mut ws);
+        let (y2, _) = spmspv::<i64, Select2ndMin>(&a, &x, &mut ws);
+        let (y3, _) = spmspv::<i64, Select2ndMin>(&a, &x, &mut ws);
+        assert_eq!(y1, y2);
+        assert_eq!(y2, y3);
+    }
+}

@@ -1,0 +1,190 @@
+//! Sparse vectors: the frontier representation of the RCM algorithms.
+//!
+//! A [`SparseVec<T>`] represents a subset of vertices, each carrying a value
+//! (a label, a parent label, a BFS level, …). Entries are kept sorted by
+//! index, mirroring CombBLAS's `{index, value}`-pair storage (§IV-A of the
+//! paper), which makes merging, selection and ownership splitting cheap.
+
+use crate::Vidx;
+
+/// A length-`n` sparse vector with `nnz` stored `(index, value)` pairs,
+/// sorted by strictly increasing index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparseVec<T> {
+    len: usize,
+    entries: Vec<(Vidx, T)>,
+}
+
+impl<T: Copy> SparseVec<T> {
+    /// Empty sparse vector of logical length `len`.
+    pub fn new(len: usize) -> Self {
+        SparseVec {
+            len,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Build from `(index, value)` pairs; sorts and asserts uniqueness.
+    pub fn from_entries(len: usize, mut entries: Vec<(Vidx, T)>) -> Self {
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate indices in sparse vector"
+        );
+        debug_assert!(entries.iter().all(|&(i, _)| (i as usize) < len));
+        SparseVec { len, entries }
+    }
+
+    /// Build from pre-sorted unique `(index, value)` pairs without sorting.
+    pub fn from_sorted_entries(len: usize, entries: Vec<(Vidx, T)>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        debug_assert!(entries.iter().all(|&(i, _)| (i as usize) < len));
+        SparseVec { len, entries }
+    }
+
+    /// A single-entry vector: the initial BFS frontier `{r}`.
+    pub fn singleton(len: usize, idx: Vidx, value: T) -> Self {
+        SparseVec {
+            len,
+            entries: vec![(idx, value)],
+        }
+    }
+
+    /// Logical length `n` (number of vertices).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the logical length is zero.
+    pub fn is_empty_len(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stored nonzeros — `nnz(x)` in the paper.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are stored (the loop-termination test of
+    /// Algorithms 3 and 4: `L_cur = ∅`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored `(index, value)` pairs, sorted by index.
+    #[inline]
+    pub fn entries(&self) -> &[(Vidx, T)] {
+        &self.entries
+    }
+
+    /// Mutable access to the stored pairs (indices must stay sorted/unique).
+    pub fn entries_mut(&mut self) -> &mut Vec<(Vidx, T)> {
+        &mut self.entries
+    }
+
+    /// `IND(x)`: indices of the nonzero entries.
+    pub fn ind(&self) -> impl Iterator<Item = Vidx> + '_ {
+        self.entries.iter().map(|&(i, _)| i)
+    }
+
+    /// Value stored at `idx`, if present (binary search).
+    pub fn get(&self, idx: Vidx) -> Option<T> {
+        self.entries
+            .binary_search_by_key(&idx, |&(i, _)| i)
+            .ok()
+            .map(|k| self.entries[k].1)
+    }
+
+    /// `SELECT(x, y, expr)`: keep entries whose *dense companion* value
+    /// satisfies the predicate. `y` must have length `len`.
+    pub fn select<Y: Copy>(&self, y: &[Y], pred: impl Fn(Y) -> bool) -> SparseVec<T> {
+        assert_eq!(y.len(), self.len, "dense companion length mismatch");
+        SparseVec {
+            len: self.len,
+            entries: self
+                .entries
+                .iter()
+                .copied()
+                .filter(|&(i, _)| pred(y[i as usize]))
+                .collect(),
+        }
+    }
+
+    /// Map stored values in place.
+    pub fn map_values(&mut self, f: impl Fn(Vidx, T) -> T) {
+        for (i, v) in &mut self.entries {
+            *v = f(*i, *v);
+        }
+    }
+
+    /// Replace values with the corresponding entries of a dense vector:
+    /// the `L_cur ← SET(L_cur, R)` step of Algorithm 3 (sparse side).
+    pub fn gather_from_dense<Y: Copy + Into<T>>(&mut self, y: &[Y]) {
+        assert_eq!(y.len(), self.len);
+        for (i, v) in &mut self.entries {
+            *v = y[*i as usize].into();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_entries_sorts() {
+        let v = SparseVec::from_entries(10, vec![(7, 1i64), (2, 2), (5, 3)]);
+        assert_eq!(v.entries(), &[(2, 2), (5, 3), (7, 1)]);
+        assert_eq!(v.nnz(), 3);
+        assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    fn ind_yields_indices() {
+        let v = SparseVec::from_entries(10, vec![(3, 0i64), (1, 0)]);
+        let idx: Vec<_> = v.ind().collect();
+        assert_eq!(idx, vec![1, 3]);
+    }
+
+    #[test]
+    fn get_binary_searches() {
+        let v = SparseVec::from_entries(10, vec![(3, 30i64), (1, 10), (8, 80)]);
+        assert_eq!(v.get(3), Some(30));
+        assert_eq!(v.get(4), None);
+    }
+
+    #[test]
+    fn select_filters_on_dense_companion() {
+        let v = SparseVec::from_entries(5, vec![(0, 1i64), (2, 2), (4, 3)]);
+        let dense = vec![-1i64, -1, 5, -1, -1];
+        // Keep unvisited vertices (companion == -1), as in Algorithm 3 line 8.
+        let kept = v.select(&dense, |y| y == -1);
+        assert_eq!(kept.entries(), &[(0, 1), (4, 3)]);
+    }
+
+    #[test]
+    fn gather_from_dense_overwrites_values() {
+        let mut v = SparseVec::from_entries(4, vec![(1, 0i64), (3, 0)]);
+        let dense = vec![9i64, 8, 7, 6];
+        v.gather_from_dense(&dense);
+        assert_eq!(v.entries(), &[(1, 8), (3, 6)]);
+    }
+
+    #[test]
+    fn singleton_frontier() {
+        let v = SparseVec::singleton(100, 42, 0i64);
+        assert_eq!(v.nnz(), 1);
+        assert_eq!(v.get(42), Some(0));
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let v: SparseVec<i64> = SparseVec::new(5);
+        assert!(v.is_empty());
+        assert_eq!(v.nnz(), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the sparse substrate.
+
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+use rcm_sparse::{
+    bandwidth, coo::CooBuilder, envelope_size, spmspv, spmspv_ref, CscMatrix, Permutation,
+    Select2ndMin, SparseVec, SpmspvWorkspace, Vidx,
+};
+
+/// Strategy: a random symmetric pattern matrix with `n` in 1..=max_n.
+fn arb_sym_matrix(max_n: usize, max_edges: usize) -> impl Strategy<Value = CscMatrix> {
+    (1..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..=max_edges).prop_map(move |pairs| {
+            let mut b = CooBuilder::new(n, n);
+            for (u, v) in pairs {
+                b.push_sym(u as Vidx, v as Vidx);
+            }
+            b.build()
+        })
+    })
+}
+
+/// Strategy: a random permutation of size n.
+fn arb_perm(n: usize) -> impl Strategy<Value = Permutation> {
+    Just(()).prop_perturb(move |_, mut rng| {
+        let mut v: Vec<Vidx> = (0..n as Vidx).collect();
+        // Fisher-Yates with proptest's rng for shrinkable determinism.
+        for i in (1..n).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            v.swap(i, j);
+        }
+        Permutation::from_new_of_old(v).unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn coo_build_is_symmetric_and_sorted(m in arb_sym_matrix(40, 120)) {
+        prop_assert!(m.is_symmetric());
+        for c in 0..m.n_cols() {
+            let col = m.col(c);
+            prop_assert!(col.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(m in arb_sym_matrix(30, 80)) {
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        // Symmetric matrices equal their transpose.
+        prop_assert_eq!(m.transpose(), m);
+    }
+
+    #[test]
+    fn permutation_preserves_nnz_and_degree_multiset(m in arb_sym_matrix(25, 60)) {
+        let n = m.n_cols();
+        let perm_strategy = arb_perm(n);
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let p = perm_strategy.new_tree(&mut runner).unwrap().current();
+        let pm = m.permute_sym(&p);
+        prop_assert_eq!(pm.nnz(), m.nnz());
+        prop_assert!(pm.is_symmetric());
+        let mut d1 = m.degrees();
+        let mut d2 = pm.degrees();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        prop_assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn spmspv_matches_reference(
+        m in arb_sym_matrix(30, 100),
+        seeds in proptest::collection::vec((0usize..30, -10i64..10), 0..10)
+    ) {
+        let n = m.n_cols();
+        let mut dedup: Vec<(Vidx, i64)> = seeds
+            .into_iter()
+            .filter(|&(i, _)| i < n)
+            .map(|(i, v)| (i as Vidx, v))
+            .collect();
+        dedup.sort_unstable_by_key(|&(i, _)| i);
+        dedup.dedup_by_key(|e| e.0);
+        let x = SparseVec::from_sorted_entries(n, dedup);
+        let mut ws = SpmspvWorkspace::new(n);
+        let (y, work) = spmspv::<i64, Select2ndMin>(&m, &x, &mut ws);
+        let yref = spmspv_ref::<i64, Select2ndMin>(&m, &x);
+        prop_assert_eq!(&y, &yref);
+        // Work equals sum of accessed column lengths.
+        let expect_work: usize = x.ind().map(|k| m.col_nnz(k as usize)).sum();
+        prop_assert_eq!(work, expect_work);
+        // Output indices are exactly the union of accessed columns' rows.
+        let mut expect_rows: Vec<Vidx> = x
+            .ind()
+            .flat_map(|k| m.col(k as usize).iter().copied())
+            .collect();
+        expect_rows.sort_unstable();
+        expect_rows.dedup();
+        let got_rows: Vec<Vidx> = y.ind().collect();
+        prop_assert_eq!(got_rows, expect_rows);
+    }
+
+    #[test]
+    fn bandwidth_zero_iff_diagonal(m in arb_sym_matrix(20, 50)) {
+        let bw = bandwidth::bandwidth(&m);
+        let has_offdiag = m.iter_entries().any(|(r, c)| r != c);
+        prop_assert_eq!(bw > 0, has_offdiag);
+    }
+
+    #[test]
+    fn envelope_bounded_by_n_times_bandwidth(m in arb_sym_matrix(25, 60)) {
+        let bw = bandwidth::bandwidth(&m) as u64;
+        let env = envelope_size(&m);
+        prop_assert!(env <= bw * m.n_cols() as u64);
+        prop_assert!(env >= bw); // the column achieving β contributes at least β
+    }
+
+    #[test]
+    fn mm_roundtrip_preserves_matrix(m in arb_sym_matrix(20, 50)) {
+        let mut buf = Vec::new();
+        rcm_sparse::mm::write_pattern(&m, &mut buf).unwrap();
+        let back = rcm_sparse::mm::read_pattern(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn sub_blocks_tile_the_matrix(m in arb_sym_matrix(24, 70)) {
+        let n = m.n_rows();
+        let half = n / 2;
+        // 2x2 tiling: total nnz of blocks equals matrix nnz.
+        let mut total = 0usize;
+        for (r0, r1) in [(0, half), (half, n)] {
+            for (c0, c1) in [(0, half), (half, n)] {
+                total += m.sub_block(r0, r1, c0, c1).nnz();
+            }
+        }
+        prop_assert_eq!(total, m.nnz());
+    }
+}

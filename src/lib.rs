@@ -1,0 +1,53 @@
+//! # distributed-rcm
+//!
+//! A from-scratch Rust reproduction of *"The Reverse Cuthill-McKee Algorithm
+//! in Distributed-Memory"* (Azad, Jacquelin, Buluç, Ng — IPDPS 2017),
+//! packaged as one facade crate re-exporting the workspace:
+//!
+//! * [`sparse`] — CSC/COO pattern matrices, sparse vectors, semirings,
+//!   SpMSpV, bandwidth/envelope metrics, Matrix Market I/O.
+//! * [`graphgen`] — synthetic stand-ins for the paper's evaluation suite.
+//! * [`dist`] — the simulated distributed runtime: 2D process grid, α–β
+//!   machine model, collectives, distributed Table-I primitives.
+//! * [`core`] — RCM itself: sequential, algebraic, shared-memory parallel
+//!   and distributed implementations.
+//! * [`solver`] — CG + block-Jacobi/IC(0) and the Fig. 1 time model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use distributed_rcm::prelude::*;
+//!
+//! // Generate a small suite matrix and reorder it.
+//! let matrix = suite_matrix("ldoor").unwrap().generate(0.002);
+//! let perm = rcm(&matrix);
+//! let report = quality_report(&matrix, &perm);
+//! assert!(report.bandwidth_after < report.bandwidth_before);
+//!
+//! // Simulate the distributed algorithm on 216 cores (6 threads/process).
+//! let cfg = DistRcmConfig::hybrid_on_edison(216);
+//! let result = dist_rcm(&matrix, &cfg);
+//! assert_eq!(result.perm.len(), matrix.n_rows());
+//! println!("simulated time: {:.3}s", result.sim_seconds);
+//! ```
+
+pub use rcm_core as core;
+pub use rcm_dist as dist;
+pub use rcm_graphgen as graphgen;
+pub use rcm_solver as solver;
+pub use rcm_sparse as sparse;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use rcm_core::{
+        algebraic_rcm, dist_rcm, ordering_bandwidth, ordering_profile, ordering_wavefront,
+        par_rcm, pseudo_peripheral, quality_report, rcm, sloan, DistRcmConfig, DistRcmResult,
+        SortMode,
+    };
+    pub use rcm_dist::{HybridConfig, MachineModel, Phase, ProcGrid, SimClock};
+    pub use rcm_graphgen::{suite, suite_matrix, SuiteMatrix};
+    pub use rcm_solver::{cg_iteration_cost, pcg, BlockJacobi, IdentityPrecond, Preconditioner};
+    pub use rcm_sparse::{
+        matrix_bandwidth, CooBuilder, CscMatrix, CsrNumeric, Permutation, SparseVec,
+    };
+}

@@ -1,0 +1,85 @@
+//! End-to-end tests of the `rcm-order` command-line binary.
+
+use std::process::Command;
+
+fn rcm_order() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rcm-order"))
+}
+
+#[test]
+fn orders_a_suite_matrix_and_writes_outputs() {
+    let dir = std::env::temp_dir().join("rcm-order-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let perm_path = dir.join("perm.txt");
+    let mtx_path = dir.join("reordered.mtx");
+    let out = rcm_order()
+        .args([
+            "suite:nd24k",
+            "--scale",
+            "0.005",
+            "--write-perm",
+            perm_path.to_str().unwrap(),
+            "--write-matrix",
+            mtx_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bandwidth:"), "{stdout}");
+
+    // The permutation file is a bijection.
+    let text = std::fs::read_to_string(&perm_path).unwrap();
+    let labels: Vec<usize> = text.lines().map(|l| l.parse().unwrap()).collect();
+    let n = labels.len();
+    let mut seen = vec![false; n];
+    for &l in &labels {
+        assert!(l < n && !seen[l]);
+        seen[l] = true;
+    }
+
+    // The reordered matrix reads back with the same size.
+    let m = distributed_rcm::sparse::mm::read_pattern_file(&mtx_path).unwrap();
+    assert_eq!(m.n_rows(), n);
+}
+
+#[test]
+fn sloan_method_and_simulation_run() {
+    let out = rcm_order()
+        .args(["suite:thermal2", "--scale", "0.002", "--method", "sloan", "--simulate", "1,16"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sloan ordering computed"));
+    assert!(stdout.contains("simulated distributed RCM"));
+}
+
+#[test]
+fn unknown_matrix_fails_cleanly() {
+    let out = rcm_order().args(["suite:doesnotexist"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn bad_flags_exit_with_usage() {
+    let out = rcm_order().args(["--bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn reads_matrix_market_files() {
+    let dir = std::env::temp_dir().join("rcm-order-test-mm");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("input.mtx");
+    std::fs::write(
+        &input,
+        "%%MatrixMarket matrix coordinate pattern symmetric\n5 5 4\n2 1\n3 2\n4 3\n5 4\n",
+    )
+    .unwrap();
+    let out = rcm_order().arg(input.to_str().unwrap()).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("5 rows"), "{stdout}");
+}

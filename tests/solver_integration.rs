@@ -1,0 +1,86 @@
+//! Integration tests of the Fig. 1 pipeline: RCM ordering improves
+//! block-Jacobi CG both numerically (measured iterations) and in modeled
+//! distributed time.
+
+use distributed_rcm::prelude::*;
+use distributed_rcm::sparse::CsrNumeric;
+
+fn thermal_pattern() -> CscMatrix {
+    let m = suite_matrix("thermal2").unwrap();
+    m.generate(m.default_scale * 0.25)
+}
+
+fn rhs_for(a: &CsrNumeric) -> Vec<f64> {
+    let n = a.n_rows();
+    let x: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+    let mut b = vec![0.0; n];
+    a.spmv(&x, &mut b);
+    b
+}
+
+#[test]
+fn rcm_reduces_bj_cg_iterations() {
+    let pattern = thermal_pattern();
+    let perm = rcm(&pattern);
+    let reordered = pattern.permute_sym(&perm);
+    let blocks = 16;
+    let run = |pat: &CscMatrix| {
+        let a = CsrNumeric::laplacian_from_pattern(pat, 0.02);
+        let bj = BlockJacobi::new(&a, blocks);
+        let res = pcg(&a, &rhs_for(&a), &bj, 1e-6, 50_000);
+        assert!(res.converged);
+        res.iterations
+    };
+    let natural = run(&pattern);
+    let ordered = run(&reordered);
+    assert!(
+        ordered <= natural,
+        "RCM should not hurt block-Jacobi: natural {natural} vs RCM {ordered}"
+    );
+}
+
+#[test]
+fn rcm_advantage_grows_with_cores() {
+    // Fig. 1's key qualitative claim: the natural/RCM total-time ratio
+    // increases with core count.
+    let pattern = thermal_pattern();
+    let perm = rcm(&pattern);
+    let reordered = pattern.permute_sym(&perm);
+    let machine = MachineModel::edison();
+    let total = |pat: &CscMatrix, p: usize| {
+        let a = CsrNumeric::laplacian_from_pattern(pat, 0.02);
+        let bj = BlockJacobi::new(&a, p);
+        let res = pcg(&a, &rhs_for(&a), &bj, 1e-6, 50_000);
+        assert!(res.converged);
+        res.iterations as f64 * cg_iteration_cost(pat, &machine, p, bj.factor_nnz()).total()
+    };
+    let ratio4 = total(&pattern, 4) / total(&reordered, 4);
+    let ratio64 = total(&pattern, 64) / total(&reordered, 64);
+    assert!(ratio4 >= 0.9, "RCM should roughly break even at 4 ranks: {ratio4:.2}");
+    assert!(
+        ratio64 > ratio4,
+        "the RCM advantage should grow with cores: {ratio4:.2} -> {ratio64:.2}"
+    );
+    assert!(ratio64 > 1.2, "RCM should win clearly at 64 ranks: {ratio64:.2}");
+}
+
+#[test]
+fn iteration_counts_are_ordering_invariant_without_preconditioning() {
+    // Sanity check of the numerics: plain CG's iteration count depends only
+    // on the spectrum, which a symmetric permutation preserves.
+    let pattern = thermal_pattern();
+    let perm = rcm(&pattern);
+    let reordered = pattern.permute_sym(&perm);
+    let run = |pat: &CscMatrix| {
+        let a = CsrNumeric::laplacian_from_pattern(pat, 0.05);
+        pcg(&a, &rhs_for(&a), &IdentityPrecond, 1e-6, 50_000).iterations
+    };
+    let natural = run(&pattern);
+    let ordered = run(&reordered);
+    // The RHS differs by the permutation, so tiny drift is acceptable.
+    let diff = natural.abs_diff(ordered);
+    assert!(
+        diff <= natural / 10 + 5,
+        "unpreconditioned CG should be ordering-insensitive: {natural} vs {ordered}"
+    );
+}
