@@ -3,7 +3,9 @@
 //! HykSort-style alternative it outperforms, §IV-B).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rcm_dist::{dist_sortperm, DistDenseVec, DistSparseVec, MachineModel, ProcGrid, SimClock, VecLayout};
+use rcm_dist::{
+    dist_sortperm, DistDenseVec, DistSparseVec, MachineModel, ProcGrid, SimClock, VecLayout,
+};
 use rcm_sparse::Vidx;
 
 fn frontier(n: usize, layout: &VecLayout) -> (DistSparseVec<i64>, DistDenseVec<Vidx>) {

@@ -19,17 +19,13 @@ fn bench_spmspv(c: &mut Criterion) {
         let x = SparseVec::from_entries(n, entries);
         let work: usize = x.ind().map(|k| a.col_nnz(k as usize)).sum();
         group.throughput(Throughput::Elements(work as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(frontier_size),
-            &x,
-            |b, x| {
-                let mut ws = SpmspvWorkspace::new(n);
-                b.iter(|| {
-                    let (y, _) = spmspv::<i64, Select2ndMin>(&a, x, &mut ws);
-                    std::hint::black_box(y.nnz())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(frontier_size), &x, |b, x| {
+            let mut ws = SpmspvWorkspace::new(n);
+            b.iter(|| {
+                let (y, _) = spmspv::<i64, Select2ndMin>(&a, x, &mut ws);
+                std::hint::black_box(y.nnz())
+            });
+        });
     }
     group.finish();
 }

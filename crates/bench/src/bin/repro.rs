@@ -18,9 +18,9 @@
 //! (default `results/`).
 
 use rcm_bench::{
-    ablation_sort_modes, compression_table, fig1_cg_solve, fig3_suite_table, fig4_breakdown, fig5_spmspv_split,
-    fig6_flat_vs_hybrid, gather_vs_distributed, machine_sensitivity, quality_comparison,
-    run_hybrid_sweep, scaling_summary, table2_shared_memory, ExpConfig, Table,
+    ablation_sort_modes, compression_table, fig1_cg_solve, fig3_suite_table, fig4_breakdown,
+    fig5_spmspv_split, fig6_flat_vs_hybrid, gather_vs_distributed, machine_sensitivity,
+    quality_comparison, run_hybrid_sweep, scaling_summary, table2_shared_memory, ExpConfig, Table,
 };
 
 fn usage() -> ! {

@@ -21,9 +21,8 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use rcm_core::{
-    dist_rcm, ordering_bandwidth, ordering_profile, ordering_wavefront, par_rcm,
-    pseudo_peripheral, rcm, rcm_compressed, rcm_globalsort, rcm_nosort, sloan, DistRcmConfig,
-    SortMode,
+    dist_rcm, ordering_bandwidth, ordering_profile, ordering_wavefront, par_rcm, pseudo_peripheral,
+    rcm, rcm_compressed, rcm_globalsort, rcm_nosort, sloan, DistRcmConfig, SortMode,
 };
 use rcm_dist::{Breakdown, MachineModel, Phase, PAPER_FLAT_CORES, PAPER_HYBRID_CORES};
 use rcm_graphgen::{suite, suite_matrix, SuiteMatrix};
@@ -97,8 +96,17 @@ pub fn fig3_suite_table(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(
         "Fig. 3 — matrix suite (paper value | ours at default scale)",
         &[
-            "matrix", "rows(paper)", "rows", "nnz(paper)", "nnz", "bw-pre(paper)", "bw-pre",
-            "bw-post(paper)", "bw-post", "pdiam(paper)", "pdiam",
+            "matrix",
+            "rows(paper)",
+            "rows",
+            "nnz(paper)",
+            "nnz",
+            "bw-pre(paper)",
+            "bw-pre",
+            "bw-post(paper)",
+            "bw-post",
+            "pdiam(paper)",
+            "pdiam",
         ],
     );
     for m in cfg.matrices() {
@@ -336,8 +344,14 @@ pub fn fig1_cg_solve(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(
         "Fig. 1 — CG+block-Jacobi on thermal2: natural vs RCM ordering",
         &[
-            "cores", "nat iters", "nat t/iter", "nat total", "rcm iters", "rcm t/iter",
-            "rcm total", "speedup",
+            "cores",
+            "nat iters",
+            "nat t/iter",
+            "nat total",
+            "rcm iters",
+            "rcm t/iter",
+            "rcm total",
+            "speedup",
         ],
     );
     for p in cores {
@@ -380,7 +394,12 @@ pub fn ablation_sort_modes(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(
         "Ablation — sorting strategy: bandwidth and simulated time",
         &[
-            "matrix", "mode", "bandwidth", "serial-bw", "time@54c", "time@1014c",
+            "matrix",
+            "mode",
+            "bandwidth",
+            "serial-bw",
+            "time@54c",
+            "time@1014c",
         ],
     );
     for name in names {
@@ -434,7 +453,12 @@ pub fn quality_comparison(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(
         "Ordering quality across heuristics",
         &[
-            "matrix", "method", "bandwidth", "profile", "max-wavefront", "rms-wavefront",
+            "matrix",
+            "method",
+            "bandwidth",
+            "profile",
+            "max-wavefront",
+            "rms-wavefront",
             "runtime",
         ],
     );
@@ -482,8 +506,15 @@ pub fn compression_table(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(
         "Supervariable compression — ratio, runtime and quality",
         &[
-            "matrix", "vertices", "supervars", "ratio", "t(plain)", "t(compressed)", "speedup",
-            "bw(plain)", "bw(compressed)",
+            "matrix",
+            "vertices",
+            "supervars",
+            "ratio",
+            "t(plain)",
+            "t(compressed)",
+            "speedup",
+            "bw(plain)",
+            "bw(compressed)",
         ],
     );
     for m in cfg.matrices() {
@@ -523,10 +554,20 @@ pub fn gather_vs_distributed(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(
         "Gather-to-root + shared-memory RCM vs distributed RCM (modeled)",
         &[
-            "matrix", "cores", "gather", "node RCM", "gather+RCM", "dist RCM", "dist/gather",
+            "matrix",
+            "cores",
+            "gather",
+            "node RCM",
+            "gather+RCM",
+            "dist RCM",
+            "dist/gather",
         ],
     );
-    let cores_list = if cfg.quick { vec![216] } else { vec![216, 1014] };
+    let cores_list = if cfg.quick {
+        vec![216]
+    } else {
+        vec![216, 1014]
+    };
     for m in cfg.matrices() {
         let a = cfg.generate(&m);
         // Gather: every rank ships its share of the structure to rank 0;

@@ -109,7 +109,9 @@ pub fn algebraic_cm(a: &CscMatrix) -> (Permutation, AlgebraicStats) {
         let pp = pseudo_peripheral_with_degrees(a, seed, &degrees);
         stats.components += 1;
         stats.peripheral_bfs += pp.bfs_count;
-        label_component(a, &degrees, pp.vertex, &mut order, &mut nv, &mut ws, &mut stats);
+        label_component(
+            a, &degrees, pp.vertex, &mut order, &mut nv, &mut ws, &mut stats,
+        );
     }
     let new_of_old: Vec<Vidx> = order.iter().map(|&l| l as Vidx).collect();
     (

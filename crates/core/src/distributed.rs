@@ -27,9 +27,9 @@
 //! quality is unaffected but exact orderings may differ.
 
 use rcm_dist::{
-    dist_argmin, dist_find_unvisited_min_degree, dist_gather_values, dist_is_nonempty,
-    dist_select, dist_set, dist_sortperm, dist_spmspv, DistCscMatrix, DistDenseVec,
-    DistSparseVec, HybridConfig, MachineModel, Phase, SimClock,
+    dist_argmin, dist_find_unvisited_min_degree, dist_gather_values, dist_is_nonempty, dist_select,
+    dist_set, dist_sortperm, dist_spmspv, DistCscMatrix, DistDenseVec, DistSparseVec, HybridConfig,
+    MachineModel, Phase, SimClock,
 };
 use rcm_sparse::{CscMatrix, Label, Permutation, Select2ndMin, Vidx, UNVISITED};
 
@@ -364,10 +364,12 @@ fn dist_bfs_levels(
 /// Panics when the configuration's process count is not a perfect square
 /// (the paper's CombBLAS restriction, §V-A).
 pub fn dist_rcm(a: &CscMatrix, config: &DistRcmConfig) -> DistRcmResult {
-    let grid = config
-        .hybrid
-        .grid()
-        .unwrap_or_else(|| panic!("{} processes do not form a square grid", config.hybrid.nprocs()));
+    let grid = config.hybrid.grid().unwrap_or_else(|| {
+        panic!(
+            "{} processes do not form a square grid",
+            config.hybrid.nprocs()
+        )
+    });
     let dmat = DistCscMatrix::from_global(grid, a, config.balance_seed);
     let mut clock = SimClock::new(config.machine, config.hybrid.threads_per_proc);
     let n = a.n_rows();
@@ -408,8 +410,7 @@ pub fn dist_rcm(a: &CscMatrix, config: &DistRcmConfig) -> DistRcmResult {
         .map(|&l| (n as Label - 1 - l) as Vidx)
         .collect();
     let labels_original = dmat.to_original(&labels_internal);
-    let perm = Permutation::from_new_of_old(labels_original)
-        .expect("RCM labels form a bijection");
+    let perm = Permutation::from_new_of_old(labels_original).expect("RCM labels form a bijection");
 
     let messages = clock.messages;
     let bytes = clock.bytes;
@@ -568,7 +569,10 @@ mod tests {
         let res = dist_rcm(&a, &cfg);
         assert_eq!(res.perm.len(), a.n_rows());
         let bw = matrix_bandwidth(&a.permute_sym(&res.perm));
-        assert!(bw < a.n_rows() / 2, "global-sort RCM should still help: {bw}");
+        assert!(
+            bw < a.n_rows() / 2,
+            "global-sort RCM should still help: {bw}"
+        );
     }
 
     #[test]

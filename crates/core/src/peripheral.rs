@@ -40,7 +40,10 @@ impl LevelStructure {
 
     /// Width `ν(v)`: the size of the largest level.
     pub fn width(&self) -> usize {
-        (0..self.height()).map(|k| self.level(k).len()).max().unwrap_or(0)
+        (0..self.height())
+            .map(|k| self.level(k).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of vertices reached (the component size).

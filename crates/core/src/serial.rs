@@ -33,7 +33,11 @@ pub struct SerialRcmStats {
 /// Returns the permutation mapping old vertex ids to new labels, plus run
 /// statistics. Reverse it (`.reversed()`) for RCM.
 pub fn cuthill_mckee(a: &CscMatrix) -> (Permutation, SerialRcmStats) {
-    assert_eq!(a.n_rows(), a.n_cols(), "CM needs a square (symmetric) matrix");
+    assert_eq!(
+        a.n_rows(),
+        a.n_cols(),
+        "CM needs a square (symmetric) matrix"
+    );
     let n = a.n_rows();
     let degrees = a.degrees();
     let mut label_of = vec![Vidx::MAX; n];
@@ -269,12 +273,17 @@ mod tests {
         }
         let a = b.build();
         let stride = 37usize;
-        let perm: Vec<Vidx> = (0..w * w).map(|i| ((i * stride) % (w * w)) as Vidx).collect();
+        let perm: Vec<Vidx> = (0..w * w)
+            .map(|i| ((i * stride) % (w * w)) as Vidx)
+            .collect();
         let shuffled = a.permute_sym(&Permutation::from_new_of_old(perm).unwrap());
         let bw_shuffled = matrix_bandwidth(&shuffled);
         let (p, _) = rcm(&shuffled);
         let bw_rcm = matrix_bandwidth(&shuffled.permute_sym(&p));
         assert!(bw_rcm <= 2 * w, "RCM bandwidth {bw_rcm} vs grid width {w}");
-        assert!(bw_rcm * 3 < bw_shuffled, "no real improvement: {bw_shuffled} -> {bw_rcm}");
+        assert!(
+            bw_rcm * 3 < bw_shuffled,
+            "no real improvement: {bw_shuffled} -> {bw_rcm}"
+        );
     }
 }

@@ -1,0 +1,193 @@
+//! Level-synchronous BFS building blocks composed from the Table-I
+//! primitives: plain BFS levels, the Algorithm-4 pseudo-peripheral search,
+//! and the Algorithm-3 component labeling.
+//!
+//! `rcm-core`'s distributed driver composes the primitives itself (it
+//! threads sort-mode ablations and per-level statistics through the loop);
+//! these standalone versions give the runtime crate a self-contained,
+//! directly-testable implementation of the paper's algorithms.
+
+use crate::clock::{Phase, SimClock};
+use crate::matrix::DistCscMatrix;
+use crate::primitives::{
+    dist_argmin, dist_gather_values, dist_is_nonempty, dist_select, dist_set, dist_spmspv,
+};
+use crate::sortperm::dist_sortperm;
+use crate::vec::{DistDenseVec, DistSparseVec};
+use rcm_sparse::{Label, Select2ndMin, Vidx, UNVISITED};
+
+/// One full level-synchronous BFS from `root`, charging `Peripheral*`
+/// phases. Returns the dense level vector (`UNVISITED` outside the
+/// component), the root's eccentricity, and the last nonempty frontier.
+fn bfs_levels_with_last(
+    a: &DistCscMatrix,
+    root: Vidx,
+    clock: &mut SimClock,
+) -> (DistDenseVec<Label>, usize, DistSparseVec<Label>) {
+    let layout = a.layout().clone();
+    clock.set_phase(Phase::PeripheralOther);
+    let mut levels: DistDenseVec<Label> = DistDenseVec::filled(layout.clone(), UNVISITED);
+    clock.charge_elems(layout.max_local_len());
+    levels.set(root, 0);
+    let mut cur = DistSparseVec::singleton(layout, root, 0 as Label);
+    let mut ecc = 0usize;
+    loop {
+        clock.set_phase(Phase::PeripheralOther);
+        dist_gather_values(&mut cur, &levels, clock);
+        clock.set_phase(Phase::PeripheralSpmspv);
+        let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, clock);
+        clock.set_phase(Phase::PeripheralOther);
+        let mut next = dist_select(&next, &levels, |l| l == UNVISITED, clock);
+        if !dist_is_nonempty(&next, clock) {
+            return (levels, ecc, cur);
+        }
+        ecc += 1;
+        let mut max_scan = 0usize;
+        for part in &mut next.parts {
+            max_scan = max_scan.max(part.len());
+            for (_, v) in part.iter_mut() {
+                *v = ecc as Label;
+            }
+        }
+        clock.charge_elems(max_scan);
+        dist_set(&mut levels, &next, clock);
+        cur = next;
+    }
+}
+
+/// Distributed BFS from `root`: the dense level vector (`UNVISITED` outside
+/// `root`'s component) and the root's eccentricity.
+pub fn dist_bfs_levels(
+    a: &DistCscMatrix,
+    root: Vidx,
+    clock: &mut SimClock,
+) -> (DistDenseVec<Label>, usize) {
+    let (levels, ecc, _) = bfs_levels_with_last(a, root, clock);
+    (levels, ecc)
+}
+
+/// Algorithm 4: the George–Liu pseudo-peripheral search from `start`.
+/// Returns `(vertex, eccentricity, BFS sweeps)`.
+pub fn dist_pseudo_peripheral(
+    a: &DistCscMatrix,
+    degrees: &DistDenseVec<Vidx>,
+    start: Vidx,
+    clock: &mut SimClock,
+) -> (Vidx, usize, usize) {
+    let mut r = start;
+    let mut nlvl: i64 = -1;
+    let mut bfs_count = 0usize;
+    loop {
+        let (_, ecc, last) = bfs_levels_with_last(a, r, clock);
+        bfs_count += 1;
+        if ecc as i64 <= nlvl {
+            return (r, ecc, bfs_count);
+        }
+        nlvl = ecc as i64;
+        clock.set_phase(Phase::PeripheralOther);
+        let v = dist_argmin(&last, degrees, clock).unwrap_or(r);
+        if v == r {
+            return (r, ecc, bfs_count);
+        }
+        r = v;
+    }
+}
+
+/// Algorithm 3: label `root`'s component with consecutive Cuthill-McKee
+/// labels starting at `*nv`, using the per-level bucket `SORTPERM`.
+/// Returns the number of frontier-expansion levels.
+pub fn dist_label_component(
+    a: &DistCscMatrix,
+    degrees: &DistDenseVec<Vidx>,
+    root: Vidx,
+    order: &mut DistDenseVec<Label>,
+    nv: &mut Label,
+    clock: &mut SimClock,
+) -> usize {
+    clock.set_phase(Phase::OrderingOther);
+    order.set(root, *nv);
+    let mut batch_start = *nv;
+    *nv += 1;
+    let mut cur = DistSparseVec::singleton(a.layout().clone(), root, 0 as Label);
+    let mut levels = 0usize;
+    loop {
+        clock.set_phase(Phase::OrderingOther);
+        dist_gather_values(&mut cur, order, clock);
+        clock.set_phase(Phase::OrderingSpmspv);
+        let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, clock);
+        clock.set_phase(Phase::OrderingOther);
+        let next = dist_select(&next, order, |v| v == UNVISITED, clock);
+        if !dist_is_nonempty(&next, clock) {
+            return levels;
+        }
+        levels += 1;
+        clock.set_phase(Phase::OrderingSort);
+        let (labels, count) = dist_sortperm(&next, degrees, (batch_start, *nv), *nv, clock);
+        clock.set_phase(Phase::OrderingOther);
+        dist_set(order, &labels, clock);
+        batch_start = *nv;
+        *nv += count as Label;
+        cur = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ProcGrid;
+    use crate::machine::MachineModel;
+    use rcm_sparse::{CooBuilder, CscMatrix};
+
+    fn clock() -> SimClock {
+        SimClock::new(MachineModel::edison(), 1)
+    }
+
+    fn path(n: usize) -> CscMatrix {
+        let mut b = CooBuilder::new(n, n);
+        for v in 0..n - 1 {
+            b.push_sym(v as Vidx, (v + 1) as Vidx);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_levels_match_distance_on_path() {
+        let a = path(9);
+        for procs in [1usize, 4, 9] {
+            let d = DistCscMatrix::from_global(ProcGrid::square(procs).unwrap(), &a, None);
+            let (levels, ecc) = dist_bfs_levels(&d, 3, &mut clock());
+            assert_eq!(ecc, 5, "{procs} procs");
+            let expect: Vec<Label> = (0..9).map(|v| (v as i64 - 3).abs()).collect();
+            assert_eq!(levels.to_global(), expect, "{procs} procs");
+        }
+    }
+
+    #[test]
+    fn pseudo_peripheral_finds_path_endpoint() {
+        let a = path(12);
+        let d = DistCscMatrix::from_global(ProcGrid::square(4).unwrap(), &a, None);
+        let degrees = d.degrees_dvec();
+        let (v, ecc, sweeps) = dist_pseudo_peripheral(&d, &degrees, 5, &mut clock());
+        assert!(v == 0 || v == 11, "got {v}");
+        assert_eq!(ecc, 11);
+        assert!(sweeps >= 2);
+    }
+
+    #[test]
+    fn label_component_orders_a_path_contiguously() {
+        let a = path(10);
+        for procs in [1usize, 4] {
+            let d = DistCscMatrix::from_global(ProcGrid::square(procs).unwrap(), &a, None);
+            let degrees = d.degrees_dvec();
+            let mut order: DistDenseVec<Label> =
+                DistDenseVec::filled(d.layout().clone(), UNVISITED);
+            let mut nv: Label = 0;
+            let levels = dist_label_component(&d, &degrees, 0, &mut order, &mut nv, &mut clock());
+            assert_eq!(nv, 10);
+            assert_eq!(levels, 9);
+            // BFS from an endpoint labels the path in order.
+            let expect: Vec<Label> = (0..10).collect();
+            assert_eq!(order.to_global(), expect, "{procs} procs");
+        }
+    }
+}

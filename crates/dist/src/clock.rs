@@ -1,0 +1,248 @@
+//! Phase-tagged simulated time accounting: [`Phase`], [`PhaseCost`],
+//! [`Breakdown`] and [`SimClock`].
+//!
+//! Every primitive charges either *compute* (divided by the hybrid thread
+//! speedup — compute is the max over ranks, and each rank is a multithreaded
+//! process) or *communication* (latency + bandwidth, never divided) to the
+//! clock's current phase. The phase taxonomy is Fig. 4's:
+//! `{Peripheral, Ordering} × {SpMSpV, Sort, Other}` (the peripheral search
+//! never sorts, so five phases appear in plots), plus a `Distribute` phase
+//! for initial data movement.
+
+use crate::machine::MachineModel;
+
+/// Fig. 4 phase taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// SpMSpV calls inside the pseudo-peripheral search (Algorithm 4).
+    PeripheralSpmspv,
+    /// Everything else in the pseudo-peripheral search.
+    PeripheralOther,
+    /// SpMSpV calls inside the ordering pass (Algorithm 3).
+    OrderingSpmspv,
+    /// The distributed SORTPERM inside the ordering pass.
+    OrderingSort,
+    /// Everything else in the ordering pass.
+    OrderingOther,
+    /// Initial matrix/vector distribution (not part of the Fig. 4 plots).
+    Distribute,
+}
+
+impl Phase {
+    /// The five phases of the Fig. 4 breakdown, in plot order.
+    pub const ALL: [Phase; 5] = [
+        Phase::PeripheralSpmspv,
+        Phase::PeripheralOther,
+        Phase::OrderingSpmspv,
+        Phase::OrderingSort,
+        Phase::OrderingOther,
+    ];
+
+    const COUNT: usize = 6;
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            Phase::PeripheralSpmspv => 0,
+            Phase::PeripheralOther => 1,
+            Phase::OrderingSpmspv => 2,
+            Phase::OrderingSort => 3,
+            Phase::OrderingOther => 4,
+            Phase::Distribute => 5,
+        }
+    }
+}
+
+/// Compute/communication split of one phase (seconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseCost {
+    /// Simulated compute seconds (max over ranks, after thread speedup).
+    pub compute: f64,
+    /// Simulated communication seconds (latency + bandwidth).
+    pub comm: f64,
+}
+
+impl PhaseCost {
+    /// Compute + communication.
+    pub fn total(&self) -> f64 {
+        self.compute + self.comm
+    }
+}
+
+/// Per-phase cost table of a finished (or running) simulation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Breakdown {
+    costs: [PhaseCost; Phase::COUNT],
+}
+
+impl Breakdown {
+    /// Cost pair of one phase.
+    pub fn get(&self, phase: Phase) -> PhaseCost {
+        self.costs[phase.index()]
+    }
+
+    /// Total simulated seconds across all phases.
+    pub fn total(&self) -> f64 {
+        self.costs.iter().map(PhaseCost::total).sum()
+    }
+
+    /// Total compute seconds across all phases.
+    pub fn compute_total(&self) -> f64 {
+        self.costs.iter().map(|c| c.compute).sum()
+    }
+
+    /// Total communication seconds across all phases.
+    pub fn comm_total(&self) -> f64 {
+        self.costs.iter().map(|c| c.comm).sum()
+    }
+
+    /// Combined compute/comm split of all SpMSpV calls (the Fig. 5 view).
+    pub fn spmspv_split(&self) -> PhaseCost {
+        let p = self.get(Phase::PeripheralSpmspv);
+        let o = self.get(Phase::OrderingSpmspv);
+        PhaseCost {
+            compute: p.compute + o.compute,
+            comm: p.comm + o.comm,
+        }
+    }
+}
+
+/// The simulated clock: charges costs to the current [`Phase`] and counts
+/// messages/bytes for the communication statistics of
+/// `DistRcmResult`-style reports.
+#[derive(Clone, Debug)]
+pub struct SimClock {
+    machine: MachineModel,
+    threads: usize,
+    speedup: f64,
+    phase: Phase,
+    breakdown: Breakdown,
+    /// Total messages charged so far.
+    pub messages: u64,
+    /// Total bytes charged so far.
+    pub bytes: u64,
+}
+
+impl SimClock {
+    /// A clock for `machine` with `threads_per_proc` threads per process;
+    /// starts in [`Phase::Distribute`].
+    pub fn new(machine: MachineModel, threads_per_proc: usize) -> Self {
+        SimClock {
+            machine,
+            threads: threads_per_proc.max(1),
+            speedup: machine.thread_speedup(threads_per_proc.max(1)),
+            phase: Phase::Distribute,
+            breakdown: Breakdown::default(),
+            messages: 0,
+            bytes: 0,
+        }
+    }
+
+    /// The machine model being charged against.
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// Threads per process used for the compute speedup.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The phase subsequent charges accrue to.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Switch the accounting phase.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    /// Charge raw compute seconds (already per-rank max; divided by the
+    /// thread speedup).
+    pub fn charge_compute(&mut self, seconds: f64) {
+        self.breakdown.costs[self.phase.index()].compute += seconds / self.speedup;
+    }
+
+    /// Charge compute for touching `count` vector elements.
+    pub fn charge_elems(&mut self, count: usize) {
+        self.charge_compute(self.machine.elem_cost * count as f64);
+    }
+
+    /// Charge compute for traversing `count` matrix nonzeros.
+    pub fn charge_edges(&mut self, count: usize) {
+        self.charge_compute(self.machine.edge_cost * count as f64);
+    }
+
+    /// Charge `seconds` of communication plus message/byte statistics.
+    pub fn charge_comm(&mut self, seconds: f64, messages: u64, bytes: u64) {
+        self.breakdown.costs[self.phase.index()].comm += seconds;
+        self.messages += messages;
+        self.bytes += bytes;
+    }
+
+    /// Simulated seconds elapsed so far.
+    pub fn now(&self) -> f64 {
+        self.breakdown.total()
+    }
+
+    /// Borrow the per-phase table.
+    pub fn breakdown(&self) -> &Breakdown {
+        &self.breakdown
+    }
+
+    /// Consume the clock, yielding the per-phase table.
+    pub fn into_breakdown(self) -> Breakdown {
+        self.breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accrue_to_current_phase() {
+        let mut clock = SimClock::new(MachineModel::edison(), 1);
+        clock.set_phase(Phase::OrderingSpmspv);
+        clock.charge_edges(1000);
+        clock.set_phase(Phase::OrderingSort);
+        clock.charge_comm(1e-3, 5, 640);
+        let b = clock.breakdown().clone();
+        assert!(b.get(Phase::OrderingSpmspv).compute > 0.0);
+        assert_eq!(b.get(Phase::OrderingSpmspv).comm, 0.0);
+        assert_eq!(b.get(Phase::OrderingSort).comm, 1e-3);
+        assert_eq!(clock.messages, 5);
+        assert_eq!(clock.bytes, 640);
+        assert!((clock.now() - b.total()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn thread_speedup_divides_compute_only() {
+        let m = MachineModel::edison();
+        let mut flat = SimClock::new(m, 1);
+        let mut hybrid = SimClock::new(m, 6);
+        for clock in [&mut flat, &mut hybrid] {
+            clock.set_phase(Phase::OrderingOther);
+            clock.charge_elems(10_000);
+            clock.charge_comm(2e-6, 1, 8);
+        }
+        assert!(hybrid.breakdown().compute_total() < flat.breakdown().compute_total());
+        assert_eq!(
+            hybrid.breakdown().comm_total(),
+            flat.breakdown().comm_total()
+        );
+    }
+
+    #[test]
+    fn spmspv_split_combines_both_phases() {
+        let mut clock = SimClock::new(MachineModel::edison(), 1);
+        clock.set_phase(Phase::PeripheralSpmspv);
+        clock.charge_edges(100);
+        clock.set_phase(Phase::OrderingSpmspv);
+        clock.charge_comm(1e-4, 1, 8);
+        let split = clock.breakdown().spmspv_split();
+        assert!(split.compute > 0.0);
+        assert_eq!(split.comm, 1e-4);
+    }
+}

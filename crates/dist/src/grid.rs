@@ -1,0 +1,172 @@
+//! The `√p′ × √p′` process grid and 1D/2D block decomposition helpers.
+//!
+//! The paper's CombBLAS backend requires a square process grid (§V-A):
+//! `p′ = cores / threads-per-process` processes arranged as `√p′ × √p′`.
+//! Matrix rows and columns are split into `√p′` contiguous block ranges;
+//! vectors are split into `p′` contiguous block ranges. Both use the same
+//! balanced blocking: with `n = q·parts + r`, the first `r` parts get `q+1`
+//! elements.
+
+/// Half-open index range `[start, end)` owned by `part` of `parts` when `n`
+/// elements are split into contiguous balanced blocks.
+///
+/// Parts `0..n % parts` receive `⌈n/parts⌉` elements, the rest `⌊n/parts⌋`.
+/// Parts beyond `n` (more parts than elements) own empty ranges.
+pub fn block_range(n: usize, parts: usize, part: usize) -> (usize, usize) {
+    assert!(parts >= 1, "block_range: at least one part required");
+    assert!(part < parts, "block_range: part {part} out of {parts}");
+    let base = n / parts;
+    let rem = n % parts;
+    let start = part * base + part.min(rem);
+    let len = base + usize::from(part < rem);
+    (start, start + len)
+}
+
+/// The part owning index `idx` under the [`block_range`] decomposition.
+pub fn block_index(n: usize, parts: usize, idx: usize) -> usize {
+    assert!(parts >= 1, "block_index: at least one part required");
+    assert!(idx < n, "block_index: index {idx} out of {n}");
+    let base = n / parts;
+    let rem = n % parts;
+    let boundary = rem * (base + 1);
+    if idx < boundary {
+        idx / (base + 1)
+    } else {
+        rem + (idx - boundary) / base
+    }
+}
+
+/// A square process grid of `pr × pc` ranks (always `pr == pc` here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ProcGrid {
+    /// Process rows (`√p′`).
+    pub pr: usize,
+    /// Process columns (`√p′`).
+    pub pc: usize,
+}
+
+impl ProcGrid {
+    /// The square grid with `nprocs` ranks, or `None` when `nprocs` is not a
+    /// perfect square (the paper's CombBLAS restriction).
+    pub fn square(nprocs: usize) -> Option<ProcGrid> {
+        if nprocs == 0 {
+            return None;
+        }
+        let side = (nprocs as f64).sqrt().round() as usize;
+        if side * side == nprocs {
+            Some(ProcGrid { pr: side, pc: side })
+        } else {
+            None
+        }
+    }
+
+    /// Total ranks in the grid.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.pr * self.pc
+    }
+}
+
+/// Core budget and threading of a run: `cores` total cores with
+/// `threads_per_proc` OpenMP-style threads per MPI process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HybridConfig {
+    /// Total cores in the allocation.
+    pub cores: usize,
+    /// Threads per process (1 = flat MPI; the paper prefers 6 on Edison).
+    pub threads_per_proc: usize,
+}
+
+impl HybridConfig {
+    /// A configuration using `cores` cores at `threads_per_proc` threads
+    /// per process.
+    pub fn new(cores: usize, threads_per_proc: usize) -> Self {
+        assert!(cores >= 1, "at least one core");
+        assert!(threads_per_proc >= 1, "at least one thread per process");
+        HybridConfig {
+            cores,
+            threads_per_proc,
+        }
+    }
+
+    /// Number of MPI processes (`p′ = cores / threads_per_proc`, at least 1).
+    pub fn nprocs(&self) -> usize {
+        (self.cores / self.threads_per_proc).max(1)
+    }
+
+    /// The square process grid, or `None` when [`HybridConfig::nprocs`] is
+    /// not a perfect square.
+    pub fn grid(&self) -> Option<ProcGrid> {
+        ProcGrid::square(self.nprocs())
+    }
+}
+
+/// Hybrid (6 threads/process) core counts the paper sweeps in Figs. 4–6.
+/// Every entry divided by 6 is a perfect square (1 runs as a single rank).
+pub const PAPER_HYBRID_CORES: [usize; 8] = [1, 24, 54, 216, 486, 1014, 2166, 4056];
+
+/// Flat-MPI core counts of Fig. 6 (every entry is itself a perfect square).
+pub const PAPER_FLAT_CORES: [usize; 7] = [1, 4, 16, 64, 256, 1024, 4096];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_range_partitions_exactly() {
+        for n in [0usize, 1, 5, 16, 37, 100] {
+            for parts in [1usize, 2, 3, 7, 16, 40] {
+                let mut covered = 0usize;
+                for part in 0..parts {
+                    let (s, e) = block_range(n, parts, part);
+                    assert_eq!(s, covered, "n={n} parts={parts} part={part}");
+                    assert!(e >= s);
+                    covered = e;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn block_index_inverts_block_range() {
+        for n in [1usize, 5, 16, 37, 100] {
+            for parts in [1usize, 2, 3, 7, 16, 40] {
+                for idx in 0..n {
+                    let part = block_index(n, parts, idx);
+                    let (s, e) = block_range(n, parts, part);
+                    assert!(
+                        (s..e).contains(&idx),
+                        "n={n} parts={parts} idx={idx} -> part={part} [{s},{e})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn square_grids() {
+        assert_eq!(ProcGrid::square(1), Some(ProcGrid { pr: 1, pc: 1 }));
+        assert_eq!(ProcGrid::square(16).unwrap().pr, 4);
+        assert_eq!(ProcGrid::square(12), None);
+        assert_eq!(ProcGrid::square(0), None);
+    }
+
+    #[test]
+    fn hybrid_process_counts() {
+        assert_eq!(HybridConfig::new(216, 6).nprocs(), 36);
+        assert_eq!(HybridConfig::new(216, 6).grid().unwrap().pr, 6);
+        assert_eq!(HybridConfig::new(1, 6).nprocs(), 1);
+        assert!(HybridConfig::new(12, 1).grid().is_none());
+    }
+
+    #[test]
+    fn paper_core_lists_form_square_grids() {
+        for &c in &PAPER_HYBRID_CORES {
+            assert!(HybridConfig::new(c, 6).grid().is_some(), "{c} hybrid");
+        }
+        for &c in &PAPER_FLAT_CORES {
+            assert!(HybridConfig::new(c, 1).grid().is_some(), "{c} flat");
+        }
+    }
+}

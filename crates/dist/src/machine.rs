@@ -1,0 +1,113 @@
+//! The α–β machine cost model.
+//!
+//! Every simulated operation is priced with four constants: per-message
+//! latency `α`, per-byte transfer time `β`, per-traversed-edge compute time,
+//! and per-touched-element compute time. [`MachineModel::edison`] calibrates
+//! them to NERSC Edison (Cray XC30, Aries dragonfly), the paper's testbed —
+//! absolute times will not match the paper's measurements, but the scaling
+//! *shapes* (which term dominates where) do, which is the reproduction
+//! target.
+
+/// α–β machine constants (seconds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineModel {
+    /// Per-message latency α (seconds).
+    pub alpha: f64,
+    /// Per-byte inverse bandwidth β (seconds/byte).
+    pub beta: f64,
+    /// Compute seconds per traversed matrix nonzero (irregular access).
+    pub edge_cost: f64,
+    /// Compute seconds per touched vector element (streaming access).
+    pub elem_cost: f64,
+}
+
+impl MachineModel {
+    /// NERSC Edison (Cray XC30): ~1.5 µs MPI latency, ~8 GB/s effective
+    /// per-process bandwidth, ~125 M irregular edge traversals/s/core,
+    /// ~500 M streamed elements/s/core.
+    pub fn edison() -> Self {
+        MachineModel {
+            alpha: 1.5e-6,
+            beta: 1.25e-10,
+            edge_cost: 8.0e-9,
+            elem_cost: 2.0e-9,
+        }
+    }
+
+    /// Speedup of one process's compute when it uses `threads` cores
+    /// (sub-linear: memory-bandwidth contention eats into scaling).
+    pub fn thread_speedup(&self, threads: usize) -> f64 {
+        (threads.max(1) as f64).powf(0.85)
+    }
+
+    /// Latency-dominated binomial-tree AllReduce of `bytes` over `p` ranks.
+    /// Zero for a single rank.
+    pub fn t_allreduce(&self, p: usize, bytes: u64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let stages = (p as f64).log2().ceil();
+        stages * (self.alpha + 2.0 * self.beta * bytes as f64)
+    }
+
+    /// Personalized AllToAll among `p` ranks, `max_bytes` outgoing per rank.
+    /// The latency term scales with `p` (the §VI observation that makes
+    /// SORTPERM dominate at high concurrency), but with a reduced
+    /// per-destination constant as real alltoallv implementations batch
+    /// injections.
+    pub fn t_alltoall(&self, p: usize, max_bytes: u64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let stages = (p as f64).log2().ceil();
+        stages * self.alpha + (p as f64 - 1.0) * (self.alpha / 16.0) + self.beta * max_bytes as f64
+    }
+
+    /// Tree broadcast/reduction of `bytes` along one grid dimension of `p`
+    /// ranks (the SpMSpV gather/reduce pattern, §IV-A).
+    pub fn t_tree(&self, p: usize, bytes: u64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        (p as f64).log2().ceil() * self.alpha + self.beta * bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let m = MachineModel::edison();
+        assert_eq!(m.t_allreduce(1, 8), 0.0);
+        assert_eq!(m.t_alltoall(1, 1024), 0.0);
+        assert_eq!(m.t_tree(1, 1024), 0.0);
+    }
+
+    #[test]
+    fn allreduce_grows_with_ranks() {
+        let m = MachineModel::edison();
+        assert!(m.t_allreduce(16, 8) > m.t_allreduce(2, 8));
+        assert!(m.t_allreduce(2, 8) > 0.0);
+    }
+
+    #[test]
+    fn alltoall_latency_dominates_allreduce_at_scale() {
+        // The Fig. 4 crossover mechanism: α·p beats α·log p.
+        let m = MachineModel::edison();
+        assert!(m.t_alltoall(676, 64) > 3.0 * m.t_allreduce(676, 64));
+        // And the gap widens with p.
+        let ratio = |p: usize| m.t_alltoall(p, 64) / m.t_allreduce(p, 64);
+        assert!(ratio(676) > ratio(16));
+    }
+
+    #[test]
+    fn thread_speedup_is_sublinear_but_monotone() {
+        let m = MachineModel::edison();
+        assert_eq!(m.thread_speedup(1), 1.0);
+        let s6 = m.thread_speedup(6);
+        assert!(s6 > 3.0 && s6 < 6.0, "{s6}");
+        assert!(m.thread_speedup(24) > s6);
+    }
+}

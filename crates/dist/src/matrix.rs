@@ -1,0 +1,222 @@
+//! The 2D block-decomposed distributed pattern matrix.
+//!
+//! `DistCscMatrix::from_global` distributes a symmetric pattern matrix over
+//! the `√p′ × √p′` grid: process `(i, j)` owns the sub-block with rows in
+//! row-strip `i` and columns in column-strip `j` (strips are the balanced
+//! contiguous [`block_range`](crate::block_range) split of `0..n` into `√p′`
+//! parts). An optional §IV-A load-balance permutation relabels vertices
+//! *internally* before distribution — it depends only on `(n, seed)`, never
+//! on the grid, so a fixed seed yields identical orderings on every grid
+//! size. [`DistCscMatrix::to_original`] maps results back to original ids.
+
+use crate::clock::{Phase, SimClock};
+use crate::grid::{block_index, block_range, ProcGrid};
+use crate::vec::{DistDenseVec, VecLayout};
+use rcm_sparse::{CscMatrix, Permutation, Vidx};
+
+/// Deterministic Fisher–Yates permutation from a 64-bit seed (SplitMix64
+/// stream; independent of any external RNG crate so the runtime stays
+/// dependency-free).
+fn seeded_permutation(n: usize, seed: u64) -> Permutation {
+    let mut state = seed ^ 0x9E3779B97F4A7C15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut v: Vec<Vidx> = (0..n as Vidx).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    Permutation::from_new_of_old(v).expect("Fisher-Yates yields a bijection")
+}
+
+/// A symmetric pattern matrix distributed in 2D blocks over a process grid.
+#[derive(Clone, Debug)]
+pub struct DistCscMatrix {
+    grid: ProcGrid,
+    layout: VecLayout,
+    /// `pr × pr` blocks in row-major order (`blocks[ir * pr + jc]`), each in
+    /// block-local coordinates.
+    blocks: Vec<CscMatrix>,
+    /// Strip boundaries shared by rows and columns (`pr + 1` entries).
+    strip_starts: Vec<usize>,
+    /// Graph degrees of the (internally relabeled) vertices.
+    degrees: Vec<Vidx>,
+    /// `original id → internal id`, present when a balance seed was used.
+    balance: Option<Permutation>,
+    nnz: usize,
+}
+
+impl DistCscMatrix {
+    /// Distribute `a` (square, symmetric pattern) over `grid`, optionally
+    /// applying the §IV-A random load-balance relabeling drawn from
+    /// `balance_seed`.
+    pub fn from_global(grid: ProcGrid, a: &CscMatrix, balance_seed: Option<u64>) -> Self {
+        assert_eq!(a.n_rows(), a.n_cols(), "distributed matrix must be square");
+        let n = a.n_rows();
+        let pr = grid.pr;
+        let balance = balance_seed.map(|seed| seeded_permutation(n, seed));
+        let internal_owned;
+        let internal: &CscMatrix = match &balance {
+            Some(p) => {
+                internal_owned = a.permute_sym(p);
+                &internal_owned
+            }
+            None => a,
+        };
+
+        let strip_starts: Vec<usize> = (0..pr)
+            .map(|s| block_range(n, pr, s).0)
+            .chain(std::iter::once(n))
+            .collect();
+        let mut blocks = Vec::with_capacity(pr * pr);
+        for ir in 0..pr {
+            let (r0, r1) = (strip_starts[ir], strip_starts[ir + 1]);
+            for jc in 0..pr {
+                let (c0, c1) = (strip_starts[jc], strip_starts[jc + 1]);
+                blocks.push(internal.sub_block(r0, r1, c0, c1));
+            }
+        }
+
+        DistCscMatrix {
+            grid,
+            layout: VecLayout::new(n, grid),
+            blocks,
+            strip_starts,
+            degrees: internal.degrees(),
+            balance,
+            nnz: internal.nnz(),
+        }
+    }
+
+    /// The process grid.
+    pub fn grid(&self) -> ProcGrid {
+        self.grid
+    }
+
+    /// The vector layout matching this matrix's dimension and grid.
+    pub fn layout(&self) -> &VecLayout {
+        &self.layout
+    }
+
+    /// Matrix dimension `n`.
+    pub fn n_rows(&self) -> usize {
+        self.layout.len()
+    }
+
+    /// Total stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The block owned by process `(ir, jc)`, in block-local coordinates.
+    pub fn block(&self, ir: usize, jc: usize) -> &CscMatrix {
+        &self.blocks[ir * self.grid.pr + jc]
+    }
+
+    /// Row/column strip index owning global index `g`.
+    #[inline]
+    pub fn strip_of(&self, g: Vidx) -> usize {
+        block_index(self.layout.len(), self.grid.pr, g as usize)
+    }
+
+    /// Start offset of strip `s`.
+    #[inline]
+    pub fn strip_start(&self, s: usize) -> usize {
+        self.strip_starts[s]
+    }
+
+    /// The §IV-A balance relabeling (`original → internal`), if any.
+    pub fn balance(&self) -> Option<&Permutation> {
+        self.balance.as_ref()
+    }
+
+    /// Internal-id graph degrees as a distributed dense vector, charging the
+    /// distribution cost to the clock when one is supplied via
+    /// [`DistCscMatrix::degrees_dvec_with_clock`].
+    pub fn degrees_dvec(&self) -> DistDenseVec<Vidx> {
+        DistDenseVec::from_global(self.layout.clone(), &self.degrees)
+    }
+
+    /// [`DistCscMatrix::degrees_dvec`] plus a [`Phase::Distribute`] charge.
+    pub fn degrees_dvec_with_clock(&self, clock: &mut SimClock) -> DistDenseVec<Vidx> {
+        let phase = clock.phase();
+        clock.set_phase(Phase::Distribute);
+        clock.charge_elems(self.layout.max_local_len());
+        clock.set_phase(phase);
+        self.degrees_dvec()
+    }
+
+    /// Map an internal-id-indexed label array back to original vertex ids:
+    /// `out[original] = labels_internal[internal(original)]`.
+    pub fn to_original(&self, labels_internal: &[Vidx]) -> Vec<Vidx> {
+        assert_eq!(labels_internal.len(), self.layout.len());
+        match &self.balance {
+            None => labels_internal.to_vec(),
+            Some(p) => (0..labels_internal.len())
+                .map(|orig| labels_internal[p.new_of(orig as Vidx) as usize])
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcm_sparse::CooBuilder;
+
+    fn path(n: usize) -> CscMatrix {
+        let mut b = CooBuilder::new(n, n);
+        for v in 0..n - 1 {
+            b.push_sym(v as Vidx, (v + 1) as Vidx);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn blocks_tile_the_matrix() {
+        let a = path(13);
+        for procs in [1usize, 4, 9, 16] {
+            let grid = ProcGrid::square(procs).unwrap();
+            let d = DistCscMatrix::from_global(grid, &a, None);
+            let total: usize = (0..grid.pr)
+                .flat_map(|ir| (0..grid.pr).map(move |jc| (ir, jc)))
+                .map(|(ir, jc)| d.block(ir, jc).nnz())
+                .sum();
+            assert_eq!(total, a.nnz(), "{procs} procs");
+            assert_eq!(d.nnz(), a.nnz());
+        }
+    }
+
+    #[test]
+    fn degrees_match_global() {
+        let a = path(10);
+        let d = DistCscMatrix::from_global(ProcGrid::square(4).unwrap(), &a, None);
+        assert_eq!(d.degrees_dvec().to_global(), a.degrees());
+    }
+
+    #[test]
+    fn balance_is_grid_independent_and_reversible() {
+        let a = path(17);
+        let d4 = DistCscMatrix::from_global(ProcGrid::square(4).unwrap(), &a, Some(9));
+        let d9 = DistCscMatrix::from_global(ProcGrid::square(9).unwrap(), &a, Some(9));
+        assert_eq!(d4.balance(), d9.balance());
+        // to_original inverts the relabeling: labeling internal vertex k with
+        // label k maps back to the permutation itself.
+        let ident: Vec<Vidx> = (0..17).collect();
+        let back = d4.to_original(&ident);
+        assert_eq!(&back, d4.balance().unwrap().as_new_of_old());
+    }
+
+    #[test]
+    fn empty_matrix_distributes() {
+        let a = CscMatrix::empty(0);
+        let d = DistCscMatrix::from_global(ProcGrid::square(4).unwrap(), &a, Some(3));
+        assert_eq!(d.nnz(), 0);
+        assert_eq!(d.to_original(&[]), Vec::<Vidx>::new());
+    }
+}

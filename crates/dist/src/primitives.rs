@@ -1,0 +1,384 @@
+//! The paper's Table-I primitives over distributed containers.
+//!
+//! Each primitive computes the *exact* sequential result (the simulation is
+//! data-deterministic: `dist_rcm` must reproduce `algebraic_rcm` bit for
+//! bit) while charging the [`SimClock`] the α–β cost the operation would
+//! incur on a real 2D-decomposed run:
+//!
+//! * compute = **max over ranks** of local work (that is what wall-clock
+//!   time follows on an SPMD machine),
+//! * communication = latency + bandwidth terms of the collectives the
+//!   CombBLAS formulation uses (§IV-A), charged only when `p′ > 1`.
+
+use crate::clock::SimClock;
+use crate::matrix::DistCscMatrix;
+use crate::vec::{DistDenseVec, DistSparseVec};
+use rcm_sparse::{Label, Semiring, Vidx, UNVISITED};
+
+/// Bytes of one `(index, value)` pair on the wire.
+const ENTRY_BYTES: u64 = 16;
+
+/// `SPMSPV(A, x, SR)`: sparse matrix–sparse vector product over semiring
+/// `S` on the 2D-decomposed matrix.
+///
+/// Communication pattern (§IV-A): frontier entries are gathered along
+/// process columns, block-local products computed, and partial results
+/// merged along process rows, then scattered to the vector owners. Compute
+/// is the maximum per-block traversal work.
+pub fn dist_spmspv<T, S>(
+    a: &DistCscMatrix,
+    x: &DistSparseVec<T>,
+    clock: &mut SimClock,
+) -> DistSparseVec<T>
+where
+    T: Copy + Default,
+    S: Semiring<T>,
+{
+    let layout = a.layout();
+    assert_eq!(*layout, x.layout, "SpMSpV: layout mismatch");
+    let n = layout.len();
+    let pr = a.grid().pr;
+    let p = layout.nprocs();
+
+    // --- data + per-block work tally -----------------------------------
+    // Thin frontiers (the common case on high-diameter matrices: one BFS
+    // level touches few vertices) use a sort-merge accumulator whose cost
+    // follows the traversed work; fat frontiers amortize an O(n) dense
+    // accumulator. Either way the semiring's associative/commutative `add`
+    // makes the result independent of merge order.
+    let dense = n > 0 && x.total_nnz() >= n / 64;
+    let mut values: Vec<T> = if dense {
+        vec![T::default(); n]
+    } else {
+        Vec::new()
+    };
+    let mut seen = if dense { vec![false; n] } else { Vec::new() };
+    let mut touched: Vec<Vidx> = Vec::new();
+    let mut products: Vec<(Vidx, T)> = Vec::new();
+    let mut block_work = vec![0usize; pr * pr];
+    let mut col_frontier = vec![0usize; pr];
+    for (g, xv) in x.iter_entries() {
+        let jc = a.strip_of(g);
+        col_frontier[jc] += 1;
+        let lc = g as usize - a.strip_start(jc);
+        let prod = S::multiply(xv);
+        for ir in 0..pr {
+            let col = a.block(ir, jc).col(lc);
+            if col.is_empty() {
+                continue;
+            }
+            block_work[ir * pr + jc] += col.len();
+            let r0 = a.strip_start(ir) as Vidx;
+            for &lr in col {
+                let r = (r0 + lr) as usize;
+                if dense {
+                    if seen[r] {
+                        values[r] = S::add(values[r], prod);
+                    } else {
+                        seen[r] = true;
+                        values[r] = prod;
+                        touched.push(r as Vidx);
+                    }
+                } else {
+                    products.push((r as Vidx, prod));
+                }
+            }
+        }
+    }
+
+    let mut out = DistSparseVec::empty(layout.clone());
+    let mut row_result = vec![0usize; pr];
+    if dense {
+        touched.sort_unstable();
+        for &g in &touched {
+            out.parts[layout.owner(g)].push((g, values[g as usize]));
+            row_result[a.strip_of(g)] += 1;
+        }
+    } else {
+        products.sort_unstable_by_key(|&(g, _)| g);
+        let mut it = products.into_iter().peekable();
+        while let Some((g, mut v)) = it.next() {
+            while let Some(&(g2, v2)) = it.peek() {
+                if g2 != g {
+                    break;
+                }
+                v = S::add(v, v2);
+                it.next();
+            }
+            out.parts[layout.owner(g)].push((g, v));
+            row_result[a.strip_of(g)] += 1;
+        }
+    }
+
+    // --- cost -----------------------------------------------------------
+    let max_block_work = block_work.iter().copied().max().unwrap_or(0);
+    clock.charge_edges(max_block_work);
+    if p > 1 {
+        let machine = *clock.machine();
+        let max_frontier = col_frontier.iter().copied().max().unwrap_or(0) as u64;
+        let max_result = row_result.iter().copied().max().unwrap_or(0) as u64;
+        // Gather x along columns, reduce partials along rows, scatter to
+        // vector owners (folded into the reduce volume).
+        let t = machine.t_tree(pr, ENTRY_BYTES * max_frontier)
+            + machine.t_tree(pr, ENTRY_BYTES * max_result);
+        clock.charge_comm(t, 2 * p as u64, ENTRY_BYTES * (max_frontier + max_result));
+    }
+    out
+}
+
+/// `SELECT(x, y, pred)`: keep entries of `x` whose dense companion value in
+/// `y` satisfies `pred`. Purely rank-local (the layouts are aligned).
+pub fn dist_select<T, Y>(
+    x: &DistSparseVec<T>,
+    y: &DistDenseVec<Y>,
+    pred: impl Fn(Y) -> bool,
+    clock: &mut SimClock,
+) -> DistSparseVec<T>
+where
+    T: Copy,
+    Y: Copy,
+{
+    assert_eq!(x.layout, y.layout, "SELECT: layout mismatch");
+    clock.charge_elems(x.max_part_nnz());
+    let parts = x
+        .parts
+        .iter()
+        .enumerate()
+        .map(|(rank, part)| {
+            let (s, _) = x.layout.local_range(rank);
+            part.iter()
+                .copied()
+                .filter(|&(g, _)| pred(y.parts[rank][g as usize - s]))
+                .collect()
+        })
+        .collect();
+    DistSparseVec {
+        layout: x.layout.clone(),
+        parts,
+    }
+}
+
+/// `SET(y, x)` (dense side): overwrite `y[i]` with `x[i]` for every stored
+/// entry of `x`. Purely rank-local.
+pub fn dist_set<T: Copy>(y: &mut DistDenseVec<T>, x: &DistSparseVec<T>, clock: &mut SimClock) {
+    assert_eq!(y.layout, x.layout, "SET: layout mismatch");
+    clock.charge_elems(x.max_part_nnz());
+    for (rank, part) in x.parts.iter().enumerate() {
+        let (s, _) = x.layout.local_range(rank);
+        for &(g, v) in part {
+            y.parts[rank][g as usize - s] = v;
+        }
+    }
+}
+
+/// `SET(x, y)` (sparse side): refresh the values of `x` from its dense
+/// companion `y` (Algorithm 3 line 6). Purely rank-local.
+pub fn dist_gather_values<T: Copy>(
+    x: &mut DistSparseVec<T>,
+    y: &DistDenseVec<T>,
+    clock: &mut SimClock,
+) {
+    assert_eq!(x.layout, y.layout, "SET: layout mismatch");
+    clock.charge_elems(x.max_part_nnz());
+    for (rank, part) in x.parts.iter_mut().enumerate() {
+        let (s, _) = x.layout.local_range(rank);
+        for (g, v) in part.iter_mut() {
+            *v = y.parts[rank][*g as usize - s];
+        }
+    }
+}
+
+/// Frontier-emptiness test (`L_next = ∅`, the loop exit of Algorithms 3
+/// and 4): a 1-byte AllReduce when distributed.
+pub fn dist_is_nonempty<T: Copy>(x: &DistSparseVec<T>, clock: &mut SimClock) -> bool {
+    let p = x.layout.nprocs();
+    if p > 1 {
+        let machine = *clock.machine();
+        clock.charge_comm(machine.t_allreduce(p, 8), p as u64, 8);
+    }
+    !x.is_empty()
+}
+
+/// `REDUCE(x, keys, argmin)`: the stored index of `x` minimizing
+/// `(keys[i], i)` — Algorithm 4's minimum-degree pick from the last BFS
+/// level. An AllReduce over `(key, index)` pairs when distributed.
+pub fn dist_argmin<T: Copy>(
+    x: &DistSparseVec<T>,
+    keys: &DistDenseVec<Vidx>,
+    clock: &mut SimClock,
+) -> Option<Vidx> {
+    assert_eq!(x.layout, keys.layout, "REDUCE: layout mismatch");
+    clock.charge_elems(x.max_part_nnz());
+    let p = x.layout.nprocs();
+    if p > 1 {
+        let machine = *clock.machine();
+        clock.charge_comm(machine.t_allreduce(p, 8), p as u64, 8);
+    }
+    let mut best: Option<(Vidx, Vidx)> = None;
+    for (rank, part) in x.parts.iter().enumerate() {
+        let (s, _) = x.layout.local_range(rank);
+        for &(g, _) in part {
+            let key = (keys.parts[rank][g as usize - s], g);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+    }
+    best.map(|(_, g)| g)
+}
+
+/// Seed selection for the next connected component: the unvisited vertex
+/// (order value `-1`) of minimum `(degree, id)`. A local scan plus an
+/// AllReduce when distributed.
+pub fn dist_find_unvisited_min_degree(
+    order: &DistDenseVec<Label>,
+    degrees: &DistDenseVec<Vidx>,
+    clock: &mut SimClock,
+) -> Option<Vidx> {
+    assert_eq!(order.layout, degrees.layout, "layout mismatch");
+    clock.charge_elems(order.layout.max_local_len());
+    let p = order.layout.nprocs();
+    if p > 1 {
+        let machine = *clock.machine();
+        clock.charge_comm(machine.t_allreduce(p, 8), p as u64, 8);
+    }
+    let mut best: Option<(Vidx, Vidx)> = None;
+    for (rank, part) in order.parts.iter().enumerate() {
+        let (s, _) = order.layout.local_range(rank);
+        for (offset, &label) in part.iter().enumerate() {
+            if label == UNVISITED {
+                let g = (s + offset) as Vidx;
+                let key = (degrees.parts[rank][offset], g);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+    }
+    best.map(|(_, g)| g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ProcGrid;
+    use crate::machine::MachineModel;
+    use crate::vec::VecLayout;
+    use rcm_sparse::{spmspv_ref, CooBuilder, CscMatrix, Select2ndMin, SparseVec};
+
+    fn clock() -> SimClock {
+        SimClock::new(MachineModel::edison(), 1)
+    }
+
+    fn figure2_matrix() -> CscMatrix {
+        let mut b = CooBuilder::new(8, 8);
+        for (u, v) in [
+            (0, 1),
+            (0, 4),
+            (1, 2),
+            (1, 3),
+            (4, 2),
+            (4, 5),
+            (2, 6),
+            (5, 6),
+            (3, 7),
+        ] {
+            b.push_sym(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn spmspv_matches_sequential_on_every_grid() {
+        let a = figure2_matrix();
+        let entries = vec![(4 as Vidx, 2 as Label), (1, 3)];
+        let reference =
+            spmspv_ref::<Label, Select2ndMin>(&a, &SparseVec::from_entries(8, entries.clone()));
+        for procs in [1usize, 4, 9, 16] {
+            let grid = ProcGrid::square(procs).unwrap();
+            let d = DistCscMatrix::from_global(grid, &a, None);
+            let x = DistSparseVec::from_entries(d.layout().clone(), entries.clone());
+            let mut clk = clock();
+            let y = dist_spmspv::<Label, Select2ndMin>(&d, &x, &mut clk);
+            let got: Vec<(Vidx, Label)> = y.iter_entries().collect();
+            assert_eq!(got, reference.entries().to_vec(), "{procs} procs");
+            if procs == 1 {
+                assert_eq!(clk.messages, 0);
+            } else {
+                assert!(clk.messages > 0);
+                assert!(clk.breakdown().comm_total() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn select_set_gather_are_consistent() {
+        let grid = ProcGrid::square(4).unwrap();
+        let layout = VecLayout::new(10, grid);
+        let mut clk = clock();
+        let mut dense: DistDenseVec<Label> = DistDenseVec::filled(layout.clone(), UNVISITED);
+        let x = DistSparseVec::from_entries(
+            layout.clone(),
+            vec![(0 as Vidx, 5 as Label), (3, 6), (7, 7), (9, 8)],
+        );
+        let kept = dist_select(&x, &dense, |v| v == UNVISITED, &mut clk);
+        assert_eq!(kept.total_nnz(), 4);
+        dist_set(&mut dense, &x, &mut clk);
+        let kept2 = dist_select(&x, &dense, |v| v == UNVISITED, &mut clk);
+        assert!(kept2.is_empty());
+        let mut probe = x.clone();
+        dist_gather_values(&mut probe, &dense, &mut clk);
+        let vals: Vec<Label> = probe.iter_entries().map(|(_, v)| v).collect();
+        assert_eq!(vals, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn argmin_breaks_ties_toward_smaller_vertex() {
+        let grid = ProcGrid::square(4).unwrap();
+        let layout = VecLayout::new(8, grid);
+        let degrees = DistDenseVec::from_global(layout.clone(), &[3, 1, 2, 1, 9, 1, 4, 0]);
+        let x = DistSparseVec::from_entries(
+            layout.clone(),
+            vec![(1 as Vidx, 0 as Label), (3, 0), (5, 0), (6, 0)],
+        );
+        let mut clk = clock();
+        assert_eq!(dist_argmin(&x, &degrees, &mut clk), Some(1));
+        let empty: DistSparseVec<Label> = DistSparseVec::empty(layout);
+        assert_eq!(dist_argmin(&empty, &degrees, &mut clk), None);
+    }
+
+    #[test]
+    fn find_unvisited_scans_globally() {
+        let grid = ProcGrid::square(4).unwrap();
+        let layout = VecLayout::new(9, grid);
+        let degrees = DistDenseVec::from_global(layout.clone(), &[5, 4, 3, 2, 1, 2, 3, 4, 5]);
+        let mut order: DistDenseVec<Label> = DistDenseVec::filled(layout, UNVISITED);
+        let mut clk = clock();
+        assert_eq!(
+            dist_find_unvisited_min_degree(&order, &degrees, &mut clk),
+            Some(4)
+        );
+        for g in 0..9 {
+            order.set(g, 0);
+        }
+        assert_eq!(
+            dist_find_unvisited_min_degree(&order, &degrees, &mut clk),
+            None
+        );
+    }
+
+    #[test]
+    fn single_rank_primitives_charge_no_comm() {
+        let grid = ProcGrid::square(1).unwrap();
+        let layout = VecLayout::new(6, grid);
+        let degrees = DistDenseVec::from_global(layout.clone(), &[1, 1, 1, 1, 1, 1]);
+        let x: DistSparseVec<Label> =
+            DistSparseVec::from_entries(layout.clone(), vec![(2, 0), (4, 0)]);
+        let mut clk = clock();
+        assert!(dist_is_nonempty(&x, &mut clk));
+        let _ = dist_argmin(&x, &degrees, &mut clk);
+        assert_eq!(clk.messages, 0);
+        assert_eq!(clk.breakdown().comm_total(), 0.0);
+        assert!(clk.breakdown().compute_total() > 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Distributed vectors: [`VecLayout`], [`DistDenseVec`] and
+//! [`DistSparseVec`].
+//!
+//! Vectors are distributed over all `p′` ranks of the process grid in
+//! contiguous balanced blocks (CombBLAS's vector layout, §IV-A): rank `r`
+//! owns global indices `block_range(n, p′, r)`. Sparse parts store
+//! `(global index, value)` pairs sorted by index; dense parts store the
+//! rank's slice. Because block ranges ascend with rank, concatenating parts
+//! yields globally sorted data — the simulation exploits this everywhere.
+
+use crate::grid::{block_index, block_range, ProcGrid};
+use rcm_sparse::Vidx;
+
+/// Block distribution of an `n`-element vector over a process grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VecLayout {
+    n: usize,
+    grid: ProcGrid,
+}
+
+impl VecLayout {
+    /// Layout of an `n`-element vector over `grid`.
+    pub fn new(n: usize, grid: ProcGrid) -> Self {
+        VecLayout { n, grid }
+    }
+
+    /// Logical vector length `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The process grid.
+    #[inline]
+    pub fn grid(&self) -> ProcGrid {
+        self.grid
+    }
+
+    /// Ranks the vector is distributed over (`p′`).
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.grid.nprocs()
+    }
+
+    /// Rank owning global index `g`.
+    #[inline]
+    pub fn owner(&self, g: Vidx) -> usize {
+        block_index(self.n, self.nprocs(), g as usize)
+    }
+
+    /// Global index range `[start, end)` owned by `rank`.
+    #[inline]
+    pub fn local_range(&self, rank: usize) -> (usize, usize) {
+        block_range(self.n, self.nprocs(), rank)
+    }
+
+    /// Largest per-rank block length (`⌈n/p′⌉`; 0 for an empty vector).
+    pub fn max_local_len(&self) -> usize {
+        if self.n == 0 {
+            0
+        } else {
+            self.n.div_ceil(self.nprocs())
+        }
+    }
+}
+
+/// A dense distributed vector: every rank stores its block's values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistDenseVec<T> {
+    /// The block distribution.
+    pub layout: VecLayout,
+    /// Per-rank value slices, indexed `[rank][global - range_start]`.
+    pub parts: Vec<Vec<T>>,
+}
+
+impl<T: Copy> DistDenseVec<T> {
+    /// Every entry set to `value`.
+    pub fn filled(layout: VecLayout, value: T) -> Self {
+        let parts = (0..layout.nprocs())
+            .map(|r| {
+                let (s, e) = layout.local_range(r);
+                vec![value; e - s]
+            })
+            .collect();
+        DistDenseVec { layout, parts }
+    }
+
+    /// Distribute a global value slice (`values.len()` must equal `n`).
+    pub fn from_global(layout: VecLayout, values: &[T]) -> Self {
+        assert_eq!(values.len(), layout.len(), "global length mismatch");
+        let parts = (0..layout.nprocs())
+            .map(|r| {
+                let (s, e) = layout.local_range(r);
+                values[s..e].to_vec()
+            })
+            .collect();
+        DistDenseVec { layout, parts }
+    }
+
+    /// Value at global index `g`.
+    #[inline]
+    pub fn get(&self, g: Vidx) -> T {
+        let rank = self.layout.owner(g);
+        let (s, _) = self.layout.local_range(rank);
+        self.parts[rank][g as usize - s]
+    }
+
+    /// Overwrite the value at global index `g`.
+    #[inline]
+    pub fn set(&mut self, g: Vidx, value: T) {
+        let rank = self.layout.owner(g);
+        let (s, _) = self.layout.local_range(rank);
+        self.parts[rank][g as usize - s] = value;
+    }
+
+    /// Gather all blocks into one global vector (rank order = index order).
+    pub fn to_global(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.layout.len());
+        for part in &self.parts {
+            out.extend_from_slice(part);
+        }
+        out
+    }
+}
+
+/// A sparse distributed vector: every rank stores the `(global index,
+/// value)` pairs it owns, sorted by index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistSparseVec<T> {
+    /// The block distribution.
+    pub layout: VecLayout,
+    /// Per-rank sorted `(global index, value)` pairs.
+    pub parts: Vec<Vec<(Vidx, T)>>,
+}
+
+impl<T: Copy> DistSparseVec<T> {
+    /// A vector with no stored entries.
+    pub fn empty(layout: VecLayout) -> Self {
+        let parts = vec![Vec::new(); layout.nprocs()];
+        DistSparseVec { layout, parts }
+    }
+
+    /// A single-entry vector (the initial BFS frontier `{r}`).
+    pub fn singleton(layout: VecLayout, idx: Vidx, value: T) -> Self {
+        let mut v = DistSparseVec::empty(layout);
+        let rank = v.layout.owner(idx);
+        v.parts[rank].push((idx, value));
+        v
+    }
+
+    /// Distribute `(global index, value)` pairs to their owners.
+    pub fn from_entries(layout: VecLayout, entries: Vec<(Vidx, T)>) -> Self {
+        let mut v = DistSparseVec::empty(layout);
+        for (g, value) in entries {
+            let rank = v.layout.owner(g);
+            v.parts[rank].push((g, value));
+        }
+        for part in &mut v.parts {
+            part.sort_unstable_by_key(|&(g, _)| g);
+            debug_assert!(part.windows(2).all(|w| w[0].0 < w[1].0), "duplicate index");
+        }
+        v
+    }
+
+    /// Total stored entries across all ranks (`nnz(x)`).
+    pub fn total_nnz(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    /// Largest per-rank entry count (the load-imbalance driver).
+    pub fn max_part_nnz(&self) -> usize {
+        self.parts.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// True when no rank stores an entry.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(Vec::is_empty)
+    }
+
+    /// All `(global index, value)` pairs in ascending index order.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (Vidx, T)> + '_ {
+        self.parts.iter().flatten().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(p: usize) -> ProcGrid {
+        ProcGrid::square(p).unwrap()
+    }
+
+    #[test]
+    fn layout_covers_all_indices() {
+        let l = VecLayout::new(13, grid(4));
+        assert_eq!(l.nprocs(), 4);
+        assert_eq!(l.max_local_len(), 4);
+        let mut covered = 0;
+        for r in 0..4 {
+            let (s, e) = l.local_range(r);
+            assert_eq!(s, covered);
+            covered = e;
+            for g in s..e {
+                assert_eq!(l.owner(g as Vidx), r);
+            }
+        }
+        assert_eq!(covered, 13);
+    }
+
+    #[test]
+    fn empty_layout() {
+        let l = VecLayout::new(0, grid(9));
+        assert_eq!(l.max_local_len(), 0);
+        for r in 0..9 {
+            assert_eq!(l.local_range(r), (0, 0));
+        }
+    }
+
+    #[test]
+    fn dense_roundtrip_and_set() {
+        let l = VecLayout::new(10, grid(4));
+        let values: Vec<i64> = (0..10).map(|i| i * 3).collect();
+        let mut d = DistDenseVec::from_global(l, &values);
+        assert_eq!(d.to_global(), values);
+        assert_eq!(d.get(7), 21);
+        d.set(7, -1);
+        assert_eq!(d.get(7), -1);
+    }
+
+    #[test]
+    fn sparse_from_entries_splits_by_owner() {
+        let l = VecLayout::new(12, grid(4));
+        let v = DistSparseVec::from_entries(l, vec![(11, 1i64), (0, 2), (5, 3), (6, 4)]);
+        assert_eq!(v.total_nnz(), 4);
+        let collected: Vec<(Vidx, i64)> = v.iter_entries().collect();
+        assert_eq!(collected, vec![(0, 2), (5, 3), (6, 4), (11, 1)]);
+        for (rank, part) in v.parts.iter().enumerate() {
+            for &(g, _) in part {
+                assert_eq!(v.layout.owner(g), rank);
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_lands_on_owner() {
+        let l = VecLayout::new(9, grid(9));
+        let v = DistSparseVec::singleton(l, 4, 7i64);
+        assert_eq!(v.parts[4], vec![(4, 7)]);
+        assert!(!v.is_empty());
+        assert_eq!(v.max_part_nnz(), 1);
+    }
+}

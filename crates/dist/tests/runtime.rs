@@ -1,0 +1,166 @@
+//! Integration tests of the simulated runtime's decomposition edge cases
+//! and the SORTPERM baseline contract.
+
+use rcm_dist::{
+    block_index, block_range, dist_bfs_levels, dist_label_component, dist_pseudo_peripheral,
+    dist_sortperm, dist_sortperm_samplesort, DistCscMatrix, DistDenseVec, DistSparseVec,
+    MachineModel, ProcGrid, SimClock, VecLayout,
+};
+use rcm_sparse::{CooBuilder, CscMatrix, Label, Vidx, UNVISITED};
+
+fn clock() -> SimClock {
+    SimClock::new(MachineModel::edison(), 1)
+}
+
+fn path(n: usize) -> CscMatrix {
+    let mut b = CooBuilder::new(n, n);
+    for v in 0..n - 1 {
+        b.push_sym(v as Vidx, (v + 1) as Vidx);
+    }
+    b.build()
+}
+
+// ---------------------------------------------------------------------------
+// block_index / block_range edge cases
+// ---------------------------------------------------------------------------
+
+#[test]
+fn block_decomposition_when_n_not_divisible_by_parts() {
+    // 11 elements over 4 parts: 3+3+3+2, remainder spread over the front.
+    assert_eq!(block_range(11, 4, 0), (0, 3));
+    assert_eq!(block_range(11, 4, 1), (3, 6));
+    assert_eq!(block_range(11, 4, 2), (6, 9));
+    assert_eq!(block_range(11, 4, 3), (9, 11));
+    for idx in 0..11 {
+        let part = block_index(11, 4, idx);
+        let (s, e) = block_range(11, 4, part);
+        assert!((s..e).contains(&idx));
+    }
+}
+
+#[test]
+fn block_decomposition_single_part_owns_everything() {
+    assert_eq!(block_range(37, 1, 0), (0, 37));
+    for idx in 0..37 {
+        assert_eq!(block_index(37, 1, idx), 0);
+    }
+}
+
+#[test]
+fn block_decomposition_more_parts_than_elements() {
+    // 3 elements over 7 parts: one element each for the first three parts.
+    for part in 0..7 {
+        let (s, e) = block_range(3, 7, part);
+        assert_eq!(e - s, usize::from(part < 3), "part {part}");
+    }
+    for idx in 0..3 {
+        assert_eq!(block_index(3, 7, idx), idx);
+    }
+}
+
+#[test]
+fn block_decomposition_empty_vector() {
+    for parts in [1usize, 4, 9] {
+        for part in 0..parts {
+            assert_eq!(block_range(0, parts, part), (0, 0));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1×1 grid and empty matrix through the full runtime
+// ---------------------------------------------------------------------------
+
+#[test]
+fn one_by_one_grid_runs_the_whole_pipeline() {
+    let a = path(9);
+    let grid = ProcGrid::square(1).unwrap();
+    let d = DistCscMatrix::from_global(grid, &a, None);
+    assert_eq!(d.grid().pr, 1);
+    let degrees = d.degrees_dvec();
+    let mut clk = clock();
+
+    let (root, ecc, sweeps) = dist_pseudo_peripheral(&d, &degrees, 4, &mut clk);
+    assert!(root == 0 || root == 8);
+    assert_eq!(ecc, 8);
+    assert!(sweeps >= 2);
+
+    let mut order: DistDenseVec<Label> = DistDenseVec::filled(d.layout().clone(), UNVISITED);
+    let mut nv: Label = 0;
+    let levels = dist_label_component(&d, &degrees, root, &mut order, &mut nv, &mut clk);
+    assert_eq!(nv, 9);
+    assert_eq!(levels, 8);
+    // A single rank never communicates.
+    assert_eq!(clk.messages, 0);
+    assert_eq!(clk.breakdown().comm_total(), 0.0);
+}
+
+#[test]
+fn empty_matrix_on_any_grid() {
+    let a = CscMatrix::empty(0);
+    for procs in [1usize, 4, 16] {
+        let grid = ProcGrid::square(procs).unwrap();
+        let d = DistCscMatrix::from_global(grid, &a, Some(5));
+        assert_eq!(d.nnz(), 0);
+        assert_eq!(d.layout().max_local_len(), 0);
+        let degrees = d.degrees_dvec();
+        assert!(degrees.to_global().is_empty());
+        let order: DistDenseVec<Label> = DistDenseVec::filled(d.layout().clone(), UNVISITED);
+        assert!(order.to_global().is_empty());
+        let mut clk = clock();
+        assert_eq!(
+            rcm_dist::dist_find_unvisited_min_degree(&order, &degrees, &mut clk),
+            None
+        );
+    }
+}
+
+#[test]
+fn bfs_levels_agree_across_grids_with_uneven_blocks() {
+    // n = 13 is not divisible by grid sides 2 or 3.
+    let a = path(13);
+    let reference: Vec<Label> = (0..13).map(|v| v as Label).collect();
+    for procs in [1usize, 4, 9] {
+        let d = DistCscMatrix::from_global(ProcGrid::square(procs).unwrap(), &a, None);
+        let (levels, ecc) = dist_bfs_levels(&d, 0, &mut clock());
+        assert_eq!(ecc, 12, "{procs} procs");
+        assert_eq!(levels.to_global(), reference, "{procs} procs");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SORTPERM: samplesort baseline contract
+// ---------------------------------------------------------------------------
+
+#[test]
+fn samplesort_matches_bucket_sort_at_higher_cost() {
+    // Frontier with duplicate parent labels and duplicate degrees so every
+    // tie-break level of (parent, degree, vertex) is exercised.
+    let n = 23;
+    for procs in [1usize, 4, 9, 16] {
+        let layout = VecLayout::new(n, ProcGrid::square(procs).unwrap());
+        let degrees: Vec<Vidx> = (0..n as Vidx).map(|v| v % 3).collect();
+        let entries: Vec<(Vidx, Label)> = (0..n as Vidx)
+            .filter(|v| v % 4 != 2)
+            .map(|v| (v, (v % 2) as Label))
+            .collect();
+        let x = DistSparseVec::from_entries(layout.clone(), entries);
+        let d = DistDenseVec::from_global(layout, &degrees);
+
+        let mut bucket_clock = clock();
+        let mut sample_clock = clock();
+        let (bucket, count_b) = dist_sortperm(&x, &d, (0, 2), 50, &mut bucket_clock);
+        let (sample, count_s) = dist_sortperm_samplesort(&x, &d, 50, &mut sample_clock);
+
+        assert_eq!(count_b, count_s);
+        let lb: Vec<(Vidx, Label)> = bucket.iter_entries().collect();
+        let ls: Vec<(Vidx, Label)> = sample.iter_entries().collect();
+        assert_eq!(lb, ls, "{procs} procs: permutations must be identical");
+        assert!(
+            sample_clock.now() > bucket_clock.now(),
+            "{procs} procs: general samplesort must cost more ({} vs {})",
+            sample_clock.now(),
+            bucket_clock.now()
+        );
+    }
+}

@@ -183,8 +183,14 @@ mod tests {
 
     #[test]
     fn er_deterministic_by_seed() {
-        assert_eq!(erdos_renyi_connected(100, 50, 9), erdos_renyi_connected(100, 50, 9));
-        assert_ne!(erdos_renyi_connected(100, 50, 9), erdos_renyi_connected(100, 50, 10));
+        assert_eq!(
+            erdos_renyi_connected(100, 50, 9),
+            erdos_renyi_connected(100, 50, 9)
+        );
+        assert_ne!(
+            erdos_renyi_connected(100, 50, 9),
+            erdos_renyi_connected(100, 50, 10)
+        );
     }
 
     #[test]

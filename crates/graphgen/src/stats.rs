@@ -59,7 +59,11 @@ pub fn graph_stats(a: &CscMatrix) -> GraphStats {
     GraphStats {
         n,
         nnz: a.nnz(),
-        avg_degree: if n == 0 { 0.0 } else { a.nnz() as f64 / n as f64 },
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            a.nnz() as f64 / n as f64
+        },
         min_degree: degrees.iter().copied().min().unwrap_or(0) as usize,
         max_degree: degrees.iter().copied().max().unwrap_or(0) as usize,
         components: comps.count(),

@@ -417,7 +417,10 @@ mod tests {
             let m = suite_matrix(name).unwrap();
             let a = m.generate_default();
             let avg = a.nnz() as f64 / a.n_rows() as f64;
-            assert!(avg >= lo && avg <= hi, "{name}: avg degree {avg} outside [{lo},{hi}]");
+            assert!(
+                avg >= lo && avg <= hi,
+                "{name}: avg degree {avg} outside [{lo},{hi}]"
+            );
         };
         check("nd24k", 150.0, 450.0);
         check("ldoor", 30.0, 60.0);

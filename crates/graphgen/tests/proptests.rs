@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 use rcm_graphgen::grid::StencilSpec;
-use rcm_graphgen::{chained_er, erdos_renyi_connected, random_permutation, shuffled, watts_strogatz};
+use rcm_graphgen::{
+    chained_er, erdos_renyi_connected, random_permutation, shuffled, watts_strogatz,
+};
 use rcm_sparse::connected_components;
 
 proptest! {

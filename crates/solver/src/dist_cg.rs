@@ -135,7 +135,11 @@ pub fn dist_pcg(
         (0..ranks)
             .map(|rank| {
                 let (s, e) = block_range(n, ranks, rank);
-                u[s..e].iter().zip(&v[s..e]).map(|(a, b)| a * b).sum::<f64>()
+                u[s..e]
+                    .iter()
+                    .zip(&v[s..e])
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
             })
             .sum()
     };
@@ -271,7 +275,11 @@ mod tests {
         let b = rhs(&a);
         let machine = MachineModel::edison();
         let r = dist_pcg(&a, &b, &IdentityPrecond, 1e-6, 1000, 8, &machine);
-        assert!(r.max_partners <= 2, "banded matrix: {} partners", r.max_partners);
+        assert!(
+            r.max_partners <= 2,
+            "banded matrix: {} partners",
+            r.max_partners
+        );
     }
 
     #[test]

@@ -162,7 +162,11 @@ mod tests {
         let c = cg_iteration_cost(&a, &MachineModel::edison(), 8, 0);
         // Stride scrambling spreads each block's rows far across the index
         // space: most of the 7 possible partners are touched.
-        assert!(c.max_partners >= 4, "scrambled: {} partners", c.max_partners);
+        assert!(
+            c.max_partners >= 4,
+            "scrambled: {} partners",
+            c.max_partners
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl Ic0Factor {
         let mut shift = 0.0f64;
         // Mean absolute diagonal, used to scale the breakdown shift.
         let diag_scale = if n > 0 {
-            (0..n).map(|i| a.get(i as Vidx, i as Vidx).abs()).sum::<f64>() / n as f64
+            (0..n)
+                .map(|i| a.get(i as Vidx, i as Vidx).abs())
+                .sum::<f64>()
+                / n as f64
         } else {
             1.0
         }
@@ -41,7 +44,11 @@ impl Ic0Factor {
             match Self::try_factor(a, shift) {
                 Some(f) => return f,
                 None => {
-                    shift = if shift == 0.0 { 1e-3 * diag_scale } else { shift * 4.0 };
+                    shift = if shift == 0.0 {
+                        1e-3 * diag_scale
+                    } else {
+                        shift * 4.0
+                    };
                     assert!(
                         shift < 1e6 * diag_scale,
                         "IC(0) cannot stabilize this matrix; is it symmetric?"

@@ -80,8 +80,7 @@ impl CooBuilder {
     pub fn build(mut self) -> CscMatrix {
         // Column-major order so that row indices within each column come out
         // sorted, which the CSC kernels rely on.
-        self.entries
-            .sort_unstable_by_key(|a| (a.1, a.0));
+        self.entries.sort_unstable_by_key(|a| (a.1, a.0));
         self.entries.dedup();
 
         let mut col_ptr = vec![0usize; self.n_cols + 1];

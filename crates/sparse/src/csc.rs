@@ -24,7 +24,12 @@ pub struct CscMatrix {
 
 impl CscMatrix {
     /// Construct from raw parts, checking invariants in debug builds.
-    pub fn from_parts(n_rows: usize, n_cols: usize, col_ptr: Vec<usize>, row_idx: Vec<Vidx>) -> Self {
+    pub fn from_parts(
+        n_rows: usize,
+        n_cols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<Vidx>,
+    ) -> Self {
         assert_eq!(col_ptr.len(), n_cols + 1, "col_ptr length must be n_cols+1");
         assert_eq!(col_ptr[0], 0);
         assert_eq!(*col_ptr.last().unwrap(), row_idx.len());
@@ -164,7 +169,10 @@ impl CscMatrix {
     /// Symmetric permutation `PAPᵀ`: entry `(i, j)` moves to
     /// `(perm[i], perm[j])` where `perm` maps old ids to new labels.
     pub fn permute_sym(&self, perm: &Permutation) -> CscMatrix {
-        assert_eq!(self.n_rows, self.n_cols, "permute_sym needs a square matrix");
+        assert_eq!(
+            self.n_rows, self.n_cols,
+            "permute_sym needs a square matrix"
+        );
         assert_eq!(perm.len(), self.n_cols, "permutation size mismatch");
         let n = self.n_cols;
         let p = perm.as_new_of_old();

@@ -179,7 +179,11 @@ mod tests {
 
     fn small_spd() -> CsrNumeric {
         // 2x2 SPD: [[4, 1], [1, 3]]
-        CsrNumeric::from_triplets(2, 2, vec![(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)])
+        CsrNumeric::from_triplets(
+            2,
+            2,
+            vec![(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)],
+        )
     }
 
     #[test]

@@ -60,7 +60,9 @@ struct Header {
     nnz: usize,
 }
 
-fn parse_header(lines: &mut impl Iterator<Item = Result<String, std::io::Error>>) -> Result<Header, MmError> {
+fn parse_header(
+    lines: &mut impl Iterator<Item = Result<String, std::io::Error>>,
+) -> Result<Header, MmError> {
     let banner = lines
         .next()
         .ok_or_else(|| MmError::Parse("empty file".into()))??;

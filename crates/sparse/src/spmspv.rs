@@ -140,7 +140,17 @@ mod tests {
         // Edges from the figure: a-b, a-e, b-c, b-d, e-c, e-f, c-g, f-g, d-h?
         // (The figure shows: a adj {b, e}; b adj {a, c, d}; e adj {a, c, f};
         //  c adj {b, e, g}; d adj {b}; f adj {e, g}; g adj {c, f}; h isolated-ish via d.)
-        let edges = [(0, 1), (0, 4), (1, 2), (1, 3), (4, 2), (4, 5), (2, 6), (5, 6), (3, 7)];
+        let edges = [
+            (0, 1),
+            (0, 4),
+            (1, 2),
+            (1, 3),
+            (4, 2),
+            (4, 5),
+            (2, 6),
+            (5, 6),
+            (3, 7),
+        ];
         for (u, v) in edges {
             b.push_sym(u, v);
         }

@@ -38,8 +38,7 @@ pub fn spy(a: &CscMatrix, size: usize) -> String {
             } else {
                 // Log-ish scaling: sparse matrices have tiny densities.
                 let scaled = (density * 50.0).min(1.0);
-                1 + ((scaled * (RAMP.len() - 2) as f64).round() as usize)
-                    .min(RAMP.len() - 2)
+                1 + ((scaled * (RAMP.len() - 2) as f64).round() as usize).min(RAMP.len() - 2)
             };
             out.push(RAMP[idx]);
         }

@@ -35,7 +35,14 @@ fn main() {
     let machine = MachineModel::edison();
     println!(
         "\n{:>6}  {:>9} {:>11} {:>11}  {:>9} {:>11} {:>11}  {:>8}",
-        "cores", "nat-iter", "nat-t/iter", "nat-total", "rcm-iter", "rcm-t/iter", "rcm-total", "speedup"
+        "cores",
+        "nat-iter",
+        "nat-t/iter",
+        "nat-total",
+        "rcm-iter",
+        "rcm-t/iter",
+        "rcm-total",
+        "speedup"
     );
     for p in [1usize, 4, 16, 64, 256] {
         let mut row = (0usize, 0.0f64, 0usize, 0.0f64);

@@ -35,7 +35,10 @@ fn main() {
         r.grid_side
     );
     let max_frontier = r.level_stats.iter().map(|l| l.frontier).max().unwrap_or(1);
-    println!("{:>6} {:>10} {:>10}  frontier width", "level", "vertices", "time");
+    println!(
+        "{:>6} {:>10} {:>10}  frontier width",
+        "level", "vertices", "time"
+    );
     // Print at most ~40 representative levels.
     let step = (r.level_stats.len() / 40).max(1);
     for (k, stat) in r.level_stats.iter().enumerate() {

@@ -45,7 +45,10 @@ fn main() {
 
     let perm = rcm(&a);
     let q = quality_report(&a, &perm);
-    println!("RCM: bandwidth {} -> {}", q.bandwidth_before, q.bandwidth_after);
+    println!(
+        "RCM: bandwidth {} -> {}",
+        q.bandwidth_before, q.bandwidth_after
+    );
 
     let out_path = dir.join("reordered.mtx");
     mm::write_pattern_file(&a.permute_sym(&perm), &out_path).expect("write reordered matrix");

@@ -40,8 +40,14 @@ fn main() {
 
     let q = quality_report(&a, &perm);
     println!("sequential RCM took {dt:?}");
-    println!("  bandwidth: {:>12} -> {:>12}", q.bandwidth_before, q.bandwidth_after);
-    println!("  profile:   {:>12} -> {:>12}", q.profile_before, q.profile_after);
+    println!(
+        "  bandwidth: {:>12} -> {:>12}",
+        q.bandwidth_before, q.bandwidth_after
+    );
+    println!(
+        "  profile:   {:>12} -> {:>12}",
+        q.profile_before, q.profile_after
+    );
     println!(
         "  (paper, full-size {}: bandwidth {} -> {})",
         m.name, m.paper.bw_pre, m.paper.bw_post

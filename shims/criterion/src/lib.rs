@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this shim implements the
+//! subset of the Criterion API the workspace's benches use: benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `sample_size`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are intentionally simple — each benchmark runs its closure
+//! under a small time budget and reports the mean wall-clock time per
+//! iteration (plus throughput when declared). That keeps `cargo bench`
+//! runnable and useful for relative comparisons without Criterion's
+//! dependency tree; swap the shim for the real crate to get rigorous
+//! statistics.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark time budget (after one warm-up call).
+const TIME_BUDGET: Duration = Duration::from_millis(300);
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Declared per-iteration work, used to print throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, running it repeatedly under the shim's time budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up
+        let budget_start = Instant::now();
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while budget_start.elapsed() < TIME_BUDGET {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            elapsed += t0.elapsed();
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.mean_ns = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn run_one(full_name: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters: 0,
+        mean_ns: 0.0,
+    };
+    f(&mut bencher);
+    let mut line = format!(
+        "{full_name:<40} {:>12}/iter ({} iters)",
+        fmt_ns(bencher.mean_ns),
+        bencher.iters
+    );
+    if let Some(t) = throughput {
+        let per_sec = |count: u64| count as f64 / (bencher.mean_ns / 1e9);
+        match t {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:.2} Melem/s", per_sec(n) / 1e6));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:.2} MB/s", per_sec(n) / 1e6));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim uses a time budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration work for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.throughput,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().label, None, |b| f(b));
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,124 @@
+//! Test execution: configuration, deterministic RNG, and the runner.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Panic payload used by `prop_assume!` to discard a case.
+pub struct Rejected(pub &'static str);
+
+/// Runner configuration (only `cases` is honored by the shim).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic RNG handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Raw 64 random bits (used by `prop_perturb` closures).
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// An independent child RNG (consumes one draw from `self`).
+    pub fn fork(&mut self) -> TestRng {
+        TestRng::from_seed(self.next_u64())
+    }
+
+    pub(crate) fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    pub(crate) fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        self.inner.gen_range(lo..=hi)
+    }
+
+    pub(crate) fn int_range(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo <= hi, "empty strategy range");
+        let span = (hi - lo + 1) as u128;
+        if span == 0 {
+            // Full 128-bit span cannot occur for the <= 64-bit types we expose.
+            return self.next_u64() as i128;
+        }
+        lo + (self.next_u64() as u128 % span) as i128
+    }
+}
+
+/// Runs a property's cases against a deterministic RNG.
+pub struct TestRunner {
+    rng: TestRng,
+    cases: u32,
+}
+
+impl TestRunner {
+    /// Runner seeded from the test name, so every run draws the same cases.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let mut seed = 0xcbf29ce484222325u64; // FNV-1a
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        TestRunner {
+            rng: TestRng::from_seed(seed),
+            cases: config.cases,
+        }
+    }
+
+    /// A fixed-seed runner (mirrors `TestRunner::deterministic`).
+    pub fn deterministic() -> Self {
+        TestRunner {
+            rng: TestRng::from_seed(0x8c5f_21ab_03d6_e94d),
+            cases: ProptestConfig::default().cases,
+        }
+    }
+
+    /// Number of cases this runner executes.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The runner's RNG.
+    pub fn rng_mut(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+/// Install (once) a panic hook that silences `prop_assume!` rejections while
+/// delegating every real panic to the previous hook.
+pub fn install_rejection_hook() {
+    use std::sync::Once;
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<Rejected>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}

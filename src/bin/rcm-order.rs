@@ -137,7 +137,10 @@ fn main() {
     let q = quality_report(&a, &perm);
     let (maxw, rmsw) = ordering_wavefront(&a, &perm);
     println!("{} ordering computed in {dt:?}", opts.method);
-    println!("  bandwidth: {} -> {}", q.bandwidth_before, q.bandwidth_after);
+    println!(
+        "  bandwidth: {} -> {}",
+        q.bandwidth_before, q.bandwidth_after
+    );
     println!("  profile:   {} -> {}", q.profile_before, q.profile_after);
     println!("  wavefront: max {maxw}, rms {rmsw:.1}");
 
@@ -156,8 +159,14 @@ fn main() {
     }
 
     if !opts.simulate.is_empty() {
-        println!("\nsimulated distributed RCM (Edison model, {} threads/process):", opts.threads);
-        println!("{:>8} {:>6} {:>12} {:>12} {:>10}", "cores", "grid", "compute", "comm", "total");
+        println!(
+            "\nsimulated distributed RCM (Edison model, {} threads/process):",
+            opts.threads
+        );
+        println!(
+            "{:>8} {:>6} {:>12} {:>12} {:>10}",
+            "cores", "grid", "compute", "comm", "total"
+        );
         for &cores in &opts.simulate {
             let cfg = DistRcmConfig {
                 machine: MachineModel::edison(),
@@ -166,7 +175,10 @@ fn main() {
                 sort_mode: SortMode::Full,
             };
             if cfg.hybrid.grid().is_none() {
-                println!("{cores:>8}  (skipped: {} processes is not a square)", cfg.hybrid.nprocs());
+                println!(
+                    "{cores:>8}  (skipped: {} processes is not a square)",
+                    cfg.hybrid.nprocs()
+                );
                 continue;
             }
             let r = dist_rcm(&a, &cfg);

@@ -40,9 +40,8 @@ pub use rcm_sparse as sparse;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use rcm_core::{
-        algebraic_rcm, dist_rcm, ordering_bandwidth, ordering_profile, ordering_wavefront,
-        par_rcm, pseudo_peripheral, quality_report, rcm, sloan, DistRcmConfig, DistRcmResult,
-        SortMode,
+        algebraic_rcm, dist_rcm, ordering_bandwidth, ordering_profile, ordering_wavefront, par_rcm,
+        pseudo_peripheral, quality_report, rcm, sloan, DistRcmConfig, DistRcmResult, SortMode,
     };
     pub use rcm_dist::{HybridConfig, MachineModel, Phase, ProcGrid, SimClock};
     pub use rcm_graphgen::{suite, suite_matrix, SuiteMatrix};

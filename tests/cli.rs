@@ -24,7 +24,11 @@ fn orders_a_suite_matrix_and_writes_outputs() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("bandwidth:"), "{stdout}");
 
@@ -46,7 +50,15 @@ fn orders_a_suite_matrix_and_writes_outputs() {
 #[test]
 fn sloan_method_and_simulation_run() {
     let out = rcm_order()
-        .args(["suite:thermal2", "--scale", "0.002", "--method", "sloan", "--simulate", "1,16"])
+        .args([
+            "suite:thermal2",
+            "--scale",
+            "0.002",
+            "--method",
+            "sloan",
+            "--simulate",
+            "1,16",
+        ])
         .output()
         .expect("binary runs");
     assert!(out.status.success());

@@ -39,7 +39,10 @@ fn spmspv_communication_fraction_increases_with_cores() {
     );
     // At ~1K cores on a (scaled-down) high-diameter matrix the paper shows
     // communication dominating.
-    assert!(f1014 > 0.5, "expected comm-bound SpMSpV at 1K cores: {f1014:.3}");
+    assert!(
+        f1014 > 0.5,
+        "expected comm-bound SpMSpV at 1K cores: {f1014:.3}"
+    );
 }
 
 #[test]

@@ -140,7 +140,10 @@ fn non_square_process_count_panics() {
 #[test]
 fn mm_reader_rejects_garbage_gracefully() {
     assert!(mm::read_pattern("not a matrix".as_bytes()).is_err());
-    assert!(mm::read_pattern("%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()).is_err());
+    assert!(
+        mm::read_pattern("%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes())
+            .is_err()
+    );
     assert!(mm::read_pattern_file("/nonexistent/path.mtx").is_err());
 }
 

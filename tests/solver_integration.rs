@@ -56,12 +56,18 @@ fn rcm_advantage_grows_with_cores() {
     };
     let ratio4 = total(&pattern, 4) / total(&reordered, 4);
     let ratio64 = total(&pattern, 64) / total(&reordered, 64);
-    assert!(ratio4 >= 0.9, "RCM should roughly break even at 4 ranks: {ratio4:.2}");
+    assert!(
+        ratio4 >= 0.9,
+        "RCM should roughly break even at 4 ranks: {ratio4:.2}"
+    );
     assert!(
         ratio64 > ratio4,
         "the RCM advantage should grow with cores: {ratio4:.2} -> {ratio64:.2}"
     );
-    assert!(ratio64 > 1.2, "RCM should win clearly at 64 ranks: {ratio64:.2}");
+    assert!(
+        ratio64 > 1.2,
+        "RCM should win clearly at 64 ranks: {ratio64:.2}"
+    );
 }
 
 #[test]
