@@ -2,7 +2,10 @@
 //! across grid sizes (host cost of the simulator, not simulated seconds).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rcm_dist::{dist_spmspv, DistCscMatrix, DistSparseVec, MachineModel, ProcGrid, SimClock};
+use rcm_dist::{
+    dist_spmspv, DistCscMatrix, DistSparseVec, DistSpmspvWorkspace, MachineModel, ProcGrid,
+    SimClock,
+};
 use rcm_graphgen::suite_matrix;
 use rcm_sparse::{Select2ndMin, Vidx};
 
@@ -17,9 +20,10 @@ fn bench_dist_spmspv(c: &mut Criterion) {
         let entries: Vec<(Vidx, i64)> = (0..n as Vidx).step_by(7).map(|v| (v, v as i64)).collect();
         let x = DistSparseVec::from_entries(dmat.layout().clone(), entries);
         group.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, _| {
+            let mut ws = DistSpmspvWorkspace::new();
             b.iter(|| {
                 let mut clock = SimClock::new(MachineModel::edison(), 1);
-                let y = dist_spmspv::<i64, Select2ndMin>(&dmat, &x, &mut clock);
+                let y = dist_spmspv::<i64, Select2ndMin>(&dmat, &x, &mut ws, &mut clock);
                 std::hint::black_box((y.total_nnz(), clock.now()))
             });
         });

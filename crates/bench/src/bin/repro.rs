@@ -7,6 +7,7 @@
 //!   fig1      CG+block-Jacobi solve time, natural vs RCM ordering
 //!   fig3      matrix-suite statistics table
 //!   table2    shared-memory baseline vs distributed runtime
+//!   scaling   shared-memory strong scaling at 1/2/4/8/16 threads
 //!   fig4      distributed runtime breakdown (per matrix, per core count)
 //!   fig5      SpMSpV computation vs communication split
 //!   fig6      flat MPI vs hybrid breakdown on ldoor
@@ -14,29 +15,90 @@
 //!   all       everything above
 //! ```
 //!
-//! Tables print to stdout and are written as CSV under the output directory
-//! (default `results/`).
+//! Tables print to stdout and are written as CSV **and JSON** under the
+//! output directory (default `results/`), plus a `repro_summary.json`
+//! manifest — the artifact CI's bench-smoke job uploads per PR.
 
+use rcm_bench::report::json_str;
 use rcm_bench::{
     ablation_sort_modes, compression_table, fig1_cg_solve, fig3_suite_table, fig4_breakdown,
     fig5_spmspv_split, fig6_flat_vs_hybrid, gather_vs_distributed, machine_sensitivity,
-    quality_comparison, run_hybrid_sweep, scaling_summary, table2_shared_memory, ExpConfig, Table,
+    quality_comparison, run_hybrid_sweep, scaling_summary, shared_scaling, table2_shared_memory,
+    ExpConfig, Table,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale <mult>] [--quick] [--out <dir>] \
-         <fig1|fig3|table2|fig4|fig5|fig6|ablation|quality|gather|sensitivity|compress|all>..."
+         <fig1|fig3|table2|scaling|fig4|fig5|fig6|ablation|quality|gather|sensitivity|compress|all>..."
     );
     std::process::exit(2);
 }
 
-fn emit(cfg: &ExpConfig, name: &str, table: &Table) {
+/// One manifest entry: table name and its row count.
+struct Emitted {
+    name: String,
+    rows: usize,
+}
+
+/// Render, write CSV + JSON, and record the table in the manifest — only
+/// if both files landed, so the manifest never references missing files.
+/// Returns false on any write failure (the run then exits non-zero).
+fn emit(cfg: &ExpConfig, manifest: &mut Vec<Emitted>, name: &str, table: &Table) -> bool {
     println!("{}", table.render());
-    match table.write_csv(&cfg.results_dir, name) {
-        Ok(path) => println!("[csv] {}\n", path.display()),
-        Err(e) => eprintln!("[csv] failed to write {name}: {e}"),
+    let csv_ok = match table.write_csv(&cfg.results_dir, name) {
+        Ok(path) => {
+            println!("[csv] {}", path.display());
+            true
+        }
+        Err(e) => {
+            eprintln!("[csv] failed to write {name}: {e}");
+            false
+        }
+    };
+    let json_ok = match table.write_json(&cfg.results_dir, name) {
+        Ok(path) => {
+            println!("[json] {}\n", path.display());
+            true
+        }
+        Err(e) => {
+            eprintln!("[json] failed to write {name}: {e}");
+            false
+        }
+    };
+    if csv_ok && json_ok {
+        manifest.push(Emitted {
+            name: name.to_string(),
+            rows: table.len(),
+        });
     }
+    csv_ok && json_ok
+}
+
+/// Write `repro_summary.json`: run configuration plus every table emitted.
+fn write_summary(cfg: &ExpConfig, manifest: &[Emitted]) -> std::io::Result<std::path::PathBuf> {
+    let mut body = String::from("{");
+    body.push_str(&format!(
+        "\"scale_mult\":{},\"quick\":{},\"tables\":[",
+        cfg.scale_mult, cfg.quick
+    ));
+    for (i, e) in manifest.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"name\":{},\"rows\":{},\"csv\":{},\"json\":{}}}",
+            json_str(&e.name),
+            e.rows,
+            json_str(&format!("{}.csv", e.name)),
+            json_str(&format!("{}.json", e.name)),
+        ));
+    }
+    body.push_str("]}");
+    std::fs::create_dir_all(&cfg.results_dir)?;
+    let path = cfg.results_dir.join("repro_summary.json");
+    std::fs::write(&path, body)?;
+    Ok(path)
 }
 
 fn main() {
@@ -61,6 +123,29 @@ fn main() {
     if wanted.is_empty() {
         usage();
     }
+    // Reject typos up front: a silently-ignored name would let the CI
+    // bench-smoke gate pass while measuring nothing.
+    const KNOWN: [&str; 13] = [
+        "fig1",
+        "fig3",
+        "table2",
+        "scaling",
+        "fig4",
+        "fig5",
+        "fig6",
+        "ablation",
+        "quality",
+        "gather",
+        "sensitivity",
+        "compress",
+        "all",
+    ];
+    for w in &wanted {
+        if !KNOWN.contains(&w.as_str()) {
+            eprintln!("unknown experiment: {w}");
+            usage();
+        }
+    }
     let all = wanted.iter().any(|w| w == "all");
     let want = |name: &str| all || wanted.iter().any(|w| w == name);
 
@@ -70,45 +155,95 @@ fn main() {
         if cfg.quick { "quick" } else { "full" }
     );
 
+    let mut manifest: Vec<Emitted> = Vec::new();
+    let mut ok = true;
     if want("fig3") {
-        emit(&cfg, "fig3_suite", &fig3_suite_table(&cfg));
+        ok &= emit(&cfg, &mut manifest, "fig3_suite", &fig3_suite_table(&cfg));
     }
     if want("fig1") {
-        emit(&cfg, "fig1_cg", &fig1_cg_solve(&cfg));
+        ok &= emit(&cfg, &mut manifest, "fig1_cg", &fig1_cg_solve(&cfg));
     }
     if want("table2") {
-        emit(&cfg, "table2_shared", &table2_shared_memory(&cfg));
+        ok &= emit(
+            &cfg,
+            &mut manifest,
+            "table2_shared",
+            &table2_shared_memory(&cfg),
+        );
+    }
+    if want("scaling") {
+        ok &= emit(&cfg, &mut manifest, "shared_scaling", &shared_scaling(&cfg));
     }
     if want("fig4") || want("fig5") {
         let panels = run_hybrid_sweep(&cfg);
         if want("fig4") {
             for (panel, t) in panels.iter().zip(fig4_breakdown(&panels)) {
-                emit(&cfg, &format!("fig4_{}", panel.name), &t);
+                ok &= emit(&cfg, &mut manifest, &format!("fig4_{}", panel.name), &t);
             }
-            emit(&cfg, "fig4_summary", &scaling_summary(&panels));
+            ok &= emit(
+                &cfg,
+                &mut manifest,
+                "fig4_summary",
+                &scaling_summary(&panels),
+            );
         }
         if want("fig5") {
             for (panel, t) in panels.iter().zip(fig5_spmspv_split(&panels)) {
-                emit(&cfg, &format!("fig5_{}", panel.name), &t);
+                ok &= emit(&cfg, &mut manifest, &format!("fig5_{}", panel.name), &t);
             }
         }
     }
     if want("fig6") {
-        emit(&cfg, "fig6_flat_mpi", &fig6_flat_vs_hybrid(&cfg));
+        ok &= emit(
+            &cfg,
+            &mut manifest,
+            "fig6_flat_mpi",
+            &fig6_flat_vs_hybrid(&cfg),
+        );
     }
     if want("ablation") {
-        emit(&cfg, "ablation_sort", &ablation_sort_modes(&cfg));
+        ok &= emit(
+            &cfg,
+            &mut manifest,
+            "ablation_sort",
+            &ablation_sort_modes(&cfg),
+        );
     }
     if want("quality") {
-        emit(&cfg, "quality_heuristics", &quality_comparison(&cfg));
+        ok &= emit(
+            &cfg,
+            &mut manifest,
+            "quality_heuristics",
+            &quality_comparison(&cfg),
+        );
     }
     if want("gather") {
-        emit(&cfg, "gather_vs_dist", &gather_vs_distributed(&cfg));
+        ok &= emit(
+            &cfg,
+            &mut manifest,
+            "gather_vs_dist",
+            &gather_vs_distributed(&cfg),
+        );
     }
     if want("sensitivity") {
-        emit(&cfg, "machine_sensitivity", &machine_sensitivity(&cfg));
+        ok &= emit(
+            &cfg,
+            &mut manifest,
+            "machine_sensitivity",
+            &machine_sensitivity(&cfg),
+        );
     }
     if want("compress") {
-        emit(&cfg, "compression", &compression_table(&cfg));
+        ok &= emit(&cfg, &mut manifest, "compression", &compression_table(&cfg));
+    }
+    match write_summary(&cfg, &manifest) {
+        Ok(path) => println!("[summary] {}", path.display()),
+        Err(e) => {
+            eprintln!("[summary] failed: {e}");
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
     }
 }

@@ -144,11 +144,12 @@ pub fn fig3_suite_table(cfg: &ExpConfig) -> Table {
 /// several thread counts (measured on the host) next to the simulated
 /// distributed runtime at 1/6/24 cores, plus the ordering bandwidth.
 pub fn table2_shared_memory(cfg: &ExpConfig) -> Table {
-    let threads = [1usize, 2, 4];
+    let threads = [1usize, 2, 4, 8, 16];
     let mut t = Table::new(
         "Table II — shared-memory RCM (measured) vs distributed RCM (simulated)",
         &[
-            "matrix", "BW", "shm 1t", "shm 2t", "shm 4t", "dist 1c", "dist 6c", "dist 24c",
+            "matrix", "BW", "shm 1t", "shm 2t", "shm 4t", "shm 8t", "shm 16t", "dist 1c",
+            "dist 6c", "dist 24c",
         ],
     );
     for m in cfg.matrices() {
@@ -169,6 +170,72 @@ pub fn table2_shared_memory(cfg: &ExpConfig) -> Table {
             cells.push(fmt_secs(r.sim_seconds));
         }
         t.row(cells);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Shared-memory strong scaling (Table II, measured on the host)
+// ---------------------------------------------------------------------------
+
+/// Thread counts of the shared-memory strong-scaling sweep.
+pub const SCALING_THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Strong scaling of the work-stealing shared-memory backend: `par_rcm`
+/// wall time at 1/2/4/8/16 threads plus speedups over one thread.
+///
+/// Outside quick mode each instance is grown until it crosses the Table II
+/// floor of 100k vertices (capped by an nnz budget), so the sweep exercises
+/// frontiers wide enough for the parallel pipeline. Numbers depend on the
+/// host's core count — on a single-core box every column degenerates to
+/// ~1x, which is itself useful as an overhead ceiling check.
+pub fn shared_scaling(cfg: &ExpConfig) -> Table {
+    let names = if cfg.quick {
+        vec!["ldoor"]
+    } else {
+        vec!["ldoor", "Li7Nmax6", "thermal2"]
+    };
+    let reps = if cfg.quick { 1 } else { 3 };
+    let mut t = Table::new(
+        "Shared-memory strong scaling — par_rcm (measured on this host)",
+        &[
+            "matrix", "vertices", "edges", "t(1t)", "t(2t)", "t(4t)", "t(8t)", "t(16t)", "su(2t)",
+            "su(4t)", "su(8t)", "su(16t)",
+        ],
+    );
+    for name in names {
+        let m = suite_matrix(name).expect("scaling matrix registered");
+        let mut scale = m.default_scale * cfg.scale_mult;
+        let mut a = m.generate(scale);
+        if !cfg.quick {
+            while a.n_rows() < 100_000 && a.nnz() < 30_000_000 {
+                scale *= 1.6;
+                a = m.generate(scale);
+            }
+        }
+        let mut times = Vec::new();
+        for &threads in &SCALING_THREADS {
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let (p, _) = par_rcm(&a, threads);
+                best = best.min(t0.elapsed().as_secs_f64());
+                assert_eq!(p.len(), a.n_rows());
+            }
+            times.push(best);
+        }
+        let mut row = vec![
+            m.name.to_string(),
+            fmt_count(a.n_rows() as u64),
+            fmt_count(a.nnz() as u64),
+        ];
+        row.extend(times.iter().map(|&dt| fmt_secs(dt)));
+        row.extend(
+            times[1..]
+                .iter()
+                .map(|&dt| format!("{:.2}x", times[0] / dt)),
+        );
+        t.row(row);
     }
     t
 }
@@ -710,6 +777,12 @@ mod tests {
     fn fig1_runs_quick() {
         let t = fig1_cg_solve(&quick_cfg());
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn shared_scaling_runs_quick() {
+        let t = shared_scaling(&quick_cfg());
+        assert_eq!(t.len(), 1, "quick mode sweeps one matrix");
     }
 
     #[test]

@@ -105,6 +105,66 @@ impl Table {
         std::fs::write(&path, self.to_csv())?;
         Ok(path)
     }
+
+    /// Serialize as JSON: `{"title", "header", "rows": [{col: cell, …}]}`.
+    /// Cells stay strings — the harness formats numbers for humans, and CI
+    /// artifact consumers diff them as-is.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"title\":{}", json_str(&self.title));
+        out.push_str(",\"header\":[");
+        for (i, h) in self.header.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(h));
+        }
+        out.push_str("],\"rows\":[");
+        for (r, row) in self.rows.iter().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            for (i, (h, cell)) in self.header.iter().zip(row).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json_str(h), json_str(cell));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Write the JSON under `dir/<name>.json`, creating the directory.
+    pub fn write_json(&self, dir: impl AsRef<Path>, name: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.as_ref().join(format!("{name}.json"));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// JSON string literal with the escapes the table cells can contain.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Format seconds with sensible precision for runtime tables.
@@ -163,6 +223,29 @@ mod tests {
         t.row(vec!["v,1".into(), "plain".into()]);
         let csv = t.to_csv();
         assert!(csv.contains("\"v,1\""));
+    }
+
+    #[test]
+    fn json_round_trips_structure() {
+        let mut t = Table::new("q\"uote", &["a", "b"]);
+        t.row(vec!["1".into(), "x\ny".into()]);
+        t.row(vec!["2".into(), "z".into()]);
+        let json = t.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"title\":\"q\\\"uote\""));
+        assert!(json.contains("\"header\":[\"a\",\"b\"]"));
+        assert!(json.contains("{\"a\":\"1\",\"b\":\"x\\ny\"}"));
+        assert!(json.contains("{\"a\":\"2\",\"b\":\"z\"}"));
+    }
+
+    #[test]
+    fn json_writes_to_disk() {
+        let mut t = Table::new("disk", &["k"]);
+        t.row(vec!["v".into()]);
+        let dir = std::env::temp_dir().join("rcm-report-json-test");
+        let path = t.write_json(&dir, "sample").unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert_eq!(body, t.to_json());
     }
 
     #[test]

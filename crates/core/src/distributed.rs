@@ -28,8 +28,8 @@
 
 use rcm_dist::{
     dist_argmin, dist_find_unvisited_min_degree, dist_gather_values, dist_is_nonempty, dist_select,
-    dist_set, dist_sortperm, dist_spmspv, DistCscMatrix, DistDenseVec, DistSparseVec, HybridConfig,
-    MachineModel, Phase, SimClock,
+    dist_set, dist_sortperm, dist_spmspv, DistCscMatrix, DistDenseVec, DistSparseVec,
+    DistSpmspvWorkspace, HybridConfig, MachineModel, Phase, SimClock,
 };
 use rcm_sparse::{CscMatrix, Label, Permutation, Select2ndMin, Vidx, UNVISITED};
 
@@ -132,6 +132,7 @@ fn dist_pseudo_peripheral(
     a: &DistCscMatrix,
     degrees: &DistDenseVec<Vidx>,
     start: Vidx,
+    ws: &mut DistSpmspvWorkspace<Label>,
     clock: &mut SimClock,
     bfs_count: &mut usize,
 ) -> (Vidx, usize) {
@@ -151,7 +152,7 @@ fn dist_pseudo_peripheral(
             clock.set_phase(Phase::PeripheralOther);
             dist_gather_values(&mut cur, &levels, clock);
             clock.set_phase(Phase::PeripheralSpmspv);
-            let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, clock);
+            let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, ws, clock);
             clock.set_phase(Phase::PeripheralOther);
             let mut next = dist_select(&next, &levels, |l| l == UNVISITED, clock);
             if !dist_is_nonempty(&next, clock) {
@@ -229,6 +230,7 @@ fn dist_label_component(
     order: &mut DistDenseVec<Label>,
     nv: &mut Label,
     sort_mode: SortMode,
+    ws: &mut DistSpmspvWorkspace<Label>,
     clock: &mut SimClock,
     level_stats: &mut Vec<LevelStat>,
 ) -> usize {
@@ -238,7 +240,7 @@ fn dist_label_component(
     if sort_mode == SortMode::GlobalSortAtEnd {
         // BFS stamping levels, then one global SORTPERM keyed by
         // (level, degree, vertex) over the whole component.
-        let component = dist_bfs_levels(a, root, order, clock);
+        let component = dist_bfs_levels(a, root, order, ws, clock);
         let ecc = component
             .parts
             .iter()
@@ -267,7 +269,7 @@ fn dist_label_component(
         dist_gather_values(&mut cur, order, clock);
         // L_next ← SPMSPV(A, L_cur, (select2nd, min)).
         clock.set_phase(Phase::OrderingSpmspv);
-        let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, clock);
+        let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, ws, clock);
         // L_next ← SELECT(L_next, R = −1).
         clock.set_phase(Phase::OrderingOther);
         let next = dist_select(&next, order, |r| r == UNVISITED, clock);
@@ -312,6 +314,7 @@ fn dist_bfs_levels(
     a: &DistCscMatrix,
     root: Vidx,
     order: &mut DistDenseVec<Label>,
+    ws: &mut DistSpmspvWorkspace<Label>,
     clock: &mut SimClock,
 ) -> DistSparseVec<Label> {
     let layout = a.layout().clone();
@@ -325,7 +328,7 @@ fn dist_bfs_levels(
     let mut level: Label = 0;
     loop {
         clock.set_phase(Phase::OrderingSpmspv);
-        let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, clock);
+        let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, ws, clock);
         clock.set_phase(Phase::OrderingOther);
         let mut next = dist_select(&next, order, |r| r == UNVISITED, clock);
         if !dist_is_nonempty(&next, clock) {
@@ -384,12 +387,21 @@ pub fn dist_rcm(a: &CscMatrix, config: &DistRcmConfig) -> DistRcmResult {
     let mut peripheral_bfs = 0usize;
     let mut levels = 0usize;
     let mut level_stats: Vec<LevelStat> = Vec::new();
+    // One SpMSpV workspace for the entire run — every BFS sweep and every
+    // ordering level reuses the same dense accumulator.
+    let mut ws: DistSpmspvWorkspace<Label> = DistSpmspvWorkspace::new();
     while (nv as usize) < n {
         clock.set_phase(Phase::PeripheralOther);
         let seed = dist_find_unvisited_min_degree(&order, &degrees, &mut clock)
             .expect("unvisited vertex must exist");
-        let (root, _ecc) =
-            dist_pseudo_peripheral(&dmat, &degrees, seed, &mut clock, &mut peripheral_bfs);
+        let (root, _ecc) = dist_pseudo_peripheral(
+            &dmat,
+            &degrees,
+            seed,
+            &mut ws,
+            &mut clock,
+            &mut peripheral_bfs,
+        );
         components += 1;
         levels += dist_label_component(
             &dmat,
@@ -398,6 +410,7 @@ pub fn dist_rcm(a: &CscMatrix, config: &DistRcmConfig) -> DistRcmResult {
             &mut order,
             &mut nv,
             config.sort_mode,
+            &mut ws,
             &mut clock,
             &mut level_stats,
         );

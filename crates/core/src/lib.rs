@@ -37,6 +37,7 @@ pub mod algebraic;
 pub mod compress;
 pub mod distributed;
 pub mod peripheral;
+pub mod pool;
 pub mod quality;
 pub mod serial;
 pub mod shared;
@@ -47,11 +48,14 @@ pub use algebraic::{algebraic_cm, algebraic_rcm, AlgebraicStats};
 pub use compress::{find_supervariables, rcm_compressed, CompressStats};
 pub use distributed::{dist_rcm, DistRcmConfig, DistRcmResult, LevelStat, SortMode};
 pub use peripheral::{bfs_level_structure, pseudo_peripheral, LevelStructure, PseudoPeripheral};
+pub use pool::{
+    thread_counts_from_env, ChunkQueue, PoolConfig, RcmPool, DEFAULT_CHUNK, DEFAULT_SEQ_CUTOFF,
+};
 pub use quality::{
     ordering_bandwidth, ordering_profile, ordering_wavefront, quality_report, OrderingQuality,
 };
 pub use serial::{cuthill_mckee, rcm_from_root, SerialRcmStats};
-pub use shared::{par_cuthill_mckee, par_rcm, SharedRcmStats};
+pub use shared::{par_cuthill_mckee, par_cuthill_mckee_with_pool, par_rcm, SharedRcmStats};
 pub use sloan::{sloan, sloan_with_weights, SloanWeights};
 pub use unordered::{rcm_globalsort, rcm_nosort};
 

@@ -3,21 +3,26 @@
 //!
 //! The paper compares its distributed implementation against SpMP (Park et
 //! al.), which implements the level-synchronous shared-memory RCM of
-//! Karantasis et al. \[8\]. This module provides an equivalent baseline using
-//! real OS threads:
+//! Karantasis et al. \[8\]. This module provides an equivalent baseline on
+//! top of the work-stealing backend of [`crate::pool`]:
 //!
-//! * frontier expansion is split across threads, each emitting
-//!   `(vertex, parent-label)` candidates for unvisited neighbours *without*
-//!   claiming them (no atomics on the hot path — `visited` is only read
-//!   during a level and written between levels),
-//! * candidates are merged and deduplicated keeping the minimum parent
-//!   label, reproducing the `(select2nd, min)` semantics, then
-//! * sorted by `(parent label, degree, vertex)` and labeled.
+//! * frontier expansion is claimed chunk-by-chunk from an atomic work
+//!   queue, each worker emitting `(vertex, parent-label, degree)` candidates
+//!   for unvisited neighbours into its reusable arena *without* claiming
+//!   them (no atomics on the hot path — `visited` is only read during a
+//!   level and written between levels),
+//! * candidates are merged and deduplicated in parallel keeping the minimum
+//!   parent label, reproducing the `(select2nd, min)` semantics, then
+//! * bucket-sorted by `(parent label, degree, vertex)` in parallel
+//!   (mirroring the distributed `SORTPERM`) and labeled.
 //!
 //! The result is *deterministic* and identical to the sequential and
 //! algebraic orderings — thread count changes runtime, never the answer.
+//! CI enforces this with an `RCM_THREADS` sweep (see
+//! [`crate::pool::thread_counts_from_env`]).
 
 use crate::peripheral::pseudo_peripheral_with_degrees;
+use crate::pool::{LevelExecutor, PoolConfig, RcmPool};
 use rcm_sparse::{CscMatrix, Permutation, Vidx};
 
 /// Statistics of a shared-memory RCM run.
@@ -29,100 +34,11 @@ pub struct SharedRcmStats {
     pub peripheral_bfs: usize,
     /// Ordering levels traversed.
     pub levels: usize,
-}
-
-/// Candidate entry emitted during parallel expansion:
-/// `(vertex, parent label, degree)` — ordered so that sorting by the tuple
-/// groups duplicates of a vertex with the minimum parent first.
-type Candidate = (Vidx, Vidx, Vidx);
-
-/// Expand one frontier level in parallel.
-///
-/// `frontier` holds the current level in label order; `base_label` is the
-/// label of `frontier[0]`. Returns deduplicated candidates sorted by
-/// `(parent label, degree, vertex)`, ready for labeling.
-fn expand_level(
-    a: &CscMatrix,
-    degrees: &[Vidx],
-    visited: &[bool],
-    frontier: &[Vidx],
-    base_label: Vidx,
-    nthreads: usize,
-) -> Vec<Candidate> {
-    let nthreads = nthreads.max(1).min(frontier.len().max(1));
-    let chunk = frontier.len().div_ceil(nthreads);
-    let mut per_thread: Vec<Vec<Candidate>> = Vec::new();
-    if nthreads == 1 || frontier.len() < 256 {
-        // Not worth spawning below this size.
-        let mut out = Vec::new();
-        for (off, &v) in frontier.iter().enumerate() {
-            let parent_label = base_label + off as Vidx;
-            for &w in a.col(v as usize) {
-                if !visited[w as usize] {
-                    out.push((w, parent_label, degrees[w as usize]));
-                }
-            }
-        }
-        out.sort_unstable();
-        per_thread.push(out);
-    } else {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = frontier
-                .chunks(chunk)
-                .enumerate()
-                .map(|(c, slice)| {
-                    scope.spawn(move || {
-                        let mut out: Vec<Candidate> = Vec::new();
-                        let chunk_base = base_label + (c * chunk) as Vidx;
-                        for (off, &v) in slice.iter().enumerate() {
-                            let parent_label = chunk_base + off as Vidx;
-                            for &w in a.col(v as usize) {
-                                if !visited[w as usize] {
-                                    out.push((w, parent_label, degrees[w as usize]));
-                                }
-                            }
-                        }
-                        // Pre-sort locally so the merge below is linear.
-                        out.sort_unstable();
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                per_thread.push(h.join().expect("expansion thread panicked"));
-            }
-        });
-    }
-
-    // K-way merge by (vertex, parent) keeping the first (= minimum-parent)
-    // occurrence of each vertex.
-    let total: usize = per_thread.iter().map(Vec::len).sum();
-    let mut merged: Vec<Candidate> = Vec::with_capacity(total);
-    let mut cursors = vec![0usize; per_thread.len()];
-    loop {
-        let mut best: Option<(Candidate, usize)> = None;
-        for (t, list) in per_thread.iter().enumerate() {
-            if cursors[t] < list.len() {
-                let cand = list[cursors[t]];
-                if best.is_none_or(|(b, _)| cand < b) {
-                    best = Some((cand, t));
-                }
-            }
-        }
-        match best {
-            None => break,
-            Some((cand, t)) => {
-                cursors[t] += 1;
-                match merged.last() {
-                    Some(&(v, _, _)) if v == cand.0 => {} // duplicate vertex: min parent kept
-                    _ => merged.push(cand),
-                }
-            }
-        }
-    }
-    // Relabel order: (parent label, degree, vertex).
-    merged.sort_unstable_by_key(|&(v, parent, deg)| (parent, deg, v));
-    merged
+    /// Frontier expansions executed through the parallel pipeline,
+    /// including a component's final (empty-result) expansion; the rest
+    /// fell under the pool's sequential cutover
+    /// ([`crate::pool::DEFAULT_SEQ_CUTOFF`]).
+    pub parallel_levels: usize,
 }
 
 /// Multithreaded RCM with `nthreads` worker threads.
@@ -136,52 +52,171 @@ pub fn par_rcm(a: &CscMatrix, nthreads: usize) -> (Permutation, SharedRcmStats) 
 
 /// Multithreaded Cuthill-McKee (unreversed).
 pub fn par_cuthill_mckee(a: &CscMatrix, nthreads: usize) -> (Permutation, SharedRcmStats) {
+    let mut pool = RcmPool::new(PoolConfig::new(nthreads));
+    par_cuthill_mckee_with_pool(a, &mut pool)
+}
+
+/// Multithreaded Cuthill-McKee on a caller-owned [`RcmPool`] — reuse the
+/// pool across matrices to amortize arena growth (benchmark loops).
+pub fn par_cuthill_mckee_with_pool(
+    a: &CscMatrix,
+    pool: &mut RcmPool,
+) -> (Permutation, SharedRcmStats) {
     assert_eq!(a.n_rows(), a.n_cols());
     let n = a.n_rows();
     let degrees = a.degrees();
-    let mut visited = vec![false; n];
-    let mut order: Vec<Vidx> = Vec::with_capacity(n);
-    let mut stats = SharedRcmStats::default();
+    pool.run(a, &degrees, |exec| {
+        let mut order: Vec<Vidx> = Vec::with_capacity(n);
+        let mut stats = SharedRcmStats::default();
+        // Level output buffer, reused across levels and components.
+        let mut cands = Vec::new();
 
-    while order.len() < n {
-        let seed = (0..n)
-            .filter(|&v| !visited[v])
-            .min_by_key(|&v| (degrees[v], v as Vidx))
-            .expect("unvisited vertex exists") as Vidx;
-        let pp = pseudo_peripheral_with_degrees(a, seed, &degrees);
-        stats.components += 1;
-        stats.peripheral_bfs += pp.bfs_count;
+        while order.len() < n {
+            let seed = exec
+                .with_state(|visited, _| {
+                    (0..n)
+                        .filter(|&v| !visited[v])
+                        .min_by_key(|&v| (degrees[v], v as Vidx))
+                })
+                .expect("unvisited vertex exists") as Vidx;
+            let (root, bfs_count) = if exec.nthreads() == 1 {
+                let pp = pseudo_peripheral_with_degrees(a, seed, &degrees);
+                (pp.vertex, pp.bfs_count)
+            } else {
+                parallel_pseudo_peripheral(exec, &degrees, seed)
+            };
+            stats.components += 1;
+            stats.peripheral_bfs += bfs_count;
 
-        let root = pp.vertex;
-        visited[root as usize] = true;
-        let mut base_label = order.len() as Vidx;
-        order.push(root);
-        let mut frontier = vec![root];
-        while !frontier.is_empty() {
-            let cands = expand_level(a, &degrees, &visited, &frontier, base_label, nthreads);
+            let mut base_label = order.len() as Vidx;
+            order.push(root);
+            exec.with_state(|visited, frontier| {
+                visited[root as usize] = true;
+                frontier.clear();
+                frontier.push(root);
+            });
+            loop {
+                let parallel = exec.expand(base_label, &mut cands);
+                if parallel {
+                    stats.parallel_levels += 1;
+                }
+                if cands.is_empty() {
+                    break;
+                }
+                stats.levels += 1;
+                base_label = order.len() as Vidx;
+                exec.with_state(|visited, frontier| {
+                    frontier.clear();
+                    for &(v, _, _) in &cands {
+                        visited[v as usize] = true;
+                        order.push(v);
+                        frontier.push(v);
+                    }
+                });
+            }
+        }
+        (
+            Permutation::from_order(&order).expect("CM visits each vertex once"),
+            stats,
+        )
+    })
+}
+
+/// George–Liu pseudo-peripheral search running its BFS sweeps through the
+/// worker pool (Algorithm 2; the paper parallelizes these sweeps with the
+/// same machinery as the ordering pass).
+///
+/// Level *sets* are interleaving-independent, and both the stopping rule
+/// and the minimum-degree pick operate on sets, so the returned vertex is
+/// identical to [`pseudo_peripheral_with_degrees`]. BFS visited marks are
+/// undone before returning — the ordering pass owns the visited array.
+fn parallel_pseudo_peripheral(
+    exec: &mut LevelExecutor<'_, '_>,
+    degrees: &[Vidx],
+    start: Vidx,
+) -> (Vidx, usize) {
+    // One full BFS sweep from `r`; leaves the last nonempty level in
+    // `last_level` and every visited vertex in `touched`, returns the
+    // eccentricity.
+    fn sweep(
+        exec: &mut LevelExecutor<'_, '_>,
+        r: Vidx,
+        cands: &mut Vec<crate::pool::Candidate>,
+        last_level: &mut Vec<Vidx>,
+        touched: &mut Vec<Vidx>,
+    ) -> usize {
+        exec.with_state(|visited, frontier| {
+            visited[r as usize] = true;
+            frontier.clear();
+            frontier.push(r);
+        });
+        touched.clear();
+        touched.push(r);
+        last_level.clear();
+        last_level.push(r);
+        let mut ecc = 0usize;
+        loop {
+            // BFS needs no real labels; positions from 0 keep the claim
+            // filter's (vertex, parent) pairs unique.
+            exec.expand(0, cands);
             if cands.is_empty() {
                 break;
             }
-            stats.levels += 1;
-            base_label = order.len() as Vidx;
-            let mut next = Vec::with_capacity(cands.len());
-            for &(v, _, _) in &cands {
-                visited[v as usize] = true;
-                order.push(v);
-                next.push(v);
-            }
-            frontier = next;
+            ecc += 1;
+            exec.with_state(|visited, frontier| {
+                frontier.clear();
+                for &(v, _, _) in cands.iter() {
+                    visited[v as usize] = true;
+                    frontier.push(v);
+                }
+            });
+            last_level.clear();
+            last_level.extend(cands.iter().map(|&(v, _, _)| v));
+            touched.extend_from_slice(last_level);
         }
+        ecc
     }
-    (
-        Permutation::from_order(&order).expect("CM visits each vertex once"),
-        stats,
-    )
+    fn unmark(exec: &mut LevelExecutor<'_, '_>, touched: &[Vidx]) {
+        exec.with_state(|visited, _| {
+            for &v in touched {
+                visited[v as usize] = false;
+            }
+        });
+    }
+
+    let mut cands = Vec::new();
+    let mut last_level: Vec<Vidx> = Vec::new();
+    let mut touched: Vec<Vidx> = Vec::new();
+    let mut r = start;
+    let mut ecc = sweep(exec, r, &mut cands, &mut last_level, &mut touched);
+    let mut bfs_count = 1usize;
+    loop {
+        // Shrink: minimum-degree vertex of the last level (ties toward the
+        // smaller id) — the same set-based pick as the serial finder.
+        let v = *last_level
+            .iter()
+            .min_by_key(|&&w| (degrees[w as usize], w))
+            .expect("last level is nonempty");
+        unmark(exec, &touched);
+        if v == r {
+            break;
+        }
+        let ecc_v = sweep(exec, v, &mut cands, &mut last_level, &mut touched);
+        bfs_count += 1;
+        r = v;
+        if ecc_v <= ecc {
+            unmark(exec, &touched);
+            break;
+        }
+        ecc = ecc_v;
+    }
+    (r, bfs_count)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::thread_counts_from_env;
     use crate::serial;
     use rcm_sparse::CooBuilder;
 
@@ -208,15 +243,67 @@ mod tests {
     fn matches_serial_for_any_thread_count() {
         let a = scrambled_grid(13, 23);
         let (expect, _) = serial::rcm(&a);
-        for t in [1usize, 2, 3, 4, 8] {
+        for t in thread_counts_from_env(&[1, 2, 3, 4, 8]) {
             let (got, _) = par_rcm(&a, t);
             assert_eq!(got, expect, "{t} threads diverged");
         }
     }
 
+    /// Caterpillar: `hubs` path-connected hub vertices, each with `leaves`
+    /// pendant vertices. Every interior BFS level holds `leaves + 1`
+    /// vertices, safely above [`crate::pool::DEFAULT_SEQ_CUTOFF`].
+    fn wide_level_graph(hubs: usize, leaves: usize) -> CscMatrix {
+        let n = hubs * (leaves + 1);
+        let mut b = CooBuilder::new(n, n);
+        for h in 0..hubs {
+            let hub = (h * (leaves + 1)) as Vidx;
+            if h + 1 < hubs {
+                b.push_sym(hub, hub + (leaves + 1) as Vidx);
+            }
+            for l in 1..=leaves {
+                b.push_sym(hub, hub + l as Vidx);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn matches_serial_above_the_cutover() {
+        let a = wide_level_graph(10, 300);
+        let (expect, _) = serial::rcm(&a);
+        for t in thread_counts_from_env(&[2, 5, 8]) {
+            let (got, stats) = par_rcm(&a, t);
+            assert_eq!(got, expect, "{t} threads diverged");
+            if t > 1 {
+                assert!(
+                    stats.parallel_levels > 0,
+                    "{t} threads never took the parallel path"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cutover_threshold_is_configurable() {
+        // With seq_cutoff = 1 even tiny frontiers go parallel; the answer
+        // must not change.
+        let a = scrambled_grid(9, 7);
+        let (expect, _) = serial::rcm(&a);
+        let mut pool = RcmPool::new(PoolConfig {
+            nthreads: 3,
+            seq_cutoff: 1,
+            chunk: 2,
+        });
+        let (got, stats) = par_cuthill_mckee_with_pool(&a, &mut pool);
+        assert_eq!(got.reversed(), expect);
+        // Every expansion goes parallel: one per level plus each
+        // component's final empty expansion.
+        assert_eq!(stats.parallel_levels, stats.levels + stats.components);
+    }
+
     #[test]
     fn large_frontier_takes_threaded_path() {
-        // A star graph has one giant level — forces the threaded branch.
+        // A star graph has one giant level — forces the parallel branch.
         let n = 2000;
         let mut b = CooBuilder::new(n, n);
         for v in 1..n {
@@ -226,6 +313,7 @@ mod tests {
         let (p, stats) = par_rcm(&a, 4);
         assert_eq!(p.len(), n);
         assert_eq!(stats.components, 1);
+        assert!(stats.parallel_levels > 0, "star level must run in parallel");
         let (expect, _) = serial::rcm(&a);
         assert_eq!(p, expect);
     }
@@ -254,5 +342,16 @@ mod tests {
         let (p, _) = par_rcm(&a, 2);
         let (expect, _) = serial::rcm(&a);
         assert_eq!(p, expect);
+    }
+
+    #[test]
+    fn pool_reuse_across_matrices_is_clean() {
+        let mut pool = RcmPool::new(PoolConfig::new(4));
+        for (w, stride) in [(20usize, 13usize), (31, 17), (12, 7)] {
+            let a = scrambled_grid(w, stride);
+            let (expect, _) = serial::rcm(&a);
+            let (got, _) = par_cuthill_mckee_with_pool(&a, &mut pool);
+            assert_eq!(got.reversed(), expect, "{w}x{w} grid diverged");
+        }
     }
 }

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use rcm_core::{
-    algebraic_rcm, bfs_level_structure, ordering_bandwidth, ordering_profile, par_rcm,
-    pseudo_peripheral, rcm, rcm_globalsort, rcm_nosort, sloan,
+    algebraic_rcm, bfs_level_structure, ordering_bandwidth, ordering_profile, par_cuthill_mckee,
+    par_rcm, pseudo_peripheral, rcm, rcm_globalsort, rcm_nosort, sloan, thread_counts_from_env,
 };
 use rcm_sparse::{envelope_size, matrix_bandwidth, CooBuilder, CscMatrix, Permutation, Vidx};
 
@@ -107,6 +107,25 @@ proptest! {
     }
 
     #[test]
+    fn par_rcm_equals_serial_at_every_thread_count(
+        n in 1usize..70,
+        edges in proptest::collection::vec((0usize..70, 0usize..70), 0..180),
+    ) {
+        // Random graphs are frequently disconnected at these densities, so
+        // this also covers the multi-component seed scan. CI overrides the
+        // sweep via RCM_THREADS.
+        let a = build_matrix(n, &edges);
+        let expect = rcm(&a);
+        let (expect_cm, _) = rcm_core::cuthill_mckee(&a);
+        for t in thread_counts_from_env(&[1, 3, 8]) {
+            let (got, _) = par_rcm(&a, t);
+            prop_assert_eq!(&got, &expect, "par_rcm diverged at {} threads", t);
+            let (got_cm, _) = par_cuthill_mckee(&a, t);
+            prop_assert_eq!(&got_cm, &expect_cm, "par_cuthill_mckee diverged at {} threads", t);
+        }
+    }
+
+    #[test]
     fn profile_metrics_agree_with_materialization(
         n in 1usize..50,
         edges in proptest::collection::vec((0usize..50, 0usize..50), 0..100),
@@ -186,5 +205,81 @@ proptest! {
             before,
             after
         );
+    }
+}
+
+/// Degenerate shapes that stress specific backend paths: the star's single
+/// fat level (parallel pipeline with one shared parent), the path's chain
+/// of singleton levels (sequential cutover on every level), and a forest of
+/// disconnected pieces (per-component seed scan + visited bookkeeping).
+mod par_rcm_degenerate_graphs {
+    use super::*;
+
+    fn assert_matches_serial(a: &CscMatrix, what: &str) {
+        let expect = rcm(a);
+        for t in thread_counts_from_env(&[1, 3, 8]) {
+            let (got, _) = par_rcm(a, t);
+            assert_eq!(got, expect, "{what}: diverged at {t} threads");
+        }
+    }
+
+    #[test]
+    fn star_graph() {
+        let n = 3000;
+        let mut b = CooBuilder::new(n, n);
+        for v in 1..n {
+            b.push_sym(0, v as Vidx);
+        }
+        assert_matches_serial(&b.build(), "star");
+    }
+
+    #[test]
+    fn path_graph() {
+        let n = 2000;
+        let mut b = CooBuilder::new(n, n);
+        for v in 0..n - 1 {
+            b.push_sym(v as Vidx, (v + 1) as Vidx);
+        }
+        assert_matches_serial(&b.build(), "path");
+    }
+
+    #[test]
+    fn disconnected_forest() {
+        // Stars of decreasing size plus isolated vertices, interleaved ids.
+        let n = 1500;
+        let mut b = CooBuilder::new(n, n);
+        let mut v = 0usize;
+        let mut hub_size = 64usize;
+        while v + hub_size + 1 < n && hub_size > 1 {
+            let hub = v as Vidx;
+            for l in 1..=hub_size {
+                b.push_sym(hub, (v + l) as Vidx);
+            }
+            v += hub_size + 7; // gap leaves isolated vertices between stars
+            hub_size = hub_size * 3 / 4;
+        }
+        assert_matches_serial(&b.build(), "forest");
+    }
+
+    #[test]
+    fn two_wide_components() {
+        // Two caterpillars whose levels clear the sequential cutover, so
+        // the parallel pipeline runs in both components.
+        let hubs = 4usize;
+        let leaves = 400usize;
+        let comp = hubs * (leaves + 1);
+        let mut b = CooBuilder::new(2 * comp, 2 * comp);
+        for c in 0..2 {
+            for h in 0..hubs {
+                let hub = (c * comp + h * (leaves + 1)) as Vidx;
+                if h + 1 < hubs {
+                    b.push_sym(hub, hub + (leaves + 1) as Vidx);
+                }
+                for l in 1..=leaves {
+                    b.push_sym(hub, hub + l as Vidx);
+                }
+            }
+        }
+        assert_matches_serial(&b.build(), "two-caterpillars");
     }
 }

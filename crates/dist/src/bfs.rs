@@ -11,17 +11,20 @@ use crate::clock::{Phase, SimClock};
 use crate::matrix::DistCscMatrix;
 use crate::primitives::{
     dist_argmin, dist_gather_values, dist_is_nonempty, dist_select, dist_set, dist_spmspv,
+    DistSpmspvWorkspace,
 };
 use crate::sortperm::dist_sortperm;
 use crate::vec::{DistDenseVec, DistSparseVec};
 use rcm_sparse::{Label, Select2ndMin, Vidx, UNVISITED};
 
 /// One full level-synchronous BFS from `root`, charging `Peripheral*`
-/// phases. Returns the dense level vector (`UNVISITED` outside the
-/// component), the root's eccentricity, and the last nonempty frontier.
+/// phases and accumulating through the caller's persistent `ws`. Returns
+/// the dense level vector (`UNVISITED` outside the component), the root's
+/// eccentricity, and the last nonempty frontier.
 fn bfs_levels_with_last(
     a: &DistCscMatrix,
     root: Vidx,
+    ws: &mut DistSpmspvWorkspace<Label>,
     clock: &mut SimClock,
 ) -> (DistDenseVec<Label>, usize, DistSparseVec<Label>) {
     let layout = a.layout().clone();
@@ -35,7 +38,7 @@ fn bfs_levels_with_last(
         clock.set_phase(Phase::PeripheralOther);
         dist_gather_values(&mut cur, &levels, clock);
         clock.set_phase(Phase::PeripheralSpmspv);
-        let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, clock);
+        let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, ws, clock);
         clock.set_phase(Phase::PeripheralOther);
         let mut next = dist_select(&next, &levels, |l| l == UNVISITED, clock);
         if !dist_is_nonempty(&next, clock) {
@@ -62,7 +65,8 @@ pub fn dist_bfs_levels(
     root: Vidx,
     clock: &mut SimClock,
 ) -> (DistDenseVec<Label>, usize) {
-    let (levels, ecc, _) = bfs_levels_with_last(a, root, clock);
+    let mut ws = DistSpmspvWorkspace::new();
+    let (levels, ecc, _) = bfs_levels_with_last(a, root, &mut ws, clock);
     (levels, ecc)
 }
 
@@ -77,8 +81,10 @@ pub fn dist_pseudo_peripheral(
     let mut r = start;
     let mut nlvl: i64 = -1;
     let mut bfs_count = 0usize;
+    // One workspace across every sweep of the search.
+    let mut ws = DistSpmspvWorkspace::new();
     loop {
-        let (_, ecc, last) = bfs_levels_with_last(a, r, clock);
+        let (_, ecc, last) = bfs_levels_with_last(a, r, &mut ws, clock);
         bfs_count += 1;
         if ecc as i64 <= nlvl {
             return (r, ecc, bfs_count);
@@ -110,11 +116,13 @@ pub fn dist_label_component(
     *nv += 1;
     let mut cur = DistSparseVec::singleton(a.layout().clone(), root, 0 as Label);
     let mut levels = 0usize;
+    // One workspace across every frontier expansion of the component.
+    let mut ws = DistSpmspvWorkspace::new();
     loop {
         clock.set_phase(Phase::OrderingOther);
         dist_gather_values(&mut cur, order, clock);
         clock.set_phase(Phase::OrderingSpmspv);
-        let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, clock);
+        let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, &mut ws, clock);
         clock.set_phase(Phase::OrderingOther);
         let next = dist_select(&next, order, |v| v == UNVISITED, clock);
         if !dist_is_nonempty(&next, clock) {
@@ -171,6 +179,26 @@ mod tests {
         assert!(v == 0 || v == 11, "got {v}");
         assert_eq!(ecc, 11);
         assert!(sweeps >= 2);
+    }
+
+    #[test]
+    fn bfs_workspace_grows_exactly_once() {
+        // A path BFS runs one SpMSpV per level — the driver-owned
+        // workspace must allocate on the first call only (the acceptance
+        // bar for the dense-accumulator path: zero per-call heap growth).
+        let a = path(40);
+        let d = DistCscMatrix::from_global(ProcGrid::square(4).unwrap(), &a, None);
+        let mut ws = DistSpmspvWorkspace::new();
+        let (_, ecc, _) = bfs_levels_with_last(&d, 0, &mut ws, &mut clock());
+        assert_eq!(ecc, 39, "sanity: 40 BFS iterations ran");
+        assert_eq!(
+            ws.growth_events(),
+            1,
+            "workspace must grow once, then be reused across all levels"
+        );
+        // A second full sweep on the same matrix must not grow at all.
+        let _ = bfs_levels_with_last(&d, 20, &mut ws, &mut clock());
+        assert_eq!(ws.growth_events(), 1);
     }
 
     #[test]

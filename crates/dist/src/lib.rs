@@ -35,7 +35,10 @@
 //! no balance permutation is applied.
 //!
 //! ```
-//! use rcm_dist::{dist_spmspv, DistCscMatrix, DistSparseVec, MachineModel, ProcGrid, SimClock};
+//! use rcm_dist::{
+//!     dist_spmspv, DistCscMatrix, DistSparseVec, DistSpmspvWorkspace, MachineModel, ProcGrid,
+//!     SimClock,
+//! };
 //! use rcm_sparse::{CooBuilder, Select2ndMin};
 //!
 //! let mut b = CooBuilder::new(4, 4);
@@ -45,7 +48,8 @@
 //! let a = DistCscMatrix::from_global(ProcGrid::square(4).unwrap(), &b.build(), None);
 //! let x = DistSparseVec::singleton(a.layout().clone(), 0, 0i64);
 //! let mut clock = SimClock::new(MachineModel::edison(), 1);
-//! let y = dist_spmspv::<i64, Select2ndMin>(&a, &x, &mut clock);
+//! let mut ws = DistSpmspvWorkspace::new();
+//! let y = dist_spmspv::<i64, Select2ndMin>(&a, &x, &mut ws, &mut clock);
 //! assert_eq!(y.iter_entries().collect::<Vec<_>>(), vec![(1, 0)]);
 //! assert!(clock.now() > 0.0);
 //! ```
@@ -68,7 +72,7 @@ pub use machine::MachineModel;
 pub use matrix::DistCscMatrix;
 pub use primitives::{
     dist_argmin, dist_find_unvisited_min_degree, dist_gather_values, dist_is_nonempty, dist_select,
-    dist_set, dist_spmspv,
+    dist_set, dist_spmspv, DistSpmspvWorkspace,
 };
 pub use sortperm::{dist_sortperm, dist_sortperm_samplesort};
 pub use vec::{DistDenseVec, DistSparseVec, VecLayout};

@@ -3,7 +3,7 @@
 //! `DistCscMatrix::from_global` distributes a symmetric pattern matrix over
 //! the `√p′ × √p′` grid: process `(i, j)` owns the sub-block with rows in
 //! row-strip `i` and columns in column-strip `j` (strips are the balanced
-//! contiguous [`block_range`](crate::block_range) split of `0..n` into `√p′`
+//! contiguous [`crate::grid::block_range`] split of `0..n` into `√p′`
 //! parts). An optional §IV-A load-balance permutation relabels vertices
 //! *internally* before distribution — it depends only on `(n, seed)`, never
 //! on the grid, so a fixed seed yields identical orderings on every grid

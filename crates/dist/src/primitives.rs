@@ -18,8 +18,92 @@ use rcm_sparse::{Label, Semiring, Vidx, UNVISITED};
 /// Bytes of one `(index, value)` pair on the wire.
 const ENTRY_BYTES: u64 = 16;
 
+/// Reusable scratch for [`dist_spmspv`] — the distributed mirror of
+/// `rcm_sparse::SpmspvWorkspace`: a stamped dense accumulator (values +
+/// epoch stamps, so no `O(n)` clearing between calls), the thin-frontier
+/// product buffer, and the per-block cost tallies. Own one per BFS/RCM
+/// driver and reuse it across iterations; after warm-up a call performs no
+/// heap allocation on the dense-accumulator path.
+pub struct DistSpmspvWorkspace<T> {
+    values: Vec<T>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    touched: Vec<Vidx>,
+    products: Vec<(Vidx, T)>,
+    block_work: Vec<usize>,
+    col_frontier: Vec<usize>,
+    row_result: Vec<usize>,
+    growth_events: usize,
+}
+
+impl<T: Copy + Default> DistSpmspvWorkspace<T> {
+    /// Empty workspace; buffers grow to the first call's sizes.
+    pub fn new() -> Self {
+        DistSpmspvWorkspace {
+            values: Vec::new(),
+            stamp: Vec::new(),
+            epoch: 0,
+            touched: Vec::new(),
+            products: Vec::new(),
+            block_work: Vec::new(),
+            col_frontier: Vec::new(),
+            row_result: Vec::new(),
+            growth_events: 0,
+        }
+    }
+
+    /// Times any buffer had to grow (first use counts once). A driver that
+    /// reuses its workspace across a whole BFS sees exactly one event.
+    pub fn growth_events(&self) -> usize {
+        self.growth_events
+    }
+
+    /// Grow (never shrink) to a matrix with `n` rows on a `pr × pr` grid.
+    fn ensure(&mut self, n: usize, pr: usize) {
+        let mut grew = false;
+        if self.values.len() < n {
+            self.values.resize(n, T::default());
+            self.stamp.resize(n, 0);
+            grew = true;
+        }
+        if self.block_work.len() < pr * pr {
+            self.block_work.resize(pr * pr, 0);
+            grew = true;
+        }
+        if self.col_frontier.len() < pr {
+            self.col_frontier.resize(pr, 0);
+            self.row_result.resize(pr, 0);
+            grew = true;
+        }
+        if grew {
+            self.growth_events += 1;
+        }
+    }
+
+    /// Start a call: bump the stamp epoch and zero the per-call tallies.
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrapped around: reset to keep correctness.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.touched.clear();
+        self.products.clear();
+        self.block_work.fill(0);
+        self.col_frontier.fill(0);
+        self.row_result.fill(0);
+    }
+}
+
+impl<T: Copy + Default> Default for DistSpmspvWorkspace<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// `SPMSPV(A, x, SR)`: sparse matrix–sparse vector product over semiring
-/// `S` on the 2D-decomposed matrix.
+/// `S` on the 2D-decomposed matrix, accumulating through `ws`.
 ///
 /// Communication pattern (§IV-A): frontier entries are gathered along
 /// process columns, block-local products computed, and partial results
@@ -28,6 +112,7 @@ const ENTRY_BYTES: u64 = 16;
 pub fn dist_spmspv<T, S>(
     a: &DistCscMatrix,
     x: &DistSparseVec<T>,
+    ws: &mut DistSpmspvWorkspace<T>,
     clock: &mut SimClock,
 ) -> DistSparseVec<T>
 where
@@ -39,27 +124,19 @@ where
     let n = layout.len();
     let pr = a.grid().pr;
     let p = layout.nprocs();
+    ws.ensure(n, pr);
+    ws.begin();
 
     // --- data + per-block work tally -----------------------------------
     // Thin frontiers (the common case on high-diameter matrices: one BFS
     // level touches few vertices) use a sort-merge accumulator whose cost
-    // follows the traversed work; fat frontiers amortize an O(n) dense
+    // follows the traversed work; fat frontiers amortize the stamped dense
     // accumulator. Either way the semiring's associative/commutative `add`
     // makes the result independent of merge order.
     let dense = n > 0 && x.total_nnz() >= n / 64;
-    let mut values: Vec<T> = if dense {
-        vec![T::default(); n]
-    } else {
-        Vec::new()
-    };
-    let mut seen = if dense { vec![false; n] } else { Vec::new() };
-    let mut touched: Vec<Vidx> = Vec::new();
-    let mut products: Vec<(Vidx, T)> = Vec::new();
-    let mut block_work = vec![0usize; pr * pr];
-    let mut col_frontier = vec![0usize; pr];
     for (g, xv) in x.iter_entries() {
         let jc = a.strip_of(g);
-        col_frontier[jc] += 1;
+        ws.col_frontier[jc] += 1;
         let lc = g as usize - a.strip_start(jc);
         let prod = S::multiply(xv);
         for ir in 0..pr {
@@ -67,36 +144,35 @@ where
             if col.is_empty() {
                 continue;
             }
-            block_work[ir * pr + jc] += col.len();
+            ws.block_work[ir * pr + jc] += col.len();
             let r0 = a.strip_start(ir) as Vidx;
             for &lr in col {
                 let r = (r0 + lr) as usize;
                 if dense {
-                    if seen[r] {
-                        values[r] = S::add(values[r], prod);
+                    if ws.stamp[r] == ws.epoch {
+                        ws.values[r] = S::add(ws.values[r], prod);
                     } else {
-                        seen[r] = true;
-                        values[r] = prod;
-                        touched.push(r as Vidx);
+                        ws.stamp[r] = ws.epoch;
+                        ws.values[r] = prod;
+                        ws.touched.push(r as Vidx);
                     }
                 } else {
-                    products.push((r as Vidx, prod));
+                    ws.products.push((r as Vidx, prod));
                 }
             }
         }
     }
 
     let mut out = DistSparseVec::empty(layout.clone());
-    let mut row_result = vec![0usize; pr];
     if dense {
-        touched.sort_unstable();
-        for &g in &touched {
-            out.parts[layout.owner(g)].push((g, values[g as usize]));
-            row_result[a.strip_of(g)] += 1;
+        ws.touched.sort_unstable();
+        for &g in &ws.touched {
+            out.parts[layout.owner(g)].push((g, ws.values[g as usize]));
+            ws.row_result[a.strip_of(g)] += 1;
         }
     } else {
-        products.sort_unstable_by_key(|&(g, _)| g);
-        let mut it = products.into_iter().peekable();
+        ws.products.sort_unstable_by_key(|&(g, _)| g);
+        let mut it = ws.products.iter().copied().peekable();
         while let Some((g, mut v)) = it.next() {
             while let Some(&(g2, v2)) = it.peek() {
                 if g2 != g {
@@ -106,17 +182,17 @@ where
                 it.next();
             }
             out.parts[layout.owner(g)].push((g, v));
-            row_result[a.strip_of(g)] += 1;
+            ws.row_result[a.strip_of(g)] += 1;
         }
     }
 
     // --- cost -----------------------------------------------------------
-    let max_block_work = block_work.iter().copied().max().unwrap_or(0);
+    let max_block_work = ws.block_work.iter().copied().max().unwrap_or(0);
     clock.charge_edges(max_block_work);
     if p > 1 {
         let machine = *clock.machine();
-        let max_frontier = col_frontier.iter().copied().max().unwrap_or(0) as u64;
-        let max_result = row_result.iter().copied().max().unwrap_or(0) as u64;
+        let max_frontier = ws.col_frontier.iter().copied().max().unwrap_or(0) as u64;
+        let max_result = ws.row_result.iter().copied().max().unwrap_or(0) as u64;
         // Gather x along columns, reduce partials along rows, scatter to
         // vector owners (folded into the reduce volume).
         let t = machine.t_tree(pr, ENTRY_BYTES * max_frontier)
@@ -299,7 +375,8 @@ mod tests {
             let d = DistCscMatrix::from_global(grid, &a, None);
             let x = DistSparseVec::from_entries(d.layout().clone(), entries.clone());
             let mut clk = clock();
-            let y = dist_spmspv::<Label, Select2ndMin>(&d, &x, &mut clk);
+            let mut ws = DistSpmspvWorkspace::new();
+            let y = dist_spmspv::<Label, Select2ndMin>(&d, &x, &mut ws, &mut clk);
             let got: Vec<(Vidx, Label)> = y.iter_entries().collect();
             assert_eq!(got, reference.entries().to_vec(), "{procs} procs");
             if procs == 1 {
@@ -309,6 +386,34 @@ mod tests {
                 assert!(clk.breakdown().comm_total() > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn spmspv_workspace_reuse_is_clean_and_allocation_free() {
+        let a = figure2_matrix();
+        let d = DistCscMatrix::from_global(ProcGrid::square(4).unwrap(), &a, None);
+        let mut ws = DistSpmspvWorkspace::new();
+        let mut clk = clock();
+        // Dense-path input (nnz >= n/64 trips the dense accumulator).
+        let x1 = DistSparseVec::from_entries(d.layout().clone(), vec![(4 as Vidx, 2 as Label)]);
+        let first: Vec<_> = dist_spmspv::<Label, Select2ndMin>(&d, &x1, &mut ws, &mut clk)
+            .iter_entries()
+            .collect();
+        assert_eq!(ws.growth_events(), 1, "first call grows the buffers");
+        // Different frontier: stale stamps must not leak values across calls.
+        let x2 = DistSparseVec::from_entries(d.layout().clone(), vec![(3 as Vidx, 9 as Label)]);
+        let second: Vec<_> = dist_spmspv::<Label, Select2ndMin>(&d, &x2, &mut ws, &mut clk)
+            .iter_entries()
+            .collect();
+        assert_eq!(second, vec![(1, 9), (7, 9)]);
+        // Same input as the first call: identical result, zero growth.
+        for _ in 0..10 {
+            let again: Vec<_> = dist_spmspv::<Label, Select2ndMin>(&d, &x1, &mut ws, &mut clk)
+                .iter_entries()
+                .collect();
+            assert_eq!(again, first);
+        }
+        assert_eq!(ws.growth_events(), 1, "steady state must not allocate");
     }
 
     #[test]

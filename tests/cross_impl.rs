@@ -27,6 +27,26 @@ fn serial_algebraic_shared_agree_on_all_suite_classes() {
 }
 
 #[test]
+fn shared_backend_is_thread_count_independent_on_suite_classes() {
+    // The acceptance sweep: bit-identical to the algebraic ordering at
+    // every Table II thread count, on a graph large enough that interior
+    // frontiers take the work-stealing parallel path.
+    let m = distributed_rcm::graphgen::suite_matrix("ldoor").unwrap();
+    let a = m.generate(m.default_scale * 0.5);
+    let (expect, _) = algebraic_rcm(&a);
+    for threads in [1usize, 2, 4, 8, 16] {
+        let (got, stats) = par_rcm(&a, threads);
+        assert_eq!(got, expect, "ldoor diverged at {threads} threads");
+        if threads > 1 {
+            assert!(
+                stats.parallel_levels > 0,
+                "{threads} threads never exercised the parallel pipeline"
+            );
+        }
+    }
+}
+
+#[test]
 fn distributed_matches_algebraic_on_multiple_grids() {
     for (name, a) in tiny_suite() {
         let (expect, _) = algebraic_rcm(&a);
