@@ -1,7 +1,7 @@
 //! `repro` — regenerate the tables and figures of Azad et al. (IPDPS 2017).
 //!
 //! ```text
-//! repro [--scale <mult>] [--quick] [--out <dir>] <experiment>...
+//! repro [--scale <mult>] [--quick] [--out <dir>] [--mtx <file.mtx>]... <experiment>...
 //!
 //! experiments:
 //!   fig1      CG+block-Jacobi solve time, natural vs RCM ordering
@@ -12,8 +12,15 @@
 //!   fig5      SpMSpV computation vs communication split
 //!   fig6      flat MPI vs hybrid breakdown on ldoor
 //!   ablation  sorting-strategy ablation (§VI future work)
+//!   backends  one generic driver on all four RcmRuntime backends
+//!   balance   load-balance permutation ablation (§IV-A)
 //!   all       everything above
 //! ```
+//!
+//! `--mtx <file.mtx>` (repeatable) loads real Matrix Market inputs —
+//! symmetrized on read — and emits their bandwidth/ordering table next to
+//! the synthetic suite. A missing or malformed file aborts the run with
+//! exit code 2 and a message naming it.
 //!
 //! Tables print to stdout and are written as CSV **and JSON** under the
 //! output directory (default `results/`), plus a `repro_summary.json`
@@ -21,16 +28,17 @@
 
 use rcm_bench::report::json_str;
 use rcm_bench::{
-    ablation_sort_modes, compression_table, fig1_cg_solve, fig3_suite_table, fig4_breakdown,
-    fig5_spmspv_split, fig6_flat_vs_hybrid, gather_vs_distributed, machine_sensitivity,
-    quality_comparison, run_hybrid_sweep, scaling_summary, shared_scaling, table2_shared_memory,
-    ExpConfig, Table,
+    ablation_sort_modes, backend_sweep, balance_ablation, compression_table, fig1_cg_solve,
+    fig3_suite_table, fig4_breakdown, fig5_spmspv_split, fig6_flat_vs_hybrid,
+    gather_vs_distributed, load_mtx, machine_sensitivity, mtx_table, quality_comparison,
+    run_hybrid_sweep, scaling_summary, shared_scaling, table2_shared_memory, ExpConfig, Table,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale <mult>] [--quick] [--out <dir>] \
-         <fig1|fig3|table2|scaling|fig4|fig5|fig6|ablation|quality|gather|sensitivity|compress|all>..."
+        "usage: repro [--scale <mult>] [--quick] [--out <dir>] [--mtx <file.mtx>]... \
+         <fig1|fig3|table2|scaling|fig4|fig5|fig6|ablation|backends|balance|quality|gather\
+         |sensitivity|compress|all>..."
     );
     std::process::exit(2);
 }
@@ -114,18 +122,31 @@ fn main() {
             "--out" => {
                 cfg.results_dir = args.next().unwrap_or_else(|| usage()).into();
             }
+            "--mtx" => {
+                let path: std::path::PathBuf = args.next().unwrap_or_else(|| usage()).into();
+                // Load up front: a bad path must abort with a clear message
+                // naming the file (exit 2), not surface mid-run or panic —
+                // and big SuiteSparse files get parsed exactly once.
+                match load_mtx(&path) {
+                    Ok(input) => cfg.mtx.push(input),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--quick" => cfg.quick = true,
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => wanted.push(other.to_string()),
         }
     }
-    if wanted.is_empty() {
+    if wanted.is_empty() && cfg.mtx.is_empty() {
         usage();
     }
     // Reject typos up front: a silently-ignored name would let the CI
     // bench-smoke gate pass while measuring nothing.
-    const KNOWN: [&str; 13] = [
+    const KNOWN: [&str; 15] = [
         "fig1",
         "fig3",
         "table2",
@@ -134,6 +155,8 @@ fn main() {
         "fig5",
         "fig6",
         "ablation",
+        "backends",
+        "balance",
         "quality",
         "gather",
         "sensitivity",
@@ -208,6 +231,21 @@ fn main() {
             "ablation_sort",
             &ablation_sort_modes(&cfg),
         );
+    }
+    if want("backends") {
+        ok &= emit(&cfg, &mut manifest, "backend_sweep", &backend_sweep(&cfg));
+    }
+    if want("balance") {
+        ok &= emit(
+            &cfg,
+            &mut manifest,
+            "balance_ablation",
+            &balance_ablation(&cfg),
+        );
+    }
+    if !cfg.mtx.is_empty() {
+        // Real inputs ride along with whatever experiments were selected.
+        ok &= emit(&cfg, &mut manifest, "mtx_suite", &mtx_table(&cfg));
     }
     if want("quality") {
         ok &= emit(

@@ -12,22 +12,28 @@
 //! | [`fig5_spmspv_split`] | Fig. 5 — SpMSpV computation vs communication |
 //! | [`fig6_flat_vs_hybrid`] | Fig. 6 — flat MPI vs hybrid on ldoor |
 //! | [`ablation_sort_modes`] | §VI — sorting-strategy ablation |
+//! | [`backend_sweep`] | one generic driver on all four `RcmRuntime` backends |
+//! | [`balance_ablation`] | §IV-A — load-balance permutation sweep |
+//! | [`mtx_table`] | real Matrix Market inputs (`repro --mtx`) next to the suite |
 //!
 //! Absolute times come from the calibrated Edison model and will not match
 //! the paper's testbed exactly; the *shapes* (who wins, scaling knees,
 //! crossover points) are the reproduction target. See EXPERIMENTS.md.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use rcm_core::{
     dist_rcm, ordering_bandwidth, ordering_profile, ordering_wavefront, par_rcm, pseudo_peripheral,
-    rcm, rcm_compressed, rcm_globalsort, rcm_nosort, sloan, DistRcmConfig, SortMode,
+    rcm, rcm_compressed, rcm_globalsort, rcm_nosort, rcm_with_backend, sloan, BackendKind,
+    DistRcmConfig, SortMode,
 };
-use rcm_dist::{Breakdown, MachineModel, Phase, PAPER_FLAT_CORES, PAPER_HYBRID_CORES};
+use rcm_dist::{
+    Breakdown, DistCscMatrix, MachineModel, Phase, PAPER_FLAT_CORES, PAPER_HYBRID_CORES,
+};
 use rcm_graphgen::{suite, suite_matrix, SuiteMatrix};
 use rcm_solver::{cg_iteration_cost, pcg, BlockJacobi};
-use rcm_sparse::{matrix_bandwidth, CscMatrix, CsrNumeric};
+use rcm_sparse::{matrix_bandwidth, mm, CooBuilder, CscMatrix, CsrNumeric};
 
 use crate::report::{fmt_count, fmt_secs, Table};
 
@@ -41,6 +47,9 @@ pub struct ExpConfig {
     pub results_dir: PathBuf,
     /// Restrict to a 3-matrix subset and fewer core counts (CI/tests).
     pub quick: bool,
+    /// Matrix Market inputs to run next to the synthetic suite
+    /// (`repro --mtx <path>`), loaded and validated by [`load_mtx`].
+    pub mtx: Vec<MtxInput>,
 }
 
 impl Default for ExpConfig {
@@ -49,6 +58,7 @@ impl Default for ExpConfig {
             scale_mult: 1.0,
             results_dir: PathBuf::from("results"),
             quick: false,
+            mtx: Vec::new(),
         }
     }
 }
@@ -736,6 +746,233 @@ pub fn scaling_summary(panels: &[SweepPanel]) -> Table {
     t
 }
 
+// ---------------------------------------------------------------------------
+// Backend sweep — one generic driver, four RcmRuntime backends
+// ---------------------------------------------------------------------------
+
+/// Run the identical generic driver on all four backends per suite matrix:
+/// serial and pooled report measured wall time, dist (flat MPI) and hybrid
+/// (MPI×OpenMP) report simulated time. The `identical` column asserts the
+/// bit-for-bit permutation equality the `RcmRuntime` refactor guarantees.
+pub fn backend_sweep(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "Backend sweep — one algebraic driver, four runtimes",
+        &[
+            "matrix",
+            "backend",
+            "config",
+            "time",
+            "clock",
+            "BW",
+            "identical",
+        ],
+    );
+    for m in cfg.matrices() {
+        let a = cfg.generate(&m);
+        let reference = rcm_with_backend(&a, BackendKind::Serial);
+        // Measured backends.
+        for (kind, config) in [
+            (BackendKind::Serial, "1 thread".to_string()),
+            (BackendKind::Pooled { threads: 4 }, "4 threads".to_string()),
+        ] {
+            let t0 = Instant::now();
+            let p = rcm_with_backend(&a, kind);
+            let dt = t0.elapsed().as_secs_f64();
+            t.row(vec![
+                m.name.to_string(),
+                kind.name().to_string(),
+                config,
+                fmt_secs(dt),
+                "measured".into(),
+                fmt_count(ordering_bandwidth(&a, &p) as u64),
+                (p == reference).to_string(),
+            ]);
+        }
+        // Simulated backends (same core budget, flat vs 6 threads/process).
+        for (name, dcfg, config) in [
+            ("dist", DistRcmConfig::flat_on_edison(16), "16 ranks × 1t"),
+            (
+                "hybrid",
+                DistRcmConfig::hybrid_on_edison(24),
+                "4 ranks × 6t",
+            ),
+        ] {
+            let r = dist_rcm(&a, &dcfg);
+            t.row(vec![
+                m.name.to_string(),
+                name.to_string(),
+                config.to_string(),
+                fmt_secs(r.sim_seconds),
+                "simulated".into(),
+                fmt_count(ordering_bandwidth(&a, &r.perm) as u64),
+                (r.perm == reference).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Load-balance ablation (§IV-A)
+// ---------------------------------------------------------------------------
+
+/// Per-rank nnz imbalance (max/mean over the `p′` blocks of the 2D
+/// decomposition) of a distributed matrix.
+fn nnz_imbalance(d: &DistCscMatrix) -> f64 {
+    let pr = d.grid().pr;
+    let mut max = 0usize;
+    let mut total = 0usize;
+    for ir in 0..pr {
+        for jc in 0..pr {
+            let nnz = d.block(ir, jc).nnz();
+            max = max.max(nnz);
+            total += nnz;
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        max as f64 / (total as f64 / (pr * pr) as f64)
+    }
+}
+
+/// §IV-A ablation: sweep the random load-balance relabeling's seed over the
+/// suite and quantify what it buys — per-rank nnz max/mean imbalance before
+/// and after, the simulated-time delta, and the (bounded) ordering-quality
+/// drift the internal relabeling causes.
+pub fn balance_ablation(cfg: &ExpConfig) -> Table {
+    let cores = if cfg.quick { 96 } else { 216 }; // 16 / 36 ranks at 6 t/p
+    let seeds: Vec<u64> = if cfg.quick {
+        vec![0xBA1A]
+    } else {
+        vec![1, 42, 0xBA1A]
+    };
+    let mut t = Table::new(
+        format!("Load-balance ablation (§IV-A) — {cores} cores"),
+        &[
+            "matrix",
+            "seed",
+            "imb(before)",
+            "imb(after)",
+            "t(before)",
+            "t(after)",
+            "delta",
+            "BW drift",
+        ],
+    );
+    for m in cfg.matrices() {
+        let a = cfg.generate(&m);
+        let base_cfg = DistRcmConfig::hybrid_on_edison(cores);
+        let grid = base_cfg
+            .hybrid
+            .grid()
+            .expect("paper core counts are square");
+        let imb_before = nnz_imbalance(&DistCscMatrix::from_global(grid, &a, None));
+        let plain = dist_rcm(&a, &base_cfg);
+        let bw_plain = ordering_bandwidth(&a, &plain.perm);
+        for &seed in &seeds {
+            let imb_after = nnz_imbalance(&DistCscMatrix::from_global(grid, &a, Some(seed)));
+            let mut c = base_cfg;
+            c.balance_seed = Some(seed);
+            let balanced = dist_rcm(&a, &c);
+            let bw_balanced = ordering_bandwidth(&a, &balanced.perm);
+            let delta = (balanced.sim_seconds - plain.sim_seconds) / plain.sim_seconds;
+            t.row(vec![
+                m.name.to_string(),
+                format!("{seed:#x}"),
+                format!("{imb_before:.2}"),
+                format!("{imb_after:.2}"),
+                fmt_secs(plain.sim_seconds),
+                fmt_secs(balanced.sim_seconds),
+                format!("{:+.1}%", delta * 100.0),
+                format!("{bw_plain} -> {bw_balanced}"),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Real Matrix Market inputs (`repro --mtx`, first ROADMAP open item)
+// ---------------------------------------------------------------------------
+
+/// A Matrix Market input preloaded for the bench harness (`repro --mtx`).
+/// Loading once at CLI-parse time both validates the file up front and
+/// spares real SuiteSparse downloads (hundreds of MB of coordinate text) a
+/// second parse when the table runs.
+#[derive(Clone, Debug)]
+pub struct MtxInput {
+    /// Display name (the file stem).
+    pub name: String,
+    /// The symmetrized pattern.
+    pub matrix: CscMatrix,
+}
+
+/// Load a Matrix Market file for the bench harness: pattern read,
+/// symmetrized via [`CooBuilder`] when the stored structure is one-sided.
+/// The error string always names the offending file.
+pub fn load_mtx(path: &Path) -> Result<MtxInput, String> {
+    let a = mm::read_pattern_file(path)
+        .map_err(|e| format!("cannot load Matrix Market file {}: {e}", path.display()))?;
+    let matrix = if a.is_symmetric() {
+        a
+    } else {
+        let mut b = CooBuilder::new(a.n_rows(), a.n_cols());
+        for (r, c) in a.iter_entries() {
+            b.push_sym(r, c);
+        }
+        b.build()
+    };
+    Ok(MtxInput {
+        name: path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string()),
+        matrix,
+    })
+}
+
+/// The Fig. 3-style bandwidth/ordering table for user-supplied `.mtx`
+/// inputs (real SuiteSparse downloads), reported with the same columns the
+/// synthetic suite gets: structure statistics, RCM quality, and the
+/// simulated distributed runtime.
+pub fn mtx_table(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "Matrix Market inputs — bandwidth/ordering next to the synthetic suite",
+        &[
+            "matrix", "rows", "nnz", "bw-pre", "bw-post", "pdiam", "t(rcm)", "dist 24c",
+        ],
+    );
+    for input in &cfg.mtx {
+        let a = &input.matrix;
+        let name = input.name.clone();
+        let t0 = Instant::now();
+        let perm = rcm(a);
+        let dt = t0.elapsed().as_secs_f64();
+        let degrees = a.degrees();
+        let seed = (0..a.n_rows())
+            .min_by_key(|&v| (degrees[v], v))
+            .unwrap_or(0) as u32;
+        let pdiam = if a.n_rows() > 0 {
+            pseudo_peripheral(a, seed).eccentricity
+        } else {
+            0
+        };
+        let sim = dist_rcm(a, &DistRcmConfig::hybrid_on_edison(24));
+        t.row(vec![
+            name,
+            fmt_count(a.n_rows() as u64),
+            fmt_count(a.nnz() as u64),
+            fmt_count(matrix_bandwidth(a) as u64),
+            fmt_count(ordering_bandwidth(a, &perm) as u64),
+            pdiam.to_string(),
+            fmt_secs(dt),
+            fmt_secs(sim.sim_seconds),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -745,6 +982,7 @@ mod tests {
             scale_mult: 0.1,
             results_dir: std::env::temp_dir().join("rcm-bench-test"),
             quick: true,
+            mtx: Vec::new(),
         }
     }
 
@@ -789,5 +1027,46 @@ mod tests {
     fn fig6_runs_quick() {
         let t = fig6_flat_vs_hybrid(&quick_cfg());
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn backend_sweep_reports_all_four_backends_identical() {
+        let t = backend_sweep(&quick_cfg());
+        assert_eq!(t.len(), 3 * 4, "3 quick matrices x 4 backends");
+        // Column 6 is the bit-for-bit equality flag; every row must hold.
+        for row in t.rows() {
+            assert_eq!(row[6], "true", "{} backend diverged on {}", row[1], row[0]);
+        }
+    }
+
+    #[test]
+    fn balance_ablation_runs_quick() {
+        let t = balance_ablation(&quick_cfg());
+        assert_eq!(t.len(), 3, "3 quick matrices x 1 seed");
+    }
+
+    #[test]
+    fn mtx_table_reads_a_real_file() {
+        let dir = std::env::temp_dir().join("rcm-bench-mtx-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("path5.mtx");
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix coordinate pattern symmetric\n5 5 4\n2 1\n3 2\n4 3\n5 4\n",
+        )
+        .unwrap();
+        let mut cfg = quick_cfg();
+        cfg.mtx = vec![load_mtx(&path).unwrap()];
+        let t = mtx_table(&cfg);
+        assert_eq!(t.len(), 1);
+        let row = &t.rows()[0];
+        assert_eq!(row[0], "path5");
+        assert_eq!(row[4], "1", "RCM must make a path tridiagonal");
+    }
+
+    #[test]
+    fn load_mtx_error_names_the_file() {
+        let err = load_mtx(Path::new("/nonexistent/rcm-test.mtx")).unwrap_err();
+        assert!(err.contains("/nonexistent/rcm-test.mtx"), "{err}");
     }
 }

@@ -32,6 +32,11 @@ impl Table {
         self.rows.len()
     }
 
+    /// Borrow the data rows (cells as the strings that will be rendered).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// True when no rows have been added.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()

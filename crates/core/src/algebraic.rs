@@ -1,18 +1,19 @@
-//! The matrix-algebraic RCM formulation — Algorithms 3 and 4 of the paper,
-//! executed sequentially on `rcm-sparse` vectors.
+//! The matrix-algebraic RCM formulation — Algorithms 3 and 4 of the paper.
 //!
-//! This module is the *specification* of the distributed implementation:
-//! `distributed::dist_rcm` must produce exactly this ordering for every grid
-//! size (the `(select2nd, min)` semiring and `(parent label, degree, vertex)`
-//! sort make the computation fully deterministic). It is also, by the
-//! tie-breaking argument documented in [`crate::serial`], identical to the
-//! classical George–Liu ordering.
+//! Since the [`crate::driver`] refactor this module is a thin shim: the
+//! pipeline itself (pseudo-peripheral search, level-synchronous BFS,
+//! labeling `SORTPERM`) lives **once** in [`crate::driver::drive_cm`], and
+//! this entry point runs it on [`crate::backends::SerialBackend`] — the
+//! sequential `rcm-sparse` data path that serves as the *specification* of
+//! every other backend: the pooled, distributed and hybrid runtimes must
+//! produce exactly this ordering (the `(select2nd, min)` semiring and the
+//! `(parent label, degree, vertex)` sort make the computation fully
+//! deterministic). It is also, by the tie-breaking argument documented in
+//! [`crate::serial`], identical to the classical George–Liu ordering.
 
-use crate::peripheral::pseudo_peripheral_with_degrees;
-use rcm_sparse::{
-    dense_set, spmspv, CscMatrix, Label, Permutation, Select2ndMin, SparseVec, SpmspvWorkspace,
-    Vidx, UNVISITED,
-};
+use crate::backends::SerialBackend;
+use crate::driver::{drive_cm, LabelingMode};
+use rcm_sparse::{CscMatrix, Permutation};
 
 /// Statistics of an algebraic RCM run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -23,61 +24,9 @@ pub struct AlgebraicStats {
     pub peripheral_bfs: usize,
     /// Frontier-expansion iterations in the ordering passes.
     pub levels: usize,
-    /// Total matrix nonzeros traversed by all SpMSpV calls.
+    /// Total matrix nonzeros traversed by all SpMSpV calls (pseudo-
+    /// peripheral sweeps included).
     pub spmspv_work: usize,
-}
-
-/// Algorithm 3: label one connected component starting from the
-/// pseudo-peripheral vertex `root`. `order` is the dense ordering vector `R`
-/// (`-1` = unvisited); `nv` the global label counter.
-fn label_component(
-    a: &CscMatrix,
-    degrees: &[Vidx],
-    root: Vidx,
-    order: &mut [Label],
-    nv: &mut Label,
-    ws: &mut SpmspvWorkspace<Label>,
-    stats: &mut AlgebraicStats,
-) {
-    let n = a.n_rows();
-    // R[r] ← nv; L_cur ← {r}.
-    order[root as usize] = *nv;
-    let mut batch_start = *nv; // labels of the current frontier: [batch_start, nv)
-    *nv += 1;
-    let mut cur = SparseVec::singleton(n, root, 0 as Label);
-
-    while !cur.is_empty() {
-        // L_cur ← SET(L_cur, R): frontier values become the labels assigned
-        // in the previous round.
-        cur.gather_from_dense(order);
-        // L_next ← SPMSPV(A, L_cur) over (select2nd, min).
-        let (next, work) = spmspv::<Label, Select2ndMin>(a, &cur, ws);
-        stats.spmspv_work += work;
-        // L_next ← SELECT(L_next, R = -1): keep unvisited vertices.
-        let next = next.select(order, |r| r == UNVISITED);
-        if next.is_empty() {
-            break;
-        }
-        stats.levels += 1;
-        // R_next ← SORTPERM(L_next, D) + nv: lexicographic
-        // (parent label, degree, vertex) → consecutive labels.
-        let mut tuples: Vec<(Label, Vidx, Vidx)> = next
-            .entries()
-            .iter()
-            .map(|&(v, parent_label)| {
-                debug_assert!(parent_label >= batch_start && parent_label < *nv);
-                (parent_label, degrees[v as usize], v)
-            })
-            .collect();
-        tuples.sort_unstable();
-        batch_start = *nv;
-        for (k, &(_, _, v)) in tuples.iter().enumerate() {
-            order[v as usize] = *nv + k as Label;
-        }
-        *nv += tuples.len() as Label;
-        // L_cur ← L_next (values refreshed by SET at loop head).
-        cur = next;
-    }
 }
 
 /// Reverse Cuthill-McKee via the matrix-algebraic formulation.
@@ -92,87 +41,24 @@ pub fn algebraic_rcm(a: &CscMatrix) -> (Permutation, AlgebraicStats) {
 
 /// Cuthill-McKee (unreversed) via the matrix-algebraic formulation.
 pub fn algebraic_cm(a: &CscMatrix) -> (Permutation, AlgebraicStats) {
-    assert_eq!(a.n_rows(), a.n_cols(), "RCM needs a square matrix");
-    let n = a.n_rows();
-    let degrees = a.degrees();
-    let mut order: Vec<Label> = vec![UNVISITED; n];
-    let mut nv: Label = 0;
-    let mut ws = SpmspvWorkspace::new(n);
-    let mut stats = AlgebraicStats::default();
-
-    while (nv as usize) < n {
-        // Seed the next component with the unvisited minimum-degree vertex.
-        let seed = (0..n)
-            .filter(|&v| order[v] == UNVISITED)
-            .min_by_key(|&v| (degrees[v], v))
-            .expect("an unvisited vertex exists") as Vidx;
-        let pp = pseudo_peripheral_with_degrees(a, seed, &degrees);
-        stats.components += 1;
-        stats.peripheral_bfs += pp.bfs_count;
-        label_component(
-            a, &degrees, pp.vertex, &mut order, &mut nv, &mut ws, &mut stats,
-        );
-    }
-    let new_of_old: Vec<Vidx> = order.iter().map(|&l| l as Vidx).collect();
+    let mut rt = SerialBackend::new(a);
+    let stats = drive_cm(&mut rt, LabelingMode::PerLevel);
     (
-        Permutation::from_new_of_old(new_of_old).expect("labels form a bijection"),
-        stats,
+        rt.into_cm_permutation(),
+        AlgebraicStats {
+            components: stats.components,
+            peripheral_bfs: stats.peripheral_bfs,
+            levels: stats.levels,
+            spmspv_work: stats.spmspv_work,
+        },
     )
-}
-
-/// Algorithm 4 expressed algebraically (provided for completeness and for
-/// differential testing against [`crate::peripheral::pseudo_peripheral`],
-/// which it must agree with).
-pub fn algebraic_pseudo_peripheral(a: &CscMatrix, start: Vidx) -> (Vidx, usize, usize) {
-    let n = a.n_rows();
-    let degrees = a.degrees();
-    let mut r = start;
-    let mut nlvl: i64 = -1;
-    let mut bfs_count = 0usize;
-    let mut ws: SpmspvWorkspace<Label> = SpmspvWorkspace::new(n);
-    loop {
-        // One full BFS from r, tracking levels in the dense vector L.
-        let mut levels: Vec<Label> = vec![UNVISITED; n];
-        levels[r as usize] = 0;
-        let mut cur = SparseVec::singleton(n, r, 0 as Label);
-        let mut ecc: i64 = 0;
-        bfs_count += 1;
-        loop {
-            cur.gather_from_dense(&levels);
-            let (next, _) = spmspv::<Label, Select2ndMin>(a, &cur, &mut ws);
-            let next = next.select(&levels, |l| l == UNVISITED);
-            if next.is_empty() {
-                break;
-            }
-            ecc += 1;
-            let mut stamped = next.clone();
-            stamped.map_values(|_, _| ecc);
-            dense_set(&mut levels, &stamped);
-            cur = next;
-        }
-        // Converged: the eccentricity did not grow; the current root is the
-        // pseudo-peripheral vertex (its level structure was just computed).
-        if ecc <= nlvl {
-            return (r, ecc as usize, bfs_count);
-        }
-        nlvl = ecc;
-        // r ← REDUCE(L_cur, D): minimum-degree vertex of the last level.
-        let v = cur
-            .ind()
-            .min_by_key(|&w| (degrees[w as usize], w))
-            .unwrap_or(r);
-        if v == r {
-            return (r, ecc as usize, bfs_count);
-        }
-        r = v;
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::serial;
-    use rcm_sparse::{matrix_bandwidth, CooBuilder};
+    use rcm_sparse::{matrix_bandwidth, CooBuilder, Vidx};
 
     fn path(n: usize) -> CscMatrix {
         let mut b = CooBuilder::new(n, n);
@@ -238,15 +124,6 @@ mod tests {
         let a = scrambled(&path(60), 17);
         let (p, _) = algebraic_rcm(&a);
         assert_eq!(matrix_bandwidth(&a.permute_sym(&p)), 1);
-    }
-
-    #[test]
-    fn algebraic_peripheral_matches_graph_version() {
-        let a = scrambled(&path(35), 11);
-        let (v_alg, ecc_alg, _) = algebraic_pseudo_peripheral(&a, 5);
-        let pp = crate::peripheral::pseudo_peripheral(&a, 5);
-        assert_eq!(v_alg, pp.vertex);
-        assert_eq!(ecc_alg, pp.eccentricity);
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! [`HybridBackend`]: the Fig. 6 MPI×OpenMP configuration — a
+//! [`DistBackend`] whose processes are multithreaded.
+//!
+//! The data path is identical to the flat backend (the permutation cannot
+//! depend on the thread count); what changes is the cost model: every
+//! compute charge is divided by [`rcm_dist::MachineModel::thread_speedup`]
+//! for the configured `threads_per_proc`, while communication is charged
+//! undivided — exactly the trade the paper sweeps in Fig. 6 (fewer, fatter
+//! processes ⇒ a smaller process grid, cheaper collectives, sub-linear
+//! compute speedup).
+
+use crate::backends::DistBackend;
+use crate::distributed::{DistRcmConfig, DistRcmResult};
+use crate::driver::{DenseTarget, DriverStats, RcmRuntime};
+use rcm_dist::Phase;
+use rcm_sparse::{CscMatrix, Label, Vidx};
+
+/// The MPI×OpenMP backend: a [`DistBackend`] with `threads_per_proc > 1`.
+pub struct HybridBackend(DistBackend);
+
+impl HybridBackend {
+    /// Distribute `a` over `config`'s grid with multithreaded processes.
+    ///
+    /// Panics when `config.hybrid.threads_per_proc <= 1` (that is the flat
+    /// [`DistBackend`]) or when the process count is not a perfect square.
+    pub fn new(a: &CscMatrix, config: &DistRcmConfig) -> Self {
+        assert!(
+            config.hybrid.threads_per_proc > 1,
+            "HybridBackend needs threads_per_proc > 1 (got {}); use DistBackend for flat MPI",
+            config.hybrid.threads_per_proc
+        );
+        HybridBackend(DistBackend::new(a, config))
+    }
+
+    /// See [`DistBackend::into_result`].
+    pub fn into_result(self, stats: DriverStats) -> DistRcmResult {
+        self.0.into_result(stats)
+    }
+}
+
+impl RcmRuntime for HybridBackend {
+    type Frontier = <DistBackend as RcmRuntime>::Frontier;
+
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+
+    fn set_phase(&mut self, phase: Phase) {
+        self.0.set_phase(phase);
+    }
+
+    fn now(&self) -> f64 {
+        self.0.now()
+    }
+
+    fn singleton(&mut self, v: Vidx, value: Label) -> Self::Frontier {
+        self.0.singleton(v, value)
+    }
+
+    fn is_nonempty(&mut self, x: &Self::Frontier) -> bool {
+        self.0.is_nonempty(x)
+    }
+
+    fn append(&mut self, acc: &mut Self::Frontier, x: &Self::Frontier) {
+        self.0.append(acc, x);
+    }
+
+    fn stamp(&mut self, x: &mut Self::Frontier, value: Label) {
+        self.0.stamp(x, value);
+    }
+
+    fn spmspv(&mut self, x: &Self::Frontier) -> Self::Frontier {
+        self.0.spmspv(x)
+    }
+
+    fn select_unvisited(&mut self, x: &Self::Frontier, which: DenseTarget) -> Self::Frontier {
+        self.0.select_unvisited(x, which)
+    }
+
+    fn set_dense(&mut self, which: DenseTarget, x: &Self::Frontier) {
+        self.0.set_dense(which, x);
+    }
+
+    fn set_dense_at(&mut self, which: DenseTarget, v: Vidx, value: Label) {
+        self.0.set_dense_at(which, v, value);
+    }
+
+    fn gather_values(&mut self, x: &mut Self::Frontier, which: DenseTarget) {
+        self.0.gather_values(x, which);
+    }
+
+    fn reset_levels(&mut self) {
+        self.0.reset_levels();
+    }
+
+    fn end_peripheral_search(&mut self) {
+        self.0.end_peripheral_search();
+    }
+
+    fn sortperm(
+        &mut self,
+        x: &Self::Frontier,
+        batch: (Label, Label),
+        nv: Label,
+    ) -> (Self::Frontier, usize) {
+        self.0.sortperm(x, batch, nv)
+    }
+
+    fn argmin_degree(&mut self, x: &Self::Frontier) -> Option<Vidx> {
+        self.0.argmin_degree(x)
+    }
+
+    fn find_unvisited_min_degree(&mut self) -> Option<Vidx> {
+        self.0.find_unvisited_min_degree()
+    }
+}

@@ -1,0 +1,273 @@
+//! [`PooledBackend`]: the Table-I primitives on the work-stealing pool of
+//! [`crate::pool`].
+//!
+//! The pool's three-phase level pipeline (dynamic expansion → epoch-stamped
+//! `fetch_min` dedup → parallel per-parent bucket sort) *is* the semiring
+//! SpMSpV fused with `SELECT` and the sort half of `SORTPERM`:
+//! [`RcmRuntime::spmspv`] runs one [`LevelExecutor::expand`], whose output
+//! is already restricted to unvisited vertices (the pool's `visited` array
+//! mirrors both dense companions) with minimum parent labels, sorted by
+//! `(parent, degree, vertex)`. The trait's `SELECT` then re-filters (a
+//! no-op pass that keeps the contract honest) and `SORTPERM` assigns
+//! consecutive labels over the already-bucketed tuples.
+//!
+//! Determinism: the pool's claim array converges to the same minima under
+//! any interleaving, so every primitive returns the exact sequential value
+//! for any thread count — the backend is bit-identical to
+//! [`crate::backends::SerialBackend`].
+//!
+//! Contract note: when every frontier value is equal (BFS sweeps, level
+//! stamps), the pool's expansion emits frontier *positions* as values
+//! instead of the shared input value. The driver never observes them — it
+//! stamps or re-gathers before the next read — and the result's *support*
+//! (the semiring's select set) is always exact; frontiers mixing duplicate
+//! and distinct values are rejected with a panic.
+
+use crate::driver::{DenseTarget, RcmRuntime};
+use crate::pool::LevelExecutor;
+use rcm_dist::Phase;
+use rcm_sparse::{Label, Permutation, Vidx, UNVISITED};
+
+/// Work-stealing shared-memory backend over a borrowed [`LevelExecutor`]
+/// (construct inside [`crate::pool::RcmPool::run`]).
+pub struct PooledBackend<'x, 's, 'e> {
+    exec: &'x mut LevelExecutor<'s, 'e>,
+    degrees: &'x [Vidx],
+    n: usize,
+    order: Vec<Label>,
+    levels: Vec<Label>,
+    /// Levels-marks to undo at the next [`RcmRuntime::reset_levels`] — the
+    /// pool's `visited` array serves both dense companions, so BFS marks
+    /// must be rolled back before the ordering pass owns it.
+    touched: Vec<Vidx>,
+    cands: Vec<crate::pool::Candidate>,
+    phase: Phase,
+    parallel_levels: usize,
+}
+
+impl<'x, 's, 'e> PooledBackend<'x, 's, 'e> {
+    /// Backend for an `n`-vertex matrix already loaded into the executor's
+    /// pool (`degrees[v]` = degree of vertex `v`).
+    pub fn new(exec: &'x mut LevelExecutor<'s, 'e>, n: usize, degrees: &'x [Vidx]) -> Self {
+        PooledBackend {
+            exec,
+            degrees,
+            n,
+            order: vec![UNVISITED; n],
+            levels: vec![UNVISITED; n],
+            touched: Vec::new(),
+            cands: Vec::new(),
+            phase: Phase::OrderingOther,
+            parallel_levels: 0,
+        }
+    }
+
+    /// The raw CM labels plus the count of frontier expansions that ran
+    /// through the parallel pipeline (the rest fell under the pool's
+    /// sequential cutover).
+    pub fn into_order(self) -> (Vec<Label>, usize) {
+        (self.order, self.parallel_levels)
+    }
+
+    /// The (unreversed) Cuthill-McKee permutation after
+    /// [`crate::driver::drive_cm`], plus the parallel-expansion count.
+    pub fn into_cm_permutation(self) -> (Permutation, usize) {
+        let (order, parallel) = self.into_order();
+        let new_of_old: Vec<Vidx> = order.iter().map(|&l| l as Vidx).collect();
+        (
+            Permutation::from_new_of_old(new_of_old).expect("labels form a bijection"),
+            parallel,
+        )
+    }
+
+    fn dense(&self, which: DenseTarget) -> &[Label] {
+        match which {
+            DenseTarget::Order => &self.order,
+            DenseTarget::Levels => &self.levels,
+        }
+    }
+}
+
+impl RcmRuntime for PooledBackend<'_, '_, '_> {
+    /// `(vertex, value)` pairs; entry order is backend-private (the pool
+    /// keeps its `(parent, degree, vertex)` bucket order).
+    type Frontier = Vec<(Vidx, Label)>;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    fn singleton(&mut self, v: Vidx, value: Label) -> Self::Frontier {
+        vec![(v, value)]
+    }
+
+    fn is_nonempty(&mut self, x: &Self::Frontier) -> bool {
+        !x.is_empty()
+    }
+
+    fn append(&mut self, acc: &mut Self::Frontier, x: &Self::Frontier) {
+        acc.extend_from_slice(x);
+    }
+
+    fn stamp(&mut self, x: &mut Self::Frontier, value: Label) {
+        for (_, v) in x.iter_mut() {
+            *v = value;
+        }
+    }
+
+    fn spmspv(&mut self, x: &Self::Frontier) -> Self::Frontier {
+        // Load the frontier into the pool. When the stored values are the
+        // consecutive labels of the previous SORTPERM batch, position k of
+        // the pool frontier must hold the vertex labeled `base + k` so the
+        // expansion emits true parent labels. Otherwise (BFS sweeps, level
+        // stamps: all values equal) positions are only dedup keys and entry
+        // order is used. A mix of duplicated and distinct values is outside
+        // this backend's contract — the occupancy check below turns it into
+        // a loud panic instead of a silently corrupted frontier.
+        let min = x.iter().map(|&(_, v)| v).min().unwrap_or(0);
+        let max = x.iter().map(|&(_, v)| v).max().unwrap_or(-1);
+        let consecutive = !x.is_empty() && (max - min + 1) as usize == x.len();
+        let base: Vidx = if consecutive { min as Vidx } else { 0 };
+        self.exec.with_state(|_, frontier| {
+            frontier.clear();
+            if consecutive {
+                frontier.resize(x.len(), Vidx::MAX);
+                for &(v, value) in x {
+                    frontier[(value - min) as usize] = v;
+                }
+                assert!(
+                    !frontier.contains(&Vidx::MAX),
+                    "PooledBackend::spmspv: frontier values must be all-equal or distinct \
+                     consecutive labels"
+                );
+            } else {
+                frontier.extend(x.iter().map(|&(v, _)| v));
+            }
+        });
+        let parallel = self.exec.expand(base, &mut self.cands);
+        if parallel && self.phase == Phase::OrderingSpmspv {
+            self.parallel_levels += 1;
+        }
+        self.cands
+            .iter()
+            .map(|&(v, p, _)| (v, p as Label))
+            .collect()
+    }
+
+    fn select_unvisited(&mut self, x: &Self::Frontier, which: DenseTarget) -> Self::Frontier {
+        // The expansion already filtered against the pool's visited array
+        // (which mirrors both companions), so this keeps everything — the
+        // explicit filter documents and enforces the SELECT contract.
+        let dense = self.dense(which);
+        x.iter()
+            .copied()
+            .filter(|&(v, _)| dense[v as usize] == UNVISITED)
+            .collect()
+    }
+
+    fn set_dense(&mut self, which: DenseTarget, x: &Self::Frontier) {
+        match which {
+            DenseTarget::Order => {
+                for &(v, value) in x {
+                    self.order[v as usize] = value;
+                }
+            }
+            DenseTarget::Levels => {
+                for &(v, value) in x {
+                    self.levels[v as usize] = value;
+                    self.touched.push(v);
+                }
+            }
+        }
+        self.exec.with_state(|visited, _| {
+            for &(v, _) in x {
+                visited[v as usize] = true;
+            }
+        });
+    }
+
+    fn set_dense_at(&mut self, which: DenseTarget, v: Vidx, value: Label) {
+        match which {
+            DenseTarget::Order => self.order[v as usize] = value,
+            DenseTarget::Levels => {
+                self.levels[v as usize] = value;
+                self.touched.push(v);
+            }
+        }
+        self.exec.with_state(|visited, _| {
+            visited[v as usize] = true;
+        });
+    }
+
+    fn gather_values(&mut self, x: &mut Self::Frontier, which: DenseTarget) {
+        let dense = self.dense(which);
+        for (v, value) in x.iter_mut() {
+            *value = dense[*v as usize];
+        }
+    }
+
+    fn reset_levels(&mut self) {
+        // Undo the BFS marks (they all lie inside a not-yet-ordered
+        // component, so unconditional unmarking is safe).
+        for &v in &self.touched {
+            self.levels[v as usize] = UNVISITED;
+        }
+        let touched = std::mem::take(&mut self.touched);
+        self.exec.with_state(|visited, _| {
+            for &v in &touched {
+                visited[v as usize] = false;
+            }
+        });
+    }
+
+    fn end_peripheral_search(&mut self) {
+        // The BFS marks live in the shared `visited` array the ordering
+        // pass is about to own — roll them back.
+        self.reset_levels();
+    }
+
+    fn sortperm(
+        &mut self,
+        x: &Self::Frontier,
+        batch: (Label, Label),
+        nv: Label,
+    ) -> (Self::Frontier, usize) {
+        let mut tuples: Vec<(Label, Vidx, Vidx)> = x
+            .iter()
+            .map(|&(v, value)| {
+                debug_assert!(
+                    value >= batch.0 && value < batch.1,
+                    "SORTPERM: value outside the declared bucket range"
+                );
+                (value, self.degrees[v as usize], v)
+            })
+            .collect();
+        // The pool already delivers (parent, degree, vertex) bucket order,
+        // so this pass is a (cheap) verification sort for the general case.
+        tuples.sort_unstable();
+        let count = tuples.len();
+        let labeled: Self::Frontier = tuples
+            .iter()
+            .enumerate()
+            .map(|(k, &(_, _, v))| (v, nv + k as Label))
+            .collect();
+        (labeled, count)
+    }
+
+    fn argmin_degree(&mut self, x: &Self::Frontier) -> Option<Vidx> {
+        x.iter()
+            .map(|&(v, _)| v)
+            .min_by_key(|&w| (self.degrees[w as usize], w))
+    }
+
+    fn find_unvisited_min_degree(&mut self) -> Option<Vidx> {
+        (0..self.n)
+            .filter(|&v| self.order[v] == UNVISITED)
+            .min_by_key(|&v| (self.degrees[v], v as Vidx))
+            .map(|v| v as Vidx)
+    }
+}

@@ -1,0 +1,158 @@
+//! [`SerialBackend`]: the Table-I primitives on sequential `rcm-sparse`
+//! vectors — the *specification* backend every other one must match bit
+//! for bit (the data path of the former `algebraic.rs` driver).
+
+use crate::driver::{DenseTarget, RcmRuntime};
+use rcm_sparse::{
+    dense_set, spmspv, CscMatrix, Label, Permutation, Select2ndMin, SparseVec, SpmspvWorkspace,
+    Vidx, UNVISITED,
+};
+
+/// Sequential reference backend over [`rcm_sparse`] containers.
+pub struct SerialBackend<'a> {
+    a: &'a CscMatrix,
+    degrees: Vec<Vidx>,
+    order: Vec<Label>,
+    levels: Vec<Label>,
+    ws: SpmspvWorkspace<Label>,
+    spmspv_work: usize,
+}
+
+impl<'a> SerialBackend<'a> {
+    /// Backend over a square symmetric pattern matrix.
+    pub fn new(a: &'a CscMatrix) -> Self {
+        assert_eq!(a.n_rows(), a.n_cols(), "RCM needs a square matrix");
+        let n = a.n_rows();
+        SerialBackend {
+            a,
+            degrees: a.degrees(),
+            order: vec![UNVISITED; n],
+            levels: vec![UNVISITED; n],
+            ws: SpmspvWorkspace::new(n),
+            spmspv_work: 0,
+        }
+    }
+
+    fn dense(&self, which: DenseTarget) -> &[Label] {
+        match which {
+            DenseTarget::Order => &self.order,
+            DenseTarget::Levels => &self.levels,
+        }
+    }
+
+    fn dense_mut(&mut self, which: DenseTarget) -> &mut [Label] {
+        match which {
+            DenseTarget::Order => &mut self.order,
+            DenseTarget::Levels => &mut self.levels,
+        }
+    }
+
+    /// The raw Cuthill-McKee labels after [`crate::driver::drive_cm`].
+    pub fn into_order(self) -> Vec<Label> {
+        self.order
+    }
+
+    /// The (unreversed) Cuthill-McKee permutation after
+    /// [`crate::driver::drive_cm`].
+    pub fn into_cm_permutation(self) -> Permutation {
+        let new_of_old: Vec<Vidx> = self.order.iter().map(|&l| l as Vidx).collect();
+        Permutation::from_new_of_old(new_of_old).expect("labels form a bijection")
+    }
+}
+
+impl RcmRuntime for SerialBackend<'_> {
+    type Frontier = SparseVec<Label>;
+
+    fn n(&self) -> usize {
+        self.a.n_rows()
+    }
+
+    fn singleton(&mut self, v: Vidx, value: Label) -> SparseVec<Label> {
+        SparseVec::singleton(self.n(), v, value)
+    }
+
+    fn is_nonempty(&mut self, x: &SparseVec<Label>) -> bool {
+        !x.is_empty()
+    }
+
+    fn append(&mut self, acc: &mut SparseVec<Label>, x: &SparseVec<Label>) {
+        // The accumulator feeds only `sortperm`, which does a full tuple
+        // sort — keeping it index-sorted here would be wasted work.
+        acc.entries_mut().extend_from_slice(x.entries());
+    }
+
+    fn stamp(&mut self, x: &mut SparseVec<Label>, value: Label) {
+        x.map_values(|_, _| value);
+    }
+
+    fn spmspv(&mut self, x: &SparseVec<Label>) -> SparseVec<Label> {
+        let (y, work) = spmspv::<Label, Select2ndMin>(self.a, x, &mut self.ws);
+        self.spmspv_work += work;
+        y
+    }
+
+    fn select_unvisited(&mut self, x: &SparseVec<Label>, which: DenseTarget) -> SparseVec<Label> {
+        x.select(self.dense(which), |l| l == UNVISITED)
+    }
+
+    fn set_dense(&mut self, which: DenseTarget, x: &SparseVec<Label>) {
+        dense_set(self.dense_mut(which), x);
+    }
+
+    fn set_dense_at(&mut self, which: DenseTarget, v: Vidx, value: Label) {
+        self.dense_mut(which)[v as usize] = value;
+    }
+
+    fn gather_values(&mut self, x: &mut SparseVec<Label>, which: DenseTarget) {
+        match which {
+            DenseTarget::Order => x.gather_from_dense(&self.order),
+            DenseTarget::Levels => x.gather_from_dense(&self.levels),
+        }
+    }
+
+    fn reset_levels(&mut self) {
+        self.levels.fill(UNVISITED);
+    }
+
+    fn sortperm(
+        &mut self,
+        x: &SparseVec<Label>,
+        batch: (Label, Label),
+        nv: Label,
+    ) -> (SparseVec<Label>, usize) {
+        let mut tuples: Vec<(Label, Vidx, Vidx)> = x
+            .entries()
+            .iter()
+            .map(|&(v, value)| {
+                debug_assert!(
+                    value >= batch.0 && value < batch.1,
+                    "SORTPERM: value outside the declared bucket range"
+                );
+                (value, self.degrees[v as usize], v)
+            })
+            .collect();
+        tuples.sort_unstable();
+        let count = tuples.len();
+        let labeled: Vec<(Vidx, Label)> = tuples
+            .iter()
+            .enumerate()
+            .map(|(k, &(_, _, v))| (v, nv + k as Label))
+            .collect();
+        (SparseVec::from_entries(self.n(), labeled), count)
+    }
+
+    fn argmin_degree(&mut self, x: &SparseVec<Label>) -> Option<Vidx> {
+        x.ind().min_by_key(|&w| (self.degrees[w as usize], w))
+    }
+
+    fn find_unvisited_min_degree(&mut self) -> Option<Vidx> {
+        (0..self.n())
+            .filter(|&v| self.order[v] == UNVISITED)
+            .min_by_key(|&v| (self.degrees[v], v as Vidx))
+            .map(|v| v as Vidx)
+    }
+
+    fn spmspv_work(&self) -> usize {
+        self.spmspv_work
+    }
+}

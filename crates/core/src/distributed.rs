@@ -1,37 +1,29 @@
 //! The distributed-memory RCM algorithm — Algorithms 3 and 4 of the paper
 //! executed on the `rcm-dist` simulated runtime.
 //!
-//! The driver reproduces the paper's structure exactly:
-//!
-//! 1. Distribute the matrix over a square `√p′ × √p′` process grid
-//!    (`p′` = cores / threads-per-process), optionally applying the random
-//!    load-balance permutation of §IV-A.
-//! 2. Find a pseudo-peripheral vertex with repeated level-synchronous BFS
-//!    (Algorithm 4): distributed SpMSpV over `(select2nd, min)`, SELECT of
-//!    unvisited vertices, SET of level numbers, and a final REDUCE picking
-//!    the minimum-degree vertex of the last level.
-//! 3. Label the component (Algorithm 3): the same BFS skeleton plus the
-//!    distributed SORTPERM bucket sort that assigns labels in
-//!    `(parent label, degree, vertex)` order.
-//! 4. Repeat 2–3 per connected component; reverse all labels; map back to
-//!    original vertex ids.
-//!
-//! Every step charges simulated time to a [`SimClock`] under the phase
-//! taxonomy of Fig. 4 (`Peripheral/Ordering × SpMSpV/Sort/Other`), which is
-//! what the benchmark harness plots.
+//! Since the [`crate::driver`] refactor this module holds only the run
+//! configuration and result types plus the [`dist_rcm`] shim: the
+//! BFS/peripheral/labeling pipeline lives **once** in
+//! [`crate::driver::drive_cm`], and `dist_rcm` runs it on
+//! [`crate::backends::DistBackend`] (flat MPI) or
+//! [`crate::backends::HybridBackend`] (`threads_per_proc > 1`, the Fig. 6
+//! MPI×OpenMP configuration). Every step charges simulated time to a
+//! [`rcm_dist::SimClock`] under the phase taxonomy of Fig. 4
+//! (`Peripheral/Ordering × SpMSpV/Sort/Other`), which is what the
+//! benchmark harness plots.
 //!
 //! Determinism: with `balance_seed = None` the returned permutation is
-//! *identical* to [`crate::algebraic::algebraic_rcm`] for every grid size —
-//! the cross-implementation tests rely on this. A load-balance permutation
-//! relabels vertices internally, which can change `(degree, id)` tie-breaks;
-//! quality is unaffected but exact orderings may differ.
+//! *identical* to [`crate::algebraic::algebraic_rcm`] for every grid size
+//! and thread count — the cross-backend tests rely on this. A load-balance
+//! permutation relabels vertices internally, which can change
+//! `(degree, id)` tie-breaks; quality is unaffected but exact orderings may
+//! differ.
 
-use rcm_dist::{
-    dist_argmin, dist_find_unvisited_min_degree, dist_gather_values, dist_is_nonempty, dist_select,
-    dist_set, dist_sortperm, dist_spmspv, DistCscMatrix, DistDenseVec, DistSparseVec,
-    DistSpmspvWorkspace, HybridConfig, MachineModel, Phase, SimClock,
-};
-use rcm_sparse::{CscMatrix, Label, Permutation, Select2ndMin, Vidx, UNVISITED};
+use crate::backends::{DistBackend, HybridBackend};
+pub use crate::driver::LevelStat;
+use crate::driver::{drive_cm, LabelingMode};
+use rcm_dist::{HybridConfig, MachineModel};
+use rcm_sparse::{CscMatrix, Permutation};
 
 /// How (and whether) frontier vertices are sorted before labeling — the
 /// §VI "future work" ablation knob.
@@ -88,16 +80,6 @@ impl DistRcmConfig {
     }
 }
 
-/// Per-BFS-level execution record of the ordering pass (level-synchronous
-/// behaviour made visible: frontier width and simulated time per level).
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct LevelStat {
-    /// Vertices labeled in this level.
-    pub frontier: usize,
-    /// Simulated seconds this level took (all phases).
-    pub seconds: f64,
-}
-
 /// Result of a distributed RCM run.
 #[derive(Clone, Debug)]
 pub struct DistRcmResult {
@@ -126,320 +108,29 @@ pub struct DistRcmResult {
     pub level_stats: Vec<LevelStat>,
 }
 
-/// Distributed pseudo-peripheral search (Algorithm 4) from `start`.
-/// Returns the vertex and its eccentricity; charges `Peripheral*` phases.
-fn dist_pseudo_peripheral(
-    a: &DistCscMatrix,
-    degrees: &DistDenseVec<Vidx>,
-    start: Vidx,
-    ws: &mut DistSpmspvWorkspace<Label>,
-    clock: &mut SimClock,
-    bfs_count: &mut usize,
-) -> (Vidx, usize) {
-    let layout = a.layout().clone();
-    let mut r = start;
-    let mut nlvl: i64 = -1;
-    loop {
-        // One full level-synchronous BFS from r.
-        clock.set_phase(Phase::PeripheralOther);
-        let mut levels: DistDenseVec<Label> = DistDenseVec::filled(layout.clone(), UNVISITED);
-        clock.charge_elems(layout.max_local_len());
-        levels.set(r, 0);
-        let mut cur = DistSparseVec::singleton(layout.clone(), r, 0 as Label);
-        let mut ecc: i64 = 0;
-        *bfs_count += 1;
-        loop {
-            clock.set_phase(Phase::PeripheralOther);
-            dist_gather_values(&mut cur, &levels, clock);
-            clock.set_phase(Phase::PeripheralSpmspv);
-            let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, ws, clock);
-            clock.set_phase(Phase::PeripheralOther);
-            let mut next = dist_select(&next, &levels, |l| l == UNVISITED, clock);
-            if !dist_is_nonempty(&next, clock) {
-                break;
-            }
-            ecc += 1;
-            // Stamp the new frontier with its level and record it in L.
-            let mut max_scan = 0usize;
-            for part in &mut next.parts {
-                max_scan = max_scan.max(part.len());
-                for (_, v) in part.iter_mut() {
-                    *v = ecc;
-                }
-            }
-            clock.charge_elems(max_scan);
-            dist_set(&mut levels, &next, clock);
-            cur = next;
-        }
-        if ecc <= nlvl {
-            return (r, ecc as usize);
-        }
-        nlvl = ecc;
-        // r ← REDUCE(L_cur, D): minimum-degree vertex of the last level.
-        clock.set_phase(Phase::PeripheralOther);
-        let v = dist_argmin(&cur, degrees, clock).unwrap_or(r);
-        if v == r {
-            return (r, ecc as usize);
-        }
-        r = v;
-    }
-}
-
-/// Assign labels to the frontier without sorting (SortMode::NoSort): global
-/// index order via an ExScan of per-rank counts.
-fn assign_unsorted_labels(
-    next: &DistSparseVec<Label>,
-    nv: Label,
-    clock: &mut SimClock,
-) -> (DistSparseVec<Label>, usize) {
-    let p = next.layout.nprocs();
-    let machine = *clock.machine();
-    let mut parts = Vec::with_capacity(p);
-    let mut running = 0usize;
-    let mut max_scan = 0usize;
-    for part in &next.parts {
-        max_scan = max_scan.max(part.len());
-        let labeled: Vec<(Vidx, Label)> = part
-            .iter()
-            .enumerate()
-            .map(|(k, &(g, _))| (g, nv + (running + k) as Label))
-            .collect();
-        running += part.len();
-        parts.push(labeled);
-    }
-    clock.charge_elems(max_scan);
-    if p > 1 {
-        clock.charge_comm(machine.t_allreduce(p, 8), p as u64, 8);
-    }
-    (
-        DistSparseVec {
-            layout: next.layout.clone(),
-            parts,
-        },
-        running,
-    )
-}
-
-/// Label one component (Algorithm 3) rooted at `root`. Returns the number of
-/// ordering levels traversed.
-#[allow(clippy::too_many_arguments)]
-fn dist_label_component(
-    a: &DistCscMatrix,
-    degrees: &DistDenseVec<Vidx>,
-    root: Vidx,
-    order: &mut DistDenseVec<Label>,
-    nv: &mut Label,
-    sort_mode: SortMode,
-    ws: &mut DistSpmspvWorkspace<Label>,
-    clock: &mut SimClock,
-    level_stats: &mut Vec<LevelStat>,
-) -> usize {
-    let layout = a.layout().clone();
-    let mut levels = 0usize;
-
-    if sort_mode == SortMode::GlobalSortAtEnd {
-        // BFS stamping levels, then one global SORTPERM keyed by
-        // (level, degree, vertex) over the whole component.
-        let component = dist_bfs_levels(a, root, order, ws, clock);
-        let ecc = component
-            .parts
-            .iter()
-            .flatten()
-            .map(|&(_, l)| l)
-            .max()
-            .unwrap_or(0);
-        clock.set_phase(Phase::OrderingSort);
-        let (labels, count) = dist_sortperm(&component, degrees, (0, ecc + 1), *nv, clock);
-        clock.set_phase(Phase::OrderingOther);
-        dist_set(order, &labels, clock);
-        *nv += count as Label;
-        return ecc as usize;
-    }
-
-    clock.set_phase(Phase::OrderingOther);
-    order.set(root, *nv);
-    let mut batch_start = *nv;
-    *nv += 1;
-    let mut cur = DistSparseVec::singleton(layout, root, 0 as Label);
-
-    loop {
-        let level_t0 = clock.now();
-        clock.set_phase(Phase::OrderingOther);
-        // L_cur ← SET(L_cur, R).
-        dist_gather_values(&mut cur, order, clock);
-        // L_next ← SPMSPV(A, L_cur, (select2nd, min)).
-        clock.set_phase(Phase::OrderingSpmspv);
-        let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, ws, clock);
-        // L_next ← SELECT(L_next, R = −1).
-        clock.set_phase(Phase::OrderingOther);
-        let next = dist_select(&next, order, |r| r == UNVISITED, clock);
-        if !dist_is_nonempty(&next, clock) {
-            break;
-        }
-        levels += 1;
-        // R_next ← SORTPERM(L_next, D) + nv.
-        let (labels, count) = match sort_mode {
-            SortMode::Full => {
-                clock.set_phase(Phase::OrderingSort);
-                dist_sortperm(&next, degrees, (batch_start, *nv), *nv, clock)
-            }
-            SortMode::NoSort => {
-                clock.set_phase(Phase::OrderingOther);
-                assign_unsorted_labels(&next, *nv, clock)
-            }
-            SortMode::GeneralSamplesort => {
-                clock.set_phase(Phase::OrderingSort);
-                rcm_dist::dist_sortperm_samplesort(&next, degrees, *nv, clock)
-            }
-            SortMode::GlobalSortAtEnd => unreachable!("handled above"),
-        };
-        // R ← SET(R, R_next); nv ← nv + nnz(R_next).
-        clock.set_phase(Phase::OrderingOther);
-        dist_set(order, &labels, clock);
-        batch_start = *nv;
-        *nv += count as Label;
-        level_stats.push(LevelStat {
-            frontier: count,
-            seconds: clock.now() - level_t0,
-        });
-        cur = next;
-    }
-    levels
-}
-
-/// Plain BFS stamping 1-based levels of `root`'s component into a sparse
-/// result (and marking `order` with a placeholder so SELECT keeps working).
-/// Used only by `SortMode::GlobalSortAtEnd`.
-fn dist_bfs_levels(
-    a: &DistCscMatrix,
-    root: Vidx,
-    order: &mut DistDenseVec<Label>,
-    ws: &mut DistSpmspvWorkspace<Label>,
-    clock: &mut SimClock,
-) -> DistSparseVec<Label> {
-    let layout = a.layout().clone();
-    clock.set_phase(Phase::OrderingOther);
-    // Reuse `order` as the visited marker with a sentinel the final SET will
-    // overwrite (labels are assigned by the caller's global sortperm).
-    const VISITING: Label = Label::MAX;
-    order.set(root, VISITING);
-    let mut all = DistSparseVec::singleton(layout.clone(), root, 0 as Label);
-    let mut cur = all.clone();
-    let mut level: Label = 0;
-    loop {
-        clock.set_phase(Phase::OrderingSpmspv);
-        let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, ws, clock);
-        clock.set_phase(Phase::OrderingOther);
-        let mut next = dist_select(&next, order, |r| r == UNVISITED, clock);
-        if !dist_is_nonempty(&next, clock) {
-            break;
-        }
-        level += 1;
-        let mut max_scan = 0usize;
-        for part in &mut next.parts {
-            max_scan = max_scan.max(part.len());
-            for (_, v) in part.iter_mut() {
-                *v = level;
-            }
-        }
-        clock.charge_elems(max_scan);
-        let mut stamp = next.clone();
-        for part in &mut stamp.parts {
-            for (_, v) in part.iter_mut() {
-                *v = VISITING;
-            }
-        }
-        dist_set(order, &stamp, clock);
-        // Accumulate (vertex, level) pairs.
-        for (rank, part) in next.parts.iter().enumerate() {
-            all.parts[rank].extend_from_slice(part);
-        }
-        cur = next;
-    }
-    for part in &mut all.parts {
-        part.sort_unstable_by_key(|&(g, _)| g);
-    }
-    all
-}
-
 /// Run distributed RCM on a symmetric pattern matrix.
+///
+/// A thin shim over the generic driver: `threads_per_proc > 1` selects the
+/// hybrid backend (compute charged through
+/// [`MachineModel::thread_speedup`]), otherwise the flat one — the data
+/// path, and therefore the permutation, is identical either way.
 ///
 /// Panics when the configuration's process count is not a perfect square
 /// (the paper's CombBLAS restriction, §V-A).
 pub fn dist_rcm(a: &CscMatrix, config: &DistRcmConfig) -> DistRcmResult {
-    let grid = config.hybrid.grid().unwrap_or_else(|| {
-        panic!(
-            "{} processes do not form a square grid",
-            config.hybrid.nprocs()
-        )
-    });
-    let dmat = DistCscMatrix::from_global(grid, a, config.balance_seed);
-    let mut clock = SimClock::new(config.machine, config.hybrid.threads_per_proc);
-    let n = a.n_rows();
-
-    let degrees = dmat.degrees_dvec();
-    clock.set_phase(Phase::OrderingOther);
-    let mut order: DistDenseVec<Label> = DistDenseVec::filled(dmat.layout().clone(), UNVISITED);
-    clock.charge_elems(dmat.layout().max_local_len());
-
-    let mut nv: Label = 0;
-    let mut components = 0usize;
-    let mut peripheral_bfs = 0usize;
-    let mut levels = 0usize;
-    let mut level_stats: Vec<LevelStat> = Vec::new();
-    // One SpMSpV workspace for the entire run — every BFS sweep and every
-    // ordering level reuses the same dense accumulator.
-    let mut ws: DistSpmspvWorkspace<Label> = DistSpmspvWorkspace::new();
-    while (nv as usize) < n {
-        clock.set_phase(Phase::PeripheralOther);
-        let seed = dist_find_unvisited_min_degree(&order, &degrees, &mut clock)
-            .expect("unvisited vertex must exist");
-        let (root, _ecc) = dist_pseudo_peripheral(
-            &dmat,
-            &degrees,
-            seed,
-            &mut ws,
-            &mut clock,
-            &mut peripheral_bfs,
-        );
-        components += 1;
-        levels += dist_label_component(
-            &dmat,
-            &degrees,
-            root,
-            &mut order,
-            &mut nv,
-            config.sort_mode,
-            &mut ws,
-            &mut clock,
-            &mut level_stats,
-        );
-    }
-
-    // Reverse (CM → RCM) and map back to original vertex ids.
-    let labels_internal: Vec<Vidx> = order
-        .to_global()
-        .iter()
-        .map(|&l| (n as Label - 1 - l) as Vidx)
-        .collect();
-    let labels_original = dmat.to_original(&labels_internal);
-    let perm = Permutation::from_new_of_old(labels_original).expect("RCM labels form a bijection");
-
-    let messages = clock.messages;
-    let bytes = clock.bytes;
-    let breakdown = clock.into_breakdown();
-    DistRcmResult {
-        perm,
-        sim_seconds: breakdown.total(),
-        breakdown,
-        grid_side: grid.pr,
-        threads_per_proc: config.hybrid.threads_per_proc,
-        components,
-        peripheral_bfs,
-        levels,
-        messages,
-        bytes,
-        level_stats,
+    let mode = if config.sort_mode == SortMode::GlobalSortAtEnd {
+        LabelingMode::GlobalAtEnd
+    } else {
+        LabelingMode::PerLevel
+    };
+    if config.hybrid.threads_per_proc > 1 {
+        let mut rt = HybridBackend::new(a, config);
+        let stats = drive_cm(&mut rt, mode);
+        rt.into_result(stats)
+    } else {
+        let mut rt = DistBackend::new(a, config);
+        let stats = drive_cm(&mut rt, mode);
+        rt.into_result(stats)
     }
 }
 
@@ -447,7 +138,8 @@ pub fn dist_rcm(a: &CscMatrix, config: &DistRcmConfig) -> DistRcmResult {
 mod tests {
     use super::*;
     use crate::algebraic::algebraic_rcm;
-    use rcm_sparse::{matrix_bandwidth, CooBuilder};
+    use rcm_dist::Phase;
+    use rcm_sparse::{matrix_bandwidth, CooBuilder, Vidx};
 
     fn scrambled_path(n: usize, stride: usize) -> CscMatrix {
         let mut b = CooBuilder::new(n, n);

@@ -1,0 +1,536 @@
+//! The algebraic RCM driver, written **once** over the Table-I primitives.
+//!
+//! The paper's central claim is that RCM is expressible in a handful of
+//! matrix-algebra operations (Table I): SpMSpV over the `(select2nd, min)`
+//! semiring, `SELECT`, `SET`, `REDUCE`, and `SORTPERM` — and that any
+//! runtime supplying those primitives can execute the same algorithm,
+//! whether it is one core, a multithreaded node, or an MPI+OpenMP cluster.
+//! This module *is* that claim in code:
+//!
+//! * [`RcmRuntime`] captures exactly the Table-I surface plus an associated
+//!   frontier type and a cost hook ([`RcmRuntime::set_phase`] /
+//!   [`RcmRuntime::now`]), and
+//! * [`drive_cm`] runs the pseudo-peripheral search (Algorithm 4), the
+//!   level-synchronous BFS, and the labeling/`SORTPERM` pass (Algorithm 3)
+//!   generically — the only copy of that pipeline in the workspace.
+//!
+//! Four backends implement the trait (see [`crate::backends`]):
+//!
+//! | backend | runtime | entry point |
+//! |---|---|---|
+//! | [`SerialBackend`] | sequential `rcm-sparse` vectors | [`crate::algebraic_rcm`] |
+//! | [`PooledBackend`] | work-stealing thread pool ([`crate::pool`]) | [`crate::par_rcm`] |
+//! | [`DistBackend`] | simulated 2D runtime (`rcm-dist`), flat MPI | [`crate::dist_rcm`] |
+//! | [`HybridBackend`] | `DistBackend` with `threads_per_proc > 1` (Fig. 6) | [`crate::dist_rcm`] |
+//!
+//! All four produce **bit-identical** permutations — the cross-backend
+//! equality is enforced by the integration suite on every suite graph.
+//!
+//! # Worked example: running the generic driver on a backend
+//!
+//! ```
+//! use rcm_core::backends::SerialBackend;
+//! use rcm_core::driver::{drive_cm, LabelingMode};
+//! use rcm_sparse::CooBuilder;
+//!
+//! // A path graph with scrambled vertex numbering.
+//! let mut b = CooBuilder::new(5, 5);
+//! for (u, v) in [(0, 3), (3, 1), (1, 4), (4, 2)] {
+//!     b.push_sym(u, v);
+//! }
+//! let a = b.build();
+//!
+//! // Any `RcmRuntime` runs the identical Algorithm 3/4 pipeline.
+//! let mut rt = SerialBackend::new(&a);
+//! let stats = drive_cm(&mut rt, LabelingMode::PerLevel);
+//! let cm = rt.into_cm_permutation();
+//! assert_eq!(stats.components, 1);
+//!
+//! // Reversing Cuthill-McKee gives RCM; the path becomes tridiagonal.
+//! let reordered = a.permute_sym(&cm.reversed());
+//! assert_eq!(rcm_sparse::matrix_bandwidth(&reordered), 1);
+//! ```
+//!
+//! [`SerialBackend`]: crate::backends::SerialBackend
+//! [`PooledBackend`]: crate::backends::PooledBackend
+//! [`DistBackend`]: crate::backends::DistBackend
+//! [`HybridBackend`]: crate::backends::HybridBackend
+
+use rcm_dist::Phase;
+use rcm_sparse::{CscMatrix, Label, Permutation, Vidx};
+
+/// Which dense `Label` companion vector a `SELECT`/`SET` targets.
+///
+/// Algorithms 3 and 4 keep two dense vectors: the ordering vector `R`
+/// ([`DenseTarget::Order`], `-1` = unvisited) and the per-sweep BFS level
+/// vector `L` ([`DenseTarget::Levels`], reset at every pseudo-peripheral
+/// sweep via [`RcmRuntime::reset_levels`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DenseTarget {
+    /// The ordering vector `R` of Algorithm 3.
+    Order,
+    /// The BFS level vector `L` of Algorithm 4.
+    Levels,
+}
+
+/// How the driver assigns labels (the §VI sorting ablation, driver side).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LabelingMode {
+    /// One `SORTPERM` per BFS level — the paper's algorithm.
+    #[default]
+    PerLevel,
+    /// Stamp BFS levels only, then one global `SORTPERM` keyed by
+    /// `(level, degree, vertex)` over the whole component.
+    GlobalAtEnd,
+}
+
+/// Per-BFS-level execution record of the ordering pass (level-synchronous
+/// behaviour made visible: frontier width and simulated time per level).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelStat {
+    /// Vertices labeled in this level.
+    pub frontier: usize,
+    /// Simulated seconds this level took (all phases; `0.0` on backends
+    /// without a clock).
+    pub seconds: f64,
+}
+
+/// Statistics of one generic driver run, common to every backend.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DriverStats {
+    /// Connected components processed.
+    pub components: usize,
+    /// BFS sweeps in the pseudo-peripheral searches.
+    pub peripheral_bfs: usize,
+    /// Frontier-expansion iterations in the ordering passes.
+    pub levels: usize,
+    /// Matrix nonzeros traversed by all SpMSpV calls (backends that do not
+    /// track it report 0).
+    pub spmspv_work: usize,
+    /// Per-level trace of the ordering passes, concatenated across
+    /// components (empty in [`LabelingMode::GlobalAtEnd`]).
+    pub level_stats: Vec<LevelStat>,
+}
+
+/// The Table-I primitives a backend must supply to run RCM.
+///
+/// Method-per-primitive, exactly the paper's surface: the semiring SpMSpV
+/// ([`Self::spmspv`]), `SELECT` ([`Self::select_unvisited`]), `SET` in both
+/// directions ([`Self::set_dense`] / [`Self::gather_values`]), `REDUCE`
+/// ([`Self::argmin_degree`], [`Self::find_unvisited_min_degree`]) and
+/// `SORTPERM` ([`Self::sortperm`]), plus an associated frontier type, a few
+/// frontier utilities, and the cost hook ([`Self::set_phase`],
+/// [`Self::now`]) that maps driver progress onto the backend's accounting
+/// (a [`rcm_dist::SimClock`] for the simulated runtimes, nothing for the
+/// native ones).
+///
+/// # Contract
+///
+/// Every primitive must produce the *value* its sequential specification
+/// produces ([`crate::algebraic`]); how it executes — serially, on a
+/// work-stealing pool, or on a simulated process grid — is the backend's
+/// business. Backends are free to fuse work across primitives (the pooled
+/// backend's SpMSpV already filters visited vertices and pre-sorts its
+/// output), as long as each call site still observes its specified result.
+/// See [`crate::driver`]'s module docs for a worked example, and the
+/// README's "adding a backend" walk-through.
+pub trait RcmRuntime {
+    /// The backend's sparse frontier (a distributed/sequential sparse
+    /// vector of `(vertex, Label)` pairs).
+    type Frontier: Clone;
+
+    /// Number of vertices (matrix rows).
+    fn n(&self) -> usize;
+
+    // --- cost hook -----------------------------------------------------
+
+    /// Tell the backend which Fig. 4 phase subsequent work belongs to.
+    fn set_phase(&mut self, _phase: Phase) {}
+
+    /// Simulated seconds elapsed (0.0 for backends without a clock).
+    fn now(&self) -> f64 {
+        0.0
+    }
+
+    // --- frontier utilities --------------------------------------------
+
+    /// The frontier `{v}` with one stored value.
+    fn singleton(&mut self, v: Vidx, value: Label) -> Self::Frontier;
+
+    /// `nnz(x) > 0` — the loop-exit test of Algorithms 3 and 4 (an
+    /// AllReduce on distributed backends).
+    fn is_nonempty(&mut self, x: &Self::Frontier) -> bool;
+
+    /// Append `x`'s entries to `acc` (the [`LabelingMode::GlobalAtEnd`]
+    /// accumulator). Entry sets must stay disjoint.
+    fn append(&mut self, acc: &mut Self::Frontier, x: &Self::Frontier);
+
+    /// Overwrite every stored value with `value` (level stamping).
+    fn stamp(&mut self, x: &mut Self::Frontier, value: Label);
+
+    // --- Table I -------------------------------------------------------
+
+    /// `SPMSPV(A, x)` over the `(select2nd, min)` semiring: for every
+    /// vertex adjacent to `x`'s support, the minimum stored value among its
+    /// frontier neighbours.
+    fn spmspv(&mut self, x: &Self::Frontier) -> Self::Frontier;
+
+    /// `SELECT(x, R = -1)`: keep entries whose companion in `which` is
+    /// unvisited.
+    fn select_unvisited(&mut self, x: &Self::Frontier, which: DenseTarget) -> Self::Frontier;
+
+    /// `SET(dense, x)`: overwrite the dense companion at `x`'s support.
+    fn set_dense(&mut self, which: DenseTarget, x: &Self::Frontier);
+
+    /// Point update of a dense companion (root seeding).
+    fn set_dense_at(&mut self, which: DenseTarget, v: Vidx, value: Label);
+
+    /// `SET(x, dense)`: refresh `x`'s values from the dense companion
+    /// (Algorithm 3 line 6).
+    fn gather_values(&mut self, x: &mut Self::Frontier, which: DenseTarget);
+
+    /// Reset the BFS level vector `L` to all-unvisited (start of every
+    /// pseudo-peripheral sweep).
+    fn reset_levels(&mut self);
+
+    /// Called when a pseudo-peripheral search finishes. Backends whose BFS
+    /// marks share state with the ordering pass (the pooled backend's
+    /// `visited` array) roll them back here; backends with a dedicated
+    /// level vector need do nothing — the next search resets it, and the
+    /// ordering pass never reads `L`.
+    fn end_peripheral_search(&mut self) {}
+
+    /// `SORTPERM(x, D)`: assign consecutive labels `nv, nv+1, …` in
+    /// lexicographic `(stored value, degree, vertex)` order. `batch` is the
+    /// half-open label range of the previous frontier (the possible parent
+    /// values — the bucket structure the paper's specialized sort
+    /// exploits). Returns the labels as a frontier of `(vertex, label)`
+    /// entries plus the number labeled.
+    fn sortperm(
+        &mut self,
+        x: &Self::Frontier,
+        batch: (Label, Label),
+        nv: Label,
+    ) -> (Self::Frontier, usize);
+
+    /// `REDUCE(x, D, argmin)`: the stored vertex minimizing
+    /// `(degree, vertex)` — Algorithm 4's next-root pick.
+    fn argmin_degree(&mut self, x: &Self::Frontier) -> Option<Vidx>;
+
+    /// Seed selection: the unvisited vertex (in `R`) of minimum
+    /// `(degree, vertex)`, or `None` when all are labeled.
+    fn find_unvisited_min_degree(&mut self) -> Option<Vidx>;
+
+    // --- introspection --------------------------------------------------
+
+    /// Matrix nonzeros traversed by SpMSpV so far (0 if untracked).
+    fn spmspv_work(&self) -> usize {
+        0
+    }
+}
+
+/// Algorithm 4: the George–Liu pseudo-peripheral search from `start`,
+/// generically. Returns `(vertex, eccentricity)` and bumps `bfs_count` once
+/// per full BFS sweep.
+fn pseudo_peripheral<R: RcmRuntime>(
+    rt: &mut R,
+    start: Vidx,
+    bfs_count: &mut usize,
+) -> (Vidx, usize) {
+    let mut r = start;
+    let mut nlvl: i64 = -1;
+    loop {
+        // One full level-synchronous BFS from r, levels tracked in L.
+        rt.set_phase(Phase::PeripheralOther);
+        rt.reset_levels();
+        rt.set_dense_at(DenseTarget::Levels, r, 0);
+        let mut cur = rt.singleton(r, 0);
+        let mut ecc: i64 = 0;
+        *bfs_count += 1;
+        loop {
+            // L_cur ← SET(L_cur, L); L_next ← SELECT(SPMSPV(A, L_cur), L = -1).
+            rt.set_phase(Phase::PeripheralOther);
+            rt.gather_values(&mut cur, DenseTarget::Levels);
+            rt.set_phase(Phase::PeripheralSpmspv);
+            let next = rt.spmspv(&cur);
+            rt.set_phase(Phase::PeripheralOther);
+            let mut next = rt.select_unvisited(&next, DenseTarget::Levels);
+            if !rt.is_nonempty(&next) {
+                break;
+            }
+            ecc += 1;
+            rt.stamp(&mut next, ecc);
+            rt.set_dense(DenseTarget::Levels, &next);
+            cur = next;
+        }
+        // Converged: the eccentricity did not grow.
+        if ecc <= nlvl {
+            rt.end_peripheral_search();
+            return (r, ecc as usize);
+        }
+        nlvl = ecc;
+        // r ← REDUCE(L_cur, D): minimum-degree vertex of the last level.
+        rt.set_phase(Phase::PeripheralOther);
+        let v = rt.argmin_degree(&cur).unwrap_or(r);
+        if v == r {
+            rt.end_peripheral_search();
+            return (r, ecc as usize);
+        }
+        r = v;
+    }
+}
+
+/// Algorithm 3: label `root`'s component with consecutive Cuthill-McKee
+/// labels starting at `*nv`. Returns the number of frontier-expansion
+/// levels and appends per-level records to `stats`.
+fn label_component<R: RcmRuntime>(
+    rt: &mut R,
+    root: Vidx,
+    nv: &mut Label,
+    mode: LabelingMode,
+    stats: &mut DriverStats,
+) {
+    if mode == LabelingMode::GlobalAtEnd {
+        label_component_global_sort(rt, root, nv, stats);
+        return;
+    }
+    rt.set_phase(Phase::OrderingOther);
+    // R[r] ← nv; L_cur ← {r}.
+    rt.set_dense_at(DenseTarget::Order, root, *nv);
+    let mut batch_start = *nv;
+    *nv += 1;
+    let mut cur = rt.singleton(root, 0);
+    loop {
+        let level_t0 = rt.now();
+        // L_cur ← SET(L_cur, R): frontier values become the labels assigned
+        // in the previous round.
+        rt.set_phase(Phase::OrderingOther);
+        rt.gather_values(&mut cur, DenseTarget::Order);
+        // L_next ← SPMSPV(A, L_cur) over (select2nd, min).
+        rt.set_phase(Phase::OrderingSpmspv);
+        let next = rt.spmspv(&cur);
+        // L_next ← SELECT(L_next, R = -1).
+        rt.set_phase(Phase::OrderingOther);
+        let next = rt.select_unvisited(&next, DenseTarget::Order);
+        if !rt.is_nonempty(&next) {
+            break;
+        }
+        stats.levels += 1;
+        // R_next ← SORTPERM(L_next, D) + nv.
+        rt.set_phase(Phase::OrderingSort);
+        let (labels, count) = rt.sortperm(&next, (batch_start, *nv), *nv);
+        // R ← SET(R, R_next); nv ← nv + nnz(R_next).
+        rt.set_phase(Phase::OrderingOther);
+        rt.set_dense(DenseTarget::Order, &labels);
+        batch_start = *nv;
+        *nv += count as Label;
+        stats.level_stats.push(LevelStat {
+            frontier: count,
+            seconds: rt.now() - level_t0,
+        });
+        cur = next;
+    }
+}
+
+/// [`LabelingMode::GlobalAtEnd`]: BFS stamping 1-based levels, then one
+/// global `SORTPERM` keyed by `(level, degree, vertex)` over the whole
+/// component. `R` holds a sentinel during the BFS so `SELECT` keeps
+/// working; the final `SET` overwrites it with real labels.
+fn label_component_global_sort<R: RcmRuntime>(
+    rt: &mut R,
+    root: Vidx,
+    nv: &mut Label,
+    stats: &mut DriverStats,
+) {
+    const VISITING: Label = Label::MAX;
+    rt.set_phase(Phase::OrderingOther);
+    rt.set_dense_at(DenseTarget::Order, root, VISITING);
+    let mut acc = rt.singleton(root, 0);
+    let mut cur = acc.clone();
+    let mut level: Label = 0;
+    loop {
+        rt.set_phase(Phase::OrderingSpmspv);
+        let next = rt.spmspv(&cur);
+        rt.set_phase(Phase::OrderingOther);
+        let mut next = rt.select_unvisited(&next, DenseTarget::Order);
+        if !rt.is_nonempty(&next) {
+            break;
+        }
+        level += 1;
+        rt.stamp(&mut next, level);
+        let mut mark = next.clone();
+        rt.stamp(&mut mark, VISITING);
+        rt.set_dense(DenseTarget::Order, &mark);
+        rt.append(&mut acc, &next);
+        cur = next;
+    }
+    rt.set_phase(Phase::OrderingSort);
+    let (labels, count) = rt.sortperm(&acc, (0, level + 1), *nv);
+    rt.set_phase(Phase::OrderingOther);
+    rt.set_dense(DenseTarget::Order, &labels);
+    *nv += count as Label;
+    stats.levels += level as usize;
+}
+
+/// Run the full Cuthill-McKee pipeline (Algorithms 3 + 4, per connected
+/// component) on any backend. On return the backend's ordering vector `R`
+/// holds the unreversed CM labels; extraction (reversal, mapping back to
+/// original ids) is backend-specific.
+///
+/// Components are seeded at the unvisited vertex of minimum
+/// `(degree, vertex)` and refined to a pseudo-peripheral vertex, exactly
+/// like the classical driver — all backends therefore produce the identical
+/// label assignment.
+pub fn drive_cm<R: RcmRuntime>(rt: &mut R, mode: LabelingMode) -> DriverStats {
+    let n = rt.n();
+    let mut stats = DriverStats::default();
+    let mut nv: Label = 0;
+    while (nv as usize) < n {
+        rt.set_phase(Phase::PeripheralOther);
+        let seed = rt
+            .find_unvisited_min_degree()
+            .expect("an unvisited vertex exists");
+        let (root, _ecc) = pseudo_peripheral(rt, seed, &mut stats.peripheral_bfs);
+        stats.components += 1;
+        label_component(rt, root, &mut nv, mode, &mut stats);
+    }
+    stats.spmspv_work = rt.spmspv_work();
+    stats
+}
+
+/// Backend selector for [`rcm_with_backend`] — the uniform entry the
+/// cross-backend tests and the `repro backends` sweep use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// [`crate::backends::SerialBackend`] (via [`crate::algebraic_rcm`]).
+    Serial,
+    /// [`crate::backends::PooledBackend`] with this many worker threads.
+    Pooled {
+        /// Worker threads.
+        threads: usize,
+    },
+    /// [`crate::backends::DistBackend`], flat MPI (1 thread/process).
+    Dist {
+        /// Total cores (= processes; must form a square grid).
+        cores: usize,
+    },
+    /// [`crate::backends::HybridBackend`] (MPI × OpenMP, Fig. 6).
+    Hybrid {
+        /// Total cores.
+        cores: usize,
+        /// Threads per MPI process (> 1).
+        threads_per_proc: usize,
+    },
+}
+
+impl BackendKind {
+    /// Short display name (`serial`, `pooled`, `dist`, `hybrid`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Serial => "serial",
+            BackendKind::Pooled { .. } => "pooled",
+            BackendKind::Dist { .. } => "dist",
+            BackendKind::Hybrid { .. } => "hybrid",
+        }
+    }
+}
+
+/// Compute the RCM permutation of `a` on the chosen backend.
+///
+/// Every backend returns the bit-identical permutation; they differ only in
+/// how (and at what modeled cost) they execute the shared generic driver.
+pub fn rcm_with_backend(a: &CscMatrix, kind: BackendKind) -> Permutation {
+    use crate::distributed::{DistRcmConfig, SortMode};
+    use rcm_dist::{HybridConfig, MachineModel};
+    match kind {
+        BackendKind::Serial => crate::algebraic::algebraic_rcm(a).0,
+        BackendKind::Pooled { threads } => crate::shared::par_rcm(a, threads).0,
+        BackendKind::Dist { cores } => {
+            let cfg = DistRcmConfig {
+                machine: MachineModel::edison(),
+                hybrid: HybridConfig::new(cores, 1),
+                balance_seed: None,
+                sort_mode: SortMode::Full,
+            };
+            crate::distributed::dist_rcm(a, &cfg).perm
+        }
+        BackendKind::Hybrid {
+            cores,
+            threads_per_proc,
+        } => {
+            let cfg = DistRcmConfig {
+                machine: MachineModel::edison(),
+                hybrid: HybridConfig::new(cores, threads_per_proc),
+                balance_seed: None,
+                sort_mode: SortMode::Full,
+            };
+            crate::distributed::dist_rcm(a, &cfg).perm
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcm_sparse::CooBuilder;
+
+    fn path(n: usize) -> CscMatrix {
+        let mut b = CooBuilder::new(n, n);
+        for v in 0..n - 1 {
+            b.push_sym(v as Vidx, (v + 1) as Vidx);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn backend_kinds_have_names() {
+        assert_eq!(BackendKind::Serial.name(), "serial");
+        assert_eq!(BackendKind::Pooled { threads: 2 }.name(), "pooled");
+        assert_eq!(BackendKind::Dist { cores: 4 }.name(), "dist");
+        assert_eq!(
+            BackendKind::Hybrid {
+                cores: 24,
+                threads_per_proc: 6
+            }
+            .name(),
+            "hybrid"
+        );
+    }
+
+    #[test]
+    fn rcm_with_backend_agrees_across_all_kinds() {
+        let a = path(23);
+        let expect = rcm_with_backend(&a, BackendKind::Serial);
+        for kind in [
+            BackendKind::Pooled { threads: 3 },
+            BackendKind::Dist { cores: 4 },
+            BackendKind::Hybrid {
+                cores: 24,
+                threads_per_proc: 6,
+            },
+        ] {
+            assert_eq!(
+                rcm_with_backend(&a, kind),
+                expect,
+                "{} diverged",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn driver_stats_count_components() {
+        use crate::backends::SerialBackend;
+        let mut b = CooBuilder::new(7, 7);
+        b.push_sym(0, 1);
+        b.push_sym(2, 3);
+        b.push_sym(3, 4);
+        let a = b.build();
+        let mut rt = SerialBackend::new(&a);
+        let stats = drive_cm(&mut rt, LabelingMode::PerLevel);
+        assert_eq!(stats.components, 4); // {0,1}, {2,3,4}, {5}, {6}
+        assert!(stats.spmspv_work > 0);
+        let labeled: usize = stats.level_stats.iter().map(|l| l.frontier).sum();
+        assert_eq!(labeled + stats.components, 7);
+    }
+}

@@ -13,10 +13,15 @@
 //! | [`shared`] | multithreaded level-synchronous RCM | SpMP-style baseline of Table II |
 //! | [`distributed`] | 2D-decomposed RCM on the simulated runtime | the paper's contribution (Figs. 4–6) |
 //!
-//! The three non-distributed implementations produce *identical* orderings
-//! (ties broken by vertex id); the distributed one matches them exactly when
-//! no load-balance permutation is applied. This cross-implementation
-//! equality is the backbone of the test suite.
+//! All of the algebraic entry points are thin shims over **one** generic
+//! pipeline: [`driver::drive_cm`] writes the pseudo-peripheral search,
+//! level-synchronous BFS, and labeling `SORTPERM` once over the Table-I
+//! primitives trait [`driver::RcmRuntime`], and the four backends in
+//! [`backends`] (serial, pooled, distributed, hybrid) supply the
+//! primitives. All implementations produce *identical* orderings (ties
+//! broken by vertex id); the distributed ones match exactly whenever no
+//! load-balance permutation is applied. This cross-backend equality is the
+//! backbone of the test suite.
 //!
 //! ```
 //! use rcm_core::rcm;
@@ -34,8 +39,10 @@
 //! ```
 
 pub mod algebraic;
+pub mod backends;
 pub mod compress;
 pub mod distributed;
+pub mod driver;
 pub mod peripheral;
 pub mod pool;
 pub mod quality;
@@ -45,8 +52,12 @@ pub mod sloan;
 pub mod unordered;
 
 pub use algebraic::{algebraic_cm, algebraic_rcm, AlgebraicStats};
+pub use backends::{DistBackend, HybridBackend, PooledBackend, SerialBackend};
 pub use compress::{find_supervariables, rcm_compressed, CompressStats};
 pub use distributed::{dist_rcm, DistRcmConfig, DistRcmResult, LevelStat, SortMode};
+pub use driver::{
+    drive_cm, rcm_with_backend, BackendKind, DenseTarget, DriverStats, LabelingMode, RcmRuntime,
+};
 pub use peripheral::{bfs_level_structure, pseudo_peripheral, LevelStructure, PseudoPeripheral};
 pub use pool::{
     thread_counts_from_env, ChunkQueue, PoolConfig, RcmPool, DEFAULT_CHUNK, DEFAULT_SEQ_CUTOFF,

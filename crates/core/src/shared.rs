@@ -1,29 +1,23 @@
 //! Shared-memory (multithreaded) level-synchronous RCM — the SpMP-style
 //! baseline of Table II.
 //!
-//! The paper compares its distributed implementation against SpMP (Park et
-//! al.), which implements the level-synchronous shared-memory RCM of
-//! Karantasis et al. \[8\]. This module provides an equivalent baseline on
-//! top of the work-stealing backend of [`crate::pool`]:
-//!
-//! * frontier expansion is claimed chunk-by-chunk from an atomic work
-//!   queue, each worker emitting `(vertex, parent-label, degree)` candidates
-//!   for unvisited neighbours into its reusable arena *without* claiming
-//!   them (no atomics on the hot path — `visited` is only read during a
-//!   level and written between levels),
-//! * candidates are merged and deduplicated in parallel keeping the minimum
-//!   parent label, reproducing the `(select2nd, min)` semantics, then
-//! * bucket-sorted by `(parent label, degree, vertex)` in parallel
-//!   (mirroring the distributed `SORTPERM`) and labeled.
+//! Since the [`crate::driver`] refactor this module is a thin shim: the
+//! BFS/peripheral/labeling pipeline lives **once** in
+//! [`crate::driver::drive_cm`], and these entry points run it on
+//! [`crate::backends::PooledBackend`] — the work-stealing pool of
+//! [`crate::pool`], whose three-phase level pipeline (dynamic chunk
+//! claiming, epoch-stamped `fetch_min` minimum-parent dedup, parallel
+//! per-parent bucket sort) supplies the Table-I primitives.
 //!
 //! The result is *deterministic* and identical to the sequential and
 //! algebraic orderings — thread count changes runtime, never the answer.
 //! CI enforces this with an `RCM_THREADS` sweep (see
 //! [`crate::pool::thread_counts_from_env`]).
 
-use crate::peripheral::pseudo_peripheral_with_degrees;
-use crate::pool::{LevelExecutor, PoolConfig, RcmPool};
-use rcm_sparse::{CscMatrix, Permutation, Vidx};
+use crate::backends::PooledBackend;
+use crate::driver::{drive_cm, LabelingMode};
+use crate::pool::{PoolConfig, RcmPool};
+use rcm_sparse::{CscMatrix, Permutation};
 
 /// Statistics of a shared-memory RCM run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -65,152 +59,21 @@ pub fn par_cuthill_mckee_with_pool(
     assert_eq!(a.n_rows(), a.n_cols());
     let n = a.n_rows();
     let degrees = a.degrees();
-    pool.run(a, &degrees, |exec| {
-        let mut order: Vec<Vidx> = Vec::with_capacity(n);
-        let mut stats = SharedRcmStats::default();
-        // Level output buffer, reused across levels and components.
-        let mut cands = Vec::new();
-
-        while order.len() < n {
-            let seed = exec
-                .with_state(|visited, _| {
-                    (0..n)
-                        .filter(|&v| !visited[v])
-                        .min_by_key(|&v| (degrees[v], v as Vidx))
-                })
-                .expect("unvisited vertex exists") as Vidx;
-            let (root, bfs_count) = if exec.nthreads() == 1 {
-                let pp = pseudo_peripheral_with_degrees(a, seed, &degrees);
-                (pp.vertex, pp.bfs_count)
-            } else {
-                parallel_pseudo_peripheral(exec, &degrees, seed)
-            };
-            stats.components += 1;
-            stats.peripheral_bfs += bfs_count;
-
-            let mut base_label = order.len() as Vidx;
-            order.push(root);
-            exec.with_state(|visited, frontier| {
-                visited[root as usize] = true;
-                frontier.clear();
-                frontier.push(root);
-            });
-            loop {
-                let parallel = exec.expand(base_label, &mut cands);
-                if parallel {
-                    stats.parallel_levels += 1;
-                }
-                if cands.is_empty() {
-                    break;
-                }
-                stats.levels += 1;
-                base_label = order.len() as Vidx;
-                exec.with_state(|visited, frontier| {
-                    frontier.clear();
-                    for &(v, _, _) in &cands {
-                        visited[v as usize] = true;
-                        order.push(v);
-                        frontier.push(v);
-                    }
-                });
-            }
-        }
-        (
-            Permutation::from_order(&order).expect("CM visits each vertex once"),
-            stats,
-        )
-    })
-}
-
-/// George–Liu pseudo-peripheral search running its BFS sweeps through the
-/// worker pool (Algorithm 2; the paper parallelizes these sweeps with the
-/// same machinery as the ordering pass).
-///
-/// Level *sets* are interleaving-independent, and both the stopping rule
-/// and the minimum-degree pick operate on sets, so the returned vertex is
-/// identical to [`pseudo_peripheral_with_degrees`]. BFS visited marks are
-/// undone before returning — the ordering pass owns the visited array.
-fn parallel_pseudo_peripheral(
-    exec: &mut LevelExecutor<'_, '_>,
-    degrees: &[Vidx],
-    start: Vidx,
-) -> (Vidx, usize) {
-    // One full BFS sweep from `r`; leaves the last nonempty level in
-    // `last_level` and every visited vertex in `touched`, returns the
-    // eccentricity.
-    fn sweep(
-        exec: &mut LevelExecutor<'_, '_>,
-        r: Vidx,
-        cands: &mut Vec<crate::pool::Candidate>,
-        last_level: &mut Vec<Vidx>,
-        touched: &mut Vec<Vidx>,
-    ) -> usize {
-        exec.with_state(|visited, frontier| {
-            visited[r as usize] = true;
-            frontier.clear();
-            frontier.push(r);
-        });
-        touched.clear();
-        touched.push(r);
-        last_level.clear();
-        last_level.push(r);
-        let mut ecc = 0usize;
-        loop {
-            // BFS needs no real labels; positions from 0 keep the claim
-            // filter's (vertex, parent) pairs unique.
-            exec.expand(0, cands);
-            if cands.is_empty() {
-                break;
-            }
-            ecc += 1;
-            exec.with_state(|visited, frontier| {
-                frontier.clear();
-                for &(v, _, _) in cands.iter() {
-                    visited[v as usize] = true;
-                    frontier.push(v);
-                }
-            });
-            last_level.clear();
-            last_level.extend(cands.iter().map(|&(v, _, _)| v));
-            touched.extend_from_slice(last_level);
-        }
-        ecc
-    }
-    fn unmark(exec: &mut LevelExecutor<'_, '_>, touched: &[Vidx]) {
-        exec.with_state(|visited, _| {
-            for &v in touched {
-                visited[v as usize] = false;
-            }
-        });
-    }
-
-    let mut cands = Vec::new();
-    let mut last_level: Vec<Vidx> = Vec::new();
-    let mut touched: Vec<Vidx> = Vec::new();
-    let mut r = start;
-    let mut ecc = sweep(exec, r, &mut cands, &mut last_level, &mut touched);
-    let mut bfs_count = 1usize;
-    loop {
-        // Shrink: minimum-degree vertex of the last level (ties toward the
-        // smaller id) — the same set-based pick as the serial finder.
-        let v = *last_level
-            .iter()
-            .min_by_key(|&&w| (degrees[w as usize], w))
-            .expect("last level is nonempty");
-        unmark(exec, &touched);
-        if v == r {
-            break;
-        }
-        let ecc_v = sweep(exec, v, &mut cands, &mut last_level, &mut touched);
-        bfs_count += 1;
-        r = v;
-        if ecc_v <= ecc {
-            unmark(exec, &touched);
-            break;
-        }
-        ecc = ecc_v;
-    }
-    (r, bfs_count)
+    let (perm, stats, parallel_levels) = pool.run(a, &degrees, |exec| {
+        let mut rt = PooledBackend::new(exec, n, &degrees);
+        let stats = drive_cm(&mut rt, LabelingMode::PerLevel);
+        let (perm, parallel_levels) = rt.into_cm_permutation();
+        (perm, stats, parallel_levels)
+    });
+    (
+        perm,
+        SharedRcmStats {
+            components: stats.components,
+            peripheral_bfs: stats.peripheral_bfs,
+            levels: stats.levels,
+            parallel_levels,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -218,7 +81,7 @@ mod tests {
     use super::*;
     use crate::pool::thread_counts_from_env;
     use crate::serial;
-    use rcm_sparse::CooBuilder;
+    use rcm_sparse::{CooBuilder, Vidx};
 
     fn scrambled_grid(w: usize, stride: usize) -> CscMatrix {
         let mut b = CooBuilder::new(w * w, w * w);
@@ -296,7 +159,7 @@ mod tests {
         });
         let (got, stats) = par_cuthill_mckee_with_pool(&a, &mut pool);
         assert_eq!(got.reversed(), expect);
-        // Every expansion goes parallel: one per level plus each
+        // Every ordering expansion goes parallel: one per level plus each
         // component's final empty expansion.
         assert_eq!(stats.parallel_levels, stats.levels + stats.components);
     }

@@ -25,9 +25,11 @@
 //!   [`dist_argmin`], [`dist_is_nonempty`],
 //!   [`dist_find_unvisited_min_degree`], and the two `SORTPERM`s
 //!   ([`dist_sortperm`], [`dist_sortperm_samplesort`]).
-//! * [`mod@bfs`] — the composed Algorithm 3/4 building blocks
-//!   ([`dist_bfs_levels`], [`dist_pseudo_peripheral`],
-//!   [`dist_label_component`]).
+//!
+//! This crate supplies *primitives only*: the BFS, pseudo-peripheral and
+//! labeling drivers that compose them live once in `rcm-core`'s generic
+//! driver (`rcm_core::driver::drive_cm`), which runs on this runtime
+//! through its `DistBackend`/`HybridBackend`.
 //!
 //! Determinism contract: all primitives produce exactly the values their
 //! sequential specifications produce, for every grid size — `rcm-core`'s
@@ -54,7 +56,6 @@
 //! assert!(clock.now() > 0.0);
 //! ```
 
-pub mod bfs;
 pub mod clock;
 pub mod grid;
 pub mod machine;
@@ -63,7 +64,6 @@ pub mod primitives;
 pub mod sortperm;
 pub mod vec;
 
-pub use bfs::{dist_bfs_levels, dist_label_component, dist_pseudo_peripheral};
 pub use clock::{Breakdown, Phase, PhaseCost, SimClock};
 pub use grid::{
     block_index, block_range, HybridConfig, ProcGrid, PAPER_FLAT_CORES, PAPER_HYBRID_CORES,

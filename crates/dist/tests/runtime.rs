@@ -2,11 +2,42 @@
 //! and the SORTPERM baseline contract.
 
 use rcm_dist::{
-    block_index, block_range, dist_bfs_levels, dist_label_component, dist_pseudo_peripheral,
-    dist_sortperm, dist_sortperm_samplesort, DistCscMatrix, DistDenseVec, DistSparseVec,
-    MachineModel, ProcGrid, SimClock, VecLayout,
+    block_index, block_range, dist_gather_values, dist_is_nonempty, dist_select, dist_set,
+    dist_sortperm, dist_sortperm_samplesort, dist_spmspv, DistCscMatrix, DistDenseVec,
+    DistSparseVec, DistSpmspvWorkspace, MachineModel, ProcGrid, SimClock, VecLayout,
 };
-use rcm_sparse::{CooBuilder, CscMatrix, Label, Vidx, UNVISITED};
+use rcm_sparse::{CooBuilder, CscMatrix, Label, Select2ndMin, Vidx, UNVISITED};
+
+/// One level-synchronous BFS from `root` composed from the raw primitives
+/// (the production driver lives in `rcm_core::driver`; this inline copy
+/// pins the primitive contracts the driver depends on).
+fn bfs_levels(
+    a: &DistCscMatrix,
+    root: Vidx,
+    ws: &mut DistSpmspvWorkspace<Label>,
+    clk: &mut SimClock,
+) -> (DistDenseVec<Label>, usize) {
+    let mut levels: DistDenseVec<Label> = DistDenseVec::filled(a.layout().clone(), UNVISITED);
+    levels.set(root, 0);
+    let mut cur = DistSparseVec::singleton(a.layout().clone(), root, 0 as Label);
+    let mut ecc = 0usize;
+    loop {
+        dist_gather_values(&mut cur, &levels, clk);
+        let next = dist_spmspv::<Label, Select2ndMin>(a, &cur, ws, clk);
+        let mut next = dist_select(&next, &levels, |l| l == UNVISITED, clk);
+        if !dist_is_nonempty(&next, clk) {
+            return (levels, ecc);
+        }
+        ecc += 1;
+        for part in &mut next.parts {
+            for (_, v) in part.iter_mut() {
+                *v = ecc as Label;
+            }
+        }
+        dist_set(&mut levels, &next, clk);
+        cur = next;
+    }
+}
 
 fn clock() -> SimClock {
     SimClock::new(MachineModel::edison(), 1)
@@ -72,27 +103,22 @@ fn block_decomposition_empty_vector() {
 // ---------------------------------------------------------------------------
 
 #[test]
-fn one_by_one_grid_runs_the_whole_pipeline() {
+fn one_by_one_grid_runs_a_full_bfs_without_communication() {
     let a = path(9);
     let grid = ProcGrid::square(1).unwrap();
     let d = DistCscMatrix::from_global(grid, &a, None);
     assert_eq!(d.grid().pr, 1);
-    let degrees = d.degrees_dvec();
     let mut clk = clock();
+    let mut ws = DistSpmspvWorkspace::new();
 
-    let (root, ecc, sweeps) = dist_pseudo_peripheral(&d, &degrees, 4, &mut clk);
-    assert!(root == 0 || root == 8);
-    assert_eq!(ecc, 8);
-    assert!(sweeps >= 2);
-
-    let mut order: DistDenseVec<Label> = DistDenseVec::filled(d.layout().clone(), UNVISITED);
-    let mut nv: Label = 0;
-    let levels = dist_label_component(&d, &degrees, root, &mut order, &mut nv, &mut clk);
-    assert_eq!(nv, 9);
-    assert_eq!(levels, 8);
+    let (levels, ecc) = bfs_levels(&d, 4, &mut ws, &mut clk);
+    assert_eq!(ecc, 4);
+    let expect: Vec<Label> = (0..9).map(|v| (v as i64 - 4).abs()).collect();
+    assert_eq!(levels.to_global(), expect);
     // A single rank never communicates.
     assert_eq!(clk.messages, 0);
     assert_eq!(clk.breakdown().comm_total(), 0.0);
+    assert!(clk.breakdown().compute_total() > 0.0);
 }
 
 #[test]
@@ -122,9 +148,15 @@ fn bfs_levels_agree_across_grids_with_uneven_blocks() {
     let reference: Vec<Label> = (0..13).map(|v| v as Label).collect();
     for procs in [1usize, 4, 9] {
         let d = DistCscMatrix::from_global(ProcGrid::square(procs).unwrap(), &a, None);
-        let (levels, ecc) = dist_bfs_levels(&d, 0, &mut clock());
+        let mut ws = DistSpmspvWorkspace::new();
+        let (levels, ecc) = bfs_levels(&d, 0, &mut ws, &mut clock());
         assert_eq!(ecc, 12, "{procs} procs");
         assert_eq!(levels.to_global(), reference, "{procs} procs");
+        // The reused workspace grows exactly once per matrix, then every
+        // level hits warm buffers (the zero-steady-state-allocation bar).
+        assert_eq!(ws.growth_events(), 1, "{procs} procs");
+        let _ = bfs_levels(&d, 6, &mut ws, &mut clock());
+        assert_eq!(ws.growth_events(), 1, "{procs} procs: second sweep grew");
     }
 }
 

@@ -73,7 +73,7 @@ fn build_plans(a: &CsrNumeric, ranks: usize) -> Vec<HaloPlan> {
 }
 
 /// Solve `A x = b` with preconditioned CG on a simulated `ranks`-way 1D
-/// row-block partition.
+/// row-block partition (flat: one thread per rank).
 ///
 /// The preconditioner must be block-aligned (apply must not read across the
 /// partition — [`crate::bjacobi::BlockJacobi`] constructed with the same
@@ -87,11 +87,30 @@ pub fn dist_pcg(
     ranks: usize,
     machine: &MachineModel,
 ) -> DistCgResult {
+    dist_pcg_hybrid(a, b, m, rel_tol, max_iter, ranks, 1, machine)
+}
+
+/// [`dist_pcg`] with multithreaded ranks — the same MPI×OpenMP cost model
+/// as the RCM `HybridBackend`: local compute (SpMV, preconditioner sweeps,
+/// AXPYs) is divided by [`MachineModel::thread_speedup`], communication is
+/// charged undivided, and the numerics (and therefore the returned `x` and
+/// iteration count) are bit-identical to the flat run.
+#[allow(clippy::too_many_arguments)]
+pub fn dist_pcg_hybrid(
+    a: &CsrNumeric,
+    b: &[f64],
+    m: &impl Preconditioner,
+    rel_tol: f64,
+    max_iter: usize,
+    ranks: usize,
+    threads_per_rank: usize,
+    machine: &MachineModel,
+) -> DistCgResult {
     let n = a.n_rows();
     assert_eq!(a.n_cols(), n);
     assert_eq!(b.len(), n);
     assert!(ranks >= 1);
-    let mut clock = SimClock::new(*machine, 1);
+    let mut clock = SimClock::new(*machine, threads_per_rank);
     let plans = build_plans(a, ranks);
     let max_partners = plans.iter().map(|p| p.partners).max().unwrap_or(0);
     let max_halo: usize = plans.iter().map(|p| p.needs.len()).max().unwrap_or(0);
@@ -279,6 +298,26 @@ mod tests {
             r.max_partners <= 2,
             "banded matrix: {} partners",
             r.max_partners
+        );
+    }
+
+    #[test]
+    fn hybrid_ranks_cut_compute_not_numerics() {
+        let a = grid_laplacian(12, 0.1);
+        let b = rhs(&a);
+        let machine = MachineModel::edison();
+        let flat = dist_pcg(&a, &b, &IdentityPrecond, 1e-8, 5000, 4, &machine);
+        let hybrid = dist_pcg_hybrid(&a, &b, &IdentityPrecond, 1e-8, 5000, 4, 6, &machine);
+        // Identical numerics: the thread count only rescales modeled time.
+        assert_eq!(flat.iterations, hybrid.iterations);
+        assert_eq!(flat.x, hybrid.x);
+        assert_eq!(flat.halo_seconds, hybrid.halo_seconds);
+        assert_eq!(flat.reduce_seconds, hybrid.reduce_seconds);
+        let flat_compute = flat.sim_seconds - flat.halo_seconds - flat.reduce_seconds;
+        let hybrid_compute = hybrid.sim_seconds - hybrid.halo_seconds - hybrid.reduce_seconds;
+        assert!(
+            hybrid_compute < flat_compute / 2.0,
+            "6 threads/rank must cut modeled compute: {flat_compute} -> {hybrid_compute}"
         );
     }
 

@@ -35,6 +35,6 @@ pub mod ic0;
 
 pub use bjacobi::{BlockJacobi, IdentityPrecond, JacobiPrecond, Preconditioner};
 pub use cg::{pcg, CgResult};
-pub use dist_cg::{dist_pcg, DistCgResult};
+pub use dist_cg::{dist_pcg, dist_pcg_hybrid, DistCgResult};
 pub use distmodel::{cg_iteration_cost, CgIterationCost};
 pub use ic0::Ic0Factor;

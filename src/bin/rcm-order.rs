@@ -95,9 +95,11 @@ fn load(opts: &Options) -> CscMatrix {
         });
         return m.generate(opts.scale.unwrap_or(m.default_scale));
     }
+    // Unknown paths and malformed Matrix Market input are usage errors:
+    // exit 2 with a message naming the file, never a panic.
     let a = mm::read_pattern_file(&opts.input).unwrap_or_else(|e| {
-        eprintln!("cannot read {}: {e}", opts.input);
-        std::process::exit(1);
+        eprintln!("cannot load Matrix Market file {}: {e}", opts.input);
+        std::process::exit(2);
     });
     if a.is_symmetric() {
         a

@@ -9,8 +9,10 @@
 //! * [`graphgen`] — synthetic stand-ins for the paper's evaluation suite.
 //! * [`dist`] — the simulated distributed runtime: 2D process grid, α–β
 //!   machine model, collectives, distributed Table-I primitives.
-//! * [`core`] — RCM itself: sequential, algebraic, shared-memory parallel
-//!   and distributed implementations.
+//! * [`core`] — RCM itself: the generic Table-I driver
+//!   (`core::driver::RcmRuntime` + `core::driver::drive_cm`) with serial,
+//!   pooled, distributed and hybrid backends, plus the classical
+//!   George–Liu implementation.
 //! * [`solver`] — CG + block-Jacobi/IC(0) and the Fig. 1 time model.
 //!
 //! ## Quickstart
@@ -41,7 +43,8 @@ pub use rcm_sparse as sparse;
 pub mod prelude {
     pub use rcm_core::{
         algebraic_rcm, dist_rcm, ordering_bandwidth, ordering_profile, ordering_wavefront, par_rcm,
-        pseudo_peripheral, quality_report, rcm, sloan, DistRcmConfig, DistRcmResult, SortMode,
+        pseudo_peripheral, quality_report, rcm, rcm_with_backend, sloan, BackendKind,
+        DistRcmConfig, DistRcmResult, RcmRuntime, SortMode,
     };
     pub use rcm_dist::{HybridConfig, MachineModel, Phase, ProcGrid, SimClock};
     pub use rcm_graphgen::{suite, suite_matrix, SuiteMatrix};

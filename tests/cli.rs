@@ -81,6 +81,29 @@ fn bad_flags_exit_with_usage() {
 }
 
 #[test]
+fn missing_mtx_file_exits_2_naming_the_file() {
+    let out = rcm_order()
+        .args(["/nonexistent/input.mtx"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("/nonexistent/input.mtx"), "{stderr}");
+}
+
+#[test]
+fn malformed_mtx_file_exits_2_naming_the_file() {
+    let dir = std::env::temp_dir().join("rcm-order-test-badmm");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("garbage.mtx");
+    std::fs::write(&input, "this is not a matrix market file\n").unwrap();
+    let out = rcm_order().arg(input.to_str().unwrap()).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "malformed input must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("garbage.mtx"), "{stderr}");
+}
+
+#[test]
 fn reads_matrix_market_files() {
     let dir = std::env::temp_dir().join("rcm-order-test-mm");
     std::fs::create_dir_all(&dir).unwrap();

@@ -1,11 +1,17 @@
-//! Cross-implementation integration tests: the four RCM implementations
-//! must agree (exactly where determinism is guaranteed, in quality where
-//! internal relabeling is allowed) on realistic suite matrices.
+//! Cross-backend integration tests: the four `RcmRuntime` backends run the
+//! *same* generic driver (`rcm_core::driver::drive_cm`) and must therefore
+//! agree bit for bit wherever determinism is guaranteed — on every suite
+//! class and on every degenerate shape — and in quality where internal
+//! relabeling is allowed.
 
-use distributed_rcm::core::{algebraic_rcm, dist_rcm, par_rcm, DistRcmConfig, SortMode};
+use distributed_rcm::core::{
+    algebraic_rcm, dist_rcm, par_rcm, rcm_with_backend, thread_counts_from_env, BackendKind,
+    DistRcmConfig, SortMode,
+};
 use distributed_rcm::dist::{HybridConfig, MachineModel};
 use distributed_rcm::graphgen::suite;
 use distributed_rcm::prelude::*;
+use distributed_rcm::sparse::Vidx;
 
 /// Tiny but structurally faithful instances of every suite class.
 fn tiny_suite() -> Vec<(String, CscMatrix)> {
@@ -15,14 +21,91 @@ fn tiny_suite() -> Vec<(String, CscMatrix)> {
         .collect()
 }
 
+/// The degenerate shapes every backend must survive: empty, single vertex,
+/// star, path, and a disconnected forest (isolated vertices + fragments).
+fn degenerates() -> Vec<(String, CscMatrix)> {
+    let star = {
+        let n = 41;
+        let mut b = CooBuilder::new(n, n);
+        for v in 1..n as Vidx {
+            b.push_sym(0, v);
+        }
+        b.build()
+    };
+    let path = {
+        let n = 37;
+        let mut b = CooBuilder::new(n, n);
+        for v in 0..(n - 1) as Vidx {
+            b.push_sym(v, v + 1);
+        }
+        b.build()
+    };
+    let forest = {
+        // 30 vertices: a 7-path, a 5-star, two 2-edges, and isolated rest.
+        let mut b = CooBuilder::new(30, 30);
+        for v in 0..6u32 {
+            b.push_sym(v, v + 1);
+        }
+        for v in 8..12u32 {
+            b.push_sym(7, v);
+        }
+        b.push_sym(13, 14);
+        b.push_sym(16, 15);
+        b.build()
+    };
+    vec![
+        ("empty".to_string(), CscMatrix::empty(0)),
+        ("single-vertex".to_string(), CscMatrix::empty(1)),
+        ("star".to_string(), star),
+        ("path".to_string(), path),
+        ("forest".to_string(), forest),
+    ]
+}
+
+/// The suite-level acceptance check of the `RcmRuntime` refactor: serial ==
+/// pooled == dist == hybrid, bit for bit, on every suite graph and every
+/// degenerate. The pooled sweep honors `RCM_THREADS` so CI exercises it at
+/// several thread counts.
 #[test]
-fn serial_algebraic_shared_agree_on_all_suite_classes() {
-    for (name, a) in tiny_suite() {
-        let serial = rcm(&a);
-        let (algebraic, _) = algebraic_rcm(&a);
-        let (shared, _) = par_rcm(&a, 3);
-        assert_eq!(serial, algebraic, "{name}: serial vs algebraic");
-        assert_eq!(serial, shared, "{name}: serial vs shared");
+fn all_four_backends_agree_bitwise_on_suite_and_degenerates() {
+    let mut graphs = tiny_suite();
+    graphs.extend(degenerates());
+    for (name, a) in graphs {
+        // The classical George–Liu serial ordering is the ground truth the
+        // algebraic formulation provably matches.
+        let expect = rcm(&a);
+        assert_eq!(
+            rcm_with_backend(&a, BackendKind::Serial),
+            expect,
+            "{name}: serial backend vs classical"
+        );
+        for threads in thread_counts_from_env(&[1, 3]) {
+            assert_eq!(
+                rcm_with_backend(&a, BackendKind::Pooled { threads }),
+                expect,
+                "{name}: pooled backend diverged at {threads} threads"
+            );
+        }
+        for cores in [1usize, 4, 9] {
+            assert_eq!(
+                rcm_with_backend(&a, BackendKind::Dist { cores }),
+                expect,
+                "{name}: dist backend diverged on {cores} ranks"
+            );
+        }
+        for (cores, threads_per_proc) in [(24usize, 6usize), (54, 6)] {
+            assert_eq!(
+                rcm_with_backend(
+                    &a,
+                    BackendKind::Hybrid {
+                        cores,
+                        threads_per_proc
+                    }
+                ),
+                expect,
+                "{name}: hybrid backend diverged at {cores} cores x {threads_per_proc} threads"
+            );
+        }
     }
 }
 
@@ -47,19 +130,29 @@ fn shared_backend_is_thread_count_independent_on_suite_classes() {
 }
 
 #[test]
-fn distributed_matches_algebraic_on_multiple_grids() {
-    for (name, a) in tiny_suite() {
-        let (expect, _) = algebraic_rcm(&a);
-        for procs in [1usize, 4, 9] {
-            let cfg = DistRcmConfig {
-                machine: MachineModel::edison(),
-                hybrid: HybridConfig::new(procs, 1),
-                balance_seed: None,
-                sort_mode: SortMode::Full,
-            };
-            let r = dist_rcm(&a, &cfg);
-            assert_eq!(r.perm, expect, "{name} diverged on {procs} ranks");
-        }
+fn hybrid_and_flat_share_the_data_path_at_every_scale() {
+    // Fig. 6's sweep axis: for a fixed process grid, the thread count only
+    // rescales compute cost — the permutation and the communication volume
+    // must be unchanged.
+    let m = distributed_rcm::graphgen::suite_matrix("nd24k").unwrap();
+    let a = m.generate(m.default_scale * 0.1);
+    let flat = dist_rcm(&a, &DistRcmConfig::flat_on_edison(16));
+    for threads in [2usize, 6, 12] {
+        let cfg = DistRcmConfig {
+            machine: MachineModel::edison(),
+            hybrid: HybridConfig::new(16 * threads, threads),
+            balance_seed: None,
+            sort_mode: SortMode::Full,
+        };
+        let hybrid = dist_rcm(&a, &cfg);
+        assert_eq!(hybrid.perm, flat.perm, "{threads} threads/proc diverged");
+        assert_eq!(hybrid.grid_side, flat.grid_side);
+        assert_eq!(hybrid.messages, flat.messages);
+        assert_eq!(hybrid.bytes, flat.bytes);
+        assert!(
+            hybrid.breakdown.compute_total() < flat.breakdown.compute_total(),
+            "{threads} threads/proc must cut modeled compute"
+        );
     }
 }
 

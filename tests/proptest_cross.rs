@@ -40,6 +40,14 @@ proptest! {
         };
         let dist = dist_rcm(&a, &cfg);
         prop_assert_eq!(&serial, &dist.perm);
+        // The hybrid backend shares the data path; only the cost model
+        // differs.
+        let hybrid_cfg = DistRcmConfig {
+            hybrid: HybridConfig::new(24, 6),
+            ..cfg
+        };
+        let hybrid = dist_rcm(&a, &hybrid_cfg);
+        prop_assert_eq!(&serial, &hybrid.perm);
     }
 
     #[test]
