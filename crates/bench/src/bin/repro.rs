@@ -4,17 +4,18 @@
 //! repro [--scale <mult>] [--quick] [--out <dir>] [--mtx <file.mtx>]... <experiment>...
 //!
 //! experiments:
-//!   fig1      CG+block-Jacobi solve time, natural vs RCM ordering
-//!   fig3      matrix-suite statistics table
-//!   table2    shared-memory baseline vs distributed runtime
-//!   scaling   shared-memory strong scaling at 1/2/4/8/16 threads
-//!   fig4      distributed runtime breakdown (per matrix, per core count)
-//!   fig5      SpMSpV computation vs communication split
-//!   fig6      flat MPI vs hybrid breakdown on ldoor
-//!   ablation  sorting-strategy ablation (§VI future work)
-//!   backends  one generic driver on all four RcmRuntime backends
-//!   balance   load-balance permutation ablation (§IV-A)
-//!   all       everything above
+//!   fig1       CG+block-Jacobi solve time, natural vs RCM ordering
+//!   fig3       matrix-suite statistics table
+//!   table2     shared-memory baseline vs distributed runtime
+//!   scaling    shared-memory strong scaling at 1/2/4/8/16 threads
+//!   fig4       distributed runtime breakdown (per matrix, per core count)
+//!   fig5       SpMSpV computation vs communication split
+//!   fig6       flat MPI vs hybrid breakdown on ldoor
+//!   ablation   sorting-strategy ablation (§VI future work)
+//!   direction  push/pull/adaptive frontier-expansion ablation
+//!   backends   one generic driver on all four RcmRuntime backends
+//!   balance    load-balance permutation ablation (§IV-A)
+//!   all        everything above
 //! ```
 //!
 //! `--mtx <file.mtx>` (repeatable) loads real Matrix Market inputs —
@@ -28,8 +29,8 @@
 
 use rcm_bench::report::json_str;
 use rcm_bench::{
-    ablation_sort_modes, backend_sweep, balance_ablation, compression_table, fig1_cg_solve,
-    fig3_suite_table, fig4_breakdown, fig5_spmspv_split, fig6_flat_vs_hybrid,
+    ablation_sort_modes, backend_sweep, balance_ablation, compression_table, direction_ablation,
+    fig1_cg_solve, fig3_suite_table, fig4_breakdown, fig5_spmspv_split, fig6_flat_vs_hybrid,
     gather_vs_distributed, load_mtx, machine_sensitivity, mtx_table, quality_comparison,
     run_hybrid_sweep, scaling_summary, shared_scaling, table2_shared_memory, ExpConfig, Table,
 };
@@ -37,8 +38,8 @@ use rcm_bench::{
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale <mult>] [--quick] [--out <dir>] [--mtx <file.mtx>]... \
-         <fig1|fig3|table2|scaling|fig4|fig5|fig6|ablation|backends|balance|quality|gather\
-         |sensitivity|compress|all>..."
+         <fig1|fig3|table2|scaling|fig4|fig5|fig6|ablation|direction|backends|balance|quality\
+         |gather|sensitivity|compress|all>..."
     );
     std::process::exit(2);
 }
@@ -146,7 +147,7 @@ fn main() {
     }
     // Reject typos up front: a silently-ignored name would let the CI
     // bench-smoke gate pass while measuring nothing.
-    const KNOWN: [&str; 15] = [
+    const KNOWN: [&str; 16] = [
         "fig1",
         "fig3",
         "table2",
@@ -155,6 +156,7 @@ fn main() {
         "fig5",
         "fig6",
         "ablation",
+        "direction",
         "backends",
         "balance",
         "quality",
@@ -231,6 +233,9 @@ fn main() {
             "ablation_sort",
             &ablation_sort_modes(&cfg),
         );
+    }
+    if want("direction") {
+        ok &= emit(&cfg, &mut manifest, "direction", &direction_ablation(&cfg));
     }
     if want("backends") {
         ok &= emit(&cfg, &mut manifest, "backend_sweep", &backend_sweep(&cfg));

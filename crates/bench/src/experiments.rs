@@ -12,6 +12,7 @@
 //! | [`fig5_spmspv_split`] | Fig. 5 — SpMSpV computation vs communication |
 //! | [`fig6_flat_vs_hybrid`] | Fig. 6 — flat MPI vs hybrid on ldoor |
 //! | [`ablation_sort_modes`] | §VI — sorting-strategy ablation |
+//! | [`direction_ablation`] | direction-optimizing expand: push / pull / adaptive |
 //! | [`backend_sweep`] | one generic driver on all four `RcmRuntime` backends |
 //! | [`balance_ablation`] | §IV-A — load-balance permutation sweep |
 //! | [`mtx_table`] | real Matrix Market inputs (`repro --mtx`) next to the suite |
@@ -24,9 +25,9 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use rcm_core::{
-    dist_rcm, ordering_bandwidth, ordering_profile, ordering_wavefront, par_rcm, pseudo_peripheral,
-    rcm, rcm_compressed, rcm_globalsort, rcm_nosort, rcm_with_backend, sloan, BackendKind,
-    DistRcmConfig, SortMode,
+    algebraic_rcm_directed, dist_rcm, ordering_bandwidth, ordering_profile, ordering_wavefront,
+    par_rcm, par_rcm_directed, pseudo_peripheral, rcm, rcm_compressed, rcm_globalsort, rcm_nosort,
+    rcm_with_backend, sloan, BackendKind, DistRcmConfig, ExpandDirection, SortMode,
 };
 use rcm_dist::{
     Breakdown, DistCscMatrix, MachineModel, Phase, PAPER_FLAT_CORES, PAPER_HYBRID_CORES,
@@ -513,6 +514,132 @@ pub fn ablation_sort_modes(cfg: &ExpConfig) -> Table {
                 fmt_count(sbw as u64),
                 times[0].clone(),
                 times[1].clone(),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Ablation — direction-optimizing frontier expansion (push / pull / adaptive)
+// ---------------------------------------------------------------------------
+
+/// The three user-facing direction policies the ablation compares.
+const DIRECTIONS: [ExpandDirection; 3] = [
+    ExpandDirection::Push,
+    ExpandDirection::Pull,
+    ExpandDirection::Adaptive,
+];
+
+/// Direction-optimizing expand ablation: push-only, pull-only, and the
+/// adaptive Beamer-style switch side by side on the low-diameter suite
+/// graphs (where RCM frontiers grow to a large fraction of the unvisited
+/// vertices) plus any `--mtx` inputs.
+///
+/// Serial and pooled rows report measured wall-clock; dist (16 ranks, flat)
+/// and hybrid (24 cores, 6 t/p) report simulated time, where the model
+/// makes the trade visible deterministically: pull's dense allgather and
+/// streaming row-scan beat push's sparse gather/reduce exactly on
+/// dense-frontier levels, and adaptive takes whichever is cheaper per
+/// level. `pull-lv` counts the expansions the adaptive run chose to pull;
+/// `identical` asserts all three permutations match the serial push
+/// reference bit for bit.
+pub fn direction_ablation(cfg: &ExpConfig) -> Table {
+    // Low-diameter suite classes: pseudo-diameter ≤ ~60 at paper scale, the
+    // fat-frontier regime the direction switch targets (quick mode reuses
+    // the standard CI trio).
+    let names = if cfg.quick {
+        vec!["nd24k", "ldoor", "Li7Nmax6"]
+    } else {
+        vec!["Li7Nmax6", "Nm7", "nd24k", "Serena", "audikw_1", "ldoor"]
+    };
+    let mut inputs: Vec<(String, CscMatrix)> = names
+        .into_iter()
+        .map(|name| {
+            let m = suite_matrix(name).expect("direction suite matrix registered");
+            (name.to_string(), cfg.generate(&m))
+        })
+        .collect();
+    inputs.extend(
+        cfg.mtx
+            .iter()
+            .map(|input| (input.name.clone(), input.matrix.clone())),
+    );
+
+    let mut t = Table::new(
+        "Direction ablation — push / pull / adaptive frontier expansion",
+        &[
+            "matrix",
+            "backend",
+            "clock",
+            "t(push)",
+            "t(pull)",
+            "t(adaptive)",
+            "pull-lv",
+            "identical",
+        ],
+    );
+    for (name, a) in &inputs {
+        let reference = algebraic_rcm_directed(a, ExpandDirection::Push).0;
+        // Measured backends: serial and the 4-thread pool.
+        for (backend, threads) in [("serial", 1usize), ("pooled", 4)] {
+            let mut times = Vec::new();
+            let mut pull_levels = 0usize;
+            let mut identical = true;
+            for d in DIRECTIONS {
+                let t0 = Instant::now();
+                let (perm, pulls) = if backend == "serial" {
+                    let (perm, s) = algebraic_rcm_directed(a, d);
+                    (perm, s.pull_expands)
+                } else {
+                    let (perm, s) = par_rcm_directed(a, threads, d);
+                    (perm, s.pull_expands)
+                };
+                times.push(fmt_secs(t0.elapsed().as_secs_f64()));
+                identical &= perm == reference;
+                if d == ExpandDirection::Adaptive {
+                    pull_levels = pulls;
+                }
+            }
+            t.row(vec![
+                name.clone(),
+                backend.to_string(),
+                "measured".into(),
+                times[0].clone(),
+                times[1].clone(),
+                times[2].clone(),
+                pull_levels.to_string(),
+                identical.to_string(),
+            ]);
+        }
+        // Simulated backends: flat 16 ranks and 24-core hybrid (the
+        // `repro backends` configurations).
+        for (backend, base) in [
+            ("dist", DistRcmConfig::flat_on_edison(16)),
+            ("hybrid", DistRcmConfig::hybrid_on_edison(24)),
+        ] {
+            let mut times = Vec::new();
+            let mut pull_levels = 0usize;
+            let mut identical = true;
+            for d in DIRECTIONS {
+                let mut dcfg = base;
+                dcfg.direction = d;
+                let r = dist_rcm(a, &dcfg);
+                times.push(fmt_secs(r.sim_seconds));
+                identical &= r.perm == reference;
+                if d == ExpandDirection::Adaptive {
+                    pull_levels = r.pull_expands;
+                }
+            }
+            t.row(vec![
+                name.clone(),
+                backend.to_string(),
+                "simulated".into(),
+                times[0].clone(),
+                times[1].clone(),
+                times[2].clone(),
+                pull_levels.to_string(),
+                identical.to_string(),
             ]);
         }
     }
@@ -1043,6 +1170,59 @@ mod tests {
     fn balance_ablation_runs_quick() {
         let t = balance_ablation(&quick_cfg());
         assert_eq!(t.len(), 3, "3 quick matrices x 1 seed");
+    }
+
+    #[test]
+    fn direction_ablation_reports_all_backends_identical() {
+        let t = direction_ablation(&quick_cfg());
+        assert_eq!(t.len(), 3 * 4, "3 quick matrices x 4 backends");
+        // Column 7 is the push == pull == adaptive equality flag.
+        for row in t.rows() {
+            assert_eq!(
+                row[7], "true",
+                "{} backend diverged across directions on {}",
+                row[1], row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_direction_is_never_slower_than_push_in_simulation() {
+        // Calibration gate, not a structural invariant: the adaptive switch
+        // is a pure count heuristic (PULL_ALPHA/PULL_BETA) and never
+        // consults the cost model, so this deterministically asserts that
+        // the *current* constants engage pull only where the current
+        // MachineModel prices it cheaper across the quick suite. If it
+        // fails after retuning the model, the thresholds, or the suite
+        // scales, recalibrate PULL_ALPHA/PULL_BETA (see the ROADMAP item)
+        // rather than suspecting a kernel bug.
+        let cfg = quick_cfg();
+        let mut strictly_faster = false;
+        for name in ["nd24k", "ldoor", "Li7Nmax6"] {
+            let m = suite_matrix(name).unwrap();
+            let a = cfg.generate(&m);
+            for base in [
+                DistRcmConfig::flat_on_edison(16),
+                DistRcmConfig::hybrid_on_edison(24),
+            ] {
+                let time = |d: ExpandDirection| {
+                    let mut dcfg = base;
+                    dcfg.direction = d;
+                    dist_rcm(&a, &dcfg).sim_seconds
+                };
+                let push = time(ExpandDirection::Push);
+                let adaptive = time(ExpandDirection::Adaptive);
+                assert!(
+                    adaptive <= push * (1.0 + 1e-9),
+                    "{name}: adaptive {adaptive:.6}s slower than push {push:.6}s"
+                );
+                strictly_faster |= adaptive < push * 0.999;
+            }
+        }
+        assert!(
+            strictly_faster,
+            "adaptive should beat push on at least one dense-frontier graph"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! [`crate::serial`], identical to the classical George–Liu ordering.
 
 use crate::backends::SerialBackend;
-use crate::driver::{drive_cm, LabelingMode};
+use crate::driver::{drive_cm_directed, ExpandDirection, LabelingMode};
 use rcm_sparse::{CscMatrix, Permutation};
 
 /// Statistics of an algebraic RCM run.
@@ -25,11 +25,17 @@ pub struct AlgebraicStats {
     /// Frontier-expansion iterations in the ordering passes.
     pub levels: usize,
     /// Total matrix nonzeros traversed by all SpMSpV calls (pseudo-
-    /// peripheral sweeps included).
+    /// peripheral sweeps included; the pull direction counts its scanned
+    /// candidate-row edges).
     pub spmspv_work: usize,
+    /// Frontier expansions that ran top-down (push).
+    pub push_expands: usize,
+    /// Frontier expansions that ran bottom-up (pull).
+    pub pull_expands: usize,
 }
 
-/// Reverse Cuthill-McKee via the matrix-algebraic formulation.
+/// Reverse Cuthill-McKee via the matrix-algebraic formulation, direction
+/// policy from the environment (`RCM_DIRECTION`, default adaptive).
 ///
 /// Handles multiple connected components by reseeding at the unvisited
 /// vertex of minimum degree (then refining it to a pseudo-peripheral vertex
@@ -39,10 +45,29 @@ pub fn algebraic_rcm(a: &CscMatrix) -> (Permutation, AlgebraicStats) {
     (p.reversed(), s)
 }
 
+/// [`algebraic_rcm`] under an explicit frontier-direction policy. The
+/// permutation is identical for every policy; only the execution (and
+/// [`AlgebraicStats::pull_expands`]) changes.
+pub fn algebraic_rcm_directed(
+    a: &CscMatrix,
+    direction: ExpandDirection,
+) -> (Permutation, AlgebraicStats) {
+    let (p, s) = algebraic_cm_directed(a, direction);
+    (p.reversed(), s)
+}
+
 /// Cuthill-McKee (unreversed) via the matrix-algebraic formulation.
 pub fn algebraic_cm(a: &CscMatrix) -> (Permutation, AlgebraicStats) {
+    algebraic_cm_directed(a, ExpandDirection::from_env())
+}
+
+/// [`algebraic_cm`] under an explicit frontier-direction policy.
+pub fn algebraic_cm_directed(
+    a: &CscMatrix,
+    direction: ExpandDirection,
+) -> (Permutation, AlgebraicStats) {
     let mut rt = SerialBackend::new(a);
-    let stats = drive_cm(&mut rt, LabelingMode::PerLevel);
+    let stats = drive_cm_directed(&mut rt, LabelingMode::PerLevel, direction);
     (
         rt.into_cm_permutation(),
         AlgebraicStats {
@@ -50,6 +75,8 @@ pub fn algebraic_cm(a: &CscMatrix) -> (Permutation, AlgebraicStats) {
             peripheral_bfs: stats.peripheral_bfs,
             levels: stats.levels,
             spmspv_work: stats.spmspv_work,
+            push_expands: stats.push_expands,
+            pull_expands: stats.pull_expands,
         },
     )
 }

@@ -7,8 +7,8 @@ use crate::distributed::{DistRcmConfig, DistRcmResult, SortMode};
 use crate::driver::{DenseTarget, DriverStats, RcmRuntime};
 use rcm_dist::{
     dist_argmin, dist_find_unvisited_min_degree, dist_gather_values, dist_is_nonempty, dist_select,
-    dist_set, dist_sortperm, dist_sortperm_samplesort, dist_spmspv, DistCscMatrix, DistDenseVec,
-    DistSparseVec, DistSpmspvWorkspace, Phase, SimClock,
+    dist_set, dist_sortperm, dist_sortperm_samplesort, dist_spmspv, dist_spmspv_pull,
+    DistCscMatrix, DistDenseVec, DistSparseVec, DistSpmspvWorkspace, Phase, SimClock,
 };
 use rcm_sparse::{CscMatrix, Label, Permutation, Select2ndMin, Vidx, UNVISITED};
 
@@ -85,6 +85,8 @@ impl DistBackend {
             levels: stats.levels,
             messages,
             bytes,
+            push_expands: stats.push_expands,
+            pull_expands: stats.pull_expands,
             level_stats: stats.level_stats,
         }
     }
@@ -148,6 +150,12 @@ impl RcmRuntime for DistBackend {
         dist_is_nonempty(x, &mut self.clock)
     }
 
+    fn frontier_nnz(&mut self, x: &Self::Frontier) -> usize {
+        // The global count piggybacks on `is_nonempty`'s 8-byte AllReduce
+        // (the reduction carries the count), so no extra charge here.
+        x.total_nnz()
+    }
+
     fn append(&mut self, acc: &mut Self::Frontier, x: &Self::Frontier) {
         for (rank, part) in x.parts.iter().enumerate() {
             acc.parts[rank].extend_from_slice(part);
@@ -175,6 +183,23 @@ impl RcmRuntime for DistBackend {
             DenseTarget::Levels => &self.levels,
         };
         dist_select(x, dense, |l| l == UNVISITED, &mut self.clock)
+    }
+
+    fn expand_pull(&mut self, x: &Self::Frontier, which: DenseTarget) -> Self::Frontier {
+        // Dense-allgather pull: Θ(n/√p′) communication regardless of the
+        // frontier, vs. the sparse gather/reduce of the push path.
+        let mask = match which {
+            DenseTarget::Order => &self.order,
+            DenseTarget::Levels => &self.levels,
+        };
+        dist_spmspv_pull::<Label, Select2ndMin, Label>(
+            &self.dmat,
+            x,
+            mask,
+            |l| l == UNVISITED,
+            &mut self.ws,
+            &mut self.clock,
+        )
     }
 
     fn set_dense(&mut self, which: DenseTarget, x: &Self::Frontier) {

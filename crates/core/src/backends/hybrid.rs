@@ -61,6 +61,10 @@ impl RcmRuntime for HybridBackend {
         self.0.is_nonempty(x)
     }
 
+    fn frontier_nnz(&mut self, x: &Self::Frontier) -> usize {
+        self.0.frontier_nnz(x)
+    }
+
     fn append(&mut self, acc: &mut Self::Frontier, x: &Self::Frontier) {
         self.0.append(acc, x);
     }
@@ -75,6 +79,14 @@ impl RcmRuntime for HybridBackend {
 
     fn select_unvisited(&mut self, x: &Self::Frontier, which: DenseTarget) -> Self::Frontier {
         self.0.select_unvisited(x, which)
+    }
+
+    fn expand_pull(&mut self, x: &Self::Frontier, which: DenseTarget) -> Self::Frontier {
+        // Same dense-allgather data path; the pull scan's compute is
+        // divided by `thread_speedup` through the shared clock, while the
+        // dense allgather is charged undivided — the Fig. 6 trade applies
+        // to both directions.
+        self.0.expand_pull(x, which)
     }
 
     fn set_dense(&mut self, which: DenseTarget, x: &Self::Frontier) {

@@ -86,6 +86,40 @@ impl<'x, 's, 'e> PooledBackend<'x, 's, 'e> {
             DenseTarget::Levels => &self.levels,
         }
     }
+
+    /// Load `x` into the pool's frontier array and return the base label.
+    ///
+    /// When the stored values are the consecutive labels of the previous
+    /// SORTPERM batch, position `k` of the pool frontier must hold the
+    /// vertex labeled `base + k` so expansion emits true parent labels.
+    /// Otherwise (BFS sweeps, level stamps: all values equal) positions are
+    /// only dedup keys and entry order is used. A mix of duplicated and
+    /// distinct values is outside this backend's contract — the occupancy
+    /// check turns it into a loud panic instead of a silently corrupted
+    /// frontier.
+    fn load_frontier(&mut self, x: &[(Vidx, Label)]) -> Vidx {
+        let min = x.iter().map(|&(_, v)| v).min().unwrap_or(0);
+        let max = x.iter().map(|&(_, v)| v).max().unwrap_or(-1);
+        let consecutive = !x.is_empty() && (max - min + 1) as usize == x.len();
+        let base: Vidx = if consecutive { min as Vidx } else { 0 };
+        self.exec.with_state(|_, frontier| {
+            frontier.clear();
+            if consecutive {
+                frontier.resize(x.len(), Vidx::MAX);
+                for &(v, value) in x {
+                    frontier[(value - min) as usize] = v;
+                }
+                assert!(
+                    !frontier.contains(&Vidx::MAX),
+                    "PooledBackend frontier values must be all-equal or distinct \
+                     consecutive labels"
+                );
+            } else {
+                frontier.extend(x.iter().map(|&(v, _)| v));
+            }
+        });
+        base
+    }
 }
 
 impl RcmRuntime for PooledBackend<'_, '_, '_> {
@@ -120,34 +154,7 @@ impl RcmRuntime for PooledBackend<'_, '_, '_> {
     }
 
     fn spmspv(&mut self, x: &Self::Frontier) -> Self::Frontier {
-        // Load the frontier into the pool. When the stored values are the
-        // consecutive labels of the previous SORTPERM batch, position k of
-        // the pool frontier must hold the vertex labeled `base + k` so the
-        // expansion emits true parent labels. Otherwise (BFS sweeps, level
-        // stamps: all values equal) positions are only dedup keys and entry
-        // order is used. A mix of duplicated and distinct values is outside
-        // this backend's contract — the occupancy check below turns it into
-        // a loud panic instead of a silently corrupted frontier.
-        let min = x.iter().map(|&(_, v)| v).min().unwrap_or(0);
-        let max = x.iter().map(|&(_, v)| v).max().unwrap_or(-1);
-        let consecutive = !x.is_empty() && (max - min + 1) as usize == x.len();
-        let base: Vidx = if consecutive { min as Vidx } else { 0 };
-        self.exec.with_state(|_, frontier| {
-            frontier.clear();
-            if consecutive {
-                frontier.resize(x.len(), Vidx::MAX);
-                for &(v, value) in x {
-                    frontier[(value - min) as usize] = v;
-                }
-                assert!(
-                    !frontier.contains(&Vidx::MAX),
-                    "PooledBackend::spmspv: frontier values must be all-equal or distinct \
-                     consecutive labels"
-                );
-            } else {
-                frontier.extend(x.iter().map(|&(v, _)| v));
-            }
-        });
+        let base = self.load_frontier(x);
         let parallel = self.exec.expand(base, &mut self.cands);
         if parallel && self.phase == Phase::OrderingSpmspv {
             self.parallel_levels += 1;
@@ -156,6 +163,33 @@ impl RcmRuntime for PooledBackend<'_, '_, '_> {
             .iter()
             .map(|&(v, p, _)| (v, p as Label))
             .collect()
+    }
+
+    fn expand_pull(&mut self, x: &Self::Frontier, _which: DenseTarget) -> Self::Frontier {
+        // The pool's `visited` array mirrors both dense companions for the
+        // vertices the current component can reach, so the pull mask is the
+        // complement of `visited` — the bottom-up pipeline already returns
+        // only unvisited vertices, exactly what `SELECT` would keep.
+        let base = self.load_frontier(x);
+        let parallel = self.exec.expand_pull(base, &mut self.cands);
+        if parallel && self.phase == Phase::OrderingSpmspv {
+            self.parallel_levels += 1;
+        }
+        self.cands
+            .iter()
+            .map(|&(v, p, _)| (v, p as Label))
+            .collect()
+    }
+
+    fn frontier_nnz(&mut self, x: &Self::Frontier) -> usize {
+        x.len()
+    }
+
+    fn pull_profitable(&self) -> bool {
+        // Pull's shared-memory payoff is skipping the per-edge atomic
+        // `fetch_min` dedup, which only exists when workers actually run
+        // concurrently.
+        self.exec.nthreads() > 1
     }
 
     fn select_unvisited(&mut self, x: &Self::Frontier, which: DenseTarget) -> Self::Frontier {

@@ -4,8 +4,8 @@
 
 use crate::driver::{DenseTarget, RcmRuntime};
 use rcm_sparse::{
-    dense_set, spmspv, CscMatrix, Label, Permutation, Select2ndMin, SparseVec, SpmspvWorkspace,
-    Vidx, UNVISITED,
+    dense_set, spmspv, spmspv_pull, CscMatrix, DenseFrontier, Label, Permutation, Select2ndMin,
+    SparseVec, SpmspvWorkspace, Vidx, UNVISITED,
 };
 
 /// Sequential reference backend over [`rcm_sparse`] containers.
@@ -15,6 +15,9 @@ pub struct SerialBackend<'a> {
     order: Vec<Label>,
     levels: Vec<Label>,
     ws: SpmspvWorkspace<Label>,
+    /// Dense half of the dual frontier representation — the pull
+    /// expansion's O(1)-membership scatter, reused across levels.
+    pull: DenseFrontier<Label>,
     spmspv_work: usize,
 }
 
@@ -29,6 +32,7 @@ impl<'a> SerialBackend<'a> {
             order: vec![UNVISITED; n],
             levels: vec![UNVISITED; n],
             ws: SpmspvWorkspace::new(n),
+            pull: DenseFrontier::new(n),
             spmspv_work: 0,
         }
     }
@@ -75,6 +79,18 @@ impl RcmRuntime for SerialBackend<'_> {
         !x.is_empty()
     }
 
+    fn frontier_nnz(&mut self, x: &SparseVec<Label>) -> usize {
+        x.nnz()
+    }
+
+    fn pull_profitable(&self) -> bool {
+        // One core, no communication, no atomics: the SPA push is already
+        // optimal and min-label pull cannot early-exit, so the adaptive
+        // policy stays push-only here (forced pull still works and is what
+        // the equivalence suite sweeps).
+        false
+    }
+
     fn append(&mut self, acc: &mut SparseVec<Label>, x: &SparseVec<Label>) {
         // The accumulator feeds only `sortperm`, which does a full tuple
         // sort — keeping it index-sorted here would be wasted work.
@@ -93,6 +109,21 @@ impl RcmRuntime for SerialBackend<'_> {
 
     fn select_unvisited(&mut self, x: &SparseVec<Label>, which: DenseTarget) -> SparseVec<Label> {
         x.select(self.dense(which), |l| l == UNVISITED)
+    }
+
+    fn expand_pull(&mut self, x: &SparseVec<Label>, which: DenseTarget) -> SparseVec<Label> {
+        // Sparse → dense conversion of the dual representation, then the
+        // masked row-scan kernel over the unvisited rows.
+        self.pull.load(x);
+        let dense = match which {
+            DenseTarget::Order => &self.order,
+            DenseTarget::Levels => &self.levels,
+        };
+        let (y, work) = spmspv_pull::<Label, Select2ndMin>(self.a, &self.pull, |r| {
+            dense[r as usize] == UNVISITED
+        });
+        self.spmspv_work += work;
+        y
     }
 
     fn set_dense(&mut self, which: DenseTarget, x: &SparseVec<Label>) {

@@ -21,7 +21,7 @@
 
 use crate::backends::{DistBackend, HybridBackend};
 pub use crate::driver::LevelStat;
-use crate::driver::{drive_cm, LabelingMode};
+use crate::driver::{drive_cm_directed, ExpandDirection, LabelingMode};
 use rcm_dist::{HybridConfig, MachineModel};
 use rcm_sparse::{CscMatrix, Permutation};
 
@@ -56,6 +56,10 @@ pub struct DistRcmConfig {
     pub balance_seed: Option<u64>,
     /// Sorting strategy (ablation; default = the paper's algorithm).
     pub sort_mode: SortMode,
+    /// Frontier-expansion direction policy (forced push/pull or the
+    /// Beamer-style adaptive switch). Every policy produces the identical
+    /// permutation; the constructors default it from `RCM_DIRECTION`.
+    pub direction: ExpandDirection,
 }
 
 impl DistRcmConfig {
@@ -66,6 +70,7 @@ impl DistRcmConfig {
             hybrid: HybridConfig::new(cores, 6),
             balance_seed: None,
             sort_mode: SortMode::Full,
+            direction: ExpandDirection::from_env(),
         }
     }
 
@@ -76,6 +81,7 @@ impl DistRcmConfig {
             hybrid: HybridConfig::new(cores, 1),
             balance_seed: None,
             sort_mode: SortMode::Full,
+            direction: ExpandDirection::from_env(),
         }
     }
 }
@@ -103,8 +109,13 @@ pub struct DistRcmResult {
     pub messages: u64,
     /// Total bytes the cost model counted.
     pub bytes: u64,
+    /// Frontier expansions (ordering and peripheral) that ran top-down.
+    pub push_expands: usize,
+    /// Frontier expansions (ordering and peripheral) that ran bottom-up
+    /// (dense-allgather pull).
+    pub pull_expands: usize,
     /// Per-level trace of the ordering passes (concatenated across
-    /// components).
+    /// components), including the direction chosen per level.
     pub level_stats: Vec<LevelStat>,
 }
 
@@ -125,11 +136,11 @@ pub fn dist_rcm(a: &CscMatrix, config: &DistRcmConfig) -> DistRcmResult {
     };
     if config.hybrid.threads_per_proc > 1 {
         let mut rt = HybridBackend::new(a, config);
-        let stats = drive_cm(&mut rt, mode);
+        let stats = drive_cm_directed(&mut rt, mode, config.direction);
         rt.into_result(stats)
     } else {
         let mut rt = DistBackend::new(a, config);
-        let stats = drive_cm(&mut rt, mode);
+        let stats = drive_cm_directed(&mut rt, mode, config.direction);
         rt.into_result(stats)
     }
 }
@@ -173,6 +184,7 @@ mod tests {
             hybrid: HybridConfig::new(cores, 1),
             balance_seed: None,
             sort_mode: SortMode::Full,
+            direction: ExpandDirection::from_env(),
         }
     }
 

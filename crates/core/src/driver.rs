@@ -26,6 +26,44 @@
 //! All four produce **bit-identical** permutations — the cross-backend
 //! equality is enforced by the integration suite on every suite graph.
 //!
+//! # Direction-optimizing frontier expansion
+//!
+//! The paper's Fig. 5 breakdown shows frontier expansion (SpMSpV over the
+//! `(select2nd, min)` semiring) dominating the distributed runtime, and
+//! RCM-on-mesh frontiers routinely grow to a large fraction of the
+//! unvisited vertices — the regime where a push-only sparse expansion does
+//! redundant per-edge work. The driver therefore keeps the frontier in a
+//! **dual representation** and picks an expansion direction per level:
+//!
+//! | | **push** (top-down) | **pull** (bottom-up) |
+//! |---|---|---|
+//! | frontier rep | sorted sparse `(vertex, value)` list | dense label array / SPA bitmap |
+//! | kernel | SpMSpV over the frontier's columns + `SELECT` | masked row-scan over the unvisited rows ([`RcmRuntime::expand_pull`]) |
+//! | edges touched | `Σ deg(frontier)` | `Σ deg(unvisited)` |
+//! | distributed comm | sparse gather/reduce ∝ `nnz(f)` | dense allgather/reduce `Θ(n/√p′)` |
+//! | serial kernel | [`rcm_sparse::spmspv()`] | [`rcm_sparse::spmspv_pull()`] |
+//! | pooled kernel | chunk-claimed expansion + atomic `fetch_min` dedup | chunk-claimed row-scan, no atomics (each row computed once) |
+//! | dist kernel | [`rcm_dist::dist_spmspv`] | [`rcm_dist::dist_spmspv_pull`] |
+//!
+//! The switch heuristic ([`ExpandDirection::Adaptive`], the default) is
+//! Beamer-style with two named threshold constants: a level **pulls** when
+//! [`PULL_ALPHA`]` · nnz(frontier) ≥ |unvisited|` (the frontier is a large
+//! fraction of the remaining work, so the masked row-scan touches no more
+//! than ~`PULL_ALPHA×` the push edges) **and**
+//! [`PULL_BETA`]` · nnz(frontier) ≥ n` (the dense representation's Θ(n)
+//! scan/allgather is amortized); it **pushes** otherwise. Backends gate
+//! the adaptive policy through [`RcmRuntime::pull_profitable`]: pull's
+//! payoff is avoiding frontier-proportional communication (dist/hybrid)
+//! or per-edge atomics (the pool with >1 worker), so the sequential
+//! reference — where neither cost exists and min-label forbids Beamer's
+//! early exit — keeps its adaptive runs push-only. Both directions
+//! compute the identical `(select2nd, min)` result — forced modes
+//! (`RCM_DIRECTION=push|pull|adaptive|alternate`, or
+//! [`drive_cm_directed`] / `DistRcmConfig::direction`) are bit-identical by
+//! construction and swept in CI. [`DriverStats`] records the direction
+//! chosen per level ([`LevelStat::direction`],
+//! [`DriverStats::pull_expands`]).
+//!
 //! # Worked example: running the generic driver on a backend
 //!
 //! ```
@@ -58,6 +96,114 @@
 
 use rcm_dist::Phase;
 use rcm_sparse::{CscMatrix, Label, Permutation, Vidx};
+
+/// Adaptive push→pull switch, frontier-vs-remaining term: a level pulls
+/// only when `PULL_ALPHA · nnz(frontier) ≥ |unvisited|` — the frontier is
+/// at least `1/PULL_ALPHA` of the remaining work, so the masked row-scan
+/// touches at most ~`PULL_ALPHA×` the edges the push expansion would
+/// (Beamer's `m_f > m_u/α` in vertex form).
+pub const PULL_ALPHA: usize = 2;
+
+/// Adaptive push→pull switch, frontier-vs-graph term: a level pulls only
+/// when additionally `PULL_BETA · nnz(frontier) ≥ n`. The pull
+/// representation is dense — its distributed allgather and its mask scan
+/// cost `Θ(n)` regardless of the frontier — so thin late levels (small
+/// remaining *and* small frontier) must stay on the sparse push path even
+/// though the `PULL_ALPHA` test passes there.
+pub const PULL_BETA: usize = 16;
+
+/// The frontier-expansion direction policy — and, per level, the direction
+/// actually chosen (only [`ExpandDirection::Push`] / [`ExpandDirection::Pull`]
+/// ever appear in [`LevelStat::direction`]).
+///
+/// The policy enters [`drive_cm_directed`] explicitly, or through the
+/// `RCM_DIRECTION` environment variable (`push`, `pull`, `adaptive`,
+/// `alternate`) for the plain entry points — every combination produces
+/// the bit-identical permutation; only the cost changes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExpandDirection {
+    /// Always expand top-down: sparse SpMSpV over the frontier's columns.
+    Push,
+    /// Always expand bottom-up: masked row-scan over the unvisited rows
+    /// against the dense frontier ([`RcmRuntime::expand_pull`]).
+    Pull,
+    /// Beamer-style per-level choice: pull when
+    /// `PULL_ALPHA · nnz(f) ≥ |unvisited|` **and** `PULL_BETA · nnz(f) ≥ n`,
+    /// push otherwise ([`PULL_ALPHA`], [`PULL_BETA`]).
+    #[default]
+    Adaptive,
+    /// Alternate push/pull on every expansion — a test policy that forces a
+    /// direction switch at every level boundary, exercising the dual
+    /// representation's round-trip on each level.
+    Alternating,
+}
+
+impl ExpandDirection {
+    /// Short display name (`push`, `pull`, `adaptive`, `alternate`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExpandDirection::Push => "push",
+            ExpandDirection::Pull => "pull",
+            ExpandDirection::Adaptive => "adaptive",
+            ExpandDirection::Alternating => "alternate",
+        }
+    }
+
+    /// Parse a policy name (the `RCM_DIRECTION` vocabulary).
+    pub fn parse(s: &str) -> Option<ExpandDirection> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "push" => Some(ExpandDirection::Push),
+            "pull" => Some(ExpandDirection::Pull),
+            "adaptive" => Some(ExpandDirection::Adaptive),
+            "alternate" | "alternating" => Some(ExpandDirection::Alternating),
+            _ => None,
+        }
+    }
+
+    /// The policy selected by the `RCM_DIRECTION` environment variable,
+    /// falling back to [`ExpandDirection::Adaptive`] when unset or
+    /// unrecognized. CI sweeps this to enforce direction independence on
+    /// every PR.
+    pub fn from_env() -> ExpandDirection {
+        std::env::var("RCM_DIRECTION")
+            .ok()
+            .and_then(|s| ExpandDirection::parse(&s))
+            .unwrap_or(ExpandDirection::Adaptive)
+    }
+
+    /// Resolve the policy to a concrete per-level direction.
+    ///
+    /// `expansions` is the count of expansions executed so far (the
+    /// alternation parity), `frontier_nnz` the current frontier's stored
+    /// entries, `remaining` the vertices the level's mask still admits, and
+    /// `n` the matrix dimension.
+    fn choose(
+        &self,
+        expansions: usize,
+        frontier_nnz: usize,
+        remaining: usize,
+        n: usize,
+    ) -> ExpandDirection {
+        match self {
+            ExpandDirection::Push => ExpandDirection::Push,
+            ExpandDirection::Pull => ExpandDirection::Pull,
+            ExpandDirection::Alternating => {
+                if expansions % 2 == 1 {
+                    ExpandDirection::Pull
+                } else {
+                    ExpandDirection::Push
+                }
+            }
+            ExpandDirection::Adaptive => {
+                if frontier_nnz * PULL_ALPHA >= remaining && frontier_nnz * PULL_BETA >= n {
+                    ExpandDirection::Pull
+                } else {
+                    ExpandDirection::Push
+                }
+            }
+        }
+    }
+}
 
 /// Which dense `Label` companion vector a `SELECT`/`SET` targets.
 ///
@@ -93,6 +239,9 @@ pub struct LevelStat {
     /// Simulated seconds this level took (all phases; `0.0` on backends
     /// without a clock).
     pub seconds: f64,
+    /// Expansion direction the per-level policy chose (always
+    /// [`ExpandDirection::Push`] or [`ExpandDirection::Pull`]).
+    pub direction: ExpandDirection,
 }
 
 /// Statistics of one generic driver run, common to every backend.
@@ -107,6 +256,10 @@ pub struct DriverStats {
     /// Matrix nonzeros traversed by all SpMSpV calls (backends that do not
     /// track it report 0).
     pub spmspv_work: usize,
+    /// Expansions (ordering *and* peripheral) that ran top-down (push).
+    pub push_expands: usize,
+    /// Expansions (ordering *and* peripheral) that ran bottom-up (pull).
+    pub pull_expands: usize,
     /// Per-level trace of the ordering passes, concatenated across
     /// components (empty in [`LabelingMode::GlobalAtEnd`]).
     pub level_stats: Vec<LevelStat>,
@@ -161,6 +314,26 @@ pub trait RcmRuntime {
     /// AllReduce on distributed backends).
     fn is_nonempty(&mut self, x: &Self::Frontier) -> bool;
 
+    /// `nnz(x)` — the density input of the per-level direction policy.
+    /// Distributed backends already learn the global count from the
+    /// emptiness AllReduce (the same 8-byte reduction carries it), so this
+    /// must charge nothing extra.
+    fn frontier_nnz(&mut self, x: &Self::Frontier) -> usize;
+
+    /// Whether the bottom-up expansion can actually beat push on this
+    /// backend — the [`ExpandDirection::Adaptive`] policy only considers
+    /// pulling when this is `true`. Forced modes ignore it.
+    ///
+    /// Pull pays off by avoiding frontier-proportional *communication*
+    /// (distributed backends) or per-edge *atomics* (parallel shared
+    /// memory); a sequential SPA push has neither cost, and the
+    /// `(select2nd, min)` semiring forbids Beamer's early exit, so the
+    /// serial reference returns `false` (and the pooled backend does when
+    /// running single-threaded).
+    fn pull_profitable(&self) -> bool {
+        true
+    }
+
     /// Append `x`'s entries to `acc` (the [`LabelingMode::GlobalAtEnd`]
     /// accumulator). Entry sets must stay disjoint.
     fn append(&mut self, acc: &mut Self::Frontier, x: &Self::Frontier);
@@ -178,6 +351,21 @@ pub trait RcmRuntime {
     /// `SELECT(x, R = -1)`: keep entries whose companion in `which` is
     /// unvisited.
     fn select_unvisited(&mut self, x: &Self::Frontier, which: DenseTarget) -> Self::Frontier;
+
+    /// Pull (bottom-up) expansion fused with `SELECT`: for every vertex
+    /// whose companion in `which` is unvisited, the semiring-sum of its
+    /// frontier neighbours' values — a masked row-scan over the symmetric
+    /// pattern against the *dense* frontier representation, reproducing
+    /// `select_unvisited(spmspv(x), which)` **bit for bit** while touching
+    /// the unvisited rows' edges instead of the frontier's.
+    ///
+    /// The default falls back to that push pair, so a backend without a
+    /// native pull kernel still honors every forced-direction mode
+    /// correctly (at push cost). All four in-tree backends override it.
+    fn expand_pull(&mut self, x: &Self::Frontier, which: DenseTarget) -> Self::Frontier {
+        let y = self.spmspv(x);
+        self.select_unvisited(&y, which)
+    }
 
     /// `SET(dense, x)`: overwrite the dense companion at `x`'s support.
     fn set_dense(&mut self, which: DenseTarget, x: &Self::Frontier);
@@ -229,14 +417,69 @@ pub trait RcmRuntime {
     }
 }
 
+/// Resolve the policy to this level's direction, folding in the backend's
+/// profitability hint: an adaptive policy never pulls on a backend that
+/// declares pull unprofitable ([`RcmRuntime::pull_profitable`]); forced
+/// and alternating policies are honored regardless.
+fn resolve_direction<R: RcmRuntime>(
+    rt: &R,
+    policy: ExpandDirection,
+    expansions: usize,
+    frontier_nnz: usize,
+    remaining: usize,
+    n: usize,
+) -> ExpandDirection {
+    if policy == ExpandDirection::Adaptive && !rt.pull_profitable() {
+        return ExpandDirection::Push;
+    }
+    policy.choose(expansions, frontier_nnz, remaining, n)
+}
+
+/// One frontier expansion in the chosen direction, with the select fold.
+///
+/// Push: `SELECT(SPMSPV(A, cur), which = -1)` — the top-down pair. Pull:
+/// [`RcmRuntime::expand_pull`] — the bottom-up fusion of both. Either way
+/// the result is the unvisited neighbours of `cur` with their minimum
+/// candidate-parent values; `direction` must already be resolved to
+/// `Push`/`Pull` ([`ExpandDirection::choose`]). Expansion work is charged
+/// to `spmspv_phase`, the push-path select to `other_phase`.
+fn expand_frontier<R: RcmRuntime>(
+    rt: &mut R,
+    cur: &R::Frontier,
+    which: DenseTarget,
+    direction: ExpandDirection,
+    spmspv_phase: Phase,
+    other_phase: Phase,
+    stats: &mut DriverStats,
+) -> R::Frontier {
+    match direction {
+        ExpandDirection::Pull => {
+            stats.pull_expands += 1;
+            rt.set_phase(spmspv_phase);
+            let next = rt.expand_pull(cur, which);
+            rt.set_phase(other_phase);
+            next
+        }
+        _ => {
+            stats.push_expands += 1;
+            rt.set_phase(spmspv_phase);
+            let next = rt.spmspv(cur);
+            rt.set_phase(other_phase);
+            rt.select_unvisited(&next, which)
+        }
+    }
+}
+
 /// Algorithm 4: the George–Liu pseudo-peripheral search from `start`,
-/// generically. Returns `(vertex, eccentricity)` and bumps `bfs_count` once
-/// per full BFS sweep.
+/// generically. Returns `(vertex, eccentricity)` and bumps
+/// `stats.peripheral_bfs` once per full BFS sweep.
 fn pseudo_peripheral<R: RcmRuntime>(
     rt: &mut R,
     start: Vidx,
-    bfs_count: &mut usize,
+    policy: ExpandDirection,
+    stats: &mut DriverStats,
 ) -> (Vidx, usize) {
+    let n = rt.n();
     let mut r = start;
     let mut nlvl: i64 = -1;
     loop {
@@ -245,22 +488,40 @@ fn pseudo_peripheral<R: RcmRuntime>(
         rt.reset_levels();
         rt.set_dense_at(DenseTarget::Levels, r, 0);
         let mut cur = rt.singleton(r, 0);
+        let mut cur_nnz = 1usize;
+        // Vertices the pull mask (L = -1) still admits.
+        let mut remaining = n - 1;
         let mut ecc: i64 = 0;
-        *bfs_count += 1;
+        stats.peripheral_bfs += 1;
         loop {
             // L_cur ← SET(L_cur, L); L_next ← SELECT(SPMSPV(A, L_cur), L = -1).
             rt.set_phase(Phase::PeripheralOther);
             rt.gather_values(&mut cur, DenseTarget::Levels);
-            rt.set_phase(Phase::PeripheralSpmspv);
-            let next = rt.spmspv(&cur);
-            rt.set_phase(Phase::PeripheralOther);
-            let mut next = rt.select_unvisited(&next, DenseTarget::Levels);
+            let direction = resolve_direction(
+                rt,
+                policy,
+                stats.push_expands + stats.pull_expands,
+                cur_nnz,
+                remaining,
+                n,
+            );
+            let mut next = expand_frontier(
+                rt,
+                &cur,
+                DenseTarget::Levels,
+                direction,
+                Phase::PeripheralSpmspv,
+                Phase::PeripheralOther,
+                stats,
+            );
             if !rt.is_nonempty(&next) {
                 break;
             }
             ecc += 1;
             rt.stamp(&mut next, ecc);
             rt.set_dense(DenseTarget::Levels, &next);
+            cur_nnz = rt.frontier_nnz(&next);
+            remaining -= cur_nnz;
             cur = next;
         }
         // Converged: the eccentricity did not grow.
@@ -288,30 +549,47 @@ fn label_component<R: RcmRuntime>(
     root: Vidx,
     nv: &mut Label,
     mode: LabelingMode,
+    policy: ExpandDirection,
     stats: &mut DriverStats,
 ) {
     if mode == LabelingMode::GlobalAtEnd {
-        label_component_global_sort(rt, root, nv, stats);
+        label_component_global_sort(rt, root, nv, policy, stats);
         return;
     }
+    let n = rt.n();
     rt.set_phase(Phase::OrderingOther);
     // R[r] ← nv; L_cur ← {r}.
     rt.set_dense_at(DenseTarget::Order, root, *nv);
     let mut batch_start = *nv;
     *nv += 1;
     let mut cur = rt.singleton(root, 0);
+    let mut cur_nnz = 1usize;
     loop {
         let level_t0 = rt.now();
         // L_cur ← SET(L_cur, R): frontier values become the labels assigned
         // in the previous round.
         rt.set_phase(Phase::OrderingOther);
         rt.gather_values(&mut cur, DenseTarget::Order);
-        // L_next ← SPMSPV(A, L_cur) over (select2nd, min).
-        rt.set_phase(Phase::OrderingSpmspv);
-        let next = rt.spmspv(&cur);
-        // L_next ← SELECT(L_next, R = -1).
-        rt.set_phase(Phase::OrderingOther);
-        let next = rt.select_unvisited(&next, DenseTarget::Order);
+        // L_next ← SELECT(SPMSPV(A, L_cur), R = -1) — push — or the fused
+        // masked row-scan — pull. The pull mask (R = -1) admits n - nv
+        // vertices: everything not yet labeled, across all components.
+        let direction = resolve_direction(
+            rt,
+            policy,
+            stats.push_expands + stats.pull_expands,
+            cur_nnz,
+            n - *nv as usize,
+            n,
+        );
+        let next = expand_frontier(
+            rt,
+            &cur,
+            DenseTarget::Order,
+            direction,
+            Phase::OrderingSpmspv,
+            Phase::OrderingOther,
+            stats,
+        );
         if !rt.is_nonempty(&next) {
             break;
         }
@@ -327,7 +605,9 @@ fn label_component<R: RcmRuntime>(
         stats.level_stats.push(LevelStat {
             frontier: count,
             seconds: rt.now() - level_t0,
+            direction,
         });
+        cur_nnz = count;
         cur = next;
     }
 }
@@ -340,28 +620,50 @@ fn label_component_global_sort<R: RcmRuntime>(
     rt: &mut R,
     root: Vidx,
     nv: &mut Label,
+    policy: ExpandDirection,
     stats: &mut DriverStats,
 ) {
     const VISITING: Label = Label::MAX;
+    let n = rt.n();
     rt.set_phase(Phase::OrderingOther);
     rt.set_dense_at(DenseTarget::Order, root, VISITING);
     let mut acc = rt.singleton(root, 0);
     let mut cur = acc.clone();
+    let mut cur_nnz = 1usize;
+    // Vertices the pull mask (R = -1) admits: not yet labeled in previous
+    // components (n - nv) and not stamped VISITING in this one.
+    let mut remaining = n - *nv as usize - 1;
     let mut level: Label = 0;
     loop {
-        rt.set_phase(Phase::OrderingSpmspv);
-        let next = rt.spmspv(&cur);
-        rt.set_phase(Phase::OrderingOther);
-        let mut next = rt.select_unvisited(&next, DenseTarget::Order);
+        let direction = resolve_direction(
+            rt,
+            policy,
+            stats.push_expands + stats.pull_expands,
+            cur_nnz,
+            remaining,
+            n,
+        );
+        let next = expand_frontier(
+            rt,
+            &cur,
+            DenseTarget::Order,
+            direction,
+            Phase::OrderingSpmspv,
+            Phase::OrderingOther,
+            stats,
+        );
         if !rt.is_nonempty(&next) {
             break;
         }
+        let mut next = next;
         level += 1;
         rt.stamp(&mut next, level);
         let mut mark = next.clone();
         rt.stamp(&mut mark, VISITING);
         rt.set_dense(DenseTarget::Order, &mark);
         rt.append(&mut acc, &next);
+        cur_nnz = rt.frontier_nnz(&next);
+        remaining -= cur_nnz;
         cur = next;
     }
     rt.set_phase(Phase::OrderingSort);
@@ -373,15 +675,30 @@ fn label_component_global_sort<R: RcmRuntime>(
 }
 
 /// Run the full Cuthill-McKee pipeline (Algorithms 3 + 4, per connected
-/// component) on any backend. On return the backend's ordering vector `R`
-/// holds the unreversed CM labels; extraction (reversal, mapping back to
-/// original ids) is backend-specific.
+/// component) on any backend, with the direction policy taken from the
+/// `RCM_DIRECTION` environment variable ([`ExpandDirection::from_env`],
+/// default [`ExpandDirection::Adaptive`]). See [`drive_cm_directed`].
+pub fn drive_cm<R: RcmRuntime>(rt: &mut R, mode: LabelingMode) -> DriverStats {
+    drive_cm_directed(rt, mode, ExpandDirection::from_env())
+}
+
+/// Run the full Cuthill-McKee pipeline (Algorithms 3 + 4, per connected
+/// component) on any backend under an explicit frontier-direction policy.
+/// On return the backend's ordering vector `R` holds the unreversed CM
+/// labels; extraction (reversal, mapping back to original ids) is
+/// backend-specific.
 ///
 /// Components are seeded at the unvisited vertex of minimum
 /// `(degree, vertex)` and refined to a pseudo-peripheral vertex, exactly
 /// like the classical driver — all backends therefore produce the identical
-/// label assignment.
-pub fn drive_cm<R: RcmRuntime>(rt: &mut R, mode: LabelingMode) -> DriverStats {
+/// label assignment, under **every** direction policy (the pull expansion
+/// is specified to reproduce the push pair bit for bit; only the cost
+/// differs).
+pub fn drive_cm_directed<R: RcmRuntime>(
+    rt: &mut R,
+    mode: LabelingMode,
+    policy: ExpandDirection,
+) -> DriverStats {
     let n = rt.n();
     let mut stats = DriverStats::default();
     let mut nv: Label = 0;
@@ -390,9 +707,9 @@ pub fn drive_cm<R: RcmRuntime>(rt: &mut R, mode: LabelingMode) -> DriverStats {
         let seed = rt
             .find_unvisited_min_degree()
             .expect("an unvisited vertex exists");
-        let (root, _ecc) = pseudo_peripheral(rt, seed, &mut stats.peripheral_bfs);
+        let (root, _ecc) = pseudo_peripheral(rt, seed, policy, &mut stats);
         stats.components += 1;
-        label_component(rt, root, &mut nv, mode, &mut stats);
+        label_component(rt, root, &mut nv, mode, policy, &mut stats);
     }
     stats.spmspv_work = rt.spmspv_work();
     stats
@@ -435,22 +752,35 @@ impl BackendKind {
     }
 }
 
-/// Compute the RCM permutation of `a` on the chosen backend.
+/// Compute the RCM permutation of `a` on the chosen backend, direction
+/// policy from the environment ([`ExpandDirection::from_env`]).
 ///
 /// Every backend returns the bit-identical permutation; they differ only in
 /// how (and at what modeled cost) they execute the shared generic driver.
 pub fn rcm_with_backend(a: &CscMatrix, kind: BackendKind) -> Permutation {
+    rcm_with_backend_directed(a, kind, ExpandDirection::from_env())
+}
+
+/// [`rcm_with_backend`] under an explicit frontier-direction policy — the
+/// uniform entry of the forced-direction equivalence tests and the
+/// `repro direction` ablation.
+pub fn rcm_with_backend_directed(
+    a: &CscMatrix,
+    kind: BackendKind,
+    direction: ExpandDirection,
+) -> Permutation {
     use crate::distributed::{DistRcmConfig, SortMode};
     use rcm_dist::{HybridConfig, MachineModel};
     match kind {
-        BackendKind::Serial => crate::algebraic::algebraic_rcm(a).0,
-        BackendKind::Pooled { threads } => crate::shared::par_rcm(a, threads).0,
+        BackendKind::Serial => crate::algebraic::algebraic_rcm_directed(a, direction).0,
+        BackendKind::Pooled { threads } => crate::shared::par_rcm_directed(a, threads, direction).0,
         BackendKind::Dist { cores } => {
             let cfg = DistRcmConfig {
                 machine: MachineModel::edison(),
                 hybrid: HybridConfig::new(cores, 1),
                 balance_seed: None,
                 sort_mode: SortMode::Full,
+                direction,
             };
             crate::distributed::dist_rcm(a, &cfg).perm
         }
@@ -463,6 +793,7 @@ pub fn rcm_with_backend(a: &CscMatrix, kind: BackendKind) -> Permutation {
                 hybrid: HybridConfig::new(cores, threads_per_proc),
                 balance_seed: None,
                 sort_mode: SortMode::Full,
+                direction,
             };
             crate::distributed::dist_rcm(a, &cfg).perm
         }
@@ -532,5 +863,121 @@ mod tests {
         assert!(stats.spmspv_work > 0);
         let labeled: usize = stats.level_stats.iter().map(|l| l.frontier).sum();
         assert_eq!(labeled + stats.components, 7);
+    }
+
+    #[test]
+    fn direction_names_parse_and_roundtrip() {
+        for d in [
+            ExpandDirection::Push,
+            ExpandDirection::Pull,
+            ExpandDirection::Adaptive,
+            ExpandDirection::Alternating,
+        ] {
+            assert_eq!(ExpandDirection::parse(d.name()), Some(d));
+        }
+        assert_eq!(
+            ExpandDirection::parse("ALTERNATING"),
+            Some(ExpandDirection::Alternating)
+        );
+        assert_eq!(ExpandDirection::parse("sideways"), None);
+    }
+
+    #[test]
+    fn adaptive_policy_needs_both_thresholds() {
+        let adaptive = ExpandDirection::Adaptive;
+        let n = 1000;
+        // Fat frontier, comparable remaining: pull.
+        assert_eq!(
+            adaptive.choose(0, 400, 500, n),
+            ExpandDirection::Pull,
+            "ALPHA and BETA both satisfied"
+        );
+        // Thin frontier, huge remaining: push (ALPHA fails).
+        assert_eq!(adaptive.choose(0, 10, 900, n), ExpandDirection::Push);
+        // Thin frontier, tiny remaining: push (ALPHA passes, BETA fails) —
+        // the dense Θ(n) pull cost is not amortized on late thin levels.
+        assert_eq!(adaptive.choose(0, 10, 12, n), ExpandDirection::Push);
+        // Forced modes ignore the counts entirely.
+        assert_eq!(
+            ExpandDirection::Push.choose(1, 400, 500, n),
+            ExpandDirection::Push
+        );
+        assert_eq!(
+            ExpandDirection::Pull.choose(0, 1, 900, n),
+            ExpandDirection::Pull
+        );
+        // Alternating flips on the expansion parity.
+        assert_eq!(
+            ExpandDirection::Alternating.choose(0, 1, 900, n),
+            ExpandDirection::Push
+        );
+        assert_eq!(
+            ExpandDirection::Alternating.choose(1, 1, 900, n),
+            ExpandDirection::Pull
+        );
+    }
+
+    #[test]
+    fn forced_directions_are_bit_identical_on_the_serial_backend() {
+        use crate::backends::SerialBackend;
+        let a = path(40);
+        let reference = {
+            let mut rt = SerialBackend::new(&a);
+            drive_cm_directed(&mut rt, LabelingMode::PerLevel, ExpandDirection::Push);
+            rt.into_order()
+        };
+        for policy in [
+            ExpandDirection::Pull,
+            ExpandDirection::Adaptive,
+            ExpandDirection::Alternating,
+        ] {
+            let mut rt = SerialBackend::new(&a);
+            let stats = drive_cm_directed(&mut rt, LabelingMode::PerLevel, policy);
+            assert_eq!(rt.into_order(), reference, "{} diverged", policy.name());
+            match policy {
+                ExpandDirection::Pull => {
+                    assert_eq!(stats.push_expands, 0);
+                    assert!(stats.pull_expands > 0);
+                    assert!(stats
+                        .level_stats
+                        .iter()
+                        .all(|l| l.direction == ExpandDirection::Pull));
+                }
+                ExpandDirection::Alternating => {
+                    assert!(stats.push_expands > 0 && stats.pull_expands > 0);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn rcm_with_backend_directed_agrees_across_kinds_and_directions() {
+        let a = path(23);
+        let expect = rcm_with_backend_directed(&a, BackendKind::Serial, ExpandDirection::Push);
+        for direction in [
+            ExpandDirection::Push,
+            ExpandDirection::Pull,
+            ExpandDirection::Adaptive,
+            ExpandDirection::Alternating,
+        ] {
+            for kind in [
+                BackendKind::Serial,
+                BackendKind::Pooled { threads: 3 },
+                BackendKind::Dist { cores: 4 },
+                BackendKind::Hybrid {
+                    cores: 24,
+                    threads_per_proc: 6,
+                },
+            ] {
+                assert_eq!(
+                    rcm_with_backend_directed(&a, kind, direction),
+                    expect,
+                    "{} diverged under {}",
+                    kind.name(),
+                    direction.name()
+                );
+            }
+        }
     }
 }

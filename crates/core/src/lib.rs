@@ -51,12 +51,15 @@ pub mod shared;
 pub mod sloan;
 pub mod unordered;
 
-pub use algebraic::{algebraic_cm, algebraic_rcm, AlgebraicStats};
+pub use algebraic::{
+    algebraic_cm, algebraic_cm_directed, algebraic_rcm, algebraic_rcm_directed, AlgebraicStats,
+};
 pub use backends::{DistBackend, HybridBackend, PooledBackend, SerialBackend};
 pub use compress::{find_supervariables, rcm_compressed, CompressStats};
 pub use distributed::{dist_rcm, DistRcmConfig, DistRcmResult, LevelStat, SortMode};
 pub use driver::{
-    drive_cm, rcm_with_backend, BackendKind, DenseTarget, DriverStats, LabelingMode, RcmRuntime,
+    drive_cm, drive_cm_directed, rcm_with_backend, rcm_with_backend_directed, BackendKind,
+    DenseTarget, DriverStats, ExpandDirection, LabelingMode, RcmRuntime, PULL_ALPHA, PULL_BETA,
 };
 pub use peripheral::{bfs_level_structure, pseudo_peripheral, LevelStructure, PseudoPeripheral};
 pub use pool::{
@@ -66,7 +69,10 @@ pub use quality::{
     ordering_bandwidth, ordering_profile, ordering_wavefront, quality_report, OrderingQuality,
 };
 pub use serial::{cuthill_mckee, rcm_from_root, SerialRcmStats};
-pub use shared::{par_cuthill_mckee, par_cuthill_mckee_with_pool, par_rcm, SharedRcmStats};
+pub use shared::{
+    par_cuthill_mckee, par_cuthill_mckee_with_pool, par_cuthill_mckee_with_pool_directed, par_rcm,
+    par_rcm_directed, SharedRcmStats,
+};
 pub use sloan::{sloan, sloan_with_weights, SloanWeights};
 pub use unordered::{rcm_globalsort, rcm_nosort};
 

@@ -39,6 +39,17 @@
 //! reused across levels, components, and even matrices — steady-state
 //! levels allocate nothing.
 //!
+//! **Pull levels.** The direction-optimizing driver can run a level
+//! bottom-up instead: the coordinator scatters the frontier into a dense
+//! per-vertex parent-label array (`Vidx::MAX` = not in frontier), and the
+//! expansion phase claims chunks of the *vertex range* `0..n` — each worker
+//! scans its unvisited rows' adjacencies and takes the minimum frontier
+//! label directly. Because every row is computed by exactly one worker,
+//! pull needs **no atomic dedup at all** (the `fetch_min` claim array sits
+//! idle); the merge phase routes candidates to their parent-range owners
+//! unchanged and the bucket sort is shared verbatim, so a pull level yields
+//! the byte-identical `(parent, degree, vertex)` stream a push level would.
+//!
 //! Synchronization per parallel level: one condvar broadcast to release the
 //! workers, two [`Barrier`] waits between phases, one condvar signal back
 //! to the coordinator. Levels below [`PoolConfig::seq_cutoff`] never touch
@@ -153,6 +164,8 @@ struct GateState {
     epoch: u64,
     /// Label of `frontier[0]` for the posted level.
     base_label: Vidx,
+    /// Posted level runs the bottom-up (pull) expansion phase.
+    pull: bool,
     /// Workers exit their loop when set.
     shutdown: bool,
     /// Workers done with the current level.
@@ -180,11 +193,15 @@ struct RunShared<'e> {
     degrees: &'e [Vidx],
     visited: &'e RwLock<Vec<bool>>,
     frontier: &'e RwLock<Vec<Vidx>>,
+    /// Dense frontier for pull levels: `pull_labels[v]` = parent label of
+    /// frontier vertex `v`, `Vidx::MAX` otherwise.
+    pull_labels: &'e RwLock<Vec<Vidx>>,
     cands: &'e [RwLock<Vec<Candidate>>],
     routes: &'e [RwLock<Vec<Vec<Candidate>>>],
     sorted: &'e [RwLock<Vec<Candidate>>],
     claims: &'e [AtomicUsize],
-    /// Per-vertex epoch-tagged minimum-parent claims (see [`claim_tag`]).
+    /// Per-vertex epoch-tagged minimum-parent claims (see [`claim_tag`];
+    /// push levels only — pull computes each vertex exactly once).
     best: &'e [AtomicU64],
     queue: ChunkQueue,
     barrier: Barrier,
@@ -199,6 +216,7 @@ pub struct RcmPool {
     config: PoolConfig,
     visited: RwLock<Vec<bool>>,
     frontier: RwLock<Vec<Vidx>>,
+    pull_labels: RwLock<Vec<Vidx>>,
     cands: Vec<RwLock<Vec<Candidate>>>,
     routes: Vec<RwLock<Vec<Vec<Candidate>>>>,
     sorted: Vec<RwLock<Vec<Candidate>>>,
@@ -217,6 +235,7 @@ impl RcmPool {
             config,
             visited: RwLock::new(Vec::new()),
             frontier: RwLock::new(Vec::new()),
+            pull_labels: RwLock::new(Vec::new()),
             cands: (0..nthreads).map(|_| RwLock::new(Vec::new())).collect(),
             routes: (0..nthreads)
                 .map(|_| RwLock::new(vec![Vec::new(); nthreads]))
@@ -254,6 +273,9 @@ impl RcmPool {
             visited.clear();
             visited.resize(a.n_rows(), false);
             self.frontier.write().unwrap().clear();
+            let mut pull_labels = self.pull_labels.write().unwrap();
+            pull_labels.clear();
+            pull_labels.resize(a.n_rows(), Vidx::MAX);
         }
         // Invalidate claim-array entries from any previous run (epochs
         // restart at zero each run).
@@ -269,6 +291,7 @@ impl RcmPool {
             degrees,
             visited: &self.visited,
             frontier: &self.frontier,
+            pull_labels: &self.pull_labels,
             cands: &self.cands,
             routes: &self.routes,
             sorted: &self.sorted,
@@ -280,6 +303,7 @@ impl RcmPool {
                 state: Mutex::new(GateState {
                     epoch: 0,
                     base_label: 0,
+                    pull: false,
                     shutdown: false,
                     done: 0,
                     panic: None,
@@ -361,12 +385,63 @@ impl LevelExecutor<'_, '_> {
             self.expand_sequential(base_label, out);
             return false;
         }
+        self.run_parallel_level(plen, base_label, false, out);
+        true
+    }
+
+    /// Bottom-up (pull) expansion of the current frontier: scan every
+    /// unvisited vertex's adjacency against the dense frontier-label array
+    /// instead of expanding the frontier's columns. Produces the identical
+    /// `(parent, degree, vertex)` candidate stream as [`Self::expand`].
+    /// Returns `true` when the parallel pipeline ran.
+    pub(crate) fn expand_pull(&mut self, base_label: Vidx, out: &mut Vec<Candidate>) -> bool {
+        out.clear();
+        let config = &self.shared.config;
+        let n = self.shared.a.n_rows();
+        // Scatter the frontier into the dense pull-label array (the dual
+        // representation's sparse → dense conversion, O(frontier)).
+        {
+            let frontier = self.shared.frontier.read().unwrap();
+            let mut labels = self.shared.pull_labels.write().unwrap();
+            for (off, &v) in frontier.iter().enumerate() {
+                labels[v as usize] = base_label + off as Vidx;
+            }
+        }
+        // The pull scan's length is the vertex range, not the frontier.
+        let parallel = !(config.nthreads == 1 || n < config.seq_cutoff.max(1));
+        if parallel {
+            self.run_parallel_level(n, base_label, true, out);
+        } else {
+            self.expand_pull_sequential(out);
+        }
+        // Clear the scatter for the next level (only the touched entries).
+        {
+            let frontier = self.shared.frontier.read().unwrap();
+            let mut labels = self.shared.pull_labels.write().unwrap();
+            for &v in frontier.iter() {
+                labels[v as usize] = Vidx::MAX;
+            }
+        }
+        parallel
+    }
+
+    /// Post one parallel level (`queue_len` claimable items) and collect
+    /// the workers' sorted segments into `out`.
+    fn run_parallel_level(
+        &mut self,
+        queue_len: usize,
+        base_label: Vidx,
+        pull: bool,
+        out: &mut Vec<Candidate>,
+    ) {
+        let config = &self.shared.config;
         // Post the level and park until the last worker reports in.
-        self.shared.queue.reset(plen);
+        self.shared.queue.reset(queue_len);
         {
             let mut st = self.shared.gate.state.lock().unwrap();
             st.epoch += 1;
             st.base_label = base_label;
+            st.pull = pull;
             st.done = 0;
             self.shared.gate.start.notify_all();
             while st.done < config.nthreads {
@@ -387,7 +462,6 @@ impl LevelExecutor<'_, '_> {
         for sorted in self.shared.sorted {
             out.extend_from_slice(&sorted.read().unwrap());
         }
-        true
     }
 
     /// Single-thread path for small frontiers: emit, sort, dedup, reorder.
@@ -416,6 +490,34 @@ impl LevelExecutor<'_, '_> {
         }
         out.sort_unstable_by_key(|&(v, parent, deg)| (parent, deg, v));
     }
+
+    /// Single-thread pull path: masked scan over the vertex range against
+    /// the dense pull-label array. Each vertex is computed exactly once, so
+    /// no dedup pass is needed — only the final `(parent, degree, vertex)`
+    /// reorder.
+    fn expand_pull_sequential(&mut self, out: &mut Vec<Candidate>) {
+        let sh = self.shared;
+        let visited_guard = sh.visited.read().unwrap();
+        let visited: &[bool] = &visited_guard;
+        let labels_guard = sh.pull_labels.read().unwrap();
+        let labels: &[Vidx] = &labels_guard;
+        for (v, &vis) in visited.iter().enumerate() {
+            if vis {
+                continue;
+            }
+            let mut best = Vidx::MAX;
+            for &w in sh.a.col(v) {
+                let l = labels[w as usize];
+                if l < best {
+                    best = l;
+                }
+            }
+            if best != Vidx::MAX {
+                out.push((v as Vidx, best, sh.degrees[v]));
+            }
+        }
+        out.sort_unstable_by_key(|&(v, parent, deg)| (parent, deg, v));
+    }
 }
 
 /// Worker body: park on the gate, run the three-phase pipeline per posted
@@ -425,7 +527,7 @@ fn worker_loop(shared: &RunShared<'_>, tid: usize) {
     let mut cursors: Vec<u32> = Vec::new();
     let mut last_epoch = 0u64;
     loop {
-        let base_label = {
+        let (base_label, pull) = {
             let mut st = shared.gate.state.lock().unwrap();
             loop {
                 if st.shutdown {
@@ -433,12 +535,20 @@ fn worker_loop(shared: &RunShared<'_>, tid: usize) {
                 }
                 if st.epoch != last_epoch {
                     last_epoch = st.epoch;
-                    break st.base_label;
+                    break (st.base_label, st.pull);
                 }
                 st = shared.gate.start.wait(st).unwrap();
             }
         };
-        let outcome = run_level(shared, tid, base_label, last_epoch, &mut hist, &mut cursors);
+        let outcome = run_level(
+            shared,
+            tid,
+            base_label,
+            pull,
+            last_epoch,
+            &mut hist,
+            &mut cursors,
+        );
         let mut st = shared.gate.state.lock().unwrap();
         if let Err(payload) = outcome {
             st.panic.get_or_insert(payload);
@@ -463,6 +573,7 @@ fn run_level(
     shared: &RunShared<'_>,
     tid: usize,
     base_label: Vidx,
+    pull: bool,
     epoch: u64,
     hist: &mut Vec<u32>,
     cursors: &mut Vec<u32>,
@@ -471,23 +582,49 @@ fn run_level(
     let nw = shared.config.nthreads;
     let tag = claim_tag(epoch);
 
-    // --- Phase 1: dynamic expansion + minimum-parent claims ------------
+    // --- Phase 1: dynamic expansion ------------------------------------
+    // Push: claim frontier chunks, emit each unvisited neighbour with its
+    // parent label and `fetch_min` the minimum-parent claim. Pull: claim
+    // vertex-range chunks, scan each unvisited vertex's adjacency against
+    // the dense frontier-label array — each vertex is computed by exactly
+    // one worker, so no claims are needed.
     let r1 = catch_unwind(AssertUnwindSafe(|| {
         let visited_guard = shared.visited.read().unwrap();
         let visited: &[bool] = &visited_guard;
         let frontier_guard = shared.frontier.read().unwrap();
         let frontier: &[Vidx] = &frontier_guard;
+        let labels_guard = shared.pull_labels.read().unwrap();
+        let labels: &[Vidx] = &labels_guard;
         let mut cand = shared.cands[tid].write().unwrap();
         cand.clear();
         let mut claimed = 0usize;
         while let Some(range) = shared.queue.claim() {
             claimed += 1;
-            for off in range {
-                let parent = base_label + off as Vidx;
-                for &w in shared.a.col(frontier[off] as usize) {
-                    if !visited[w as usize] {
-                        cand.push((w, parent, shared.degrees[w as usize]));
-                        shared.best[w as usize].fetch_min(tag | parent as u64, Ordering::Relaxed);
+            if pull {
+                for v in range {
+                    if visited[v] {
+                        continue;
+                    }
+                    let mut best = Vidx::MAX;
+                    for &w in shared.a.col(v) {
+                        let l = labels[w as usize];
+                        if l < best {
+                            best = l;
+                        }
+                    }
+                    if best != Vidx::MAX {
+                        cand.push((v as Vidx, best, shared.degrees[v]));
+                    }
+                }
+            } else {
+                for off in range {
+                    let parent = base_label + off as Vidx;
+                    for &w in shared.a.col(frontier[off] as usize) {
+                        if !visited[w as usize] {
+                            cand.push((w, parent, shared.degrees[w as usize]));
+                            shared.best[w as usize]
+                                .fetch_min(tag | parent as u64, Ordering::Relaxed);
+                        }
                     }
                 }
             }
@@ -499,9 +636,11 @@ fn run_level(
     // --- Phase 2: merge/dedup (claim-array filter) + routing -----------
     let r2 = if r1.is_ok() {
         catch_unwind(AssertUnwindSafe(|| {
-            // Each (vertex, parent) pair was emitted by exactly one worker,
-            // so keeping the pairs whose claim survived yields the unique
-            // minimum-parent set with no cross-worker comparison at all.
+            // Push: each (vertex, parent) pair was emitted by exactly one
+            // worker, so keeping the pairs whose claim survived yields the
+            // unique minimum-parent set with no cross-worker comparison at
+            // all. Pull: candidates are already unique minima — routing
+            // only.
             let plen = shared.frontier.read().unwrap().len();
             let cand = shared.cands[tid].read().unwrap();
             let mut route = shared.routes[tid].write().unwrap();
@@ -510,7 +649,7 @@ fn run_level(
                 outbox.clear();
             }
             for &c in cand.iter() {
-                if shared.best[c.0 as usize].load(Ordering::Relaxed) == tag | c.1 as u64 {
+                if pull || shared.best[c.0 as usize].load(Ordering::Relaxed) == tag | c.1 as u64 {
                     let off = (c.1 - base_label) as usize;
                     route[bucket_owner(off, plen, nw)].push(c);
                 }

@@ -15,7 +15,7 @@
 //! [`crate::pool::thread_counts_from_env`]).
 
 use crate::backends::PooledBackend;
-use crate::driver::{drive_cm, LabelingMode};
+use crate::driver::{drive_cm_directed, ExpandDirection, LabelingMode};
 use crate::pool::{PoolConfig, RcmPool};
 use rcm_sparse::{CscMatrix, Permutation};
 
@@ -33,14 +33,32 @@ pub struct SharedRcmStats {
     /// fell under the pool's sequential cutover
     /// ([`crate::pool::DEFAULT_SEQ_CUTOFF`]).
     pub parallel_levels: usize,
+    /// Frontier expansions that ran top-down (push).
+    pub push_expands: usize,
+    /// Frontier expansions that ran bottom-up (pull — the pool's
+    /// no-atomics masked row-scan pipeline).
+    pub pull_expands: usize,
 }
 
-/// Multithreaded RCM with `nthreads` worker threads.
+/// Multithreaded RCM with `nthreads` worker threads, direction policy from
+/// the environment (`RCM_DIRECTION`, default adaptive).
 ///
 /// Produces exactly the same permutation as [`crate::serial::rcm`] and
 /// [`crate::algebraic::algebraic_rcm`] for any thread count.
 pub fn par_rcm(a: &CscMatrix, nthreads: usize) -> (Permutation, SharedRcmStats) {
     let (cm, stats) = par_cuthill_mckee(a, nthreads);
+    (cm.reversed(), stats)
+}
+
+/// [`par_rcm`] under an explicit frontier-direction policy. The
+/// permutation is identical for every policy and thread count.
+pub fn par_rcm_directed(
+    a: &CscMatrix,
+    nthreads: usize,
+    direction: ExpandDirection,
+) -> (Permutation, SharedRcmStats) {
+    let mut pool = RcmPool::new(PoolConfig::new(nthreads));
+    let (cm, stats) = par_cuthill_mckee_with_pool_directed(a, &mut pool, direction);
     (cm.reversed(), stats)
 }
 
@@ -56,12 +74,22 @@ pub fn par_cuthill_mckee_with_pool(
     a: &CscMatrix,
     pool: &mut RcmPool,
 ) -> (Permutation, SharedRcmStats) {
+    par_cuthill_mckee_with_pool_directed(a, pool, ExpandDirection::from_env())
+}
+
+/// [`par_cuthill_mckee_with_pool`] under an explicit frontier-direction
+/// policy.
+pub fn par_cuthill_mckee_with_pool_directed(
+    a: &CscMatrix,
+    pool: &mut RcmPool,
+    direction: ExpandDirection,
+) -> (Permutation, SharedRcmStats) {
     assert_eq!(a.n_rows(), a.n_cols());
     let n = a.n_rows();
     let degrees = a.degrees();
     let (perm, stats, parallel_levels) = pool.run(a, &degrees, |exec| {
         let mut rt = PooledBackend::new(exec, n, &degrees);
-        let stats = drive_cm(&mut rt, LabelingMode::PerLevel);
+        let stats = drive_cm_directed(&mut rt, LabelingMode::PerLevel, direction);
         let (perm, parallel_levels) = rt.into_cm_permutation();
         (perm, stats, parallel_levels)
     });
@@ -72,6 +100,8 @@ pub fn par_cuthill_mckee_with_pool(
             peripheral_bfs: stats.peripheral_bfs,
             levels: stats.levels,
             parallel_levels,
+            push_expands: stats.push_expands,
+            pull_expands: stats.pull_expands,
         },
     )
 }

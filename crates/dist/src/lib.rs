@@ -72,7 +72,7 @@ pub use machine::MachineModel;
 pub use matrix::DistCscMatrix;
 pub use primitives::{
     dist_argmin, dist_find_unvisited_min_degree, dist_gather_values, dist_is_nonempty, dist_select,
-    dist_set, dist_spmspv, DistSpmspvWorkspace,
+    dist_set, dist_spmspv, dist_spmspv_pull, DistSpmspvWorkspace,
 };
 pub use sortperm::{dist_sortperm, dist_sortperm_samplesort};
 pub use vec::{DistDenseVec, DistSparseVec, VecLayout};

@@ -18,6 +18,11 @@ use rcm_sparse::{Label, Semiring, Vidx, UNVISITED};
 /// Bytes of one `(index, value)` pair on the wire.
 const ENTRY_BYTES: u64 = 16;
 
+/// Bytes per vertex of the dense frontier-label array the pull expansion
+/// allgathers (one `Label` per vertex, no index — the position is the
+/// index).
+const DENSE_LABEL_BYTES: u64 = 8;
+
 /// Reusable scratch for [`dist_spmspv`] — the distributed mirror of
 /// `rcm_sparse::SpmspvWorkspace`: a stamped dense accumulator (values +
 /// epoch stamps, so no `O(n)` clearing between calls), the thin-frontier
@@ -198,6 +203,110 @@ where
         let t = machine.t_tree(pr, ENTRY_BYTES * max_frontier)
             + machine.t_tree(pr, ENTRY_BYTES * max_result);
         clock.charge_comm(t, 2 * p as u64, ENTRY_BYTES * (max_frontier + max_result));
+    }
+    out
+}
+
+/// Pull (bottom-up) expansion fused with `SELECT`: for every row `g` whose
+/// dense companion in `mask` satisfies `pred`, the semiring-sum of
+/// `S::multiply(x[w])` over `g`'s frontier neighbours — the
+/// direction-optimizing dual of [`dist_spmspv`] for symmetric patterns.
+///
+/// **Data path.** Bit-identical to
+/// `dist_select(dist_spmspv(a, x), mask, pred)`: for a symmetric `A`,
+/// scanning the column `A(:, g)` enumerates exactly the frontier columns
+/// whose push expansion reaches `g`, and the semiring's
+/// associative/commutative `add` makes the merge order irrelevant.
+///
+/// **Cost model.** The communication is the Beamer-style trade: instead of
+/// shipping `(index, value)` pairs proportional to the frontier
+/// ([`dist_spmspv`]'s gather/reduce trees), every process column
+/// **allgathers the dense frontier-label array** for its strip and the
+/// partial row minima are reduced densely — volume `Θ(n/√p′)`
+/// (`DENSE_LABEL_BYTES = 8` per vertex) *independent of `nnz(x)`*, which wins
+/// exactly when the frontier is a large fraction of the matrix. Compute is
+/// the max over blocks of the scanned candidate-row adjacencies, charged at
+/// the *streaming* element rate (`elem_cost`) rather than the irregular
+/// edge rate: the pull scan reads each candidate row's adjacency
+/// sequentially and probes a dense array, with none of push's scattered
+/// accumulator writes; the dense mask scan (`n/p′` per rank) rides along.
+pub fn dist_spmspv_pull<T, S, Y>(
+    a: &DistCscMatrix,
+    x: &DistSparseVec<T>,
+    mask: &DistDenseVec<Y>,
+    pred: impl Fn(Y) -> bool,
+    ws: &mut DistSpmspvWorkspace<T>,
+    clock: &mut SimClock,
+) -> DistSparseVec<T>
+where
+    T: Copy + Default,
+    S: Semiring<T>,
+    Y: Copy,
+{
+    let layout = a.layout();
+    assert_eq!(*layout, x.layout, "pull SpMSpV: frontier layout mismatch");
+    assert_eq!(*layout, mask.layout, "pull SpMSpV: mask layout mismatch");
+    let n = layout.len();
+    let pr = a.grid().pr;
+    let p = layout.nprocs();
+    ws.ensure(n, pr);
+    ws.begin();
+
+    // --- scatter the frontier into the (allgathered) dense label array ---
+    for (g, xv) in x.iter_entries() {
+        let gi = g as usize;
+        ws.stamp[gi] = ws.epoch;
+        ws.values[gi] = xv;
+    }
+
+    // --- masked row scan, per vector owner --------------------------------
+    let mut out = DistSparseVec::empty(layout.clone());
+    for rank in 0..p {
+        let (s, e) = layout.local_range(rank);
+        for g in s..e {
+            if !pred(mask.parts[rank][g - s]) {
+                continue;
+            }
+            // Column A(:, g) = row g's neighbours (symmetric pattern),
+            // spread over the pr blocks of column strip jc.
+            let jc = a.strip_of(g as Vidx);
+            let lc = g - a.strip_start(jc);
+            let mut acc: Option<T> = None;
+            for ir in 0..pr {
+                let col = a.block(ir, jc).col(lc);
+                if col.is_empty() {
+                    continue;
+                }
+                ws.block_work[ir * pr + jc] += col.len();
+                let r0 = a.strip_start(ir);
+                for &lr in col {
+                    let w = r0 + lr as usize;
+                    if ws.stamp[w] == ws.epoch {
+                        let prod = S::multiply(ws.values[w]);
+                        acc = Some(match acc {
+                            Some(old) => S::add(old, prod),
+                            None => prod,
+                        });
+                    }
+                }
+            }
+            if let Some(v) = acc {
+                out.parts[rank].push((g as Vidx, v));
+            }
+        }
+    }
+
+    // --- cost -------------------------------------------------------------
+    let max_block_work = ws.block_work.iter().copied().max().unwrap_or(0);
+    // Streaming candidate-row scans plus the dense mask sweep.
+    clock.charge_elems(max_block_work + layout.max_local_len());
+    if p > 1 {
+        let machine = *clock.machine();
+        let dense_bytes = DENSE_LABEL_BYTES * layout.max_local_len() as u64;
+        // Allgather the dense frontier labels along process columns, reduce
+        // dense partial minima along process rows.
+        let t = 2.0 * machine.t_tree(pr, dense_bytes);
+        clock.charge_comm(t, 2 * p as u64, 2 * dense_bytes);
     }
     out
 }
@@ -414,6 +523,74 @@ mod tests {
             assert_eq!(again, first);
         }
         assert_eq!(ws.growth_events(), 1, "steady state must not allocate");
+    }
+
+    #[test]
+    fn pull_matches_push_plus_select_on_every_grid() {
+        let a = figure2_matrix();
+        let entries = vec![(4 as Vidx, 2 as Label), (1, 3)];
+        // Mask: a, d visited (label >= 0), the rest unvisited.
+        let mask_global: Vec<Label> = vec![0, UNVISITED, UNVISITED, 1, 2, UNVISITED, UNVISITED, 3];
+        for procs in [1usize, 4, 9, 16] {
+            let grid = ProcGrid::square(procs).unwrap();
+            let d = DistCscMatrix::from_global(grid, &a, None);
+            let x = DistSparseVec::from_entries(d.layout().clone(), entries.clone());
+            let mask = DistDenseVec::from_global(d.layout().clone(), &mask_global);
+            let mut ws = DistSpmspvWorkspace::new();
+            let mut clk = clock();
+            let push = dist_spmspv::<Label, Select2ndMin>(&d, &x, &mut ws, &mut clk);
+            let selected = dist_select(&push, &mask, |l| l == UNVISITED, &mut clk);
+            let expect: Vec<_> = selected.iter_entries().collect();
+            let mut pull_clk = clock();
+            let pull = dist_spmspv_pull::<Label, Select2ndMin, Label>(
+                &d,
+                &x,
+                &mask,
+                |l| l == UNVISITED,
+                &mut ws,
+                &mut pull_clk,
+            );
+            let got: Vec<_> = pull.iter_entries().collect();
+            assert_eq!(got, expect, "{procs} procs");
+            if procs == 1 {
+                assert_eq!(pull_clk.messages, 0);
+            } else {
+                assert!(pull_clk.messages > 0);
+                assert!(pull_clk.breakdown().comm_total() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pull_comm_is_dense_and_frontier_independent() {
+        // The Beamer trade the model must reflect: pull's communication
+        // volume depends on n (dense allgather), not on the frontier size,
+        // while push's grows with the frontier.
+        let n = 64usize;
+        let mut b = CooBuilder::new(n, n);
+        for v in 0..n - 1 {
+            b.push_sym(v as Vidx, (v + 1) as Vidx);
+        }
+        let a = b.build();
+        let d = DistCscMatrix::from_global(ProcGrid::square(4).unwrap(), &a, None);
+        let mask = DistDenseVec::filled(d.layout().clone(), UNVISITED);
+        let mut ws = DistSpmspvWorkspace::new();
+        let mut bytes = Vec::new();
+        for nnz in [1usize, 32] {
+            let entries: Vec<(Vidx, Label)> = (0..nnz).map(|k| (k as Vidx, k as Label)).collect();
+            let x = DistSparseVec::from_entries(d.layout().clone(), entries);
+            let mut clk = clock();
+            let _ = dist_spmspv_pull::<Label, Select2ndMin, Label>(
+                &d,
+                &x,
+                &mask,
+                |l| l == UNVISITED,
+                &mut ws,
+                &mut clk,
+            );
+            bytes.push(clk.bytes);
+        }
+        assert_eq!(bytes[0], bytes[1], "pull volume must not track nnz(x)");
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! The dense half of the dual frontier representation.
+//!
+//! A BFS frontier has two natural encodings: the sorted sparse
+//! `(index, value)` list of [`SparseVec`] (cheap to iterate, cheap to ship —
+//! the *push* representation) and a dense SPA — a value scratchpad plus an
+//! epoch-stamped membership array — that answers "is vertex `w` in the
+//! frontier, and with which value?" in O(1) (the *pull* representation).
+//! [`DenseFrontier`] is that second encoding, built so that loading a sparse
+//! frontier costs O(nnz) and *clearing* costs O(1) (the epoch bump), which is
+//! what makes per-level direction switching free: the direction-optimizing
+//! driver converts sparse → dense only on the levels that pull
+//! ([`crate::spmspv_pull`]) and never pays an O(n) reset.
+
+use crate::spvec::SparseVec;
+use crate::Vidx;
+
+/// A dense, epoch-stamped frontier: the SPA/bitmap representation used by
+/// the pull (masked row-scan) expansion kernel.
+///
+/// ```
+/// use rcm_sparse::{DenseFrontier, SparseVec};
+///
+/// let x = SparseVec::from_entries(8, vec![(4, 2i64), (1, 3)]);
+/// let mut f = DenseFrontier::new(8);
+/// f.load(&x);
+/// assert_eq!(f.nnz(), 2);
+/// assert_eq!(f.get(4), Some(2));
+/// assert_eq!(f.get(0), None);
+/// assert_eq!(f.to_sparse(), x);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DenseFrontier<T> {
+    values: Vec<T>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    nnz: usize,
+}
+
+impl<T: Copy + Default> DenseFrontier<T> {
+    /// An empty dense frontier over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DenseFrontier {
+            values: vec![T::default(); n],
+            stamp: vec![0; n],
+            // Stamp 0 means "never inserted", so the epoch starts above it.
+            epoch: 1,
+            nnz: 0,
+        }
+    }
+
+    /// Logical length `n` (number of vertices).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the logical length is zero.
+    pub fn is_empty_len(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Stored entries — `nnz(x)` in the paper.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// True when no vertex is in the frontier.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nnz == 0
+    }
+
+    /// Grow (never shrinks) to `n` vertices.
+    pub fn ensure(&mut self, n: usize) {
+        if self.values.len() < n {
+            self.values.resize(n, T::default());
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    /// Drop every entry in O(1) (epoch bump; wraparound resets the stamps).
+    pub fn clear(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.nnz = 0;
+    }
+
+    /// Insert (or overwrite) vertex `i` with `value`.
+    #[inline]
+    pub fn insert(&mut self, i: Vidx, value: T) {
+        let ii = i as usize;
+        if self.stamp[ii] != self.epoch {
+            self.stamp[ii] = self.epoch;
+            self.nnz += 1;
+        }
+        self.values[ii] = value;
+    }
+
+    /// O(1) membership test.
+    #[inline]
+    pub fn contains(&self, i: Vidx) -> bool {
+        self.stamp[i as usize] == self.epoch
+    }
+
+    /// O(1) lookup: the stored value of `i`, if it is in the frontier.
+    #[inline]
+    pub fn get(&self, i: Vidx) -> Option<T> {
+        let ii = i as usize;
+        if self.stamp[ii] == self.epoch {
+            Some(self.values[ii])
+        } else {
+            None
+        }
+    }
+
+    /// Replace the contents with the entries of a sparse frontier —
+    /// the sparse → dense conversion of the dual representation, O(nnz).
+    pub fn load(&mut self, x: &SparseVec<T>) {
+        self.ensure(x.len());
+        self.clear();
+        for &(i, v) in x.entries() {
+            self.insert(i, v);
+        }
+    }
+
+    /// Dense → sparse conversion: an O(n) scan yielding the entries in
+    /// ascending index order.
+    pub fn to_sparse(&self) -> SparseVec<T> {
+        let entries: Vec<(Vidx, T)> = (0..self.values.len())
+            .filter(|&i| self.stamp[i] == self.epoch)
+            .map(|i| (i as Vidx, self.values[i]))
+            .collect();
+        SparseVec::from_sorted_entries(self.values.len(), entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_roundtrips_through_sparse() {
+        let x = SparseVec::from_entries(10, vec![(7, 1i64), (2, 2), (5, 3)]);
+        let mut f = DenseFrontier::new(10);
+        f.load(&x);
+        assert_eq!(f.nnz(), 3);
+        assert!(f.contains(7) && f.contains(2) && f.contains(5));
+        assert!(!f.contains(0));
+        assert_eq!(f.get(2), Some(2));
+        assert_eq!(f.to_sparse(), x);
+    }
+
+    #[test]
+    fn clear_is_constant_time_epoch_bump() {
+        let mut f = DenseFrontier::new(4);
+        f.insert(1, 5i64);
+        f.insert(3, 7);
+        assert_eq!(f.nnz(), 2);
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.get(1), None);
+        // Stale values from the previous epoch must never resurface.
+        f.insert(3, 9);
+        assert_eq!(f.get(3), Some(9));
+        assert_eq!(f.nnz(), 1);
+    }
+
+    #[test]
+    fn insert_overwrites_without_double_counting() {
+        let mut f = DenseFrontier::new(4);
+        f.insert(2, 1i64);
+        f.insert(2, 8);
+        assert_eq!(f.nnz(), 1);
+        assert_eq!(f.get(2), Some(8));
+    }
+
+    #[test]
+    fn epoch_wraparound_resets_stamps() {
+        let mut f: DenseFrontier<i64> = DenseFrontier::new(3);
+        f.epoch = u32::MAX;
+        f.insert(0, 1);
+        f.clear(); // wraps to 0 → resets to 1
+        assert!(!f.contains(0));
+        f.insert(1, 2);
+        assert_eq!(f.to_sparse().entries(), &[(1, 2)]);
+    }
+
+    #[test]
+    fn load_grows_to_input_length() {
+        let mut f = DenseFrontier::new(2);
+        let x = SparseVec::from_entries(9, vec![(8, 4i64)]);
+        f.load(&x);
+        assert_eq!(f.len(), 9);
+        assert_eq!(f.get(8), Some(4));
+    }
+}

@@ -12,9 +12,11 @@
 //! * [`CsrNumeric`] — a numeric CSR matrix used by the iterative-solver crate.
 //! * [`SparseVec`] / dense-vector helpers — the *local* counterparts of the
 //!   paper's Table I primitives (`IND`, `SELECT`, `SET`, `REDUCE`).
-//! * [`Semiring`] and [`fn@spmspv`] — sparse matrix–sparse vector
-//!   multiplication over a user-chosen semiring; the RCM traversal uses the
-//!   `(select2nd, min)` semiring ([`Select2ndMin`]).
+//! * [`Semiring`] and [`fn@spmspv`] / [`fn@spmspv_pull`] — sparse
+//!   matrix–sparse vector multiplication over a user-chosen semiring in both
+//!   expansion directions (push over the frontier's columns, pull as a
+//!   masked row-scan against a [`DenseFrontier`]); the RCM traversal uses
+//!   the `(select2nd, min)` semiring ([`Select2ndMin`]).
 //! * [`mod@bandwidth`] — bandwidth, envelope/profile and
 //!   wavefront metrics used to evaluate ordering quality.
 //! * [`mm`] — Matrix Market I/O so real SuiteSparse matrices can be used
@@ -31,6 +33,7 @@ pub mod coo;
 pub mod csc;
 pub mod csr_num;
 pub mod densevec;
+pub mod frontier;
 pub mod mm;
 pub mod perm;
 pub mod semiring;
@@ -44,9 +47,10 @@ pub use coo::CooBuilder;
 pub use csc::CscMatrix;
 pub use csr_num::CsrNumeric;
 pub use densevec::{dense_reduce, dense_set, DenseVec};
+pub use frontier::DenseFrontier;
 pub use perm::Permutation;
 pub use semiring::{BoolOr, MinIdx, Select2ndMin, Semiring};
-pub use spmspv::{spmspv, spmspv_ref, SpmspvWorkspace};
+pub use spmspv::{spmspv, spmspv_pull, spmspv_ref, SpmspvWorkspace};
 pub use spvec::SparseVec;
 pub use spy::spy;
 

@@ -346,4 +346,134 @@ mod tests {
         let m = read_pattern(text.as_bytes()).unwrap();
         assert_eq!(m.nnz(), 1);
     }
+
+    #[test]
+    fn crlf_line_endings_parse_identically() {
+        // SuiteSparse files written on Windows carry \r\n; the parser must
+        // treat them exactly like \n (including on the banner and size
+        // lines).
+        let unix = SYMMETRIC_SAMPLE;
+        let dos = unix.replace('\n', "\r\n");
+        let m_unix = read_pattern(unix.as_bytes()).unwrap();
+        let m_dos = read_pattern(dos.as_bytes()).unwrap();
+        assert_eq!(m_unix, m_dos);
+        let n_unix = read_numeric(unix.as_bytes()).unwrap();
+        let n_dos = read_numeric(dos.as_bytes()).unwrap();
+        assert_eq!(n_unix.get(0, 1), n_dos.get(0, 1));
+    }
+
+    #[test]
+    fn blank_and_comment_interleave_between_entries() {
+        // Comments and blank lines may appear *anywhere* after the banner,
+        // including between data entries and before the size line.
+        let text = "\
+%%MatrixMarket matrix coordinate pattern symmetric
+% leading comment
+
+% another
+3 3 2
+
+2 1
+% between entries
+
+3 2
+";
+        let m = read_pattern(text.as_bytes()).unwrap();
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.nnz(), 4); // two entries, both triangles
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn pattern_symmetric_vs_real_general_headers() {
+        // The same structure declared two ways: `pattern symmetric` stores
+        // one triangle with no values; `real general` stores both triangles
+        // with values. The resulting patterns must agree.
+        let sym = "\
+%%MatrixMarket matrix coordinate pattern symmetric
+3 3 2
+2 1
+3 2
+";
+        let gen = "\
+%%MatrixMarket matrix coordinate real general
+3 3 4
+2 1 1.0
+1 2 1.0
+3 2 2.5
+2 3 2.5
+";
+        let m_sym = read_pattern(sym.as_bytes()).unwrap();
+        let m_gen = read_pattern(gen.as_bytes()).unwrap();
+        assert_eq!(m_sym, m_gen);
+        // `real` entries missing their value token are malformed.
+        let missing_value = "\
+%%MatrixMarket matrix coordinate real general
+2 2 1
+1 2
+";
+        assert!(matches!(
+            read_pattern(missing_value.as_bytes()),
+            Err(MmError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_one_based_indices_are_rejected() {
+        // Matrix Market indices are 1-based: 0 is below range, n+1 above;
+        // both must fail with a parse error, in both readers.
+        for bad in [
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n",
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 0\n",
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n",
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 3\n",
+            "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n2 3\n",
+        ] {
+            assert!(
+                matches!(read_pattern(bad.as_bytes()), Err(MmError::Parse(_))),
+                "pattern reader accepted: {bad}"
+            );
+        }
+        let bad_num = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 5.0\n";
+        assert!(matches!(
+            read_numeric(bad_num.as_bytes()),
+            Err(MmError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn unsupported_header_variants_are_rejected() {
+        for bad in [
+            // array (dense) format
+            "%%MatrixMarket matrix array real general\n2 2\n1.0\n0.0\n0.0\n1.0\n",
+            // complex field
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 0.0\n",
+            // skew-symmetric / hermitian symmetry
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 1.0\n",
+            "%%MatrixMarket matrix coordinate complex hermitian\n2 2 1\n2 1 1.0 0.0\n",
+            // truncated banner
+            "%%MatrixMarket matrix coordinate\n1 1 0\n",
+        ] {
+            assert!(
+                read_pattern(bad.as_bytes()).is_err(),
+                "accepted unsupported header: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_size_line_is_rejected() {
+        for bad in [
+            "%%MatrixMarket matrix coordinate pattern general\n2 2\n",
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1 9\n1 1\n",
+            "%%MatrixMarket matrix coordinate pattern general\nx y z\n",
+            "%%MatrixMarket matrix coordinate pattern general\n-2 2 1\n1 1\n",
+            "%%MatrixMarket matrix coordinate pattern general\n",
+        ] {
+            assert!(
+                matches!(read_pattern(bad.as_bytes()), Err(MmError::Parse(_))),
+                "accepted malformed size line: {bad}"
+            );
+        }
+    }
 }

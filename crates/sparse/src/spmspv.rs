@@ -1,14 +1,28 @@
-//! Sequential sparse matrix–sparse vector multiplication over a semiring.
+//! Sequential sparse matrix–sparse vector multiplication over a semiring —
+//! both expansion directions of the direction-optimizing frontier layer.
 //!
-//! `SPMSPV(A, x, SR)` (Table I): for every stored entry `x[k]`, visit column
-//! `A(:, k)` and merge the products into the output with the semiring's
-//! `add`. The serial complexity is `Σ_{k ∈ IND(x)} nnz(A(:, k))`.
+//! **Push** ([`spmspv`]) — `SPMSPV(A, x, SR)` (Table I): for every stored
+//! entry `x[k]`, visit column `A(:, k)` and merge the products into the
+//! output with the semiring's `add`. The serial complexity is
+//! `Σ_{k ∈ IND(x)} nnz(A(:, k))` — proportional to the *frontier's* edges.
 //!
-//! The implementation uses a *sparse accumulator* (SPA): a dense value
+//! **Pull** ([`spmspv_pull`]) — the Beamer-style bottom-up dual for
+//! symmetric patterns: every *candidate* row `r` scans its own adjacency
+//! `A(:, r)` and merges the values of the neighbours present in a dense
+//! frontier ([`DenseFrontier`]). Complexity is proportional to the
+//! *candidates'* edges, independent of frontier size — cheaper than push
+//! exactly when the frontier is a large fraction of the unvisited vertices.
+//! For a symmetric `A` the two directions produce bit-identical results
+//! (row `r`'s in-neighbours are its out-neighbours).
+//!
+//! The push implementation uses a *sparse accumulator* (SPA): a dense value
 //! scratchpad plus a stamp array, reusable across calls via
-//! [`SpmspvWorkspace`] so each multiplication allocates nothing.
+//! [`SpmspvWorkspace`] so each multiplication allocates nothing. The pull
+//! implementation needs no accumulator at all — each output row is finished
+//! the moment its scan ends.
 
 use crate::csc::CscMatrix;
+use crate::frontier::DenseFrontier;
 use crate::semiring::Semiring;
 use crate::spvec::SparseVec;
 use crate::Vidx;
@@ -94,6 +108,61 @@ where
         .iter()
         .map(|&r| (r, ws.values[r as usize]))
         .collect();
+    (SparseVec::from_sorted_entries(a.n_rows(), entries), work)
+}
+
+/// Pull (bottom-up) expansion over a symmetric pattern: for every row `r`
+/// with `candidate(r)` true, the semiring-sum of `S::multiply(x[w])` over
+/// the frontier neighbours `w` of `r`.
+///
+/// This is the masked row-scan dual of [`spmspv`] + `SELECT`: because `a`
+/// is symmetric, scanning `A(:, r)` enumerates exactly the columns whose
+/// push expansion would reach `r`, so
+/// `spmspv_pull(a, x, pred) == spmspv(a, x).select(pred)` **bit for bit**
+/// (the `(select2nd, min)` semiring included) while touching
+/// `Σ_{r: candidate} nnz(A(:, r))` matrix entries instead of
+/// `Σ_{k ∈ IND(x)} nnz(A(:, k))`.
+///
+/// Returns the output (sorted by index, candidate rows with at least one
+/// frontier neighbour only) and the number of traversed matrix nonzeros.
+pub fn spmspv_pull<T, S>(
+    a: &CscMatrix,
+    x: &DenseFrontier<T>,
+    candidate: impl Fn(Vidx) -> bool,
+) -> (SparseVec<T>, usize)
+where
+    T: Copy + Default,
+    S: Semiring<T>,
+{
+    assert_eq!(
+        a.n_rows(),
+        a.n_cols(),
+        "pull expansion needs a square (symmetric) pattern"
+    );
+    assert_eq!(x.len(), a.n_rows(), "dimension mismatch in pull SpMSpV");
+    let mut entries: Vec<(Vidx, T)> = Vec::new();
+    let mut work = 0usize;
+    for r in 0..a.n_rows() {
+        let rv = r as Vidx;
+        if !candidate(rv) {
+            continue;
+        }
+        let col = a.col(r);
+        work += col.len();
+        let mut acc: Option<T> = None;
+        for &w in col {
+            if let Some(xv) = x.get(w) {
+                let prod = S::multiply(xv);
+                acc = Some(match acc {
+                    Some(old) => S::add(old, prod),
+                    None => prod,
+                });
+            }
+        }
+        if let Some(v) = acc {
+            entries.push((rv, v));
+        }
+    }
     (SparseVec::from_sorted_entries(a.n_rows(), entries), work)
 }
 
@@ -203,6 +272,49 @@ mod tests {
         let x2 = SparseVec::from_entries(8, vec![(7, 9i64)]);
         let (y2, _) = spmspv::<i64, Select2ndMin>(&a, &x2, &mut ws);
         assert_eq!(y2.entries(), &[(3, 9)]);
+    }
+
+    #[test]
+    fn pull_matches_push_plus_select_on_figure2() {
+        let a = figure2_matrix();
+        // Frontier {e=2, b=3}; pretend a, d are already visited so the mask
+        // keeps only c, f (and the never-reached g, h).
+        let x = SparseVec::from_entries(8, vec![(4, 2i64), (1, 3)]);
+        let visited = [true, true, false, true, true, false, false, false];
+        let mut ws = SpmspvWorkspace::new(8);
+        let (push, _) = spmspv::<i64, Select2ndMin>(&a, &x, &mut ws);
+        let expect = push.select(&visited, |v| !v);
+        let mut dense = DenseFrontier::new(8);
+        dense.load(&x);
+        let (pull, work) = spmspv_pull::<i64, Select2ndMin>(&a, &dense, |r| !visited[r as usize]);
+        assert_eq!(pull, expect);
+        // Work = Σ deg over candidate rows c, f, g, h = 3 + 2 + 2 + 1.
+        assert_eq!(work, 8);
+    }
+
+    #[test]
+    fn pull_equals_push_for_every_mask_on_figure2() {
+        let a = figure2_matrix();
+        let x = SparseVec::from_entries(8, vec![(0, 5i64), (2, 1), (6, 4)]);
+        let mut dense = DenseFrontier::new(8);
+        dense.load(&x);
+        let mut ws = SpmspvWorkspace::new(8);
+        let (push, _) = spmspv::<i64, Select2ndMin>(&a, &x, &mut ws);
+        for mask_bits in 0u16..256 {
+            let keep = |r: Vidx| mask_bits & (1 << r) != 0;
+            let expect = push.select(&[0u8, 1, 2, 3, 4, 5, 6, 7], |i| keep(i as Vidx));
+            let (pull, _) = spmspv_pull::<i64, Select2ndMin>(&a, &dense, keep);
+            assert_eq!(pull, expect, "mask {mask_bits:#b} diverged");
+        }
+    }
+
+    #[test]
+    fn pull_on_empty_frontier_scans_but_emits_nothing() {
+        let a = figure2_matrix();
+        let dense: DenseFrontier<i64> = DenseFrontier::new(8);
+        let (y, work) = spmspv_pull::<i64, Select2ndMin>(&a, &dense, |_| true);
+        assert!(y.is_empty());
+        assert_eq!(work, a.nnz(), "pull pays for every candidate row scanned");
     }
 
     #[test]

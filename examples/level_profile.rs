@@ -36,8 +36,8 @@ fn main() {
     );
     let max_frontier = r.level_stats.iter().map(|l| l.frontier).max().unwrap_or(1);
     println!(
-        "{:>6} {:>10} {:>10}  frontier width",
-        "level", "vertices", "time"
+        "{:>6} {:>10} {:>10} {:>5}  frontier width",
+        "level", "vertices", "time", "dir"
     );
     // Print at most ~40 representative levels.
     let step = (r.level_stats.len() / 40).max(1);
@@ -47,19 +47,23 @@ fn main() {
         }
         let bar = "#".repeat((stat.frontier * 40 / max_frontier).max(1));
         println!(
-            "{:>6} {:>10} {:>9.1}us  {}",
+            "{:>6} {:>10} {:>9.1}us {:>5}  {}",
             k,
             stat.frontier,
             stat.seconds * 1e6,
+            stat.direction.name(),
             bar
         );
     }
     let total: f64 = r.level_stats.iter().map(|l| l.seconds).sum();
     println!(
-        "\nordering pass: {:.4}s across {} levels (total run {:.4}s, {} peripheral BFS)",
+        "\nordering pass: {:.4}s across {} levels (total run {:.4}s, {} peripheral BFS, \
+         {} pull / {} push expansions)",
         total,
         r.level_stats.len(),
         r.sim_seconds,
-        r.peripheral_bfs
+        r.peripheral_bfs,
+        r.pull_expands,
+        r.push_expands
     );
 }

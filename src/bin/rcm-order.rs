@@ -5,15 +5,22 @@
 //!
 //! options:
 //!   --method <rcm|cm|sloan|nosort|globalsort>   ordering heuristic (default rcm)
+//!   --backend <serial|pooled|dist|hybrid>       RcmRuntime backend for --method rcm
+//!                          (pooled uses --threads workers; dist runs 16
+//!                          simulated ranks, hybrid 24 cores x 6 t/p — all
+//!                          bit-identical, parity with `repro backends`)
 //!   --scale <f>            suite generation scale (suite: inputs only)
 //!   --write-perm <file>    write the permutation (one new label per line)
 //!   --write-matrix <file>  write the reordered matrix in Matrix Market form
 //!   --simulate <cores,..>  also run the simulated distributed RCM
-//!   --threads <t>          threads/process for the simulation (default 6)
+//!   --threads <t>          threads/process for the simulation and for
+//!                          --backend pooled (default 6)
 //! ```
 //!
 //! Inputs are Matrix Market files; `suite:ldoor` style names generate the
-//! corresponding synthetic stand-in instead.
+//! corresponding synthetic stand-in instead. The frontier-expansion
+//! direction follows `RCM_DIRECTION` (push|pull|adaptive, default
+//! adaptive); every setting produces the identical ordering.
 
 use distributed_rcm::core::{cuthill_mckee, rcm_globalsort, rcm_nosort};
 use distributed_rcm::dist::HybridConfig;
@@ -23,6 +30,7 @@ use distributed_rcm::sparse::mm;
 struct Options {
     input: String,
     method: String,
+    backend: Option<String>,
     scale: Option<f64>,
     write_perm: Option<String>,
     write_matrix: Option<String>,
@@ -33,6 +41,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: rcm-order <input.mtx | suite:NAME> [--method rcm|cm|sloan|nosort|globalsort]\n\
+         \x20                [--backend serial|pooled|dist|hybrid]\n\
          \x20                [--scale f] [--write-perm FILE] [--write-matrix FILE]\n\
          \x20                [--simulate CORES,CORES,...] [--threads T]"
     );
@@ -43,6 +52,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         input: String::new(),
         method: "rcm".into(),
+        backend: None,
         scale: None,
         write_perm: None,
         write_matrix: None,
@@ -53,6 +63,7 @@ fn parse_args() -> Options {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--method" => opts.method = args.next().unwrap_or_else(|| usage()),
+            "--backend" => opts.backend = Some(args.next().unwrap_or_else(|| usage())),
             "--scale" => {
                 opts.scale = Some(
                     args.next()
@@ -123,22 +134,59 @@ fn main() {
         a.nnz() as f64 / a.n_rows().max(1) as f64
     );
 
-    let t0 = std::time::Instant::now();
-    let perm = match opts.method.as_str() {
-        "rcm" => rcm(&a),
-        "cm" => cuthill_mckee(&a).0,
-        "sloan" => sloan(&a),
-        "nosort" => rcm_nosort(&a),
-        "globalsort" => rcm_globalsort(&a),
+    // --backend picks the RcmRuntime executing the generic algebraic
+    // driver (parity with `repro backends`); the ordering is bit-identical
+    // across all four, so it composes only with the rcm method.
+    let backend_kind = opts.backend.as_deref().map(|name| match name {
+        "serial" => BackendKind::Serial,
+        "pooled" => BackendKind::Pooled {
+            threads: opts.threads.max(1),
+        },
+        "dist" => BackendKind::Dist { cores: 16 },
+        "hybrid" => BackendKind::Hybrid {
+            cores: 24,
+            threads_per_proc: 6,
+        },
         other => {
-            eprintln!("unknown method {other}");
-            usage();
+            eprintln!("unknown backend {other}: valid backends are serial|pooled|dist|hybrid");
+            std::process::exit(2);
         }
+    });
+    if backend_kind.is_some() && opts.method != "rcm" {
+        eprintln!(
+            "--backend applies only to --method rcm (got {}): the other heuristics \
+             have no RcmRuntime formulation",
+            opts.method
+        );
+        std::process::exit(2);
+    }
+
+    let t0 = std::time::Instant::now();
+    let perm = match backend_kind {
+        Some(kind) => rcm_with_backend(&a, kind),
+        None => match opts.method.as_str() {
+            "rcm" => rcm(&a),
+            "cm" => cuthill_mckee(&a).0,
+            "sloan" => sloan(&a),
+            "nosort" => rcm_nosort(&a),
+            "globalsort" => rcm_globalsort(&a),
+            other => {
+                eprintln!("unknown method {other}");
+                usage();
+            }
+        },
     };
     let dt = t0.elapsed();
     let q = quality_report(&a, &perm);
     let (maxw, rmsw) = ordering_wavefront(&a, &perm);
-    println!("{} ordering computed in {dt:?}", opts.method);
+    match backend_kind {
+        Some(kind) => println!(
+            "{} ordering computed in {dt:?} on the {} backend",
+            opts.method,
+            kind.name()
+        ),
+        None => println!("{} ordering computed in {dt:?}", opts.method),
+    }
     println!(
         "  bandwidth: {} -> {}",
         q.bandwidth_before, q.bandwidth_after
@@ -175,6 +223,7 @@ fn main() {
                 hybrid: HybridConfig::new(cores, opts.threads),
                 balance_seed: Some(1),
                 sort_mode: SortMode::Full,
+                direction: ExpandDirection::from_env(),
             };
             if cfg.hybrid.grid().is_none() {
                 println!(

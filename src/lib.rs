@@ -43,8 +43,8 @@ pub use rcm_sparse as sparse;
 pub mod prelude {
     pub use rcm_core::{
         algebraic_rcm, dist_rcm, ordering_bandwidth, ordering_profile, ordering_wavefront, par_rcm,
-        pseudo_peripheral, quality_report, rcm, rcm_with_backend, sloan, BackendKind,
-        DistRcmConfig, DistRcmResult, RcmRuntime, SortMode,
+        pseudo_peripheral, quality_report, rcm, rcm_with_backend, rcm_with_backend_directed, sloan,
+        BackendKind, DistRcmConfig, DistRcmResult, ExpandDirection, RcmRuntime, SortMode,
     };
     pub use rcm_dist::{HybridConfig, MachineModel, Phase, ProcGrid, SimClock};
     pub use rcm_graphgen::{suite, suite_matrix, SuiteMatrix};

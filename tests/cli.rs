@@ -74,6 +74,74 @@ fn unknown_matrix_fails_cleanly() {
 }
 
 #[test]
+fn backend_flag_selects_each_runtime() {
+    // Every backend computes the bit-identical ordering, so the reported
+    // bandwidth must not depend on the choice.
+    let mut bandwidth_lines: Vec<String> = Vec::new();
+    for backend in ["serial", "pooled", "dist", "hybrid"] {
+        let out = rcm_order()
+            .args(["suite:nd24k", "--scale", "0.005", "--backend", backend])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "--backend {backend} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(&format!("on the {backend} backend")),
+            "--backend {backend} not reported: {stdout}"
+        );
+        bandwidth_lines.extend(
+            stdout
+                .lines()
+                .filter(|l| l.contains("bandwidth:"))
+                .map(str::to_string),
+        );
+    }
+    assert_eq!(bandwidth_lines.len(), 4);
+    assert!(
+        bandwidth_lines.iter().all(|l| l == &bandwidth_lines[0]),
+        "backends disagreed: {bandwidth_lines:?}"
+    );
+}
+
+#[test]
+fn unknown_backend_exits_2_naming_the_valid_set() {
+    let out = rcm_order()
+        .args(["suite:nd24k", "--scale", "0.005", "--backend", "gpu"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("gpu"), "{stderr}");
+    assert!(stderr.contains("serial|pooled|dist|hybrid"), "{stderr}");
+}
+
+#[test]
+fn backend_flag_rejects_non_rcm_methods() {
+    let out = rcm_order()
+        .args([
+            "suite:nd24k",
+            "--scale",
+            "0.005",
+            "--method",
+            "sloan",
+            "--backend",
+            "pooled",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--backend applies only to --method rcm"),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn bad_flags_exit_with_usage() {
     let out = rcm_order().args(["--bogus"]).output().unwrap();
     assert!(!out.status.success());

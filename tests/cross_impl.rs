@@ -143,6 +143,7 @@ fn hybrid_and_flat_share_the_data_path_at_every_scale() {
             hybrid: HybridConfig::new(16 * threads, threads),
             balance_seed: None,
             sort_mode: SortMode::Full,
+            direction: ExpandDirection::from_env(),
         };
         let hybrid = dist_rcm(&a, &cfg);
         assert_eq!(hybrid.perm, flat.perm, "{threads} threads/proc diverged");
@@ -168,6 +169,7 @@ fn load_balance_permutation_keeps_quality() {
             hybrid: HybridConfig::new(4, 1),
             balance_seed: Some(42),
             sort_mode: SortMode::Full,
+            direction: ExpandDirection::from_env(),
         };
         let r = dist_rcm(&a, &cfg);
         let bw = ordering_bandwidth(&a, &r.perm);

@@ -8,7 +8,7 @@
 //! * flat MPI is slower than hybrid at scale (Fig. 6),
 //! * high-diameter matrices stop scaling earlier than low-diameter ones.
 
-use distributed_rcm::core::{dist_rcm, DistRcmConfig};
+use distributed_rcm::core::{dist_rcm, DistRcmConfig, ExpandDirection};
 use distributed_rcm::dist::Phase;
 use distributed_rcm::graphgen::suite_matrix;
 
@@ -107,11 +107,18 @@ fn single_core_run_has_zero_communication() {
 fn speedup_at_1024_cores_is_substantial() {
     // §V-D headline: up to 38x on 1024 cores. At reduced scale we just check
     // the sweep achieves a healthy double-digit speedup for a low-diameter
-    // matrix.
+    // matrix. The paper's measurement is of the push-only algorithm, so pin
+    // the direction: the adaptive pull layer shrinks the 1-core baseline
+    // (cheap masked row-scans on Li7's fat frontiers), which compresses
+    // this ratio — that effect is reported by `repro direction` instead.
     let m = suite_matrix("Li7Nmax6").unwrap();
     let a = m.generate(m.default_scale * 0.5);
-    let t1 = dist_rcm(&a, &DistRcmConfig::hybrid_on_edison(1)).sim_seconds;
-    let t1014 = dist_rcm(&a, &DistRcmConfig::hybrid_on_edison(1014)).sim_seconds;
+    let mut cfg1 = DistRcmConfig::hybrid_on_edison(1);
+    cfg1.direction = ExpandDirection::Push;
+    let mut cfg1014 = DistRcmConfig::hybrid_on_edison(1014);
+    cfg1014.direction = ExpandDirection::Push;
+    let t1 = dist_rcm(&a, &cfg1).sim_seconds;
+    let t1014 = dist_rcm(&a, &cfg1014).sim_seconds;
     let speedup = t1 / t1014;
     assert!(
         speedup > 8.0,

@@ -12,6 +12,7 @@ fn dist_cfg(procs: usize) -> DistRcmConfig {
         hybrid: HybridConfig::new(procs, 1),
         balance_seed: None,
         sort_mode: SortMode::Full,
+        direction: ExpandDirection::from_env(),
     }
 }
 

@@ -37,6 +37,7 @@ proptest! {
             hybrid: HybridConfig::new(4, 1),
             balance_seed: None,
             sort_mode: SortMode::Full,
+            direction: ExpandDirection::from_env(),
         };
         let dist = dist_rcm(&a, &cfg);
         prop_assert_eq!(&serial, &dist.perm);
@@ -122,6 +123,7 @@ proptest! {
                 hybrid: HybridConfig::new(4, 1),
                 balance_seed: None,
                 sort_mode: mode,
+                direction: ExpandDirection::from_env(),
             };
             let r = dist_rcm(&a, &cfg);
             prop_assert_eq!(r.perm.len(), n);
@@ -149,6 +151,7 @@ proptest! {
                 hybrid: HybridConfig::new(procs, 1),
                 balance_seed: Some(7),
                 sort_mode: SortMode::Full,
+                direction: ExpandDirection::from_env(),
             };
             let r = dist_rcm(&a, &cfg);
             match &reference {
