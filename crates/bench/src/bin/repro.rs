@@ -15,6 +15,7 @@
 //!   direction  push/pull/adaptive frontier-expansion ablation
 //!   backends   one generic driver on all four RcmRuntime backends
 //!   balance    load-balance permutation ablation (§IV-A)
+//!   throughput warm OrderingEngine vs cold per-call orderings/sec
 //!   all        everything above
 //! ```
 //!
@@ -32,14 +33,15 @@ use rcm_bench::{
     ablation_sort_modes, backend_sweep, balance_ablation, compression_table, direction_ablation,
     fig1_cg_solve, fig3_suite_table, fig4_breakdown, fig5_spmspv_split, fig6_flat_vs_hybrid,
     gather_vs_distributed, load_mtx, machine_sensitivity, mtx_table, quality_comparison,
-    run_hybrid_sweep, scaling_summary, shared_scaling, table2_shared_memory, ExpConfig, Table,
+    run_hybrid_sweep, scaling_summary, shared_scaling, table2_shared_memory, throughput_table,
+    ExpConfig, Table,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale <mult>] [--quick] [--out <dir>] [--mtx <file.mtx>]... \
          <fig1|fig3|table2|scaling|fig4|fig5|fig6|ablation|direction|backends|balance|quality\
-         |gather|sensitivity|compress|all>..."
+         |gather|sensitivity|compress|throughput|all>..."
     );
     std::process::exit(2);
 }
@@ -147,7 +149,7 @@ fn main() {
     }
     // Reject typos up front: a silently-ignored name would let the CI
     // bench-smoke gate pass while measuring nothing.
-    const KNOWN: [&str; 16] = [
+    const KNOWN: [&str; 17] = [
         "fig1",
         "fig3",
         "table2",
@@ -163,6 +165,7 @@ fn main() {
         "gather",
         "sensitivity",
         "compress",
+        "throughput",
         "all",
     ];
     for w in &wanted {
@@ -278,6 +281,9 @@ fn main() {
     }
     if want("compress") {
         ok &= emit(&cfg, &mut manifest, "compression", &compression_table(&cfg));
+    }
+    if want("throughput") {
+        ok &= emit(&cfg, &mut manifest, "throughput", &throughput_table(&cfg));
     }
     match write_summary(&cfg, &manifest) {
         Ok(path) => println!("[summary] {}", path.display()),

@@ -16,6 +16,7 @@
 //! | [`backend_sweep`] | one generic driver on all four `RcmRuntime` backends |
 //! | [`balance_ablation`] | §IV-A — load-balance permutation sweep |
 //! | [`mtx_table`] | real Matrix Market inputs (`repro --mtx`) next to the suite |
+//! | [`throughput_table`] | warm `OrderingEngine` vs cold per-call orderings/sec |
 //!
 //! Absolute times come from the calibrated Edison model and will not match
 //! the paper's testbed exactly; the *shapes* (who wins, scaling knees,
@@ -647,6 +648,165 @@ pub fn direction_ablation(cfg: &ExpConfig) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// Ordering throughput — warm OrderingEngine vs cold per-call construction
+// ---------------------------------------------------------------------------
+
+/// One `(suite class, backend)` throughput measurement of the
+/// `repro throughput` experiment, in raw numbers (the table formats them).
+pub struct ThroughputRow {
+    /// Suite class name.
+    pub matrix: String,
+    /// Backend measured (`serial` or `pooled`).
+    pub backend: &'static str,
+    /// Matrices in the stream (the class at several scales).
+    pub batch_size: usize,
+    /// Orderings/second with a fresh engine constructed per call (what
+    /// every per-call entry point pays).
+    pub cold_ops: f64,
+    /// Orderings/second through one warm engine, `order` per matrix.
+    pub warm_ops: f64,
+    /// Orderings/second through one warm engine's `order_batch` (two-level
+    /// parallelism on the pooled backend).
+    pub batch_ops: f64,
+    /// Every engine permutation matched `rcm_with_backend` bit for bit —
+    /// on the measured backend for the whole stream, and on all four
+    /// backends for the stream's largest matrix.
+    pub identical: bool,
+}
+
+/// Measure warm-engine vs cold per-call ordering throughput per suite
+/// class: a stream of the class at several scales, each configuration
+/// timed best-of-`reps` over full passes. Cold constructs an
+/// [`rcm_core::OrderingEngine`] per ordering (for the pooled backend that includes
+/// the worker spawn, exactly what `par_rcm` pays per call); warm reuses
+/// one engine; batch additionally schedules small matrices whole,
+/// one-per-worker.
+pub fn throughput_measurements(cfg: &ExpConfig) -> Vec<ThroughputRow> {
+    let names: Vec<&str> = cfg.matrices().iter().map(|m| m.name).collect();
+    let reps = if cfg.quick { 3 } else { 5 };
+    // A stream of the class at staggered scales, shrunk so one pass stays
+    // cheap enough to repeat: throughput over many matrices is the metric,
+    // not single-matrix latency.
+    let scales = [0.45f64, 0.6, 0.75, 0.9];
+    let mut rows = Vec::new();
+    for name in names {
+        let m = suite_matrix(name).expect("throughput suite matrix registered");
+        let mats: Vec<CscMatrix> = scales
+            .iter()
+            .map(|s| m.generate(m.default_scale * cfg.scale_mult * s))
+            .collect();
+        let largest = mats
+            .iter()
+            .max_by_key(|a| a.n_rows())
+            .expect("non-empty stream");
+        // Bit-equality across all four backends on the stream's largest
+        // matrix — checked once per class (the dist/hybrid simulations are
+        // the expensive part), shared by both measured rows.
+        let serial_ref = rcm_with_backend(largest, BackendKind::Serial);
+        let mut four_way_identical = true;
+        for check_kind in [
+            BackendKind::Pooled { threads: 4 },
+            BackendKind::Dist { cores: 16 },
+            BackendKind::Hybrid {
+                cores: 24,
+                threads_per_proc: 6,
+            },
+        ] {
+            four_way_identical &= rcm_core::OrderingEngine::with_backend(check_kind)
+                .order(largest)
+                .perm
+                == serial_ref;
+        }
+        for (backend, kind) in [
+            ("serial", BackendKind::Serial),
+            ("pooled", BackendKind::Pooled { threads: 4 }),
+        ] {
+            // Bit-equality of the warm engine against the per-call entry,
+            // on the measured backend for every stream matrix.
+            let mut engine = rcm_core::OrderingEngine::with_backend(kind);
+            let identical = four_way_identical
+                && mats
+                    .iter()
+                    .all(|a| engine.order(a).perm == rcm_with_backend(a, kind));
+
+            // The three modes are measured *interleaved* within each rep
+            // (cold, then warm, then batch, adjacent in time) so ambient
+            // load — a CI runner compiling sibling crates, say — hits all
+            // three roughly equally; best-of across reps then discards the
+            // noisy ones. Cold constructs a fresh engine (backend
+            // included) per ordering; warm reuses the one engine (already
+            // warmed by the equality pass above).
+            let mut cold_best = f64::INFINITY;
+            let mut warm_best = f64::INFINITY;
+            let mut batch_best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                for a in &mats {
+                    let report = rcm_core::OrderingEngine::with_backend(kind).order(a);
+                    assert_eq!(report.perm.len(), a.n_rows());
+                }
+                cold_best = cold_best.min(t0.elapsed().as_secs_f64());
+                let t0 = Instant::now();
+                for a in &mats {
+                    let report = engine.order(a);
+                    assert_eq!(report.perm.len(), a.n_rows());
+                }
+                warm_best = warm_best.min(t0.elapsed().as_secs_f64());
+                let t0 = Instant::now();
+                let reports = engine.order_batch(&mats);
+                batch_best = batch_best.min(t0.elapsed().as_secs_f64());
+                assert_eq!(reports.len(), mats.len());
+            }
+            let ops = |secs: f64| mats.len() as f64 / secs.max(1e-12);
+            rows.push(ThroughputRow {
+                matrix: name.to_string(),
+                backend,
+                batch_size: mats.len(),
+                cold_ops: ops(cold_best),
+                warm_ops: ops(warm_best),
+                batch_ops: ops(batch_best),
+                identical,
+            });
+        }
+    }
+    rows
+}
+
+/// The `repro throughput` table: orderings/second, warm engine vs cold
+/// per-call construction vs warm batch, per suite class and backend. The
+/// bench tests assert warm ≥ cold on every class's pooled row (the
+/// amortization the engine exists for) and that every permutation stayed
+/// bit-identical to `rcm_with_backend`.
+pub fn throughput_table(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "Ordering throughput — warm OrderingEngine vs cold per-call (orderings/sec)",
+        &[
+            "matrix",
+            "backend",
+            "stream",
+            "cold o/s",
+            "warm o/s",
+            "batch o/s",
+            "warm/cold",
+            "identical",
+        ],
+    );
+    for row in throughput_measurements(cfg) {
+        t.row(vec![
+            row.matrix.clone(),
+            row.backend.to_string(),
+            row.batch_size.to_string(),
+            format!("{:.1}", row.cold_ops),
+            format!("{:.1}", row.warm_ops),
+            format!("{:.1}", row.batch_ops),
+            format!("{:.2}x", row.warm_ops / row.cold_ops),
+            row.identical.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
 // Ordering-quality comparison across heuristics (RCM vs CM vs Sloan vs …)
 // ---------------------------------------------------------------------------
 
@@ -1223,6 +1383,55 @@ mod tests {
             strictly_faster,
             "adaptive should beat push on at least one dense-frontier graph"
         );
+    }
+
+    #[test]
+    fn warm_engine_throughput_beats_cold_per_call() {
+        // The acceptance gate of the engine layer: on every suite class,
+        // the warm engine's throughput (plain and batch) must be at least
+        // the cold per-call baseline on the pooled backend — cold pays the
+        // worker spawn and workspace construction per ordering, warm pays
+        // neither — and every permutation must stay bit-identical to
+        // `rcm_with_backend` (checked across all four backends inside the
+        // measurement).
+        // Wall-clock relation, so measure over independent attempts: the
+        // structural margin (a 4-thread spawn per cold ordering) is ~10%,
+        // but sibling test binaries of a parallel `cargo test` run can
+        // steal the cores for one attempt. Bit-equality is deterministic
+        // and asserted on every attempt unconditionally.
+        const ATTEMPTS: usize = 4;
+        let mut last_failure = String::new();
+        for attempt in 0..ATTEMPTS {
+            let rows = throughput_measurements(&quick_cfg());
+            assert_eq!(rows.len(), 3 * 2, "3 quick classes x {{serial, pooled}}");
+            last_failure.clear();
+            for row in &rows {
+                assert!(
+                    row.identical,
+                    "{} ({}): engine permutations diverged from rcm_with_backend",
+                    row.matrix, row.backend
+                );
+                if row.backend == "pooled" {
+                    if row.warm_ops < row.cold_ops {
+                        last_failure = format!(
+                            "{}: warm engine slower than cold per-call ({:.1} < {:.1} o/s)",
+                            row.matrix, row.warm_ops, row.cold_ops
+                        );
+                    }
+                    if row.batch_ops < row.cold_ops {
+                        last_failure = format!(
+                            "{}: batch mode slower than cold per-call ({:.1} < {:.1} o/s)",
+                            row.matrix, row.batch_ops, row.cold_ops
+                        );
+                    }
+                }
+            }
+            if last_failure.is_empty() {
+                return;
+            }
+            eprintln!("throughput attempt {attempt} under load: {last_failure}");
+        }
+        panic!("all {ATTEMPTS} throughput attempts failed; last: {last_failure}");
     }
 
     #[test]

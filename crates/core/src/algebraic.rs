@@ -3,7 +3,10 @@
 //! Since the [`crate::driver`] refactor this module is a thin shim: the
 //! pipeline itself (pseudo-peripheral search, level-synchronous BFS,
 //! labeling `SORTPERM`) lives **once** in [`crate::driver::drive_cm`], and
-//! this entry point runs it on [`crate::backends::SerialBackend`] — the
+//! these entry points run it through a per-call
+//! [`crate::engine::OrderingEngine`] on [`crate::backends::SerialBackend`]
+//! (sessions that order many matrices should hold a warm engine instead) —
+//! the
 //! sequential `rcm-sparse` data path that serves as the *specification* of
 //! every other backend: the pooled, distributed and hybrid runtimes must
 //! produce exactly this ordering (the `(select2nd, min)` semiring and the
@@ -11,8 +14,8 @@
 //! deterministic). It is also, by the tie-breaking argument documented in
 //! [`crate::serial`], identical to the classical George–Liu ordering.
 
-use crate::backends::SerialBackend;
-use crate::driver::{drive_cm_directed, ExpandDirection, LabelingMode};
+use crate::driver::{BackendKind, ExpandDirection};
+use crate::engine::{order_once, EngineConfig};
 use rcm_sparse::{CscMatrix, Permutation};
 
 /// Statistics of an algebraic RCM run.
@@ -52,8 +55,18 @@ pub fn algebraic_rcm_directed(
     a: &CscMatrix,
     direction: ExpandDirection,
 ) -> (Permutation, AlgebraicStats) {
-    let (p, s) = algebraic_cm_directed(a, direction);
-    (p.reversed(), s)
+    let raw = order_once(EngineConfig::directed(BackendKind::Serial, direction), a);
+    (
+        raw.perm,
+        AlgebraicStats {
+            components: raw.stats.components,
+            peripheral_bfs: raw.stats.peripheral_bfs,
+            levels: raw.stats.levels,
+            spmspv_work: raw.stats.spmspv_work,
+            push_expands: raw.stats.push_expands,
+            pull_expands: raw.stats.pull_expands,
+        },
+    )
 }
 
 /// Cuthill-McKee (unreversed) via the matrix-algebraic formulation.
@@ -61,24 +74,14 @@ pub fn algebraic_cm(a: &CscMatrix) -> (Permutation, AlgebraicStats) {
     algebraic_cm_directed(a, ExpandDirection::from_env())
 }
 
-/// [`algebraic_cm`] under an explicit frontier-direction policy.
+/// [`algebraic_cm`] under an explicit frontier-direction policy (the
+/// engine's RCM un-reversed — label reversal is an involution).
 pub fn algebraic_cm_directed(
     a: &CscMatrix,
     direction: ExpandDirection,
 ) -> (Permutation, AlgebraicStats) {
-    let mut rt = SerialBackend::new(a);
-    let stats = drive_cm_directed(&mut rt, LabelingMode::PerLevel, direction);
-    (
-        rt.into_cm_permutation(),
-        AlgebraicStats {
-            components: stats.components,
-            peripheral_bfs: stats.peripheral_bfs,
-            levels: stats.levels,
-            spmspv_work: stats.spmspv_work,
-            push_expands: stats.push_expands,
-            pull_expands: stats.pull_expands,
-        },
-    )
+    let (p, s) = algebraic_rcm_directed(a, direction);
+    (p.reversed(), s)
 }
 
 #[cfg(test)]

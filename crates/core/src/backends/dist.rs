@@ -26,11 +26,23 @@ pub struct DistBackend {
 
 impl DistBackend {
     /// Distribute `a` over the configuration's process grid and start the
-    /// clock.
+    /// clock (a fresh SpMSpV workspace per call; use [`DistBackend::warm`]
+    /// to amortize).
     ///
     /// Panics when the configuration's process count is not a perfect
     /// square (the paper's CombBLAS restriction, §V-A).
     pub fn new(a: &CscMatrix, config: &DistRcmConfig) -> Self {
+        DistBackend::warm(a, config, DistSpmspvWorkspace::new())
+    }
+
+    /// [`DistBackend::new`] reusing a warm [`DistSpmspvWorkspace`] from a
+    /// previous ordering — the engine's install phase. The matrix
+    /// distribution and the dense companions are rebuilt per install (that
+    /// *is* the modeled 2D decomposition); the stamped SpMSpV accumulator,
+    /// the dominant steady-state scratch, carries its high-water-mark
+    /// capacity across matrices (recover it with
+    /// [`DistBackend::into_result_warm`]).
+    pub fn warm(a: &CscMatrix, config: &DistRcmConfig, ws: DistSpmspvWorkspace<Label>) -> Self {
         let grid = config.hybrid.grid().unwrap_or_else(|| {
             panic!(
                 "{} processes do not form a square grid",
@@ -51,7 +63,7 @@ impl DistBackend {
             degrees,
             order,
             levels,
-            ws: DistSpmspvWorkspace::new(),
+            ws,
             clock,
             config: *config,
         }
@@ -61,6 +73,15 @@ impl DistBackend {
     /// ids back to original vertex ids, and package the clock's accounting
     /// with the driver's statistics.
     pub fn into_result(self, stats: DriverStats) -> DistRcmResult {
+        self.into_result_warm(stats).0
+    }
+
+    /// [`DistBackend::into_result`] that also hands the warm SpMSpV
+    /// workspace back for the next install.
+    pub fn into_result_warm(
+        self,
+        stats: DriverStats,
+    ) -> (DistRcmResult, DistSpmspvWorkspace<Label>) {
         let n = self.dmat.n_rows();
         let labels_internal: Vec<Vidx> = self
             .order
@@ -73,12 +94,13 @@ impl DistBackend {
             Permutation::from_new_of_old(labels_original).expect("RCM labels form a bijection");
         let messages = self.clock.messages;
         let bytes = self.clock.bytes;
+        let grid_side = self.dmat.grid().pr;
         let breakdown = self.clock.into_breakdown();
-        DistRcmResult {
+        let result = DistRcmResult {
             perm,
             sim_seconds: breakdown.total(),
             breakdown,
-            grid_side: self.dmat.grid().pr,
+            grid_side,
             threads_per_proc: self.config.hybrid.threads_per_proc,
             components: stats.components,
             peripheral_bfs: stats.peripheral_bfs,
@@ -88,7 +110,8 @@ impl DistBackend {
             push_expands: stats.push_expands,
             pull_expands: stats.pull_expands,
             level_stats: stats.level_stats,
-        }
+        };
+        (result, self.ws)
     }
 }
 

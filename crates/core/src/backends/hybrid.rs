@@ -24,17 +24,38 @@ impl HybridBackend {
     /// Panics when `config.hybrid.threads_per_proc <= 1` (that is the flat
     /// [`DistBackend`]) or when the process count is not a perfect square.
     pub fn new(a: &CscMatrix, config: &DistRcmConfig) -> Self {
+        HybridBackend::warm(a, config, rcm_dist::DistSpmspvWorkspace::new())
+    }
+
+    /// [`HybridBackend::new`] reusing a warm SpMSpV workspace (see
+    /// [`DistBackend::warm`]).
+    pub fn warm(
+        a: &CscMatrix,
+        config: &DistRcmConfig,
+        ws: rcm_dist::DistSpmspvWorkspace<rcm_sparse::Label>,
+    ) -> Self {
         assert!(
             config.hybrid.threads_per_proc > 1,
             "HybridBackend needs threads_per_proc > 1 (got {}); use DistBackend for flat MPI",
             config.hybrid.threads_per_proc
         );
-        HybridBackend(DistBackend::new(a, config))
+        HybridBackend(DistBackend::warm(a, config, ws))
     }
 
     /// See [`DistBackend::into_result`].
     pub fn into_result(self, stats: DriverStats) -> DistRcmResult {
         self.0.into_result(stats)
+    }
+
+    /// See [`DistBackend::into_result_warm`].
+    pub fn into_result_warm(
+        self,
+        stats: DriverStats,
+    ) -> (
+        DistRcmResult,
+        rcm_dist::DistSpmspvWorkspace<rcm_sparse::Label>,
+    ) {
+        self.0.into_result_warm(stats)
     }
 }
 

@@ -14,9 +14,9 @@
 mod dist;
 mod hybrid;
 mod pooled;
-mod serial;
+pub(crate) mod serial;
 
 pub use dist::DistBackend;
 pub use hybrid::HybridBackend;
 pub use pooled::PooledBackend;
-pub use serial::SerialBackend;
+pub use serial::{SerialBackend, SerialWorkspace};

@@ -11,6 +11,13 @@
 //! no-op pass that keeps the contract honest) and `SORTPERM` assigns
 //! consecutive labels over the already-bucketed tuples.
 //!
+//! Lifecycle: construction is the *install* phase — the dense companions
+//! live in the pool-owned [`PooledWorkspace`] (warm across orderings and
+//! matrices; [`PooledBackend::new`] resets their active prefix, grow-only),
+//! and the executor borrows the pool's persistent workers and arenas. One
+//! `RcmPool` therefore serves any number of orderings with zero
+//! steady-state growth of its install-managed buffers.
+//!
 //! Determinism: the pool's claim array converges to the same minima under
 //! any interleaving, so every primitive returns the exact sequential value
 //! for any thread count — the backend is bit-identical to
@@ -24,39 +31,33 @@
 //! and distinct values are rejected with a panic.
 
 use crate::driver::{DenseTarget, RcmRuntime};
-use crate::pool::LevelExecutor;
+use crate::pool::{LevelExecutor, PooledWorkspace};
 use rcm_dist::Phase;
 use rcm_sparse::{Label, Permutation, Vidx, UNVISITED};
 
 /// Work-stealing shared-memory backend over a borrowed [`LevelExecutor`]
-/// (construct inside [`crate::pool::RcmPool::run`]).
-pub struct PooledBackend<'x, 's, 'e> {
-    exec: &'x mut LevelExecutor<'s, 'e>,
-    degrees: &'x [Vidx],
+/// and the pool-owned [`PooledWorkspace`] (construct inside
+/// [`crate::pool::RcmPool::run`] / [`crate::pool::RcmPool::run_warm`]).
+pub struct PooledBackend<'x, 's> {
+    exec: &'x mut LevelExecutor<'s>,
+    ws: &'x mut PooledWorkspace,
     n: usize,
-    order: Vec<Label>,
-    levels: Vec<Label>,
-    /// Levels-marks to undo at the next [`RcmRuntime::reset_levels`] — the
-    /// pool's `visited` array serves both dense companions, so BFS marks
-    /// must be rolled back before the ordering pass owns it.
-    touched: Vec<Vidx>,
-    cands: Vec<crate::pool::Candidate>,
     phase: Phase,
     parallel_levels: usize,
 }
 
-impl<'x, 's, 'e> PooledBackend<'x, 's, 'e> {
-    /// Backend for an `n`-vertex matrix already loaded into the executor's
-    /// pool (`degrees[v]` = degree of vertex `v`).
-    pub fn new(exec: &'x mut LevelExecutor<'s, 'e>, n: usize, degrees: &'x [Vidx]) -> Self {
+impl<'x, 's> PooledBackend<'x, 's> {
+    /// Backend over the executor's installed matrix and the pool-owned
+    /// workspace. The pool's install pass (inside
+    /// [`crate::pool::RcmPool::run`]) has already grown the workspace and
+    /// reset its dense companions to unvisited, so construction allocates
+    /// nothing.
+    pub fn new(exec: &'x mut LevelExecutor<'s>, ws: &'x mut PooledWorkspace) -> Self {
+        let n = exec.n();
         PooledBackend {
             exec,
-            degrees,
+            ws,
             n,
-            order: vec![UNVISITED; n],
-            levels: vec![UNVISITED; n],
-            touched: Vec::new(),
-            cands: Vec::new(),
             phase: Phase::OrderingOther,
             parallel_levels: 0,
         }
@@ -66,24 +67,23 @@ impl<'x, 's, 'e> PooledBackend<'x, 's, 'e> {
     /// through the parallel pipeline (the rest fell under the pool's
     /// sequential cutover).
     pub fn into_order(self) -> (Vec<Label>, usize) {
-        (self.order, self.parallel_levels)
+        (self.ws.order[..self.n].to_vec(), self.parallel_levels)
     }
 
     /// The (unreversed) Cuthill-McKee permutation after
     /// [`crate::driver::drive_cm`], plus the parallel-expansion count.
     pub fn into_cm_permutation(self) -> (Permutation, usize) {
-        let (order, parallel) = self.into_order();
-        let new_of_old: Vec<Vidx> = order.iter().map(|&l| l as Vidx).collect();
+        let new_of_old: Vec<Vidx> = self.ws.order[..self.n].iter().map(|&l| l as Vidx).collect();
         (
             Permutation::from_new_of_old(new_of_old).expect("labels form a bijection"),
-            parallel,
+            self.parallel_levels,
         )
     }
 
     fn dense(&self, which: DenseTarget) -> &[Label] {
         match which {
-            DenseTarget::Order => &self.order,
-            DenseTarget::Levels => &self.levels,
+            DenseTarget::Order => &self.ws.order[..self.n],
+            DenseTarget::Levels => &self.ws.levels[..self.n],
         }
     }
 
@@ -122,7 +122,7 @@ impl<'x, 's, 'e> PooledBackend<'x, 's, 'e> {
     }
 }
 
-impl RcmRuntime for PooledBackend<'_, '_, '_> {
+impl RcmRuntime for PooledBackend<'_, '_> {
     /// `(vertex, value)` pairs; entry order is backend-private (the pool
     /// keeps its `(parent, degree, vertex)` bucket order).
     type Frontier = Vec<(Vidx, Label)>;
@@ -155,11 +155,12 @@ impl RcmRuntime for PooledBackend<'_, '_, '_> {
 
     fn spmspv(&mut self, x: &Self::Frontier) -> Self::Frontier {
         let base = self.load_frontier(x);
-        let parallel = self.exec.expand(base, &mut self.cands);
+        let parallel = self.exec.expand(base, &mut self.ws.cands);
         if parallel && self.phase == Phase::OrderingSpmspv {
             self.parallel_levels += 1;
         }
-        self.cands
+        self.ws
+            .cands
             .iter()
             .map(|&(v, p, _)| (v, p as Label))
             .collect()
@@ -171,11 +172,12 @@ impl RcmRuntime for PooledBackend<'_, '_, '_> {
         // complement of `visited` — the bottom-up pipeline already returns
         // only unvisited vertices, exactly what `SELECT` would keep.
         let base = self.load_frontier(x);
-        let parallel = self.exec.expand_pull(base, &mut self.cands);
+        let parallel = self.exec.expand_pull(base, &mut self.ws.cands);
         if parallel && self.phase == Phase::OrderingSpmspv {
             self.parallel_levels += 1;
         }
-        self.cands
+        self.ws
+            .cands
             .iter()
             .map(|&(v, p, _)| (v, p as Label))
             .collect()
@@ -207,13 +209,13 @@ impl RcmRuntime for PooledBackend<'_, '_, '_> {
         match which {
             DenseTarget::Order => {
                 for &(v, value) in x {
-                    self.order[v as usize] = value;
+                    self.ws.order[v as usize] = value;
                 }
             }
             DenseTarget::Levels => {
                 for &(v, value) in x {
-                    self.levels[v as usize] = value;
-                    self.touched.push(v);
+                    self.ws.levels[v as usize] = value;
+                    self.ws.touched.push(v);
                 }
             }
         }
@@ -226,10 +228,10 @@ impl RcmRuntime for PooledBackend<'_, '_, '_> {
 
     fn set_dense_at(&mut self, which: DenseTarget, v: Vidx, value: Label) {
         match which {
-            DenseTarget::Order => self.order[v as usize] = value,
+            DenseTarget::Order => self.ws.order[v as usize] = value,
             DenseTarget::Levels => {
-                self.levels[v as usize] = value;
-                self.touched.push(v);
+                self.ws.levels[v as usize] = value;
+                self.ws.touched.push(v);
             }
         }
         self.exec.with_state(|visited, _| {
@@ -247,15 +249,16 @@ impl RcmRuntime for PooledBackend<'_, '_, '_> {
     fn reset_levels(&mut self) {
         // Undo the BFS marks (they all lie inside a not-yet-ordered
         // component, so unconditional unmarking is safe).
-        for &v in &self.touched {
-            self.levels[v as usize] = UNVISITED;
+        for &v in &self.ws.touched {
+            self.ws.levels[v as usize] = UNVISITED;
         }
-        let touched = std::mem::take(&mut self.touched);
+        let touched = &self.ws.touched;
         self.exec.with_state(|visited, _| {
-            for &v in &touched {
+            for &v in touched {
                 visited[v as usize] = false;
             }
         });
+        self.ws.touched.clear();
     }
 
     fn end_peripheral_search(&mut self) {
@@ -270,6 +273,7 @@ impl RcmRuntime for PooledBackend<'_, '_, '_> {
         batch: (Label, Label),
         nv: Label,
     ) -> (Self::Frontier, usize) {
+        let degrees = self.exec.degrees();
         let mut tuples: Vec<(Label, Vidx, Vidx)> = x
             .iter()
             .map(|&(v, value)| {
@@ -277,7 +281,7 @@ impl RcmRuntime for PooledBackend<'_, '_, '_> {
                     value >= batch.0 && value < batch.1,
                     "SORTPERM: value outside the declared bucket range"
                 );
-                (value, self.degrees[v as usize], v)
+                (value, degrees[v as usize], v)
             })
             .collect();
         // The pool already delivers (parent, degree, vertex) bucket order,
@@ -293,15 +297,17 @@ impl RcmRuntime for PooledBackend<'_, '_, '_> {
     }
 
     fn argmin_degree(&mut self, x: &Self::Frontier) -> Option<Vidx> {
+        let degrees = self.exec.degrees();
         x.iter()
             .map(|&(v, _)| v)
-            .min_by_key(|&w| (self.degrees[w as usize], w))
+            .min_by_key(|&w| (degrees[w as usize], w))
     }
 
     fn find_unvisited_min_degree(&mut self) -> Option<Vidx> {
+        let degrees = self.exec.degrees();
         (0..self.n)
-            .filter(|&v| self.order[v] == UNVISITED)
-            .min_by_key(|&v| (self.degrees[v], v as Vidx))
+            .filter(|&v| self.ws.order[v] == UNVISITED)
+            .min_by_key(|&v| (degrees[v], v as Vidx))
             .map(|v| v as Vidx)
     }
 }

@@ -1,6 +1,21 @@
 //! [`SerialBackend`]: the Table-I primitives on sequential `rcm-sparse`
 //! vectors — the *specification* backend every other one must match bit
 //! for bit (the data path of the former `algebraic.rs` driver).
+//!
+//! The backend's allocation lifecycle is split in two, the pattern every
+//! backend follows since the engine refactor:
+//!
+//! * **construct** — [`SerialWorkspace::new`] allocates nothing; buffers
+//!   grow to the first installed matrix and then only ever grow
+//!   ([`SerialWorkspace::growth_events`] counts when).
+//! * **install** — [`SerialBackend::warm`] binds a matrix to a workspace:
+//!   the active prefixes of the dense companions are reset to unvisited and
+//!   the degree vector recomputed, all without allocating when the matrix
+//!   is no larger than any the workspace has seen.
+//!
+//! [`SerialBackend::finish`] hands the warm workspace back for the next
+//! ordering; [`SerialBackend::new`] remains the one-shot convenience that
+//! owns a fresh workspace.
 
 use crate::driver::{DenseTarget, RcmRuntime};
 use rcm_sparse::{
@@ -8,59 +23,120 @@ use rcm_sparse::{
     SparseVec, SpmspvWorkspace, Vidx, UNVISITED,
 };
 
-/// Sequential reference backend over [`rcm_sparse`] containers.
-pub struct SerialBackend<'a> {
-    a: &'a CscMatrix,
+/// The grow-only, reusable state of a [`SerialBackend`]: dense ordering and
+/// level companions, the degree vector, and the SpMSpV scratch (sparse
+/// accumulator + dense pull frontier). Keep one per session and thread it
+/// through successive orderings to amortize every allocation.
+pub struct SerialWorkspace {
     degrees: Vec<Vidx>,
     order: Vec<Label>,
     levels: Vec<Label>,
-    ws: SpmspvWorkspace<Label>,
-    /// Dense half of the dual frontier representation — the pull
-    /// expansion's O(1)-membership scatter, reused across levels.
+    spa: SpmspvWorkspace<Label>,
     pull: DenseFrontier<Label>,
+    growth_events: usize,
+}
+
+impl Default for SerialWorkspace {
+    fn default() -> Self {
+        SerialWorkspace::new()
+    }
+}
+
+impl SerialWorkspace {
+    /// Empty workspace; buffers grow on first install.
+    pub fn new() -> Self {
+        SerialWorkspace {
+            degrees: Vec::new(),
+            order: Vec::new(),
+            levels: Vec::new(),
+            spa: SpmspvWorkspace::new(0),
+            pull: DenseFrontier::new(0),
+            growth_events: 0,
+        }
+    }
+
+    /// Times any buffer had to grow (the first install counts once). A
+    /// warm workspace re-installed on matrices no larger than any it has
+    /// seen reports a stable count.
+    pub fn growth_events(&self) -> usize {
+        self.growth_events + self.spa.growth_events()
+    }
+
+    /// Bind an `n`-vertex matrix: recompute degrees, reset the active
+    /// prefix of both dense companions, pre-grow the SpMSpV scratch.
+    /// Grow-only — no allocation when `n` is within the high-water mark.
+    fn install(&mut self, a: &CscMatrix) {
+        let n = a.n_rows();
+        if self.order.capacity() < n || self.degrees.capacity() < n {
+            self.growth_events += 1;
+        }
+        a.degrees_into(&mut self.degrees);
+        if self.order.len() < n {
+            self.order.resize(n, UNVISITED);
+            self.levels.resize(n, UNVISITED);
+        }
+        self.order[..n].fill(UNVISITED);
+        self.levels[..n].fill(UNVISITED);
+        self.spa.ensure(n);
+        self.pull.ensure(n);
+    }
+}
+
+/// Sequential reference backend over [`rcm_sparse`] containers.
+pub struct SerialBackend<'a> {
+    a: &'a CscMatrix,
+    n: usize,
+    ws: SerialWorkspace,
     spmspv_work: usize,
 }
 
 impl<'a> SerialBackend<'a> {
-    /// Backend over a square symmetric pattern matrix.
+    /// One-shot backend over a square symmetric pattern matrix (a fresh
+    /// workspace per call; use [`SerialBackend::warm`] to amortize).
     pub fn new(a: &'a CscMatrix) -> Self {
+        SerialBackend::warm(a, SerialWorkspace::new())
+    }
+
+    /// Backend over `a` reusing a warm workspace from a previous ordering
+    /// (the engine's install phase). Recover the workspace afterwards with
+    /// [`SerialBackend::finish`].
+    pub fn warm(a: &'a CscMatrix, mut ws: SerialWorkspace) -> Self {
         assert_eq!(a.n_rows(), a.n_cols(), "RCM needs a square matrix");
-        let n = a.n_rows();
+        ws.install(a);
         SerialBackend {
             a,
-            degrees: a.degrees(),
-            order: vec![UNVISITED; n],
-            levels: vec![UNVISITED; n],
-            ws: SpmspvWorkspace::new(n),
-            pull: DenseFrontier::new(n),
+            n: a.n_rows(),
+            ws,
             spmspv_work: 0,
         }
     }
 
     fn dense(&self, which: DenseTarget) -> &[Label] {
         match which {
-            DenseTarget::Order => &self.order,
-            DenseTarget::Levels => &self.levels,
-        }
-    }
-
-    fn dense_mut(&mut self, which: DenseTarget) -> &mut [Label] {
-        match which {
-            DenseTarget::Order => &mut self.order,
-            DenseTarget::Levels => &mut self.levels,
+            DenseTarget::Order => &self.ws.order[..self.n],
+            DenseTarget::Levels => &self.ws.levels[..self.n],
         }
     }
 
     /// The raw Cuthill-McKee labels after [`crate::driver::drive_cm`].
     pub fn into_order(self) -> Vec<Label> {
-        self.order
+        self.ws.order[..self.n].to_vec()
     }
 
     /// The (unreversed) Cuthill-McKee permutation after
     /// [`crate::driver::drive_cm`].
     pub fn into_cm_permutation(self) -> Permutation {
-        let new_of_old: Vec<Vidx> = self.order.iter().map(|&l| l as Vidx).collect();
-        Permutation::from_new_of_old(new_of_old).expect("labels form a bijection")
+        self.finish().0
+    }
+
+    /// The (unreversed) Cuthill-McKee permutation plus the warm workspace,
+    /// ready for the next install.
+    pub fn finish(self) -> (Permutation, SerialWorkspace) {
+        let new_of_old: Vec<Vidx> = self.ws.order[..self.n].iter().map(|&l| l as Vidx).collect();
+        (
+            Permutation::from_new_of_old(new_of_old).expect("labels form a bijection"),
+            self.ws,
+        )
     }
 }
 
@@ -68,11 +144,11 @@ impl RcmRuntime for SerialBackend<'_> {
     type Frontier = SparseVec<Label>;
 
     fn n(&self) -> usize {
-        self.a.n_rows()
+        self.n
     }
 
     fn singleton(&mut self, v: Vidx, value: Label) -> SparseVec<Label> {
-        SparseVec::singleton(self.n(), v, value)
+        SparseVec::singleton(self.n, v, value)
     }
 
     fn is_nonempty(&mut self, x: &SparseVec<Label>) -> bool {
@@ -102,7 +178,7 @@ impl RcmRuntime for SerialBackend<'_> {
     }
 
     fn spmspv(&mut self, x: &SparseVec<Label>) -> SparseVec<Label> {
-        let (y, work) = spmspv::<Label, Select2ndMin>(self.a, x, &mut self.ws);
+        let (y, work) = spmspv::<Label, Select2ndMin>(self.a, x, &mut self.ws.spa);
         self.spmspv_work += work;
         y
     }
@@ -114,12 +190,12 @@ impl RcmRuntime for SerialBackend<'_> {
     fn expand_pull(&mut self, x: &SparseVec<Label>, which: DenseTarget) -> SparseVec<Label> {
         // Sparse → dense conversion of the dual representation, then the
         // masked row-scan kernel over the unvisited rows.
-        self.pull.load(x);
+        self.ws.pull.load(x);
         let dense = match which {
-            DenseTarget::Order => &self.order,
-            DenseTarget::Levels => &self.levels,
+            DenseTarget::Order => &self.ws.order,
+            DenseTarget::Levels => &self.ws.levels,
         };
-        let (y, work) = spmspv_pull::<Label, Select2ndMin>(self.a, &self.pull, |r| {
+        let (y, work) = spmspv_pull::<Label, Select2ndMin>(self.a, &self.ws.pull, |r| {
             dense[r as usize] == UNVISITED
         });
         self.spmspv_work += work;
@@ -127,22 +203,29 @@ impl RcmRuntime for SerialBackend<'_> {
     }
 
     fn set_dense(&mut self, which: DenseTarget, x: &SparseVec<Label>) {
-        dense_set(self.dense_mut(which), x);
+        // Only the active prefix of the warm (possibly longer) buffer.
+        match which {
+            DenseTarget::Order => dense_set(&mut self.ws.order[..self.n], x),
+            DenseTarget::Levels => dense_set(&mut self.ws.levels[..self.n], x),
+        }
     }
 
     fn set_dense_at(&mut self, which: DenseTarget, v: Vidx, value: Label) {
-        self.dense_mut(which)[v as usize] = value;
+        match which {
+            DenseTarget::Order => self.ws.order[v as usize] = value,
+            DenseTarget::Levels => self.ws.levels[v as usize] = value,
+        }
     }
 
     fn gather_values(&mut self, x: &mut SparseVec<Label>, which: DenseTarget) {
         match which {
-            DenseTarget::Order => x.gather_from_dense(&self.order),
-            DenseTarget::Levels => x.gather_from_dense(&self.levels),
+            DenseTarget::Order => x.gather_from_dense(&self.ws.order[..self.n]),
+            DenseTarget::Levels => x.gather_from_dense(&self.ws.levels[..self.n]),
         }
     }
 
     fn reset_levels(&mut self) {
-        self.levels.fill(UNVISITED);
+        self.ws.levels[..self.n].fill(UNVISITED);
     }
 
     fn sortperm(
@@ -159,7 +242,7 @@ impl RcmRuntime for SerialBackend<'_> {
                     value >= batch.0 && value < batch.1,
                     "SORTPERM: value outside the declared bucket range"
                 );
-                (value, self.degrees[v as usize], v)
+                (value, self.ws.degrees[v as usize], v)
             })
             .collect();
         tuples.sort_unstable();
@@ -169,17 +252,17 @@ impl RcmRuntime for SerialBackend<'_> {
             .enumerate()
             .map(|(k, &(_, _, v))| (v, nv + k as Label))
             .collect();
-        (SparseVec::from_entries(self.n(), labeled), count)
+        (SparseVec::from_entries(self.n, labeled), count)
     }
 
     fn argmin_degree(&mut self, x: &SparseVec<Label>) -> Option<Vidx> {
-        x.ind().min_by_key(|&w| (self.degrees[w as usize], w))
+        x.ind().min_by_key(|&w| (self.ws.degrees[w as usize], w))
     }
 
     fn find_unvisited_min_degree(&mut self) -> Option<Vidx> {
-        (0..self.n())
-            .filter(|&v| self.order[v] == UNVISITED)
-            .min_by_key(|&v| (self.degrees[v], v as Vidx))
+        (0..self.n)
+            .filter(|&v| self.ws.order[v] == UNVISITED)
+            .min_by_key(|&v| (self.ws.degrees[v], v as Vidx))
             .map(|v| v as Vidx)
     }
 

@@ -19,9 +19,8 @@
 //! `(degree, id)` tie-breaks; quality is unaffected but exact orderings may
 //! differ.
 
-use crate::backends::{DistBackend, HybridBackend};
+use crate::driver::ExpandDirection;
 pub use crate::driver::LevelStat;
-use crate::driver::{drive_cm_directed, ExpandDirection, LabelingMode};
 use rcm_dist::{HybridConfig, MachineModel};
 use rcm_sparse::{CscMatrix, Permutation};
 
@@ -121,28 +120,28 @@ pub struct DistRcmResult {
 
 /// Run distributed RCM on a symmetric pattern matrix.
 ///
-/// A thin shim over the generic driver: `threads_per_proc > 1` selects the
-/// hybrid backend (compute charged through
-/// [`MachineModel::thread_speedup`]), otherwise the flat one — the data
-/// path, and therefore the permutation, is identical either way.
+/// A thin shim over a per-call [`crate::engine::OrderingEngine`]:
+/// `threads_per_proc > 1` selects the hybrid backend (compute charged
+/// through [`MachineModel::thread_speedup`]), otherwise the flat one — the
+/// data path, and therefore the permutation, is identical either way.
+/// Sessions that order many matrices should hold a warm engine instead.
 ///
 /// Panics when the configuration's process count is not a perfect square
 /// (the paper's CombBLAS restriction, §V-A).
 pub fn dist_rcm(a: &CscMatrix, config: &DistRcmConfig) -> DistRcmResult {
-    let mode = if config.sort_mode == SortMode::GlobalSortAtEnd {
-        LabelingMode::GlobalAtEnd
+    let kind = if config.hybrid.threads_per_proc > 1 {
+        crate::driver::BackendKind::Hybrid {
+            cores: config.hybrid.cores,
+            threads_per_proc: config.hybrid.threads_per_proc,
+        }
     } else {
-        LabelingMode::PerLevel
+        crate::driver::BackendKind::Dist {
+            cores: config.hybrid.cores,
+        }
     };
-    if config.hybrid.threads_per_proc > 1 {
-        let mut rt = HybridBackend::new(a, config);
-        let stats = drive_cm_directed(&mut rt, mode, config.direction);
-        rt.into_result(stats)
-    } else {
-        let mut rt = DistBackend::new(a, config);
-        let stats = drive_cm_directed(&mut rt, mode, config.direction);
-        rt.into_result(stats)
-    }
+    let mut engine_cfg = crate::engine::EngineConfig::directed(kind, config.direction);
+    engine_cfg.dist = Some(*config);
+    crate::engine::OrderingEngine::new(engine_cfg).order_dist(a)
 }
 
 #[cfg(test)]

@@ -763,41 +763,15 @@ pub fn rcm_with_backend(a: &CscMatrix, kind: BackendKind) -> Permutation {
 
 /// [`rcm_with_backend`] under an explicit frontier-direction policy — the
 /// uniform entry of the forced-direction equivalence tests and the
-/// `repro direction` ablation.
+/// `repro direction` ablation. A thin shim over a per-call
+/// [`crate::engine::OrderingEngine`]; sessions that order many matrices
+/// should hold a warm engine instead.
 pub fn rcm_with_backend_directed(
     a: &CscMatrix,
     kind: BackendKind,
     direction: ExpandDirection,
 ) -> Permutation {
-    use crate::distributed::{DistRcmConfig, SortMode};
-    use rcm_dist::{HybridConfig, MachineModel};
-    match kind {
-        BackendKind::Serial => crate::algebraic::algebraic_rcm_directed(a, direction).0,
-        BackendKind::Pooled { threads } => crate::shared::par_rcm_directed(a, threads, direction).0,
-        BackendKind::Dist { cores } => {
-            let cfg = DistRcmConfig {
-                machine: MachineModel::edison(),
-                hybrid: HybridConfig::new(cores, 1),
-                balance_seed: None,
-                sort_mode: SortMode::Full,
-                direction,
-            };
-            crate::distributed::dist_rcm(a, &cfg).perm
-        }
-        BackendKind::Hybrid {
-            cores,
-            threads_per_proc,
-        } => {
-            let cfg = DistRcmConfig {
-                machine: MachineModel::edison(),
-                hybrid: HybridConfig::new(cores, threads_per_proc),
-                balance_seed: None,
-                sort_mode: SortMode::Full,
-                direction,
-            };
-            crate::distributed::dist_rcm(a, &cfg).perm
-        }
-    }
+    crate::engine::order_once(crate::engine::EngineConfig::directed(kind, direction), a).perm
 }
 
 #[cfg(test)]

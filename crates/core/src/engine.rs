@@ -1,0 +1,582 @@
+//! [`OrderingEngine`]: a long-lived, batch-capable RCM ordering service.
+//!
+//! The paper positions RCM as a *preprocessing* step that runs in front of
+//! every iterative solve (§I), which in production means ordering a stream
+//! of matrices, not one. Every per-call entry point
+//! ([`crate::algebraic_rcm`], [`crate::par_rcm`], [`crate::dist_rcm`],
+//! [`crate::rcm_with_backend`]) pays the full backend construction on each
+//! call — dense companions, SpMSpV accumulators, and (for the pooled
+//! backend) the worker threads themselves. The engine amortizes all of it
+//! across calls and across matrices:
+//!
+//! ```text
+//! OrderingEngine::new(EngineConfig)      construct: allocate nothing,
+//!        │                               spawn the pool workers once
+//!        │ order(&A) / order_batch(&[A])
+//!        ▼
+//! install: bind A to the warm backend    grow-only, epoch-stamped buffers —
+//!        │                               a small matrix after a huge one
+//!        │                               reuses memory, no realloc
+//!        ▼
+//! drive:  drive_cm over the reinstalled  the one generic Algorithm 3/4
+//!        │ runtime                       pipeline of [`crate::driver`]
+//!        ▼
+//! report: OrderingReport                 permutation + bandwidth before/
+//!                                        after + DriverStats + timing
+//! ```
+//!
+//! Batch calls add a second level of parallelism on the pooled backend:
+//! matrices too small to ever cross the pool's sequential cutover are
+//! ordered **whole, one per worker** (the pool's batch job), while large
+//! matrices take the usual level-parallel path — the policy is by matrix
+//! size ([`EngineConfig::batch_small_cutoff`]). Either way every
+//! permutation is bit-identical to the corresponding single-shot
+//! [`crate::rcm_with_backend`] call; the cross-backend equivalence suite
+//! extends over warm reuse.
+//!
+//! # Worked example: one warm engine, many matrices
+//!
+//! ```
+//! use rcm_core::{BackendKind, EngineConfig, OrderingEngine};
+//! use rcm_sparse::CooBuilder;
+//!
+//! let path = |n: usize| {
+//!     let mut b = CooBuilder::new(n, n);
+//!     for v in 0..n as u32 - 1 {
+//!         b.push_sym(v, v + 1);
+//!     }
+//!     b.build()
+//! };
+//!
+//! // One session object; its workspaces stay warm between calls.
+//! let mut engine = OrderingEngine::new(EngineConfig::new(BackendKind::Serial));
+//! let big = path(300);
+//! let small = path(40);
+//! for a in [&big, &small] {
+//!     let report = engine.order(a);
+//!     assert_eq!(report.perm.len(), a.n_rows());
+//!     assert_eq!(report.bandwidth_after, 1); // RCM makes a path tridiagonal
+//! }
+//! // The small matrix reused the big one's buffers: no further growth.
+//! let warm = engine.growth_events();
+//! engine.order(&small);
+//! assert_eq!(engine.growth_events(), warm);
+//! assert_eq!(engine.orderings(), 3);
+//! ```
+
+use crate::backends::{DistBackend, HybridBackend, SerialBackend, SerialWorkspace};
+use crate::compress::{rcm_compressed, CompressStats};
+use crate::distributed::{DistRcmConfig, DistRcmResult, SortMode};
+use crate::driver::{drive_cm_directed, BackendKind, DriverStats, ExpandDirection, LabelingMode};
+use crate::pool::{PoolConfig, RcmPool};
+use crate::quality::ordering_bandwidth;
+use rcm_dist::{DistSpmspvWorkspace, HybridConfig, MachineModel};
+use rcm_sparse::{matrix_bandwidth, CscMatrix, Label, Permutation};
+use std::time::Instant;
+
+/// Configuration of an [`OrderingEngine`] session.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// The [`crate::driver::RcmRuntime`] backend every ordering runs on.
+    pub backend: BackendKind,
+    /// Frontier-expansion direction policy (bit-identical permutations for
+    /// every setting; see [`crate::driver::ExpandDirection`]).
+    pub direction: ExpandDirection,
+    /// Order through supervariable compression
+    /// ([`crate::compress::rcm_compressed`]): detect indistinguishable
+    /// vertices, order the quotient, expand. Reports go out with
+    /// [`OrderingReport::compress`] populated. The quotient ordering uses
+    /// the sequential George–Liu pipeline regardless of `backend`.
+    pub compress: bool,
+    /// Full distributed run configuration (machine model, balance seed,
+    /// sort mode) for the dist/hybrid backends. `None` = the Edison model
+    /// with the paper's defaults, derived from `backend`. The engine's
+    /// `backend` and `direction` fields stay authoritative either way.
+    pub dist: Option<DistRcmConfig>,
+    /// Batch-mode size policy: matrices with fewer rows than this are
+    /// ordered whole, one per pool worker, instead of level-parallel.
+    /// `None` = the pool's sequential cutover
+    /// ([`crate::pool::PoolConfig::seq_cutoff`]) — a matrix below it could
+    /// never produce a frontier that engages the workers anyway.
+    pub batch_small_cutoff: Option<usize>,
+}
+
+impl EngineConfig {
+    /// Defaults for a backend: direction from `RCM_DIRECTION`, no
+    /// compression, paper-default distributed model, cutoff from the pool.
+    pub fn new(backend: BackendKind) -> Self {
+        EngineConfig::directed(backend, ExpandDirection::from_env())
+    }
+
+    /// [`EngineConfig::new`] with an explicit direction policy.
+    pub fn directed(backend: BackendKind, direction: ExpandDirection) -> Self {
+        EngineConfig {
+            backend,
+            direction,
+            compress: false,
+            dist: None,
+            batch_small_cutoff: None,
+        }
+    }
+}
+
+/// Everything one ordering produced — callers stop recomputing quality
+/// metrics.
+#[derive(Clone, Debug)]
+pub struct OrderingReport {
+    /// The RCM permutation (old vertex id → new label).
+    pub perm: Permutation,
+    /// Matrix rows.
+    pub n: usize,
+    /// Matrix stored nonzeros.
+    pub nnz: usize,
+    /// Bandwidth of the input ordering.
+    pub bandwidth_before: usize,
+    /// Bandwidth under `perm`.
+    pub bandwidth_after: usize,
+    /// Generic-driver execution record (default/empty on the compression
+    /// path, which bypasses the algebraic driver).
+    pub stats: DriverStats,
+    /// Frontier expansions that ran through the pooled backend's parallel
+    /// pipeline (0 on other backends and on batch-scheduled small
+    /// matrices).
+    pub parallel_levels: usize,
+    /// Measured wall-clock seconds of install + drive + extraction (quality
+    /// metrics excluded). For batch-scheduled small matrices this is the
+    /// batch total amortized over its matrices.
+    pub wall_seconds: f64,
+    /// The full simulated result (breakdown, messages, bytes) when the
+    /// backend is dist/hybrid.
+    pub sim: Option<DistRcmResult>,
+    /// Compression statistics when [`EngineConfig::compress`] is set.
+    pub compress: Option<CompressStats>,
+}
+
+impl OrderingReport {
+    /// Simulated seconds (0.0 on backends without a clock).
+    pub fn sim_seconds(&self) -> f64 {
+        self.sim.as_ref().map_or(0.0, |r| r.sim_seconds)
+    }
+}
+
+/// The permutation and execution record of one ordering, before quality
+/// metrics — what the thin per-call shims need.
+pub(crate) struct RawOrdering {
+    pub(crate) perm: Permutation,
+    pub(crate) stats: DriverStats,
+    pub(crate) parallel_levels: usize,
+    pub(crate) sim: Option<DistRcmResult>,
+    pub(crate) compress: Option<CompressStats>,
+}
+
+/// A long-lived ordering session: one instance of the configured backend
+/// plus its warm workspaces, serving [`OrderingEngine::order`] and
+/// [`OrderingEngine::order_batch`] calls. See the module docs for the
+/// lifecycle and a worked example.
+///
+/// # Panics and poisoning
+///
+/// A panic escaping an ordering (a malformed matrix, an internal invariant
+/// assert) leaves a *pooled* engine unusable: the pool's arena locks are
+/// poisoned, as documented on [`crate::pool::RcmPool`]. A caller that
+/// catches such a panic must drop the engine and construct a new one —
+/// further calls panic on the poisoned locks rather than risk ordering
+/// with corrupted state.
+pub struct OrderingEngine {
+    config: EngineConfig,
+    serial_ws: SerialWorkspace,
+    pool: Option<RcmPool>,
+    dist_ws: DistSpmspvWorkspace<Label>,
+    orderings: usize,
+}
+
+impl OrderingEngine {
+    /// Construct a session. The pooled backend spawns its persistent
+    /// workers here (once); every other allocation waits for the first
+    /// install. A compressing engine never touches the configured backend
+    /// (the quotient pipeline is sequential), so no workers are spawned
+    /// for it.
+    pub fn new(config: EngineConfig) -> Self {
+        let pool = match config.backend {
+            BackendKind::Pooled { threads } if !config.compress => {
+                Some(RcmPool::new(PoolConfig::new(threads)))
+            }
+            _ => None,
+        };
+        OrderingEngine {
+            config,
+            serial_ws: SerialWorkspace::new(),
+            pool,
+            dist_ws: DistSpmspvWorkspace::new(),
+            orderings: 0,
+        }
+    }
+
+    /// Convenience constructor with the backend's defaults.
+    pub fn with_backend(backend: BackendKind) -> Self {
+        OrderingEngine::new(EngineConfig::new(backend))
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Orderings served so far (batch matrices count individually).
+    pub fn orderings(&self) -> usize {
+        self.orderings
+    }
+
+    /// Times any install-managed warm buffer (serial workspace, pool
+    /// arenas, distributed SpMSpV accumulator) had to grow. Re-ordering
+    /// matrices no larger than any this engine has seen leaves the count
+    /// unchanged — the growth-event tests assert exactly that.
+    pub fn growth_events(&self) -> usize {
+        self.serial_ws.growth_events()
+            + self.pool.as_ref().map_or(0, |p| p.growth_events())
+            + self.dist_ws.growth_events()
+    }
+
+    /// Order one matrix on the warm backend and report the permutation
+    /// with its quality metrics, execution record, and timing.
+    pub fn order(&mut self, a: &CscMatrix) -> OrderingReport {
+        let bandwidth_before = matrix_bandwidth(a);
+        let t0 = Instant::now();
+        let raw = self.order_raw(a);
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        let bandwidth_after = ordering_bandwidth(a, &raw.perm);
+        OrderingReport {
+            n: a.n_rows(),
+            nnz: a.nnz(),
+            bandwidth_before,
+            bandwidth_after,
+            stats: raw.stats,
+            parallel_levels: raw.parallel_levels,
+            wall_seconds,
+            sim: raw.sim,
+            compress: raw.compress,
+            perm: raw.perm,
+        }
+    }
+
+    /// Order a batch of matrices through the warm engine, returning one
+    /// report per input in input order.
+    ///
+    /// On a multithreaded pooled backend the schedule is two-level:
+    /// matrices below [`EngineConfig::batch_small_cutoff`] are ordered
+    /// whole, one per worker, on the same pool (they could never engage the
+    /// level-parallel pipeline), while larger ones run level-parallel as
+    /// usual. Other backends order sequentially through the warm
+    /// workspaces. Permutations are bit-identical to per-matrix
+    /// [`OrderingEngine::order`] calls either way.
+    pub fn order_batch(&mut self, mats: &[CscMatrix]) -> Vec<OrderingReport> {
+        if let BackendKind::Pooled { threads } = self.config.backend {
+            if threads > 1 && !self.config.compress && mats.len() > 1 {
+                return self.order_batch_pooled(mats);
+            }
+        }
+        mats.iter().map(|a| self.order(a)).collect()
+    }
+
+    /// The two-level pooled batch schedule (see [`OrderingEngine::order_batch`]).
+    fn order_batch_pooled(&mut self, mats: &[CscMatrix]) -> Vec<OrderingReport> {
+        let pool = self.pool.as_mut().expect("pooled engine owns a pool");
+        let cutoff = self
+            .config
+            .batch_small_cutoff
+            .unwrap_or(pool.config().seq_cutoff);
+        let small_idx: Vec<usize> = (0..mats.len())
+            .filter(|&i| mats[i].n_rows() < cutoff)
+            .collect();
+        let smalls: Vec<&CscMatrix> = small_idx.iter().map(|&i| &mats[i]).collect();
+        let t0 = Instant::now();
+        let small_cm = pool.order_cm_batch(&smalls, self.config.direction);
+        let amortized = t0.elapsed().as_secs_f64() / small_cm.len().max(1) as f64;
+        let mut out: Vec<Option<OrderingReport>> = (0..mats.len()).map(|_| None).collect();
+        for (&i, (cm, stats)) in small_idx.iter().zip(small_cm) {
+            let a = &mats[i];
+            let perm = cm.reversed();
+            let bandwidth_after = ordering_bandwidth(a, &perm);
+            out[i] = Some(OrderingReport {
+                n: a.n_rows(),
+                nnz: a.nnz(),
+                bandwidth_before: matrix_bandwidth(a),
+                bandwidth_after,
+                stats,
+                parallel_levels: 0,
+                wall_seconds: amortized,
+                sim: None,
+                compress: None,
+                perm,
+            });
+            self.orderings += 1;
+        }
+        for i in 0..mats.len() {
+            if out[i].is_none() {
+                out[i] = Some(self.order(&mats[i]));
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every batch slot filled"))
+            .collect()
+    }
+
+    /// One ordering on the warm backend, without quality metrics — the
+    /// body of [`OrderingEngine::order`] and of the thin per-call shims.
+    pub(crate) fn order_raw(&mut self, a: &CscMatrix) -> RawOrdering {
+        self.orderings += 1;
+        if self.config.compress {
+            let (perm, stats) = rcm_compressed(a);
+            return RawOrdering {
+                perm,
+                stats: DriverStats::default(),
+                parallel_levels: 0,
+                sim: None,
+                compress: Some(stats),
+            };
+        }
+        match self.config.backend {
+            BackendKind::Serial => {
+                let ws = std::mem::take(&mut self.serial_ws);
+                let mut rt = SerialBackend::warm(a, ws);
+                let stats =
+                    drive_cm_directed(&mut rt, LabelingMode::PerLevel, self.config.direction);
+                let (cm, ws) = rt.finish();
+                self.serial_ws = ws;
+                RawOrdering {
+                    perm: cm.reversed(),
+                    stats,
+                    parallel_levels: 0,
+                    sim: None,
+                    compress: None,
+                }
+            }
+            BackendKind::Pooled { .. } => {
+                let pool = self.pool.as_mut().expect("pooled engine owns a pool");
+                let (cm, stats, parallel_levels) =
+                    crate::shared::pooled_cm_raw(a, pool, self.config.direction);
+                RawOrdering {
+                    perm: cm.reversed(),
+                    stats,
+                    parallel_levels,
+                    sim: None,
+                    compress: None,
+                }
+            }
+            BackendKind::Dist { .. } | BackendKind::Hybrid { .. } => {
+                let result = self.order_dist(a);
+                RawOrdering {
+                    perm: result.perm.clone(),
+                    stats: DriverStats {
+                        components: result.components,
+                        peripheral_bfs: result.peripheral_bfs,
+                        levels: result.levels,
+                        spmspv_work: 0,
+                        push_expands: result.push_expands,
+                        pull_expands: result.pull_expands,
+                        level_stats: result.level_stats.clone(),
+                    },
+                    parallel_levels: 0,
+                    sim: Some(result),
+                    compress: None,
+                }
+            }
+        }
+    }
+
+    /// One ordering on the warm dist/hybrid backend, returning the full
+    /// simulated result directly — the [`crate::dist_rcm`] shim's body,
+    /// which needs no second copy of the permutation or level trace.
+    pub(crate) fn order_dist(&mut self, a: &CscMatrix) -> DistRcmResult {
+        let dcfg = self.dist_config();
+        let mode = if dcfg.sort_mode == SortMode::GlobalSortAtEnd {
+            LabelingMode::GlobalAtEnd
+        } else {
+            LabelingMode::PerLevel
+        };
+        let ws = std::mem::take(&mut self.dist_ws);
+        let (result, ws) = if dcfg.hybrid.threads_per_proc > 1 {
+            let mut rt = HybridBackend::warm(a, &dcfg, ws);
+            let stats = drive_cm_directed(&mut rt, mode, dcfg.direction);
+            rt.into_result_warm(stats)
+        } else {
+            let mut rt = DistBackend::warm(a, &dcfg, ws);
+            let stats = drive_cm_directed(&mut rt, mode, dcfg.direction);
+            rt.into_result_warm(stats)
+        };
+        self.dist_ws = ws;
+        result
+    }
+
+    /// The effective distributed configuration: the user-supplied machine
+    /// model, balance seed, and sort mode (or the Edison defaults), with
+    /// the engine's backend (core count, threads/process) and direction
+    /// applied on top — `EngineConfig::backend`/`direction` stay
+    /// authoritative even against an inconsistent `dist` override.
+    fn dist_config(&self) -> DistRcmConfig {
+        let hybrid = match self.config.backend {
+            BackendKind::Dist { cores } => HybridConfig::new(cores, 1),
+            BackendKind::Hybrid {
+                cores,
+                threads_per_proc,
+            } => HybridConfig::new(cores, threads_per_proc),
+            _ => unreachable!("dist_config is only consulted for dist/hybrid backends"),
+        };
+        let mut cfg = self.config.dist.unwrap_or_else(|| DistRcmConfig {
+            machine: MachineModel::edison(),
+            hybrid,
+            balance_seed: None,
+            sort_mode: SortMode::Full,
+            direction: self.config.direction,
+        });
+        cfg.hybrid = hybrid;
+        cfg.direction = self.config.direction;
+        cfg
+    }
+}
+
+/// Run `a` once through a fresh single-use engine — the per-call shims'
+/// body ([`crate::algebraic_rcm`], [`crate::par_rcm`], [`crate::dist_rcm`],
+/// [`crate::rcm_with_backend`] all route here).
+pub(crate) fn order_once(config: EngineConfig, a: &CscMatrix) -> RawOrdering {
+    OrderingEngine::new(config).order_raw(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::rcm_with_backend;
+    use rcm_sparse::{CooBuilder, Vidx};
+
+    use crate::testutil::scrambled_grid;
+
+    #[test]
+    fn warm_engine_matches_single_shot_on_every_backend() {
+        let mats = [
+            scrambled_grid(12, 7),
+            scrambled_grid(7, 3),
+            scrambled_grid(10, 11),
+        ];
+        for kind in [
+            BackendKind::Serial,
+            BackendKind::Pooled { threads: 3 },
+            BackendKind::Dist { cores: 4 },
+            BackendKind::Hybrid {
+                cores: 24,
+                threads_per_proc: 6,
+            },
+        ] {
+            let mut engine = OrderingEngine::with_backend(kind);
+            for (i, a) in mats.iter().enumerate() {
+                let report = engine.order(a);
+                assert_eq!(
+                    report.perm,
+                    rcm_with_backend(a, kind),
+                    "{} engine diverged on matrix {i}",
+                    kind.name()
+                );
+                assert!(report.bandwidth_after <= report.bandwidth_before);
+                assert!(report.stats.components > 0);
+            }
+            assert_eq!(engine.orderings(), mats.len());
+        }
+    }
+
+    #[test]
+    fn dist_reports_carry_the_simulated_result() {
+        let a = scrambled_grid(9, 5);
+        let mut engine = OrderingEngine::with_backend(BackendKind::Dist { cores: 4 });
+        let report = engine.order(&a);
+        assert!(report.sim_seconds() > 0.0);
+        let sim = report
+            .sim
+            .as_ref()
+            .expect("dist backend must attach a sim result");
+        assert!(sim.sim_seconds > 0.0);
+        assert_eq!(sim.perm, report.perm);
+        let mut serial = OrderingEngine::with_backend(BackendKind::Serial);
+        assert_eq!(serial.order(&a).sim_seconds(), 0.0);
+    }
+
+    #[test]
+    fn compress_reports_compression_stats() {
+        // A 2-dof chain compresses 2x; the report must say so.
+        let nodes = 30usize;
+        let d = 2usize;
+        let n = nodes * d;
+        let mut b = CooBuilder::new(n, n);
+        for node in 0..nodes {
+            b.push_sym((node * d) as Vidx, (node * d + 1) as Vidx);
+            if node + 1 < nodes {
+                for i in 0..d {
+                    for j in 0..d {
+                        b.push_sym((node * d + i) as Vidx, ((node + 1) * d + j) as Vidx);
+                    }
+                }
+            }
+        }
+        let a = b.build();
+        let mut cfg = EngineConfig::new(BackendKind::Serial);
+        cfg.compress = true;
+        let mut engine = OrderingEngine::new(cfg);
+        let report = engine.order(&a);
+        let stats = report.compress.expect("compression stats attached");
+        assert_eq!(stats.vertices, n);
+        assert_eq!(stats.supervariables, nodes);
+        assert_eq!(report.perm.len(), n);
+    }
+
+    #[test]
+    fn batch_mixes_small_and_large_and_matches_single_shot() {
+        let mats: Vec<CscMatrix> = vec![
+            scrambled_grid(6, 5),   // 36 vertices: far below the cutover
+            scrambled_grid(20, 13), // 400 vertices: level-parallel path
+            CscMatrix::empty(0),
+            scrambled_grid(4, 3),
+            CscMatrix::empty(1),
+            scrambled_grid(18, 7),
+        ];
+        let kind = BackendKind::Pooled { threads: 3 };
+        let mut engine = OrderingEngine::with_backend(kind);
+        let reports = engine.order_batch(&mats);
+        assert_eq!(reports.len(), mats.len());
+        for (i, (a, report)) in mats.iter().zip(&reports).enumerate() {
+            assert_eq!(
+                report.perm,
+                rcm_with_backend(a, kind),
+                "batch slot {i} diverged from single-shot"
+            );
+            assert_eq!(report.n, a.n_rows());
+        }
+        assert_eq!(engine.orderings(), mats.len());
+        // The same engine keeps serving after a batch.
+        let again = engine.order(&mats[1]);
+        assert_eq!(again.perm, reports[1].perm);
+    }
+
+    #[test]
+    fn growth_events_stay_flat_for_not_larger_matrices() {
+        let big = scrambled_grid(24, 13);
+        let small = scrambled_grid(9, 4);
+        for kind in [
+            BackendKind::Serial,
+            BackendKind::Pooled { threads: 3 },
+            BackendKind::Dist { cores: 4 },
+        ] {
+            let mut engine = OrderingEngine::with_backend(kind);
+            engine.order(&big);
+            let warm = engine.growth_events();
+            assert!(warm > 0, "{}: first install must grow", kind.name());
+            for _ in 0..3 {
+                engine.order(&small);
+                engine.order(&big);
+            }
+            assert_eq!(
+                engine.growth_events(),
+                warm,
+                "{}: warm engine must not grow on not-larger matrices",
+                kind.name()
+            );
+        }
+    }
+}

@@ -43,6 +43,7 @@ pub mod backends;
 pub mod compress;
 pub mod distributed;
 pub mod driver;
+pub mod engine;
 pub mod peripheral;
 pub mod pool;
 pub mod quality;
@@ -54,16 +55,18 @@ pub mod unordered;
 pub use algebraic::{
     algebraic_cm, algebraic_cm_directed, algebraic_rcm, algebraic_rcm_directed, AlgebraicStats,
 };
-pub use backends::{DistBackend, HybridBackend, PooledBackend, SerialBackend};
+pub use backends::{DistBackend, HybridBackend, PooledBackend, SerialBackend, SerialWorkspace};
 pub use compress::{find_supervariables, rcm_compressed, CompressStats};
 pub use distributed::{dist_rcm, DistRcmConfig, DistRcmResult, LevelStat, SortMode};
 pub use driver::{
     drive_cm, drive_cm_directed, rcm_with_backend, rcm_with_backend_directed, BackendKind,
     DenseTarget, DriverStats, ExpandDirection, LabelingMode, RcmRuntime, PULL_ALPHA, PULL_BETA,
 };
+pub use engine::{EngineConfig, OrderingEngine, OrderingReport};
 pub use peripheral::{bfs_level_structure, pseudo_peripheral, LevelStructure, PseudoPeripheral};
 pub use pool::{
-    thread_counts_from_env, ChunkQueue, PoolConfig, RcmPool, DEFAULT_CHUNK, DEFAULT_SEQ_CUTOFF,
+    thread_counts_from_env, ChunkQueue, PoolConfig, PooledWorkspace, RcmPool, DEFAULT_CHUNK,
+    DEFAULT_SEQ_CUTOFF,
 };
 pub use quality::{
     ordering_bandwidth, ordering_profile, ordering_wavefront, quality_report, OrderingQuality,
@@ -83,4 +86,33 @@ use rcm_sparse::{CscMatrix, Permutation};
 /// single-machine use).
 pub fn rcm(a: &CscMatrix) -> Permutation {
     serial::rcm(a).0
+}
+
+/// Shared test fixtures (one copy instead of one per test module).
+#[cfg(test)]
+pub(crate) mod testutil {
+    use rcm_sparse::{CooBuilder, CscMatrix, Permutation, Vidx};
+
+    /// A `w × w` 2D grid graph with its vertices scrambled by the affine
+    /// map `i ↦ (i · stride) mod n` — the standard adversarial input of
+    /// the cross-backend tests (a known-good topology under an ordering
+    /// the algorithms must undo).
+    pub(crate) fn scrambled_grid(w: usize, stride: usize) -> CscMatrix {
+        let mut b = CooBuilder::new(w * w, w * w);
+        for y in 0..w {
+            for x in 0..w {
+                let u = (y * w + x) as Vidx;
+                if x + 1 < w {
+                    b.push_sym(u, u + 1);
+                }
+                if y + 1 < w {
+                    b.push_sym(u, u + w as Vidx);
+                }
+            }
+        }
+        let n = w * w;
+        let perm: Vec<Vidx> = (0..n).map(|i| ((i * stride) % n) as Vidx).collect();
+        b.build()
+            .permute_sym(&Permutation::from_new_of_old(perm).unwrap())
+    }
 }

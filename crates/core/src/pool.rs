@@ -1,12 +1,13 @@
 //! Work-stealing shared-memory execution backend for the level-synchronous
 //! RCM of [`crate::shared`].
 //!
-//! The previous backend split each frontier statically into `nthreads`
+//! The original backend split each frontier statically into `nthreads`
 //! contiguous chunks and spawned fresh OS threads *per level*, so one heavy
 //! chunk (a few high-degree vertices) held the whole level hostage and the
 //! spawn overhead swamped thin levels — scaling plateaued past ~4 threads.
-//! This module replaces it with a pool of persistent workers (spawned once
-//! per ordering, parked on a condvar gate between levels) and a dynamic
+//! This module replaces it with a pool of **persistent workers** (spawned
+//! once per [`RcmPool`], parked on a condvar gate between jobs, joined on
+//! drop — they survive across orderings and across matrices) and a dynamic
 //! three-phase pipeline per parallel level:
 //!
 //! 1. **Expansion** — workers claim fixed-size frontier chunks from a
@@ -36,8 +37,12 @@
 //! `(degree, vertex)` key is unique, so the result is bit-identical to the
 //! sequential algorithm for *any* thread count, chunk size, or claim
 //! interleaving. All scratch buffers are owned by the [`RcmPool`] and
-//! reused across levels, components, and even matrices — steady-state
-//! levels allocate nothing.
+//! reused across levels, components, orderings, and matrices — the claim
+//! array's level epochs are **monotone for the pool's lifetime**, so a new
+//! ordering needs no `O(n)` invalidation pass, and
+//! [`RcmPool::growth_events`] exposes when the install-managed buffers last
+//! had to grow (a pool that has seen an `n`-vertex matrix installs any
+//! smaller one without allocating).
 //!
 //! **Pull levels.** The direction-optimizing driver can run a level
 //! bottom-up instead: the coordinator scatters the frontier into a dense
@@ -50,15 +55,26 @@
 //! unchanged and the bucket sort is shared verbatim, so a pull level yields
 //! the byte-identical `(parent, degree, vertex)` stream a push level would.
 //!
+//! **Batch jobs.** Besides level expansions, the gate can post a *batch*
+//! job ([`RcmPool::order_cm_batch`]): workers claim whole matrices
+//! (one-ordering-per-claim, claim granularity 1) and run the complete
+//! sequential Cuthill-McKee pipeline on each, using a worker-local
+//! [`SerialWorkspace`] that stays warm across batch jobs. This is the
+//! second level of the [`crate::engine::OrderingEngine`] batch policy:
+//! matrices too small to ever cross the parallel cutover are ordered whole,
+//! one per worker, while large ones take the level-parallel path above.
+//!
 //! Synchronization per parallel level: one condvar broadcast to release the
 //! workers, two [`Barrier`] waits between phases, one condvar signal back
 //! to the coordinator. Levels below [`PoolConfig::seq_cutoff`] never touch
 //! the workers.
 
-use rcm_sparse::{CscMatrix, Vidx};
+use crate::backends::serial::{SerialBackend, SerialWorkspace};
+use crate::driver::{drive_cm_directed, DriverStats, ExpandDirection, LabelingMode};
+use rcm_sparse::{CscMatrix, Label, Permutation, Vidx, UNVISITED};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Barrier, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Barrier, Condvar, Mutex, MutexGuard, RwLock};
 
 /// Frontier size below which a level is expanded on the calling thread.
 ///
@@ -104,11 +120,12 @@ impl PoolConfig {
 /// call [`ChunkQueue::claim`] until it returns `None`. A fast worker simply
 /// claims (steals) more chunks than a slow one — there is no static
 /// assignment to rebalance. [`ChunkQueue::reset`] re-arms the queue for the
-/// next level.
+/// next level; [`ChunkQueue::reset_chunked`] additionally changes the claim
+/// granularity (batch jobs claim whole orderings, granularity 1).
 pub struct ChunkQueue {
     next: AtomicUsize,
     len: AtomicUsize,
-    chunk: usize,
+    chunk: AtomicUsize,
 }
 
 impl ChunkQueue {
@@ -117,7 +134,7 @@ impl ChunkQueue {
         ChunkQueue {
             next: AtomicUsize::new(0),
             len: AtomicUsize::new(len),
-            chunk: chunk.max(1),
+            chunk: AtomicUsize::new(chunk.max(1)),
         }
     }
 
@@ -127,20 +144,29 @@ impl ChunkQueue {
         self.next.store(0, Ordering::Release);
     }
 
+    /// Re-arm the queue with a different claim granularity.
+    pub fn reset_chunked(&self, len: usize, chunk: usize) {
+        self.chunk.store(chunk.max(1), Ordering::Relaxed);
+        self.reset(len);
+    }
+
     /// Claim the next unprocessed chunk, or `None` when the queue is empty.
     pub fn claim(&self) -> Option<Range<usize>> {
+        let chunk = self.chunk.load(Ordering::Relaxed);
         let c = self.next.fetch_add(1, Ordering::Relaxed);
-        let start = c.checked_mul(self.chunk)?;
+        let start = c.checked_mul(chunk)?;
         let len = self.len.load(Ordering::Relaxed);
         if start >= len {
             return None;
         }
-        Some(start..(start + self.chunk).min(len))
+        Some(start..(start + chunk).min(len))
     }
 
     /// Total number of chunks the queue hands out per batch.
     pub fn nchunks(&self) -> usize {
-        self.len.load(Ordering::Relaxed).div_ceil(self.chunk)
+        self.len
+            .load(Ordering::Relaxed)
+            .div_ceil(self.chunk.load(Ordering::Relaxed))
     }
 }
 
@@ -151,87 +177,196 @@ pub(crate) type Candidate = (Vidx, Vidx, Vidx);
 
 /// Claim-array tag of a level: high 32 bits hold the *complement* of the
 /// level epoch, so newer levels always `fetch_min` below stale entries and
-/// the array needs no clearing between levels; the low 32 bits hold the
-/// parent label, so within a level the minimum parent wins.
+/// the array needs no clearing between levels — or between orderings, since
+/// the epoch counter is monotone for the pool's lifetime; the low 32 bits
+/// hold the parent label, so within a level the minimum parent wins.
 fn claim_tag(epoch: u64) -> u64 {
     debug_assert!(epoch > 0 && epoch <= u32::MAX as u64, "epoch out of range");
     ((!(epoch as u32)) as u64) << 32
 }
 
+/// What the gate posted: one parallel frontier expansion, or a batch of
+/// whole sequential orderings.
+#[derive(Clone, Copy)]
+enum JobKind {
+    /// One level of the three-phase pipeline.
+    Level {
+        /// Label of `frontier[0]` for the posted level.
+        base_label: Vidx,
+        /// Run the bottom-up (pull) expansion phase.
+        pull: bool,
+    },
+    /// Whole sequential orderings, claimed one matrix at a time
+    /// ([`RcmPool::order_cm_batch`]).
+    Batch,
+}
+
 /// Coordinator→worker task descriptor plus the completion count.
 struct GateState {
-    /// Bumped once per posted level; workers run when it changes.
+    /// Bumped once per posted job; workers run when it changes. Monotone
+    /// for the pool's lifetime (this is also the claim-array epoch).
     epoch: u64,
-    /// Label of `frontier[0]` for the posted level.
-    base_label: Vidx,
-    /// Posted level runs the bottom-up (pull) expansion phase.
-    pull: bool,
+    /// The posted job.
+    job: JobKind,
     /// Workers exit their loop when set.
     shutdown: bool,
-    /// Workers done with the current level.
+    /// Workers done with the current job.
     done: usize,
-    /// First worker panic of the level, re-thrown by the coordinator (a
+    /// First worker panic of the job, re-thrown by the coordinator (a
     /// panicking worker must not leave its siblings stuck on the barrier).
     panic: Option<Box<dyn std::any::Any + Send>>,
 }
 
-/// Condvar gate parking the workers between levels.
+/// Condvar gate parking the workers between jobs.
 struct Gate {
     state: Mutex<GateState>,
     start: Condvar,
     finished: Condvar,
 }
 
-/// Everything the workers share for the duration of one [`RcmPool::run`].
+/// The coordinator's borrows, smuggled to the persistent workers as raw
+/// pointers.
+///
+/// # Safety discipline
+///
+/// The pointers are installed at the start of [`RcmPool::run`] /
+/// [`RcmPool::order_cm_batch`] and remain valid for the whole call (they
+/// point into the caller's arguments or the call's stack frame). Workers
+/// dereference them **only** while executing a posted job, and the
+/// coordinator never returns from the posting call before every worker has
+/// reported done — so every dereference happens strictly inside the
+/// lifetime of the borrow the pointer was created from. Between jobs the
+/// workers are parked on the gate and touch nothing.
+struct JobData {
+    a: *const CscMatrix,
+    degrees: *const Vidx,
+    degrees_len: usize,
+    batch: *const BatchJob,
+}
+
+// Safety: see the discipline above — the pointers are only dereferenced
+// while the coordinator keeps the underlying borrows alive, and all shared
+// mutation goes through the Mutex/RwLock/atomic fields of `PoolShared`.
+unsafe impl Send for JobData {}
+
+/// One batch job: the matrices to order (as raw pointers into the caller's
+/// slice) and a per-matrix output slot.
+struct BatchJob {
+    mats: Vec<*const CscMatrix>,
+    direction: ExpandDirection,
+    outs: Vec<Mutex<Option<(Permutation, DriverStats)>>>,
+}
+
+/// Everything the persistent workers share with the coordinator.
 ///
 /// The `RwLock`s are phase-disciplined: writers and readers of the same
 /// buffer are always separated by a barrier or by the gate, so every lock
 /// acquisition is uncontended — they exist to keep the code in safe Rust,
 /// not to arbitrate races.
-struct RunShared<'e> {
-    a: &'e CscMatrix,
-    degrees: &'e [Vidx],
-    visited: &'e RwLock<Vec<bool>>,
-    frontier: &'e RwLock<Vec<Vidx>>,
-    /// Dense frontier for pull levels: `pull_labels[v]` = parent label of
-    /// frontier vertex `v`, `Vidx::MAX` otherwise.
-    pull_labels: &'e RwLock<Vec<Vidx>>,
-    cands: &'e [RwLock<Vec<Candidate>>],
-    routes: &'e [RwLock<Vec<Vec<Candidate>>>],
-    sorted: &'e [RwLock<Vec<Candidate>>],
-    claims: &'e [AtomicUsize],
-    /// Per-vertex epoch-tagged minimum-parent claims (see [`claim_tag`];
-    /// push levels only — pull computes each vertex exactly once).
-    best: &'e [AtomicU64],
-    queue: ChunkQueue,
-    barrier: Barrier,
-    gate: Gate,
-    config: PoolConfig,
-}
-
-/// The work-stealing pool: configuration plus the per-worker buffer sets,
-/// which persist across [`RcmPool::run`] calls so repeated orderings reuse
-/// their high-water-mark capacity.
-pub struct RcmPool {
+struct PoolShared {
     config: PoolConfig,
     visited: RwLock<Vec<bool>>,
     frontier: RwLock<Vec<Vidx>>,
+    /// Dense frontier for pull levels: `pull_labels[v]` = parent label of
+    /// frontier vertex `v`, `Vidx::MAX` otherwise.
     pull_labels: RwLock<Vec<Vidx>>,
     cands: Vec<RwLock<Vec<Candidate>>>,
     routes: Vec<RwLock<Vec<Vec<Candidate>>>>,
     sorted: Vec<RwLock<Vec<Candidate>>>,
     claims: Vec<AtomicUsize>,
-    best: Vec<AtomicU64>,
+    /// Per-vertex epoch-tagged minimum-parent claims (see [`claim_tag`];
+    /// push levels only — pull computes each vertex exactly once). Grown
+    /// under the write lock while the workers are parked; never cleared.
+    best: RwLock<Vec<AtomicU64>>,
+    queue: ChunkQueue,
+    barrier: Barrier,
+    gate: Gate,
+    job: Mutex<JobData>,
+}
+
+impl PoolShared {
+    /// Lock the gate, surviving poisoning (a propagated worker panic must
+    /// not turn [`RcmPool`]'s drop into a double panic).
+    fn lock_gate(&self) -> MutexGuard<'_, GateState> {
+        self.gate
+            .state
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Advance the gate epoch for a new job, recycling the 32-bit claim-tag
+    /// space before it can wrap: when the epoch reaches `u32::MAX` the
+    /// claim array is cleared once (an `O(n)` pass every 2³² jobs) and the
+    /// count restarts — so "stale claims never match or win" holds for the
+    /// pool's entire lifetime, not just its first 4 billion levels. Called
+    /// only while every worker is parked (the posting sites hold the gate).
+    fn bump_epoch(&self, st: &mut GateState) {
+        if st.epoch >= u32::MAX as u64 {
+            for b in self.best.write().unwrap().iter() {
+                b.store(u64::MAX, Ordering::Relaxed);
+            }
+            st.epoch = 0;
+        }
+        st.epoch += 1;
+    }
+}
+
+/// The dense companions and scratch of [`crate::backends::PooledBackend`],
+/// owned by the pool so they stay warm across orderings: the ordering
+/// vector `R`, the BFS level vector `L`, the level-mark undo list, and the
+/// candidate buffer the backend's frontier conversions reuse.
+#[derive(Default)]
+pub struct PooledWorkspace {
+    pub(crate) order: Vec<Label>,
+    pub(crate) levels: Vec<Label>,
+    pub(crate) touched: Vec<Vidx>,
+    pub(crate) cands: Vec<Candidate>,
+}
+
+impl PooledWorkspace {
+    /// Bind an `n`-vertex matrix: reset the active prefix of both dense
+    /// companions to unvisited (grow-only — installing a matrix no larger
+    /// than any seen before allocates nothing). Returns whether any buffer
+    /// had to grow.
+    fn install(&mut self, n: usize) -> bool {
+        let grew = self.order.capacity() < n;
+        if self.order.len() < n {
+            self.order.resize(n, UNVISITED);
+            self.levels.resize(n, UNVISITED);
+        }
+        self.order[..n].fill(UNVISITED);
+        self.levels[..n].fill(UNVISITED);
+        self.touched.clear();
+        grew
+    }
+}
+
+/// The work-stealing pool: configuration, the persistent worker threads,
+/// and every arena they share. Workers are spawned once in [`RcmPool::new`]
+/// and parked between jobs; [`Drop`] shuts them down and joins them.
+pub struct RcmPool {
+    config: PoolConfig,
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
     /// Sequential-path scratch (coordinator-local).
     seq_cand: Vec<Candidate>,
+    /// The [`crate::backends::PooledBackend`] dense companions.
+    backend_ws: PooledWorkspace,
+    /// Warm degree buffer for [`RcmPool::run_warm`].
+    degrees: Vec<Vidx>,
+    /// Coordinator-side serial workspace for batch jobs (each worker keeps
+    /// its own, local to its loop).
+    batch_ws: SerialWorkspace,
+    growth_events: usize,
 }
 
 impl RcmPool {
-    /// Pool with `config.nthreads` workers and empty arenas.
+    /// Pool with `config.nthreads` workers (spawned now, parked until the
+    /// first job) and empty arenas.
     pub fn new(config: PoolConfig) -> Self {
         let nthreads = config.nthreads.max(1);
         let config = PoolConfig { nthreads, ..config };
-        RcmPool {
+        let shared = Arc::new(PoolShared {
             config,
             visited: RwLock::new(Vec::new()),
             frontier: RwLock::new(Vec::new()),
@@ -242,8 +377,49 @@ impl RcmPool {
                 .collect(),
             sorted: (0..nthreads).map(|_| RwLock::new(Vec::new())).collect(),
             claims: (0..nthreads).map(|_| AtomicUsize::new(0)).collect(),
-            best: Vec::new(),
+            best: RwLock::new(Vec::new()),
+            queue: ChunkQueue::new(0, config.chunk),
+            barrier: Barrier::new(nthreads),
+            gate: Gate {
+                state: Mutex::new(GateState {
+                    epoch: 0,
+                    job: JobKind::Level {
+                        base_label: 0,
+                        pull: false,
+                    },
+                    shutdown: false,
+                    done: 0,
+                    panic: None,
+                }),
+                start: Condvar::new(),
+                finished: Condvar::new(),
+            },
+            job: Mutex::new(JobData {
+                a: std::ptr::null(),
+                degrees: std::ptr::null(),
+                degrees_len: 0,
+                batch: std::ptr::null(),
+            }),
+        });
+        let workers = if nthreads > 1 {
+            (0..nthreads)
+                .map(|tid| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || worker_loop(&shared, tid))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        RcmPool {
+            config,
+            shared,
+            workers,
             seq_cand: Vec::new(),
+            backend_ws: PooledWorkspace::default(),
+            degrees: Vec::new(),
+            batch_ws: SerialWorkspace::new(),
+            growth_events: 0,
         }
     }
 
@@ -257,100 +433,241 @@ impl RcmPool {
         &self.config
     }
 
-    /// Spawn the workers (scoped — joined before `run` returns), hand the
-    /// driver a [`LevelExecutor`], and run it. `degrees[v]` must be the
-    /// degree of vertex `v` of `a`. The executor's visited set starts all
-    /// false and its frontier empty.
+    /// Set the gate epoch directly — only for the wraparound tests, which
+    /// cannot post 2³² real jobs.
+    #[cfg(test)]
+    fn set_epoch_for_test(&self, epoch: u64) {
+        self.shared.lock_gate().epoch = epoch;
+    }
+
+    /// Times any install-managed arena (visited set, pull-label array,
+    /// claim array, dense companions, degree buffer) had to grow. A warm
+    /// pool re-ordering matrices no larger than any it has seen reports a
+    /// stable count — the engine's growth-event tests assert on this.
+    pub fn growth_events(&self) -> usize {
+        self.growth_events
+    }
+
+    /// Bind an `n`-vertex matrix to the shared arenas: grow-only resize,
+    /// prefix reset. The claim array is *not* cleared — level epochs are
+    /// monotone, so stale claims can never match or win again.
+    fn install(&mut self, n: usize) {
+        let mut grew = false;
+        {
+            let mut visited = self.shared.visited.write().unwrap();
+            grew |= visited.capacity() < n;
+            visited.clear();
+            visited.resize(n, false);
+        }
+        self.shared.frontier.write().unwrap().clear();
+        {
+            let mut pull_labels = self.shared.pull_labels.write().unwrap();
+            grew |= pull_labels.capacity() < n;
+            pull_labels.clear();
+            pull_labels.resize(n, Vidx::MAX);
+        }
+        {
+            let mut best = self.shared.best.write().unwrap();
+            if best.len() < n {
+                grew = true;
+                best.resize_with(n, || AtomicU64::new(u64::MAX));
+            }
+        }
+        grew |= self.backend_ws.install(n);
+        if grew {
+            self.growth_events += 1;
+        }
+    }
+
+    /// Hand the driver a [`LevelExecutor`] over `a` plus the pool-owned
+    /// [`PooledWorkspace`], and run it. `degrees[v]` must be the degree of
+    /// vertex `v` of `a`. The executor's visited set starts all false and
+    /// its frontier empty; the workspace's dense companions start all
+    /// unvisited.
     pub fn run<R>(
         &mut self,
         a: &CscMatrix,
         degrees: &[Vidx],
-        driver: impl FnOnce(&mut LevelExecutor<'_, '_>) -> R,
+        driver: impl FnOnce(&mut LevelExecutor<'_>, &mut PooledWorkspace) -> R,
     ) -> R {
-        let nthreads = self.config.nthreads;
+        self.install(a.n_rows());
         {
-            let mut visited = self.visited.write().unwrap();
-            visited.clear();
-            visited.resize(a.n_rows(), false);
-            self.frontier.write().unwrap().clear();
-            let mut pull_labels = self.pull_labels.write().unwrap();
-            pull_labels.clear();
-            pull_labels.resize(a.n_rows(), Vidx::MAX);
+            let mut job = self.shared.job.lock().unwrap();
+            job.a = a;
+            job.degrees = degrees.as_ptr();
+            job.degrees_len = degrees.len();
+            job.batch = std::ptr::null();
         }
-        // Invalidate claim-array entries from any previous run (epochs
-        // restart at zero each run).
-        if self.best.len() < a.n_rows() {
-            self.best
-                .resize_with(a.n_rows(), || AtomicU64::new(u64::MAX));
-        }
-        for b in &self.best[..a.n_rows()] {
-            b.store(u64::MAX, Ordering::Relaxed);
-        }
-        let shared = RunShared {
-            a,
-            degrees,
-            visited: &self.visited,
-            frontier: &self.frontier,
-            pull_labels: &self.pull_labels,
-            cands: &self.cands,
-            routes: &self.routes,
-            sorted: &self.sorted,
-            claims: &self.claims,
-            best: &self.best,
-            queue: ChunkQueue::new(0, self.config.chunk),
-            barrier: Barrier::new(nthreads),
-            gate: Gate {
-                state: Mutex::new(GateState {
-                    epoch: 0,
-                    base_label: 0,
-                    pull: false,
-                    shutdown: false,
-                    done: 0,
-                    panic: None,
-                }),
-                start: Condvar::new(),
-                finished: Condvar::new(),
-            },
-            config: self.config,
+        let result = {
+            let mut exec = LevelExecutor {
+                shared: &self.shared,
+                seq_cand: &mut self.seq_cand,
+                a,
+                degrees,
+            };
+            driver(&mut exec, &mut self.backend_ws)
         };
-        let seq_cand = &mut self.seq_cand;
-        if nthreads == 1 {
-            let mut exec = LevelExecutor {
-                shared: &shared,
-                seq_cand,
-            };
-            return driver(&mut exec);
-        }
-        std::thread::scope(|scope| {
-            for tid in 0..nthreads {
-                let shared = &shared;
-                scope.spawn(move || worker_loop(shared, tid));
-            }
-            let mut exec = LevelExecutor {
-                shared: &shared,
-                seq_cand,
-            };
-            let result = driver(&mut exec);
-            let mut st = shared.gate.state.lock().unwrap();
-            st.shutdown = true;
-            shared.gate.start.notify_all();
-            drop(st);
-            result
-        })
+        let mut job = self.shared.job.lock().unwrap();
+        job.a = std::ptr::null();
+        job.degrees = std::ptr::null();
+        job.degrees_len = 0;
+        drop(job);
+        result
     }
+
+    /// [`RcmPool::run`] with the degree vector computed into (and reused
+    /// from) the pool's warm buffer — the zero-steady-state-allocation
+    /// entry the engine uses. The driver closure reads the degrees from
+    /// [`LevelExecutor::degrees`].
+    pub fn run_warm<R>(
+        &mut self,
+        a: &CscMatrix,
+        driver: impl FnOnce(&mut LevelExecutor<'_>, &mut PooledWorkspace) -> R,
+    ) -> R {
+        let mut degrees = std::mem::take(&mut self.degrees);
+        if degrees.capacity() < a.n_rows() {
+            self.growth_events += 1;
+        }
+        a.degrees_into(&mut degrees);
+        let result = self.run(a, &degrees, driver);
+        self.degrees = degrees;
+        result
+    }
+
+    /// Order every matrix with the sequential Cuthill-McKee pipeline,
+    /// scheduling **whole orderings one per worker** (claim granularity 1)
+    /// — the small-matrix half of the engine's two-level batch parallelism.
+    /// Returns the unreversed CM permutation and driver statistics per
+    /// matrix, in input order; every permutation is bit-identical to the
+    /// level-parallel path (which is bit-identical to serial by the
+    /// cross-backend invariant), regardless of which worker claimed it.
+    pub fn order_cm_batch(
+        &mut self,
+        mats: &[&CscMatrix],
+        direction: ExpandDirection,
+    ) -> Vec<(Permutation, DriverStats)> {
+        if mats.is_empty() {
+            return Vec::new();
+        }
+        if self.config.nthreads == 1 || mats.len() == 1 {
+            return mats
+                .iter()
+                .map(|a| order_serial_cm(a, &mut self.batch_ws, direction))
+                .collect();
+        }
+        let job = BatchJob {
+            mats: mats.iter().map(|a| *a as *const CscMatrix).collect(),
+            direction,
+            outs: mats.iter().map(|_| Mutex::new(None)).collect(),
+        };
+        self.shared.queue.reset_chunked(mats.len(), 1);
+        {
+            let mut slot = self.shared.job.lock().unwrap();
+            slot.a = std::ptr::null();
+            slot.batch = &job;
+        }
+        {
+            let mut st = self.shared.lock_gate();
+            self.shared.bump_epoch(&mut st);
+            st.job = JobKind::Batch;
+            st.done = 0;
+            self.shared.gate.start.notify_all();
+        }
+        // The coordinator steals whole orderings too — it would otherwise
+        // idle for the entire batch. Its own panic must still wait for the
+        // workers to drain before unwinding (they hold pointers into this
+        // frame), hence the catch/rethrow.
+        let batch_ws = &mut self.batch_ws;
+        let mine = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            while let Some(range) = self.shared.queue.claim() {
+                for i in range {
+                    let a = unsafe { &*job.mats[i] };
+                    let result = order_serial_cm(a, batch_ws, direction);
+                    *job.outs[i].lock().unwrap() = Some(result);
+                }
+            }
+        }));
+        let workers_panic = {
+            let mut st = self.shared.lock_gate();
+            while st.done < self.config.nthreads {
+                st = self
+                    .shared
+                    .gate
+                    .finished
+                    .wait(st)
+                    .unwrap_or_else(|poison| poison.into_inner());
+            }
+            st.panic.take()
+        };
+        self.shared.job.lock().unwrap().batch = std::ptr::null();
+        if let Err(payload) = mine {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(payload) = workers_panic {
+            std::panic::resume_unwind(payload);
+        }
+        job.outs
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every batch matrix was claimed and ordered")
+            })
+            .collect()
+    }
+}
+
+impl Drop for RcmPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.lock_gate();
+            st.shutdown = true;
+            self.shared.gate.start.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One whole sequential Cuthill-McKee ordering through a warm
+/// [`SerialWorkspace`] (the batch-job body, shared by coordinator and
+/// workers).
+fn order_serial_cm(
+    a: &CscMatrix,
+    ws: &mut SerialWorkspace,
+    direction: ExpandDirection,
+) -> (Permutation, DriverStats) {
+    let mut rt = SerialBackend::warm(a, std::mem::take(ws));
+    let stats = drive_cm_directed(&mut rt, LabelingMode::PerLevel, direction);
+    let (perm, warm) = rt.finish();
+    *ws = warm;
+    (perm, stats)
 }
 
 /// Per-level front end the driver sees: owns the visited/frontier state and
 /// dispatches each expansion to the sequential path or the worker pool.
-pub struct LevelExecutor<'s, 'e> {
-    shared: &'s RunShared<'e>,
+pub struct LevelExecutor<'s> {
+    shared: &'s PoolShared,
     seq_cand: &'s mut Vec<Candidate>,
+    a: &'s CscMatrix,
+    degrees: &'s [Vidx],
 }
 
-impl LevelExecutor<'_, '_> {
+impl LevelExecutor<'_> {
     /// Worker count of the owning pool.
     pub fn nthreads(&self) -> usize {
         self.shared.config.nthreads
+    }
+
+    /// The installed matrix's vertex count.
+    pub fn n(&self) -> usize {
+        self.a.n_rows()
+    }
+
+    /// The installed matrix's degree vector.
+    pub fn degrees(&self) -> &[Vidx] {
+        self.degrees
     }
 
     /// Mutate the visited set and the current frontier (seed scans, root
@@ -397,7 +714,7 @@ impl LevelExecutor<'_, '_> {
     pub(crate) fn expand_pull(&mut self, base_label: Vidx, out: &mut Vec<Candidate>) -> bool {
         out.clear();
         let config = &self.shared.config;
-        let n = self.shared.a.n_rows();
+        let n = self.a.n_rows();
         // Scatter the frontier into the dense pull-label array (the dual
         // representation's sparse → dense conversion, O(frontier)).
         {
@@ -436,30 +753,33 @@ impl LevelExecutor<'_, '_> {
     ) {
         let config = &self.shared.config;
         // Post the level and park until the last worker reports in.
-        self.shared.queue.reset(queue_len);
+        self.shared.queue.reset_chunked(queue_len, config.chunk);
         {
-            let mut st = self.shared.gate.state.lock().unwrap();
-            st.epoch += 1;
-            st.base_label = base_label;
-            st.pull = pull;
+            let mut st = self.shared.lock_gate();
+            self.shared.bump_epoch(&mut st);
+            st.job = JobKind::Level { base_label, pull };
             st.done = 0;
             self.shared.gate.start.notify_all();
             while st.done < config.nthreads {
-                st = self.shared.gate.finished.wait(st).unwrap();
+                st = self
+                    .shared
+                    .gate
+                    .finished
+                    .wait(st)
+                    .unwrap_or_else(|poison| poison.into_inner());
             }
             if let Some(payload) = st.panic.take() {
-                // Release the workers (they are parked, not panicked — each
-                // caught its own unwind) so the scope can join them, then
-                // propagate the original panic to the caller.
-                st.shutdown = true;
-                self.shared.gate.start.notify_all();
+                // The workers are parked again (each caught its own
+                // unwind); propagate the original panic to the caller. The
+                // pool's arena locks may be poisoned now — the pool must
+                // not be reused after a propagated panic.
                 drop(st);
                 std::panic::resume_unwind(payload);
             }
         }
         // Concatenate the workers' segments in parent-range order: the
         // global (parent, degree, vertex) ordering.
-        for sorted in self.shared.sorted {
+        for sorted in &self.shared.sorted {
             out.extend_from_slice(&sorted.read().unwrap());
         }
     }
@@ -474,9 +794,9 @@ impl LevelExecutor<'_, '_> {
         self.seq_cand.clear();
         for (off, &v) in frontier.iter().enumerate() {
             let parent = base_label + off as Vidx;
-            for &w in sh.a.col(v as usize) {
+            for &w in self.a.col(v as usize) {
                 if !visited[w as usize] {
-                    self.seq_cand.push((w, parent, sh.degrees[w as usize]));
+                    self.seq_cand.push((w, parent, self.degrees[w as usize]));
                 }
             }
         }
@@ -506,50 +826,60 @@ impl LevelExecutor<'_, '_> {
                 continue;
             }
             let mut best = Vidx::MAX;
-            for &w in sh.a.col(v) {
+            for &w in self.a.col(v) {
                 let l = labels[w as usize];
                 if l < best {
                     best = l;
                 }
             }
             if best != Vidx::MAX {
-                out.push((v as Vidx, best, sh.degrees[v]));
+                out.push((v as Vidx, best, self.degrees[v]));
             }
         }
         out.sort_unstable_by_key(|&(v, parent, deg)| (parent, deg, v));
     }
 }
 
-/// Worker body: park on the gate, run the three-phase pipeline per posted
-/// level, report completion, repeat until shutdown.
-fn worker_loop(shared: &RunShared<'_>, tid: usize) {
+/// Worker body: park on the gate, run the posted job (one level of the
+/// three-phase pipeline, or a share of a batch of whole orderings), report
+/// completion, repeat until shutdown. The serial workspace for batch jobs
+/// is worker-local and stays warm for the pool's lifetime.
+fn worker_loop(shared: &PoolShared, tid: usize) {
     let mut hist: Vec<u32> = Vec::new();
     let mut cursors: Vec<u32> = Vec::new();
+    let mut batch_ws = SerialWorkspace::new();
     let mut last_epoch = 0u64;
     loop {
-        let (base_label, pull) = {
-            let mut st = shared.gate.state.lock().unwrap();
+        let job = {
+            let mut st = shared.lock_gate();
             loop {
                 if st.shutdown {
                     return;
                 }
                 if st.epoch != last_epoch {
                     last_epoch = st.epoch;
-                    break (st.base_label, st.pull);
+                    break st.job;
                 }
-                st = shared.gate.start.wait(st).unwrap();
+                st = shared
+                    .gate
+                    .start
+                    .wait(st)
+                    .unwrap_or_else(|poison| poison.into_inner());
             }
         };
-        let outcome = run_level(
-            shared,
-            tid,
-            base_label,
-            pull,
-            last_epoch,
-            &mut hist,
-            &mut cursors,
-        );
-        let mut st = shared.gate.state.lock().unwrap();
+        let outcome = match job {
+            JobKind::Level { base_label, pull } => run_level(
+                shared,
+                tid,
+                base_label,
+                pull,
+                last_epoch,
+                &mut hist,
+                &mut cursors,
+            ),
+            JobKind::Batch => run_batch_share(shared, &mut batch_ws),
+        };
+        let mut st = shared.lock_gate();
         if let Err(payload) = outcome {
             st.panic.get_or_insert(payload);
         }
@@ -558,6 +888,27 @@ fn worker_loop(shared: &RunShared<'_>, tid: usize) {
             shared.gate.finished.notify_one();
         }
     }
+}
+
+/// One worker's share of a posted batch job: claim whole matrices from the
+/// queue and run the sequential pipeline on each.
+fn run_batch_share(
+    shared: &PoolShared,
+    ws: &mut SerialWorkspace,
+) -> Result<(), Box<dyn std::any::Any + Send>> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    catch_unwind(AssertUnwindSafe(|| {
+        // Safety: the batch pointer is installed by `order_cm_batch`, which
+        // does not return before this worker reports done.
+        let job: &BatchJob = unsafe { &*shared.job.lock().unwrap().batch };
+        while let Some(range) = shared.queue.claim() {
+            for i in range {
+                let a = unsafe { &*job.mats[i] };
+                let result = order_serial_cm(a, ws, job.direction);
+                *job.outs[i].lock().unwrap() = Some(result);
+            }
+        }
+    }))
 }
 
 /// One worker's share of the three-phase pipeline for one level.
@@ -570,7 +921,7 @@ fn worker_loop(shared: &RunShared<'_>, tid: usize) {
 /// must not be reused after a propagated panic — the unwind makes that the
 /// natural outcome.)
 fn run_level(
-    shared: &RunShared<'_>,
+    shared: &PoolShared,
     tid: usize,
     base_label: Vidx,
     pull: bool,
@@ -581,6 +932,17 @@ fn run_level(
     use std::panic::{catch_unwind, AssertUnwindSafe};
     let nw = shared.config.nthreads;
     let tag = claim_tag(epoch);
+    // Safety: the matrix/degree pointers are installed by `RcmPool::run`,
+    // which keeps the borrows alive until after this worker reports done.
+    let (a, degrees) = {
+        let job = shared.job.lock().unwrap();
+        unsafe {
+            (
+                &*job.a,
+                std::slice::from_raw_parts(job.degrees, job.degrees_len),
+            )
+        }
+    };
 
     // --- Phase 1: dynamic expansion ------------------------------------
     // Push: claim frontier chunks, emit each unvisited neighbour with its
@@ -595,6 +957,8 @@ fn run_level(
         let frontier: &[Vidx] = &frontier_guard;
         let labels_guard = shared.pull_labels.read().unwrap();
         let labels: &[Vidx] = &labels_guard;
+        let best_guard = shared.best.read().unwrap();
+        let best: &[AtomicU64] = &best_guard;
         let mut cand = shared.cands[tid].write().unwrap();
         cand.clear();
         let mut claimed = 0usize;
@@ -605,25 +969,24 @@ fn run_level(
                     if visited[v] {
                         continue;
                     }
-                    let mut best = Vidx::MAX;
-                    for &w in shared.a.col(v) {
+                    let mut min_label = Vidx::MAX;
+                    for &w in a.col(v) {
                         let l = labels[w as usize];
-                        if l < best {
-                            best = l;
+                        if l < min_label {
+                            min_label = l;
                         }
                     }
-                    if best != Vidx::MAX {
-                        cand.push((v as Vidx, best, shared.degrees[v]));
+                    if min_label != Vidx::MAX {
+                        cand.push((v as Vidx, min_label, degrees[v]));
                     }
                 }
             } else {
                 for off in range {
                     let parent = base_label + off as Vidx;
-                    for &w in shared.a.col(frontier[off] as usize) {
+                    for &w in a.col(frontier[off] as usize) {
                         if !visited[w as usize] {
-                            cand.push((w, parent, shared.degrees[w as usize]));
-                            shared.best[w as usize]
-                                .fetch_min(tag | parent as u64, Ordering::Relaxed);
+                            cand.push((w, parent, degrees[w as usize]));
+                            best[w as usize].fetch_min(tag | parent as u64, Ordering::Relaxed);
                         }
                     }
                 }
@@ -642,6 +1005,8 @@ fn run_level(
             // all. Pull: candidates are already unique minima — routing
             // only.
             let plen = shared.frontier.read().unwrap().len();
+            let best_guard = shared.best.read().unwrap();
+            let best: &[AtomicU64] = &best_guard;
             let cand = shared.cands[tid].read().unwrap();
             let mut route = shared.routes[tid].write().unwrap();
             route.resize_with(nw, Vec::new);
@@ -649,7 +1014,7 @@ fn run_level(
                 outbox.clear();
             }
             for &c in cand.iter() {
-                if pull || shared.best[c.0 as usize].load(Ordering::Relaxed) == tag | c.1 as u64 {
+                if pull || best[c.0 as usize].load(Ordering::Relaxed) == tag | c.1 as u64 {
                     let off = (c.1 - base_label) as usize;
                     route[bucket_owner(off, plen, nw)].push(c);
                 }
@@ -759,6 +1124,19 @@ mod tests {
     }
 
     #[test]
+    fn chunk_queue_regrains_for_batch_jobs() {
+        let q = ChunkQueue::new(100, 10);
+        q.reset_chunked(3, 1);
+        assert_eq!(q.nchunks(), 3);
+        assert_eq!(q.claim(), Some(0..1));
+        assert_eq!(q.claim(), Some(1..2));
+        assert_eq!(q.claim(), Some(2..3));
+        assert!(q.claim().is_none());
+        q.reset_chunked(20, 10);
+        assert_eq!(q.claim(), Some(0..10));
+    }
+
+    #[test]
     fn chunk_queue_concurrent_claims_are_disjoint() {
         let q = ChunkQueue::new(10_000, 7);
         let counts: Vec<usize> = std::thread::scope(|scope| {
@@ -801,7 +1179,7 @@ mod tests {
         frontier: &[Vidx],
         base_label: Vidx,
     ) -> (Vec<Candidate>, bool) {
-        pool.run(a, degrees, |exec| {
+        pool.run(a, degrees, |exec, _ws| {
             exec.with_state(|visited, f| {
                 for &v in frontier {
                     visited[v as usize] = true;
@@ -850,6 +1228,75 @@ mod tests {
     }
 
     #[test]
+    fn persistent_workers_survive_many_runs() {
+        // The same pool executes parallel levels across repeated runs —
+        // the workers are spawned once at construction and reused.
+        let n = 600usize;
+        let mut b = CooBuilder::new(n, n);
+        for v in 0..n {
+            for s in [1usize, 13, 57] {
+                let w = (v + s) % n;
+                if w != v {
+                    b.push_sym(v as Vidx, w as Vidx);
+                }
+            }
+        }
+        let a = b.build();
+        let degrees = a.degrees();
+        let frontier: Vec<Vidx> = (0..200).map(|i| (i * 2) as Vidx).collect();
+        let mut pool = RcmPool::new(PoolConfig {
+            nthreads: 3,
+            seq_cutoff: 1,
+            chunk: 8,
+        });
+        let (expect, par) = expand_once(&mut pool, &a, &degrees, &frontier, 10);
+        assert!(par);
+        for round in 0..5 {
+            let (got, par) = expand_once(&mut pool, &a, &degrees, &frontier, 10);
+            assert!(par);
+            assert_eq!(got, expect, "round {round} diverged on the warm pool");
+        }
+    }
+
+    #[test]
+    fn claim_tags_survive_the_epoch_wraparound() {
+        // The claim-tag space is 32 bits wide; a pool that lives past 2³²
+        // posted jobs must recycle it. The hardest case: the level at
+        // epoch u32::MAX writes tag-0 entries (the complement of the
+        // epoch) into the claim array — the smallest possible tags, which
+        // would win every future `fetch_min` — and the very next level
+        // wraps. Without the recycling clear, the post-wrap filter would
+        // reject every candidate and drop vertices from the frontier.
+        let n = 900usize;
+        let mut b = CooBuilder::new(n, n);
+        for v in 0..n {
+            for s in [1usize, 7, 31] {
+                let w = (v + s) % n;
+                if w != v {
+                    b.push_sym(v as Vidx, w as Vidx);
+                }
+            }
+        }
+        let a = b.build();
+        let degrees = a.degrees();
+        let frontier: Vec<Vidx> = (0..300).map(|i| (i * 3) as Vidx).collect();
+        let mut seq_pool = RcmPool::new(PoolConfig::new(1));
+        let (expect, _) = expand_once(&mut seq_pool, &a, &degrees, &frontier, 40);
+        let mut pool = RcmPool::new(PoolConfig {
+            nthreads: 3,
+            seq_cutoff: 1,
+            chunk: 16,
+        });
+        pool.set_epoch_for_test(u32::MAX as u64 - 1);
+        for round in 0..4 {
+            // Rounds post epochs MAX, then wrap → 1, 2, 3.
+            let (got, par) = expand_once(&mut pool, &a, &degrees, &frontier, 40);
+            assert!(par);
+            assert_eq!(got, expect, "round {round} diverged across the wrap");
+        }
+    }
+
+    #[test]
     fn claim_counts_cover_the_queue() {
         let n = 2000usize;
         let mut b = CooBuilder::new(n, n);
@@ -864,7 +1311,7 @@ mod tests {
             seq_cutoff: 1,
             chunk: 16,
         });
-        pool.run(&a, &degrees, |exec| {
+        pool.run(&a, &degrees, |exec, _ws| {
             exec.with_state(|visited, f| {
                 for &v in &frontier {
                     visited[v as usize] = true;
@@ -904,6 +1351,77 @@ mod tests {
         });
         let short = &degrees[..1];
         let _ = expand_once(&mut pool, &a, short, &frontier, 0);
+    }
+
+    use crate::testutil::scrambled_grid;
+
+    #[test]
+    fn batch_orderings_match_single_shot_at_every_thread_count() {
+        let mats: Vec<CscMatrix> = vec![
+            scrambled_grid(9, 7),
+            scrambled_grid(12, 5),
+            CscMatrix::empty(0),
+            CscMatrix::empty(1),
+            scrambled_grid(7, 3),
+            {
+                // Star: one fat level.
+                let mut b = CooBuilder::new(50, 50);
+                for v in 1..50 {
+                    b.push_sym(0, v as Vidx);
+                }
+                b.build()
+            },
+            scrambled_grid(11, 13),
+        ];
+        let refs: Vec<&CscMatrix> = mats.iter().collect();
+        let expect: Vec<Permutation> = mats
+            .iter()
+            .map(|a| crate::serial::cuthill_mckee(a).0)
+            .collect();
+        for nthreads in [1usize, 2, 3, 8] {
+            let mut pool = RcmPool::new(PoolConfig::new(nthreads));
+            // Two rounds through the same warm pool: batch state must not
+            // leak between batches.
+            for round in 0..2 {
+                let got = pool.order_cm_batch(&refs, ExpandDirection::Push);
+                assert_eq!(got.len(), mats.len());
+                for (i, (perm, stats)) in got.iter().enumerate() {
+                    assert_eq!(
+                        perm, &expect[i],
+                        "matrix {i} diverged at {nthreads} threads (round {round})"
+                    );
+                    assert_eq!(perm.len(), mats[i].n_rows());
+                    if mats[i].n_rows() > 1 {
+                        assert!(stats.components > 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn growth_events_stay_flat_on_not_larger_matrices() {
+        let big = scrambled_grid(20, 13);
+        let small = scrambled_grid(8, 3);
+        let mut pool = RcmPool::new(PoolConfig::new(3));
+        let degrees_big = big.degrees();
+        let degrees_small = small.degrees();
+        pool.run(&big, &degrees_big, |_, _| ());
+        let warm = pool.growth_events();
+        assert!(warm > 0, "first install must grow");
+        for _ in 0..3 {
+            pool.run(&small, &degrees_small, |_, _| ());
+            pool.run(&big, &degrees_big, |_, _| ());
+        }
+        assert_eq!(
+            pool.growth_events(),
+            warm,
+            "re-installing not-larger matrices must not grow"
+        );
+        let bigger = scrambled_grid(25, 7);
+        let degrees_bigger = bigger.degrees();
+        pool.run(&bigger, &degrees_bigger, |_, _| ());
+        assert!(pool.growth_events() > warm, "a larger matrix must grow");
     }
 
     #[test]

@@ -52,14 +52,34 @@ pub fn par_rcm(a: &CscMatrix, nthreads: usize) -> (Permutation, SharedRcmStats) 
 
 /// [`par_rcm`] under an explicit frontier-direction policy. The
 /// permutation is identical for every policy and thread count.
+///
+/// A thin shim over a per-call [`crate::engine::OrderingEngine`]; sessions
+/// that order many matrices should hold a warm engine (or a caller-owned
+/// pool, [`par_cuthill_mckee_with_pool`]) instead of paying the worker
+/// spawn per call.
 pub fn par_rcm_directed(
     a: &CscMatrix,
     nthreads: usize,
     direction: ExpandDirection,
 ) -> (Permutation, SharedRcmStats) {
-    let mut pool = RcmPool::new(PoolConfig::new(nthreads));
-    let (cm, stats) = par_cuthill_mckee_with_pool_directed(a, &mut pool, direction);
-    (cm.reversed(), stats)
+    let raw = crate::engine::order_once(
+        crate::engine::EngineConfig::directed(
+            crate::driver::BackendKind::Pooled { threads: nthreads },
+            direction,
+        ),
+        a,
+    );
+    (
+        raw.perm,
+        SharedRcmStats {
+            components: raw.stats.components,
+            peripheral_bfs: raw.stats.peripheral_bfs,
+            levels: raw.stats.levels,
+            parallel_levels: raw.parallel_levels,
+            push_expands: raw.stats.push_expands,
+            pull_expands: raw.stats.pull_expands,
+        },
+    )
 }
 
 /// Multithreaded Cuthill-McKee (unreversed).
@@ -84,15 +104,7 @@ pub fn par_cuthill_mckee_with_pool_directed(
     pool: &mut RcmPool,
     direction: ExpandDirection,
 ) -> (Permutation, SharedRcmStats) {
-    assert_eq!(a.n_rows(), a.n_cols());
-    let n = a.n_rows();
-    let degrees = a.degrees();
-    let (perm, stats, parallel_levels) = pool.run(a, &degrees, |exec| {
-        let mut rt = PooledBackend::new(exec, n, &degrees);
-        let stats = drive_cm_directed(&mut rt, LabelingMode::PerLevel, direction);
-        let (perm, parallel_levels) = rt.into_cm_permutation();
-        (perm, stats, parallel_levels)
-    });
+    let (perm, stats, parallel_levels) = pooled_cm_raw(a, pool, direction);
     (
         perm,
         SharedRcmStats {
@@ -106,6 +118,25 @@ pub fn par_cuthill_mckee_with_pool_directed(
     )
 }
 
+/// One warm Cuthill-McKee ordering on a caller-owned pool, returning the
+/// full [`DriverStats`] — the level-parallel path both the public shims and
+/// [`crate::engine::OrderingEngine`] build on. The degree vector comes from
+/// the pool's warm buffer ([`RcmPool::run_warm`]), so a reused pool
+/// performs no steady-state install allocation.
+pub(crate) fn pooled_cm_raw(
+    a: &CscMatrix,
+    pool: &mut RcmPool,
+    direction: ExpandDirection,
+) -> (Permutation, crate::driver::DriverStats, usize) {
+    assert_eq!(a.n_rows(), a.n_cols());
+    pool.run_warm(a, |exec, ws| {
+        let mut rt = PooledBackend::new(exec, ws);
+        let stats = drive_cm_directed(&mut rt, LabelingMode::PerLevel, direction);
+        let (perm, parallel_levels) = rt.into_cm_permutation();
+        (perm, stats, parallel_levels)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,24 +144,7 @@ mod tests {
     use crate::serial;
     use rcm_sparse::{CooBuilder, Vidx};
 
-    fn scrambled_grid(w: usize, stride: usize) -> CscMatrix {
-        let mut b = CooBuilder::new(w * w, w * w);
-        for y in 0..w {
-            for x in 0..w {
-                let u = (y * w + x) as Vidx;
-                if x + 1 < w {
-                    b.push_sym(u, u + 1);
-                }
-                if y + 1 < w {
-                    b.push_sym(u, u + w as Vidx);
-                }
-            }
-        }
-        let n = w * w;
-        let perm: Vec<Vidx> = (0..n).map(|i| ((i * stride) % n) as Vidx).collect();
-        b.build()
-            .permute_sym(&Permutation::from_new_of_old(perm).unwrap())
-    }
+    use crate::testutil::scrambled_grid;
 
     #[test]
     fn matches_serial_for_any_thread_count() {

@@ -141,24 +141,7 @@ mod tests {
     use crate::quality::{ordering_bandwidth, ordering_profile};
     use rcm_sparse::CooBuilder;
 
-    fn scrambled_grid(w: usize, stride: usize) -> CscMatrix {
-        let mut b = CooBuilder::new(w * w, w * w);
-        for y in 0..w {
-            for x in 0..w {
-                let u = (y * w + x) as Vidx;
-                if x + 1 < w {
-                    b.push_sym(u, u + 1);
-                }
-                if y + 1 < w {
-                    b.push_sym(u, u + w as Vidx);
-                }
-            }
-        }
-        let n = w * w;
-        let perm: Vec<Vidx> = (0..n).map(|i| ((i * stride) % n) as Vidx).collect();
-        b.build()
-            .permute_sym(&Permutation::from_new_of_old(perm).unwrap())
-    }
+    use crate::testutil::scrambled_grid;
 
     #[test]
     fn sloan_is_a_valid_permutation() {

@@ -111,16 +111,25 @@ impl CscMatrix {
     /// Degrees of all vertices, counting the diagonal entry as a self-loop
     /// *excluded* (graph degree, as used by the RCM tie-breaking sort).
     pub fn degrees(&self) -> Vec<Vidx> {
-        (0..self.n_cols)
-            .map(|c| {
-                let mut d = self.col_nnz(c) as Vidx;
-                // A structural diagonal entry is not a graph neighbour.
-                if self.col(c).binary_search(&(c as Vidx)).is_ok() {
-                    d -= 1;
-                }
-                d
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.degrees_into(&mut out);
+        out
+    }
+
+    /// Compute the degree vector into a caller-owned buffer (cleared
+    /// first) — the grow-only companion of [`CscMatrix::degrees`] for warm
+    /// workspaces: no allocation when the buffer's capacity already covers
+    /// this matrix.
+    pub fn degrees_into(&self, out: &mut Vec<Vidx>) {
+        out.clear();
+        out.extend((0..self.n_cols).map(|c| {
+            let mut d = self.col_nnz(c) as Vidx;
+            // A structural diagonal entry is not a graph neighbour.
+            if self.col(c).binary_search(&(c as Vidx)).is_ok() {
+                d -= 1;
+            }
+            d
+        }));
     }
 
     /// Check whether an entry exists at `(row, col)`.

@@ -34,6 +34,7 @@ pub struct SpmspvWorkspace<T> {
     stamp: Vec<u32>,
     epoch: u32,
     touched: Vec<Vidx>,
+    growth_events: usize,
 }
 
 impl<T: Copy + Default> SpmspvWorkspace<T> {
@@ -44,7 +45,16 @@ impl<T: Copy + Default> SpmspvWorkspace<T> {
             stamp: vec![0; n_rows],
             epoch: 0,
             touched: Vec::new(),
+            growth_events: if n_rows > 0 { 1 } else { 0 },
         }
+    }
+
+    /// Times [`SpmspvWorkspace::ensure`] had to grow the accumulator
+    /// (a non-empty construction counts once) — the grow-only contract the
+    /// engine's growth-event tests assert on: a workspace that has seen an
+    /// `n`-row matrix serves any smaller one without allocating.
+    pub fn growth_events(&self) -> usize {
+        self.growth_events
     }
 
     /// Grow (never shrinks) to accommodate `n_rows`.
@@ -52,6 +62,7 @@ impl<T: Copy + Default> SpmspvWorkspace<T> {
         if self.values.len() < n_rows {
             self.values.resize(n_rows, T::default());
             self.stamp.resize(n_rows, 0);
+            self.growth_events += 1;
         }
     }
 
@@ -63,6 +74,12 @@ impl<T: Copy + Default> SpmspvWorkspace<T> {
             self.epoch = 1;
         }
         self.touched.clear();
+    }
+}
+
+impl<T: Copy + Default> Default for SpmspvWorkspace<T> {
+    fn default() -> Self {
+        Self::new(0)
     }
 }
 
@@ -139,7 +156,15 @@ where
         a.n_cols(),
         "pull expansion needs a square (symmetric) pattern"
     );
-    assert_eq!(x.len(), a.n_rows(), "dimension mismatch in pull SpMSpV");
+    // `>=`, not `==`: a warm dense frontier keeps its high-water length
+    // across matrices (grow-only contract). Stale entries beyond — or
+    // below — `n` belong to older epochs and are invisible to `get`.
+    assert!(
+        x.len() >= a.n_rows(),
+        "dimension mismatch in pull SpMSpV: frontier {} < rows {}",
+        x.len(),
+        a.n_rows()
+    );
     let mut entries: Vec<(Vidx, T)> = Vec::new();
     let mut work = 0usize;
     for r in 0..a.n_rows() {

@@ -1,7 +1,7 @@
 //! `rcm-order` — command-line matrix reordering tool.
 //!
 //! ```text
-//! rcm-order <input.mtx | suite:NAME> [options]
+//! rcm-order <input.mtx | suite:NAME> [<input2.mtx> ...] [options]
 //!
 //! options:
 //!   --method <rcm|cm|sloan|nosort|globalsort>   ordering heuristic (default rcm)
@@ -9,28 +9,42 @@
 //!                          (pooled uses --threads workers; dist runs 16
 //!                          simulated ranks, hybrid 24 cores x 6 t/p — all
 //!                          bit-identical, parity with `repro backends`)
+//!   --compress             order through supervariable compression
+//!                          (--method rcm only, not composable with
+//!                          --backend — the quotient pipeline is
+//!                          sequential; reports the ratio)
 //!   --scale <f>            suite generation scale (suite: inputs only)
 //!   --write-perm <file>    write the permutation (one new label per line)
 //!   --write-matrix <file>  write the reordered matrix in Matrix Market form
 //!   --simulate <cores,..>  also run the simulated distributed RCM
 //!   --threads <t>          threads/process for the simulation and for
-//!                          --backend pooled (default 6)
+//!                          --backend pooled; overrides RCM_THREADS
+//!                          (default: first entry of RCM_THREADS, else 6)
 //! ```
 //!
 //! Inputs are Matrix Market files; `suite:ldoor` style names generate the
-//! corresponding synthetic stand-in instead. The frontier-expansion
-//! direction follows `RCM_DIRECTION` (push|pull|adaptive, default
-//! adaptive); every setting produces the identical ordering.
+//! corresponding synthetic stand-in instead. **Multiple inputs are ordered
+//! through one warm `OrderingEngine`** — backend construction, worker
+//! threads, and workspaces are paid once for the whole invocation. All
+//! inputs are loaded up front; the first bad file aborts with exit code 2
+//! naming it. `--write-perm`/`--write-matrix` require exactly one input.
+//!
+//! The frontier-expansion direction follows `RCM_DIRECTION`
+//! (push|pull|adaptive, default adaptive); every setting produces the
+//! identical ordering.
 
-use distributed_rcm::core::{cuthill_mckee, rcm_globalsort, rcm_nosort};
+use distributed_rcm::core::{
+    cuthill_mckee, rcm_globalsort, rcm_nosort, thread_counts_from_env, EngineConfig, OrderingEngine,
+};
 use distributed_rcm::dist::HybridConfig;
 use distributed_rcm::prelude::*;
 use distributed_rcm::sparse::mm;
 
 struct Options {
-    input: String,
+    inputs: Vec<String>,
     method: String,
     backend: Option<String>,
+    compress: bool,
     scale: Option<f64>,
     write_perm: Option<String>,
     write_matrix: Option<String>,
@@ -40,30 +54,40 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rcm-order <input.mtx | suite:NAME> [--method rcm|cm|sloan|nosort|globalsort]\n\
-         \x20                [--backend serial|pooled|dist|hybrid]\n\
+        "usage: rcm-order <input.mtx | suite:NAME> [<input2> ...]\n\
+         \x20                [--method rcm|cm|sloan|nosort|globalsort]\n\
+         \x20                [--backend serial|pooled|dist|hybrid] [--compress]\n\
          \x20                [--scale f] [--write-perm FILE] [--write-matrix FILE]\n\
          \x20                [--simulate CORES,CORES,...] [--threads T]"
     );
     std::process::exit(2);
 }
 
+/// Thread-count default: the first entry of `RCM_THREADS` when set (the
+/// same environment knob the test sweeps use), else 6. An explicit
+/// `--threads` always overrides it.
+fn default_threads() -> usize {
+    thread_counts_from_env(&[6])[0]
+}
+
 fn parse_args() -> Options {
     let mut opts = Options {
-        input: String::new(),
+        inputs: Vec::new(),
         method: "rcm".into(),
         backend: None,
+        compress: false,
         scale: None,
         write_perm: None,
         write_matrix: None,
         simulate: Vec::new(),
-        threads: 6,
+        threads: default_threads(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--method" => opts.method = args.next().unwrap_or_else(|| usage()),
             "--backend" => opts.backend = Some(args.next().unwrap_or_else(|| usage())),
+            "--compress" => opts.compress = true,
             "--scale" => {
                 opts.scale = Some(
                     args.next()
@@ -88,28 +112,27 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
-            other if opts.input.is_empty() => opts.input = other.to_string(),
-            _ => usage(),
+            other => opts.inputs.push(other.to_string()),
         }
     }
-    if opts.input.is_empty() {
+    if opts.inputs.is_empty() {
         usage();
     }
     opts
 }
 
-fn load(opts: &Options) -> CscMatrix {
-    if let Some(name) = opts.input.strip_prefix("suite:") {
-        let m = suite_matrix(name).unwrap_or_else(|| {
-            eprintln!("unknown suite matrix {name}");
+fn load(name: &str, opts: &Options) -> CscMatrix {
+    if let Some(suite_name) = name.strip_prefix("suite:") {
+        let m = suite_matrix(suite_name).unwrap_or_else(|| {
+            eprintln!("unknown suite matrix {suite_name}");
             std::process::exit(2);
         });
         return m.generate(opts.scale.unwrap_or(m.default_scale));
     }
     // Unknown paths and malformed Matrix Market input are usage errors:
     // exit 2 with a message naming the file, never a panic.
-    let a = mm::read_pattern_file(&opts.input).unwrap_or_else(|e| {
-        eprintln!("cannot load Matrix Market file {}: {e}", opts.input);
+    let a = mm::read_pattern_file(name).unwrap_or_else(|e| {
+        eprintln!("cannot load Matrix Market file {name}: {e}");
         std::process::exit(2);
     });
     if a.is_symmetric() {
@@ -126,13 +149,13 @@ fn load(opts: &Options) -> CscMatrix {
 
 fn main() {
     let opts = parse_args();
-    let a = load(&opts);
-    println!(
-        "matrix: {} rows, {} nnz, avg degree {:.1}",
-        a.n_rows(),
-        a.nnz(),
-        a.nnz() as f64 / a.n_rows().max(1) as f64
-    );
+    if (opts.write_perm.is_some() || opts.write_matrix.is_some()) && opts.inputs.len() > 1 {
+        eprintln!(
+            "--write-perm/--write-matrix apply to a single input (got {})",
+            opts.inputs.len()
+        );
+        std::process::exit(2);
+    }
 
     // --backend picks the RcmRuntime executing the generic algebraic
     // driver (parity with `repro backends`); the ordering is bit-identical
@@ -160,88 +183,151 @@ fn main() {
         );
         std::process::exit(2);
     }
-
-    let t0 = std::time::Instant::now();
-    let perm = match backend_kind {
-        Some(kind) => rcm_with_backend(&a, kind),
-        None => match opts.method.as_str() {
-            "rcm" => rcm(&a),
-            "cm" => cuthill_mckee(&a).0,
-            "sloan" => sloan(&a),
-            "nosort" => rcm_nosort(&a),
-            "globalsort" => rcm_globalsort(&a),
-            other => {
-                eprintln!("unknown method {other}");
-                usage();
-            }
-        },
-    };
-    let dt = t0.elapsed();
-    let q = quality_report(&a, &perm);
-    let (maxw, rmsw) = ordering_wavefront(&a, &perm);
-    match backend_kind {
-        Some(kind) => println!(
-            "{} ordering computed in {dt:?} on the {} backend",
-            opts.method,
-            kind.name()
-        ),
-        None => println!("{} ordering computed in {dt:?}", opts.method),
+    if opts.compress && opts.method != "rcm" {
+        eprintln!(
+            "--compress applies only to --method rcm (got {}): compression wraps the \
+             RCM pipeline",
+            opts.method
+        );
+        std::process::exit(2);
     }
-    println!(
-        "  bandwidth: {} -> {}",
-        q.bandwidth_before, q.bandwidth_after
-    );
-    println!("  profile:   {} -> {}", q.profile_before, q.profile_after);
-    println!("  wavefront: max {maxw}, rms {rmsw:.1}");
+    if opts.compress && backend_kind.is_some() {
+        eprintln!(
+            "--compress does not compose with --backend: the compressed quotient is \
+             ordered by the sequential George-Liu pipeline"
+        );
+        std::process::exit(2);
+    }
 
-    if let Some(path) = &opts.write_perm {
-        let mut text = String::with_capacity(perm.len() * 8);
-        for v in 0..perm.len() {
-            text.push_str(&perm.new_of(v as u32).to_string());
-            text.push('\n');
+    // Load every input up front so the first bad file aborts before any
+    // ordering work (exit 2, naming the file).
+    let matrices: Vec<(String, CscMatrix)> = opts
+        .inputs
+        .iter()
+        .map(|name| (name.clone(), load(name, &opts)))
+        .collect();
+
+    // One warm engine serves every input of the invocation.
+    let mut engine = (opts.method == "rcm").then(|| {
+        let mut cfg = EngineConfig::new(backend_kind.unwrap_or(BackendKind::Serial));
+        cfg.compress = opts.compress;
+        OrderingEngine::new(cfg)
+    });
+
+    for (idx, (name, a)) in matrices.iter().enumerate() {
+        if idx > 0 {
+            println!();
         }
-        std::fs::write(path, text).expect("write permutation");
-        println!("wrote permutation to {path}");
-    }
-    if let Some(path) = &opts.write_matrix {
-        mm::write_pattern_file(&a.permute_sym(&perm), path).expect("write reordered matrix");
-        println!("wrote reordered matrix to {path}");
-    }
+        println!(
+            "{name}: {} rows, {} nnz, avg degree {:.1}",
+            a.n_rows(),
+            a.nnz(),
+            a.nnz() as f64 / a.n_rows().max(1) as f64
+        );
 
-    if !opts.simulate.is_empty() {
-        println!(
-            "\nsimulated distributed RCM (Edison model, {} threads/process):",
-            opts.threads
-        );
-        println!(
-            "{:>8} {:>6} {:>12} {:>12} {:>10}",
-            "cores", "grid", "compute", "comm", "total"
-        );
-        for &cores in &opts.simulate {
-            let cfg = DistRcmConfig {
-                machine: MachineModel::edison(),
-                hybrid: HybridConfig::new(cores, opts.threads),
-                balance_seed: Some(1),
-                sort_mode: SortMode::Full,
-                direction: ExpandDirection::from_env(),
-            };
-            if cfg.hybrid.grid().is_none() {
-                println!(
-                    "{cores:>8}  (skipped: {} processes is not a square)",
-                    cfg.hybrid.nprocs()
-                );
-                continue;
+        let mut engine_report = None;
+        let mut method_perm = None;
+        match engine.as_mut() {
+            Some(engine) => engine_report = Some(engine.order(a)),
+            None => {
+                let t0 = std::time::Instant::now();
+                let perm = match opts.method.as_str() {
+                    "cm" => cuthill_mckee(a).0,
+                    "sloan" => sloan(a),
+                    "nosort" => rcm_nosort(a),
+                    "globalsort" => rcm_globalsort(a),
+                    other => {
+                        eprintln!("unknown method {other}");
+                        usage();
+                    }
+                };
+                println!("{} ordering computed in {:?}", opts.method, t0.elapsed());
+                method_perm = Some(perm);
             }
-            let r = dist_rcm(&a, &cfg);
+        };
+        let perm = engine_report
+            .as_ref()
+            .map(|r| &r.perm)
+            .or(method_perm.as_ref())
+            .expect("one of the branches produced a permutation");
+
+        let q = quality_report(a, perm);
+        if let Some(report) = &engine_report {
+            match backend_kind {
+                Some(kind) => println!(
+                    "rcm ordering computed in {:.3}ms on the {} backend (warm engine)",
+                    report.wall_seconds * 1e3,
+                    kind.name()
+                ),
+                None => println!(
+                    "rcm ordering computed in {:.3}ms (warm engine)",
+                    report.wall_seconds * 1e3
+                ),
+            }
+            if let Some(c) = &report.compress {
+                println!(
+                    "  compression: {} vertices -> {} supervariables (ratio {:.2})",
+                    c.vertices, c.supervariables, c.ratio
+                );
+            }
+        }
+        println!(
+            "  bandwidth: {} -> {}",
+            q.bandwidth_before, q.bandwidth_after
+        );
+        println!("  profile:   {} -> {}", q.profile_before, q.profile_after);
+        let (maxw, rmsw) = ordering_wavefront(a, perm);
+        println!("  wavefront: max {maxw}, rms {rmsw:.1}");
+
+        if let Some(path) = &opts.write_perm {
+            let mut text = String::with_capacity(perm.len() * 8);
+            for v in 0..perm.len() {
+                text.push_str(&perm.new_of(v as u32).to_string());
+                text.push('\n');
+            }
+            std::fs::write(path, text).expect("write permutation");
+            println!("wrote permutation to {path}");
+        }
+        if let Some(path) = &opts.write_matrix {
+            mm::write_pattern_file(&a.permute_sym(perm), path).expect("write reordered matrix");
+            println!("wrote reordered matrix to {path}");
+        }
+
+        if !opts.simulate.is_empty() {
             println!(
-                "{:>8} {:>4}x{:<2} {:>11.4}s {:>11.4}s {:>9.4}s",
-                cores,
-                r.grid_side,
-                r.grid_side,
-                r.breakdown.compute_total(),
-                r.breakdown.comm_total(),
-                r.sim_seconds
+                "\nsimulated distributed RCM (Edison model, {} threads/process):",
+                opts.threads
             );
+            println!(
+                "{:>8} {:>6} {:>12} {:>12} {:>10}",
+                "cores", "grid", "compute", "comm", "total"
+            );
+            for &cores in &opts.simulate {
+                let cfg = DistRcmConfig {
+                    machine: MachineModel::edison(),
+                    hybrid: HybridConfig::new(cores, opts.threads),
+                    balance_seed: Some(1),
+                    sort_mode: SortMode::Full,
+                    direction: ExpandDirection::from_env(),
+                };
+                if cfg.hybrid.grid().is_none() {
+                    println!(
+                        "{cores:>8}  (skipped: {} processes is not a square)",
+                        cfg.hybrid.nprocs()
+                    );
+                    continue;
+                }
+                let r = dist_rcm(a, &cfg);
+                println!(
+                    "{:>8} {:>4}x{:<2} {:>11.4}s {:>11.4}s {:>9.4}s",
+                    cores,
+                    r.grid_side,
+                    r.grid_side,
+                    r.breakdown.compute_total(),
+                    r.breakdown.comm_total(),
+                    r.sim_seconds
+                );
+            }
         }
     }
 }

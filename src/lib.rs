@@ -44,7 +44,8 @@ pub mod prelude {
     pub use rcm_core::{
         algebraic_rcm, dist_rcm, ordering_bandwidth, ordering_profile, ordering_wavefront, par_rcm,
         pseudo_peripheral, quality_report, rcm, rcm_with_backend, rcm_with_backend_directed, sloan,
-        BackendKind, DistRcmConfig, DistRcmResult, ExpandDirection, RcmRuntime, SortMode,
+        BackendKind, DistRcmConfig, DistRcmResult, EngineConfig, ExpandDirection, OrderingEngine,
+        OrderingReport, RcmRuntime, SortMode,
     };
     pub use rcm_dist::{HybridConfig, MachineModel, Phase, ProcGrid, SimClock};
     pub use rcm_graphgen::{suite, suite_matrix, SuiteMatrix};

@@ -142,6 +142,190 @@ fn backend_flag_rejects_non_rcm_methods() {
 }
 
 #[test]
+fn multiple_inputs_order_through_one_warm_engine() {
+    let dir = std::env::temp_dir().join("rcm-order-test-multi");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path_a = dir.join("a.mtx");
+    let path_b = dir.join("b.mtx");
+    std::fs::write(
+        &path_a,
+        "%%MatrixMarket matrix coordinate pattern symmetric\n5 5 4\n2 1\n3 2\n4 3\n5 4\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &path_b,
+        "%%MatrixMarket matrix coordinate pattern symmetric\n4 4 3\n2 1\n3 2\n4 3\n",
+    )
+    .unwrap();
+    let out = rcm_order()
+        .args([path_a.to_str().unwrap(), path_b.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("5 rows"), "{stdout}");
+    assert!(stdout.contains("4 rows"), "{stdout}");
+    assert_eq!(
+        stdout.matches("bandwidth:").count(),
+        2,
+        "one report per input: {stdout}"
+    );
+    assert_eq!(stdout.matches("warm engine").count(), 2, "{stdout}");
+}
+
+#[test]
+fn first_bad_input_of_many_exits_2_naming_it() {
+    let dir = std::env::temp_dir().join("rcm-order-test-multibad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("good.mtx");
+    std::fs::write(
+        &good,
+        "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n",
+    )
+    .unwrap();
+    let bad = dir.join("broken.mtx");
+    std::fs::write(&bad, "not a matrix\n").unwrap();
+    // The bad file comes second; nothing should be ordered and the exit
+    // code must still be 2, naming the broken file.
+    let out = rcm_order()
+        .args([good.to_str().unwrap(), bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("broken.mtx"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stdout.contains("bandwidth:"),
+        "no input may be ordered when one is bad: {stdout}"
+    );
+}
+
+#[test]
+fn threads_flag_drives_the_pooled_backend() {
+    let out = rcm_order()
+        .args([
+            "suite:nd24k",
+            "--scale",
+            "0.005",
+            "--backend",
+            "pooled",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("on the pooled backend"), "{stdout}");
+}
+
+#[test]
+fn compress_flag_reports_compression_stats() {
+    let dir = std::env::temp_dir().join("rcm-order-test-compress");
+    std::fs::create_dir_all(&dir).unwrap();
+    let perm_path = dir.join("perm.txt");
+    // ldoor's stand-in is a 2-dof FEM shape: it must actually compress.
+    let out = rcm_order()
+        .args([
+            "suite:ldoor",
+            "--scale",
+            "0.002",
+            "--compress",
+            "--write-perm",
+            perm_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("compression:"), "{stdout}");
+    assert!(stdout.contains("supervariables"), "{stdout}");
+    // The expanded permutation is still a bijection.
+    let text = std::fs::read_to_string(&perm_path).unwrap();
+    let labels: Vec<usize> = text.lines().map(|l| l.parse().unwrap()).collect();
+    let mut seen = vec![false; labels.len()];
+    for &l in &labels {
+        assert!(l < labels.len() && !seen[l]);
+        seen[l] = true;
+    }
+}
+
+#[test]
+fn compress_flag_rejects_backend_selection() {
+    // The compression path orders the quotient sequentially; silently
+    // accepting --backend would misreport what ran.
+    let out = rcm_order()
+        .args([
+            "suite:ldoor",
+            "--scale",
+            "0.002",
+            "--compress",
+            "--backend",
+            "pooled",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--compress does not compose with --backend"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn compress_flag_rejects_non_rcm_methods() {
+    let out = rcm_order()
+        .args([
+            "suite:nd24k",
+            "--scale",
+            "0.005",
+            "--method",
+            "sloan",
+            "--compress",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--compress applies only to --method rcm"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn write_perm_rejects_multiple_inputs() {
+    let out = rcm_order()
+        .args([
+            "suite:nd24k",
+            "suite:ldoor",
+            "--scale",
+            "0.005",
+            "--write-perm",
+            "/tmp/never-written.txt",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("single input"), "{stderr}");
+}
+
+#[test]
 fn bad_flags_exit_with_usage() {
     let out = rcm_order().args(["--bogus"]).output().unwrap();
     assert!(!out.status.success());
