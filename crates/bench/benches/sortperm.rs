@@ -1,12 +1,13 @@
 //! Criterion microbenchmarks of the SORTPERM step: the paper's specialized
 //! distributed bucket sort against a plain global comparison sort (the
-//! HykSort-style alternative it outperforms, §IV-B).
+//! HykSort-style alternative it outperforms, §IV-B), plus the local kernel
+//! pair — two-pass counting sort vs per-parent bucket `Vec`s.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rcm_dist::{
     dist_sortperm, DistDenseVec, DistSparseVec, MachineModel, ProcGrid, SimClock, VecLayout,
 };
-use rcm_sparse::Vidx;
+use rcm_sparse::{bucket_sortperm_ref, counting_sortperm, Label, SortpermScratch, Vidx};
 
 fn frontier(n: usize, layout: &VecLayout) -> (DistSparseVec<i64>, DistDenseVec<Vidx>) {
     let entries: Vec<(Vidx, i64)> = (0..n as Vidx)
@@ -59,5 +60,32 @@ fn bench_sortperm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sortperm);
+fn bench_sortperm_local(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sortperm_local");
+    group.sample_size(20);
+    for n in [10_000usize, 100_000] {
+        let entries: Vec<(Vidx, Label)> = (0..n as Vidx)
+            .filter(|v| v % 3 != 1)
+            .map(|v| (v, (v as Label * 31) % 64))
+            .collect();
+        let degrees: Vec<Vidx> = (0..n as Vidx).map(|v| (v * 17 + 5) % 97).collect();
+        group.throughput(Throughput::Elements(entries.len() as u64));
+        group.bench_with_input(BenchmarkId::new("counting", n), &entries, |b, entries| {
+            let mut scratch = SortpermScratch::new();
+            b.iter(|| {
+                let sorted = counting_sortperm(entries, (0, 64), &degrees, &mut scratch);
+                std::hint::black_box(sorted.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bucket-vec", n), &entries, |b, entries| {
+            b.iter(|| {
+                let sorted = bucket_sortperm_ref(entries, (0, 64), &degrees);
+                std::hint::black_box(sorted.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sortperm, bench_sortperm_local);
 criterion_main!(benches);

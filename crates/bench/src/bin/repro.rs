@@ -16,6 +16,7 @@
 //!   backends   one generic driver on all four RcmRuntime backends
 //!   balance    load-balance permutation ablation (§IV-A)
 //!   throughput warm OrderingEngine vs cold per-call orderings/sec
+//!   kernels    per-edge / per-element kernel microbenchmarks
 //!   all        everything above
 //! ```
 //!
@@ -32,16 +33,16 @@ use rcm_bench::report::json_str;
 use rcm_bench::{
     ablation_sort_modes, backend_sweep, balance_ablation, compression_table, direction_ablation,
     fig1_cg_solve, fig3_suite_table, fig4_breakdown, fig5_spmspv_split, fig6_flat_vs_hybrid,
-    gather_vs_distributed, load_mtx, machine_sensitivity, mtx_table, quality_comparison,
-    run_hybrid_sweep, scaling_summary, shared_scaling, table2_shared_memory, throughput_table,
-    ExpConfig, Table,
+    gather_vs_distributed, kernels_table, load_mtx, machine_sensitivity, mtx_table,
+    quality_comparison, run_hybrid_sweep, scaling_summary, shared_scaling, table2_shared_memory,
+    throughput_table, ExpConfig, Table,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale <mult>] [--quick] [--out <dir>] [--mtx <file.mtx>]... \
          <fig1|fig3|table2|scaling|fig4|fig5|fig6|ablation|direction|backends|balance|quality\
-         |gather|sensitivity|compress|throughput|all>..."
+         |gather|sensitivity|compress|throughput|kernels|all>..."
     );
     std::process::exit(2);
 }
@@ -149,7 +150,7 @@ fn main() {
     }
     // Reject typos up front: a silently-ignored name would let the CI
     // bench-smoke gate pass while measuring nothing.
-    const KNOWN: [&str; 17] = [
+    const KNOWN: [&str; 18] = [
         "fig1",
         "fig3",
         "table2",
@@ -166,6 +167,7 @@ fn main() {
         "sensitivity",
         "compress",
         "throughput",
+        "kernels",
         "all",
     ];
     for w in &wanted {
@@ -284,6 +286,9 @@ fn main() {
     }
     if want("throughput") {
         ok &= emit(&cfg, &mut manifest, "throughput", &throughput_table(&cfg));
+    }
+    if want("kernels") {
+        ok &= emit(&cfg, &mut manifest, "kernels", &kernels_table(&cfg));
     }
     match write_summary(&cfg, &manifest) {
         Ok(path) => println!("[summary] {}", path.display()),

@@ -17,6 +17,7 @@
 //! | [`balance_ablation`] | §IV-A — load-balance permutation sweep |
 //! | [`mtx_table`] | real Matrix Market inputs (`repro --mtx`) next to the suite |
 //! | [`throughput_table`] | warm `OrderingEngine` vs cold per-call orderings/sec |
+//! | [`kernels_table`] | per-edge / per-element kernel microbenchmarks |
 //!
 //! Absolute times come from the calibrated Edison model and will not match
 //! the paper's testbed exactly; the *shapes* (who wins, scaling knees,
@@ -35,7 +36,11 @@ use rcm_dist::{
 };
 use rcm_graphgen::{suite, suite_matrix, SuiteMatrix};
 use rcm_solver::{cg_iteration_cost, pcg, BlockJacobi};
-use rcm_sparse::{matrix_bandwidth, mm, CooBuilder, CscMatrix, CsrNumeric};
+use rcm_sparse::{
+    bucket_sortperm_ref, counting_sortperm, matrix_bandwidth, mm, spmspv, spmspv_pull,
+    spmspv_pull_ref, CooBuilder, CscMatrix, CsrNumeric, DenseFrontier, Label, PullBuffer,
+    Select2ndMin, SortpermScratch, SparseVec, SpmspvWorkspace, VertexBitmap, Vidx, UNVISITED,
+};
 
 use crate::report::{fmt_count, fmt_secs, Table};
 
@@ -807,6 +812,238 @@ pub fn throughput_table(cfg: &ExpConfig) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// Kernel microbenchmarks — push vs pull vs old pull, counting vs bucket sort
+// ---------------------------------------------------------------------------
+
+/// One suite-class row of the `repro kernels` experiment, in raw numbers
+/// (the table formats and ratios them).
+pub struct KernelRow {
+    /// Suite class name.
+    pub matrix: String,
+    /// Frontier size at the captured (peak) BFS level.
+    pub frontier: usize,
+    /// Matrix nonzeros one pull scan traverses from the captured state
+    /// (identical for the bitmap and the closure kernels).
+    pub pull_work: usize,
+    /// ns per traversed edge, push SpMSpV (the SPA kernel).
+    pub push_ns_edge: f64,
+    /// ns per traversed edge, bitmap-masked pull into the warm buffer.
+    pub pull_ns_edge: f64,
+    /// ns per traversed edge, closure-masked pre-bitmap pull (fresh output
+    /// allocation per call).
+    pub old_pull_ns_edge: f64,
+    /// ns per element, two-pass counting SORTPERM.
+    pub counting_ns_elem: f64,
+    /// ns per element, per-parent bucket-`Vec` SORTPERM.
+    pub bucket_ns_elem: f64,
+    /// Growth events of the warm pull output buffer during the timed
+    /// steady state (must be 0 — the first, warming call is excluded).
+    pub pull_growth_events: usize,
+    /// All kernels agreed bit for bit: bitmap pull == closure pull ==
+    /// push + SELECT (same traversed-edge count), counting == bucket sort.
+    pub identical: bool,
+}
+
+/// A realistic mid-traversal snapshot: the BFS level maximizing
+/// `frontier × unvisited` — where direction-optimizing runs switch to pull
+/// (a fat frontier *and* live candidates; the plain frontier peak can be
+/// the final level of a small-diameter graph, whose candidate set is
+/// empty) — with the frontier carrying consecutive labels (the previous
+/// SORTPERM's output shape) and the visited state mirrored in both a dense
+/// label array and an unvisited bitmap.
+struct MidBfs {
+    frontier: SparseVec<Label>,
+    batch: (Label, Label),
+    order: Vec<Label>,
+    unvisited: VertexBitmap,
+}
+
+fn mid_bfs_state(a: &CscMatrix, degrees: &[Vidx]) -> MidBfs {
+    let n = a.n_rows();
+    let mut order = vec![UNVISITED; n];
+    let mut unvisited = VertexBitmap::new(0);
+    unvisited.reset_ones(n);
+    let mut spa = SpmspvWorkspace::new(n);
+    let mut scratch = SortpermScratch::new();
+    order[0] = 0;
+    unvisited.remove(0);
+    let mut frontier = SparseVec::singleton(n, 0, 0);
+    let mut batch = (0 as Label, 1 as Label);
+    let mut best: Option<(usize, MidBfs)> = None;
+    loop {
+        let merit = frontier.nnz() * unvisited.count();
+        if best.as_ref().is_none_or(|&(m, _)| merit > m) {
+            best = Some((
+                merit,
+                MidBfs {
+                    frontier: frontier.clone(),
+                    batch,
+                    order: order.clone(),
+                    unvisited: unvisited.clone(),
+                },
+            ));
+        }
+        let (y, _) = spmspv::<Label, Select2ndMin>(a, &frontier, &mut spa);
+        let selected = y.select(&order, |l| l == UNVISITED);
+        if selected.is_empty() {
+            break;
+        }
+        // Consecutive labels in (parent, degree, vertex) order, exactly
+        // like the Cuthill-McKee level loop.
+        let sorted = counting_sortperm(selected.entries(), batch, degrees, &mut scratch);
+        let labeled: Vec<(Vidx, Label)> = sorted
+            .iter()
+            .enumerate()
+            .map(|(k, &(_, v))| (v, batch.1 + k as Label))
+            .collect();
+        batch = (batch.1, batch.1 + labeled.len() as Label);
+        for &(v, l) in &labeled {
+            order[v as usize] = l;
+            unvisited.remove(v);
+        }
+        frontier = SparseVec::from_entries(n, labeled);
+    }
+    best.expect("BFS captures at least the seed level").1
+}
+
+/// Best-of-`reps` wall time of `inner` back-to-back calls of `f`.
+fn best_secs(reps: usize, inner: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Microbenchmark the per-edge expansion kernels (push SpMSpV, the bitmap
+/// pull, the pre-bitmap closure pull) and the per-element SORTPERM kernels
+/// (two-pass counting sort, per-parent bucket `Vec`s) on each suite class,
+/// from the captured direction-switch BFS state (max frontier × live
+/// candidates).
+///
+/// The measured ns/edge figures are the ground truth behind
+/// `MachineModel::elem_cost` vs `edge_cost`: the simulator prices a pull
+/// scan at the streaming element rate and a push expansion at the irregular
+/// edge rate, so `elem_cost` should track this experiment's pull ns/edge
+/// (and `edge_cost` its push ns/edge) when recalibrating the model on new
+/// hardware — see `repro sensitivity` for how much the predictions move.
+pub fn kernel_measurements(cfg: &ExpConfig) -> Vec<KernelRow> {
+    let reps = if cfg.quick { 5 } else { 9 };
+    let mut rows = Vec::new();
+    for m in cfg.matrices() {
+        let a = cfg.generate(&m);
+        let n = a.n_rows();
+        let degrees = a.degrees();
+        let st = mid_bfs_state(&a, &degrees);
+        let mut spa = SpmspvWorkspace::new(n);
+        let mut dense = DenseFrontier::new(n);
+        dense.load(&st.frontier);
+        let mut pull_buf = PullBuffer::new();
+
+        // One canonical evaluation per kernel for the bit-equality column
+        // (also warms every workspace before the timed passes).
+        let (push_out, push_work) = spmspv::<Label, Select2ndMin>(&a, &st.frontier, &mut spa);
+        let push_selected = push_out.select(&st.order, |l| l == UNVISITED);
+        let pull_work =
+            spmspv_pull::<Label, Select2ndMin>(&a, &dense, &st.unvisited, &mut pull_buf);
+        let (old_out, old_work) = spmspv_pull_ref::<Label, Select2ndMin>(&a, &dense, |r| {
+            st.order[r as usize] == UNVISITED
+        });
+        let mut identical = pull_buf.to_sparse(n) == old_out
+            && pull_buf.to_sparse(n) == push_selected
+            && pull_work == old_work;
+
+        // SORTPERM input: the expansion's (vertex, parent-label) entries.
+        let entries = push_selected.entries().to_vec();
+        let mut scratch = SortpermScratch::new();
+        let counting_out = counting_sortperm(&entries, st.batch, &degrees, &mut scratch).to_vec();
+        identical &= counting_out == bucket_sortperm_ref(&entries, st.batch, &degrees);
+
+        // Timed passes: enough inner iterations to outgrow timer noise,
+        // best-of-reps to discard ambient load.
+        let warm_events = pull_buf.growth_events();
+        let edge_inner = (200_000 / pull_work.max(1)).clamp(1, 256);
+        let elem_inner = (200_000 / entries.len().max(1)).clamp(1, 1024);
+        let push_secs = best_secs(reps, edge_inner, || {
+            spmspv::<Label, Select2ndMin>(&a, &st.frontier, &mut spa);
+        });
+        let pull_secs = best_secs(reps, edge_inner, || {
+            spmspv_pull::<Label, Select2ndMin>(&a, &dense, &st.unvisited, &mut pull_buf);
+        });
+        let old_pull_secs = best_secs(reps, edge_inner, || {
+            spmspv_pull_ref::<Label, Select2ndMin>(&a, &dense, |r| {
+                st.order[r as usize] == UNVISITED
+            });
+        });
+        let counting_secs = best_secs(reps, elem_inner, || {
+            counting_sortperm(&entries, st.batch, &degrees, &mut scratch);
+        });
+        let bucket_secs = best_secs(reps, elem_inner, || {
+            bucket_sortperm_ref(&entries, st.batch, &degrees);
+        });
+        let per = |secs: f64, inner: usize, units: usize| {
+            secs * 1e9 / (inner as f64 * units.max(1) as f64)
+        };
+        rows.push(KernelRow {
+            matrix: m.name.to_string(),
+            frontier: st.frontier.nnz(),
+            pull_work,
+            push_ns_edge: per(push_secs, edge_inner, push_work),
+            pull_ns_edge: per(pull_secs, edge_inner, pull_work),
+            old_pull_ns_edge: per(old_pull_secs, edge_inner, pull_work),
+            counting_ns_elem: per(counting_secs, elem_inner, entries.len()),
+            bucket_ns_elem: per(bucket_secs, elem_inner, entries.len()),
+            pull_growth_events: pull_buf.growth_events() - warm_events,
+            identical,
+        });
+    }
+    rows
+}
+
+/// The `repro kernels` table: ns/edge for the three expansion kernels and
+/// ns/element for the two SORTPERM kernels, per suite class. The bench
+/// tests assert bitmap pull ≤ closure pull on every class, zero
+/// steady-state growth of the warm pull buffer, and bit-identical outputs.
+pub fn kernels_table(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "Kernel microbenchmarks — expansion ns/edge, SORTPERM ns/element",
+        &[
+            "matrix",
+            "frontier",
+            "edges",
+            "push ns/e",
+            "pull ns/e",
+            "old pull ns/e",
+            "pull/old",
+            "count ns/el",
+            "bucket ns/el",
+            "growth",
+            "identical",
+        ],
+    );
+    for row in kernel_measurements(cfg) {
+        t.row(vec![
+            row.matrix.clone(),
+            row.frontier.to_string(),
+            row.pull_work.to_string(),
+            format!("{:.2}", row.push_ns_edge),
+            format!("{:.2}", row.pull_ns_edge),
+            format!("{:.2}", row.old_pull_ns_edge),
+            format!("{:.2}x", row.pull_ns_edge / row.old_pull_ns_edge.max(1e-12)),
+            format!("{:.2}", row.counting_ns_elem),
+            format!("{:.2}", row.bucket_ns_elem),
+            row.pull_growth_events.to_string(),
+            row.identical.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
 // Ordering-quality comparison across heuristics (RCM vs CM vs Sloan vs …)
 // ---------------------------------------------------------------------------
 
@@ -1432,6 +1669,48 @@ mod tests {
             eprintln!("throughput attempt {attempt} under load: {last_failure}");
         }
         panic!("all {ATTEMPTS} throughput attempts failed; last: {last_failure}");
+    }
+
+    #[test]
+    fn bitmap_pull_kernel_is_not_slower_than_closure_pull() {
+        // The acceptance gate of the kernel rework: on every suite class,
+        // the bitmap-masked pull (word skip, sentinel accumulator, warm
+        // output buffer) must not be slower per traversed edge than the
+        // closure-masked pre-bitmap kernel it replaced, the warm pull
+        // buffer must not grow once warmed, and every kernel must agree
+        // bit for bit.
+        // ns/edge is a wall-clock relation, so measure over independent
+        // attempts: best-of-reps absorbs most ambient load, but sibling
+        // test binaries of a parallel `cargo test` run can steal the cores
+        // for one attempt. Bit-equality and allocation-flatness are
+        // deterministic and asserted on every attempt unconditionally.
+        const ATTEMPTS: usize = 4;
+        let mut last_failure = String::new();
+        for attempt in 0..ATTEMPTS {
+            let rows = kernel_measurements(&quick_cfg());
+            assert_eq!(rows.len(), 3, "one row per quick suite class");
+            last_failure.clear();
+            for row in &rows {
+                assert!(row.identical, "{}: kernel outputs diverged", row.matrix);
+                assert_eq!(
+                    row.pull_growth_events, 0,
+                    "{}: warm pull buffer grew in steady state",
+                    row.matrix
+                );
+                assert!(row.frontier > 0 && row.pull_work > 0, "{}", row.matrix);
+                if row.pull_ns_edge > row.old_pull_ns_edge {
+                    last_failure = format!(
+                        "{}: bitmap pull {:.2} ns/edge slower than closure pull {:.2}",
+                        row.matrix, row.pull_ns_edge, row.old_pull_ns_edge
+                    );
+                }
+            }
+            if last_failure.is_empty() {
+                return;
+            }
+            eprintln!("kernels attempt {attempt} under load: {last_failure}");
+        }
+        panic!("all {ATTEMPTS} kernel attempts failed; last: {last_failure}");
     }
 
     #[test]

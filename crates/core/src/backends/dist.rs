@@ -10,7 +10,7 @@ use rcm_dist::{
     dist_set, dist_sortperm, dist_sortperm_samplesort, dist_spmspv, dist_spmspv_pull,
     DistCscMatrix, DistDenseVec, DistSparseVec, DistSpmspvWorkspace, Phase, SimClock,
 };
-use rcm_sparse::{CscMatrix, Label, Permutation, Select2ndMin, Vidx, UNVISITED};
+use rcm_sparse::{CscMatrix, Label, Permutation, Select2ndMin, VertexBitmap, Vidx, UNVISITED};
 
 /// Simulated distributed-memory backend (2D process grid, α–β machine
 /// model, per-phase cost accounting).
@@ -19,6 +19,11 @@ pub struct DistBackend {
     degrees: DistDenseVec<Vidx>,
     order: DistDenseVec<Label>,
     levels: DistDenseVec<Label>,
+    /// Vertices with `order[g] == UNVISITED` — the pull kernel's candidate
+    /// set, kept as a bitmap so its local scan skips fully visited words.
+    unvisited_order: VertexBitmap,
+    /// Vertices with `levels[g] == UNVISITED`.
+    unvisited_levels: VertexBitmap,
     ws: DistSpmspvWorkspace<Label>,
     clock: SimClock,
     config: DistRcmConfig,
@@ -58,11 +63,20 @@ impl DistBackend {
         // The level vector is (re)initialized by `reset_levels` before
         // every use; constructing it here is not charged.
         let levels: DistDenseVec<Label> = DistDenseVec::filled(dmat.layout().clone(), UNVISITED);
+        // The bitmaps shadow the dense companions; their word-fill rides
+        // along with the (already charged) dense initialization.
+        let n = dmat.n_rows();
+        let mut unvisited_order = VertexBitmap::new(0);
+        unvisited_order.reset_ones(n);
+        let mut unvisited_levels = VertexBitmap::new(0);
+        unvisited_levels.reset_ones(n);
         DistBackend {
             dmat,
             degrees,
             order,
             levels,
+            unvisited_order,
+            unvisited_levels,
             ws,
             clock,
             config: *config,
@@ -210,32 +224,41 @@ impl RcmRuntime for DistBackend {
 
     fn expand_pull(&mut self, x: &Self::Frontier, which: DenseTarget) -> Self::Frontier {
         // Dense-allgather pull: Θ(n/√p′) communication regardless of the
-        // frontier, vs. the sparse gather/reduce of the push path.
-        let mask = match which {
-            DenseTarget::Order => &self.order,
-            DenseTarget::Levels => &self.levels,
+        // frontier, vs. the sparse gather/reduce of the push path. The
+        // candidate set is the unvisited bitmap shadowing the dense
+        // companion, so the local scan skips fully visited 64-vertex words.
+        let cands = match which {
+            DenseTarget::Order => &self.unvisited_order,
+            DenseTarget::Levels => &self.unvisited_levels,
         };
-        dist_spmspv_pull::<Label, Select2ndMin, Label>(
-            &self.dmat,
-            x,
-            mask,
-            |l| l == UNVISITED,
-            &mut self.ws,
-            &mut self.clock,
-        )
+        dist_spmspv_pull::<Label, Select2ndMin>(&self.dmat, x, cands, &mut self.ws, &mut self.clock)
     }
 
     fn set_dense(&mut self, which: DenseTarget, x: &Self::Frontier) {
-        match which {
-            DenseTarget::Order => dist_set(&mut self.order, x, &mut self.clock),
-            DenseTarget::Levels => dist_set(&mut self.levels, x, &mut self.clock),
+        let (dense, bits) = match which {
+            DenseTarget::Order => (&mut self.order, &mut self.unvisited_order),
+            DenseTarget::Levels => (&mut self.levels, &mut self.unvisited_levels),
+        };
+        dist_set(dense, x, &mut self.clock);
+        for (g, value) in x.iter_entries() {
+            if value == UNVISITED {
+                bits.insert(g);
+            } else {
+                bits.remove(g);
+            }
         }
     }
 
     fn set_dense_at(&mut self, which: DenseTarget, v: Vidx, value: Label) {
-        match which {
-            DenseTarget::Order => self.order.set(v, value),
-            DenseTarget::Levels => self.levels.set(v, value),
+        let (dense, bits) = match which {
+            DenseTarget::Order => (&mut self.order, &mut self.unvisited_order),
+            DenseTarget::Levels => (&mut self.levels, &mut self.unvisited_levels),
+        };
+        dense.set(v, value);
+        if value == UNVISITED {
+            bits.insert(v);
+        } else {
+            bits.remove(v);
         }
     }
 
@@ -248,6 +271,7 @@ impl RcmRuntime for DistBackend {
 
     fn reset_levels(&mut self) {
         self.levels = DistDenseVec::filled(self.dmat.layout().clone(), UNVISITED);
+        self.unvisited_levels.reset_ones(self.dmat.n_rows());
         self.clock.charge_elems(self.dmat.layout().max_local_len());
     }
 

@@ -5,9 +5,9 @@
 //! `fetch_min` dedup → parallel per-parent bucket sort) *is* the semiring
 //! SpMSpV fused with `SELECT` and the sort half of `SORTPERM`:
 //! [`RcmRuntime::spmspv`] runs one [`LevelExecutor::expand`], whose output
-//! is already restricted to unvisited vertices (the pool's `visited` array
-//! mirrors both dense companions) with minimum parent labels, sorted by
-//! `(parent, degree, vertex)`. The trait's `SELECT` then re-filters (a
+//! is already restricted to unvisited vertices (the pool's unvisited
+//! bitmap mirrors both dense companions) with minimum parent labels,
+//! sorted by `(parent, degree, vertex)`. The trait's `SELECT` then re-filters (a
 //! no-op pass that keeps the contract honest) and `SORTPERM` assigns
 //! consecutive labels over the already-bucketed tuples.
 //!
@@ -33,7 +33,7 @@
 use crate::driver::{DenseTarget, RcmRuntime};
 use crate::pool::{LevelExecutor, PooledWorkspace};
 use rcm_dist::Phase;
-use rcm_sparse::{Label, Permutation, Vidx, UNVISITED};
+use rcm_sparse::{counting_sortperm, Label, Permutation, Vidx, UNVISITED};
 
 /// Work-stealing shared-memory backend over a borrowed [`LevelExecutor`]
 /// and the pool-owned [`PooledWorkspace`] (construct inside
@@ -167,10 +167,10 @@ impl RcmRuntime for PooledBackend<'_, '_> {
     }
 
     fn expand_pull(&mut self, x: &Self::Frontier, _which: DenseTarget) -> Self::Frontier {
-        // The pool's `visited` array mirrors both dense companions for the
-        // vertices the current component can reach, so the pull mask is the
-        // complement of `visited` — the bottom-up pipeline already returns
-        // only unvisited vertices, exactly what `SELECT` would keep.
+        // The pool's unvisited bitmap mirrors both dense companions for the
+        // vertices the current component can reach, so it *is* the pull
+        // mask — the bottom-up pipeline already returns only unvisited
+        // vertices, exactly what `SELECT` would keep.
         let base = self.load_frontier(x);
         let parallel = self.exec.expand_pull(base, &mut self.ws.cands);
         if parallel && self.phase == Phase::OrderingSpmspv {
@@ -219,9 +219,9 @@ impl RcmRuntime for PooledBackend<'_, '_> {
                 }
             }
         }
-        self.exec.with_state(|visited, _| {
+        self.exec.with_state(|unvisited, _| {
             for &(v, _) in x {
-                visited[v as usize] = true;
+                unvisited.remove(v);
             }
         });
     }
@@ -234,8 +234,8 @@ impl RcmRuntime for PooledBackend<'_, '_> {
                 self.ws.touched.push(v);
             }
         }
-        self.exec.with_state(|visited, _| {
-            visited[v as usize] = true;
+        self.exec.with_state(|unvisited, _| {
+            unvisited.remove(v);
         });
     }
 
@@ -253,16 +253,16 @@ impl RcmRuntime for PooledBackend<'_, '_> {
             self.ws.levels[v as usize] = UNVISITED;
         }
         let touched = &self.ws.touched;
-        self.exec.with_state(|visited, _| {
+        self.exec.with_state(|unvisited, _| {
             for &v in touched {
-                visited[v as usize] = false;
+                unvisited.insert(v);
             }
         });
         self.ws.touched.clear();
     }
 
     fn end_peripheral_search(&mut self) {
-        // The BFS marks live in the shared `visited` array the ordering
+        // The BFS marks live in the shared unvisited bitmap the ordering
         // pass is about to own — roll them back.
         self.reset_levels();
     }
@@ -273,25 +273,17 @@ impl RcmRuntime for PooledBackend<'_, '_> {
         batch: (Label, Label),
         nv: Label,
     ) -> (Self::Frontier, usize) {
-        let degrees = self.exec.degrees();
-        let mut tuples: Vec<(Label, Vidx, Vidx)> = x
-            .iter()
-            .map(|&(v, value)| {
-                debug_assert!(
-                    value >= batch.0 && value < batch.1,
-                    "SORTPERM: value outside the declared bucket range"
-                );
-                (value, degrees[v as usize], v)
-            })
-            .collect();
         // The pool already delivers (parent, degree, vertex) bucket order,
-        // so this pass is a (cheap) verification sort for the general case.
-        tuples.sort_unstable();
-        let count = tuples.len();
-        let labeled: Self::Frontier = tuples
+        // so this pass is a (cheap) verification sort for the general case
+        // — a two-pass counting sort keyed on the batch's label range, like
+        // the serial backend's.
+        let degrees = self.exec.degrees();
+        let sorted = counting_sortperm(x, batch, degrees, &mut self.ws.sort_scratch);
+        let count = sorted.len();
+        let labeled: Self::Frontier = sorted
             .iter()
             .enumerate()
-            .map(|(k, &(_, _, v))| (v, nv + k as Label))
+            .map(|(k, &(_, v))| (v, nv + k as Label))
             .collect();
         (labeled, count)
     }

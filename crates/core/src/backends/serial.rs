@@ -19,20 +19,30 @@
 
 use crate::driver::{DenseTarget, RcmRuntime};
 use rcm_sparse::{
-    dense_set, spmspv, spmspv_pull, CscMatrix, DenseFrontier, Label, Permutation, Select2ndMin,
-    SparseVec, SpmspvWorkspace, Vidx, UNVISITED,
+    counting_sortperm, dense_set, spmspv, spmspv_pull, CscMatrix, DenseFrontier, Label,
+    Permutation, PullBuffer, Select2ndMin, SortpermScratch, SparseVec, SpmspvWorkspace,
+    VertexBitmap, Vidx, UNVISITED,
 };
 
 /// The grow-only, reusable state of a [`SerialBackend`]: dense ordering and
-/// level companions, the degree vector, and the SpMSpV scratch (sparse
-/// accumulator + dense pull frontier). Keep one per session and thread it
-/// through successive orderings to amortize every allocation.
+/// level companions (each shadowed by an unvisited-vertex bitmap so the
+/// pull kernel can skip fully visited 64-vertex words in one compare), the
+/// degree vector, and the SpMSpV scratch (sparse accumulator + dense pull
+/// frontier + warm pull output buffer + SORTPERM counting-sort scratch).
+/// Keep one per session and thread it through successive orderings to
+/// amortize every allocation.
 pub struct SerialWorkspace {
     degrees: Vec<Vidx>,
     order: Vec<Label>,
     levels: Vec<Label>,
+    /// Vertices with `order[v] == UNVISITED`, bit per vertex.
+    unvisited_order: VertexBitmap,
+    /// Vertices with `levels[v] == UNVISITED`, bit per vertex.
+    unvisited_levels: VertexBitmap,
     spa: SpmspvWorkspace<Label>,
     pull: DenseFrontier<Label>,
+    pull_buf: PullBuffer<Label>,
+    sort_scratch: SortpermScratch,
     growth_events: usize,
 }
 
@@ -49,8 +59,12 @@ impl SerialWorkspace {
             degrees: Vec::new(),
             order: Vec::new(),
             levels: Vec::new(),
+            unvisited_order: VertexBitmap::new(0),
+            unvisited_levels: VertexBitmap::new(0),
             spa: SpmspvWorkspace::new(0),
             pull: DenseFrontier::new(0),
+            pull_buf: PullBuffer::new(),
+            sort_scratch: SortpermScratch::new(),
             growth_events: 0,
         }
     }
@@ -59,7 +73,10 @@ impl SerialWorkspace {
     /// warm workspace re-installed on matrices no larger than any it has
     /// seen reports a stable count.
     pub fn growth_events(&self) -> usize {
-        self.growth_events + self.spa.growth_events()
+        self.growth_events
+            + self.spa.growth_events()
+            + self.pull_buf.growth_events()
+            + self.sort_scratch.growth_events()
     }
 
     /// Bind an `n`-vertex matrix: recompute degrees, reset the active
@@ -67,9 +84,7 @@ impl SerialWorkspace {
     /// Grow-only — no allocation when `n` is within the high-water mark.
     fn install(&mut self, a: &CscMatrix) {
         let n = a.n_rows();
-        if self.order.capacity() < n || self.degrees.capacity() < n {
-            self.growth_events += 1;
-        }
+        let dense_grew = self.order.capacity() < n || self.degrees.capacity() < n;
         a.degrees_into(&mut self.degrees);
         if self.order.len() < n {
             self.order.resize(n, UNVISITED);
@@ -77,8 +92,22 @@ impl SerialWorkspace {
         }
         self.order[..n].fill(UNVISITED);
         self.levels[..n].fill(UNVISITED);
+        // `|` not `||`: both bitmaps must be re-bound even when the first
+        // one reports growth.
+        let bits_grew = self.unvisited_order.reset_ones(n) | self.unvisited_levels.reset_ones(n);
+        if dense_grew || bits_grew {
+            self.growth_events += 1;
+        }
         self.spa.ensure(n);
         self.pull.ensure(n);
+        // Pre-grow the shape-dependent scratch to its n-bounded ceiling so
+        // growth stays monotone in the matrix size: a level's pull results
+        // and SORTPERM entries are both ≤ n, but their per-level peaks do
+        // not track n (a 200-vertex star has a fatter level than a bigger
+        // grid), so without this a warm workspace could grow on a smaller
+        // matrix.
+        self.pull_buf.ensure(n);
+        self.sort_scratch.ensure(n);
     }
 }
 
@@ -189,31 +218,48 @@ impl RcmRuntime for SerialBackend<'_> {
 
     fn expand_pull(&mut self, x: &SparseVec<Label>, which: DenseTarget) -> SparseVec<Label> {
         // Sparse → dense conversion of the dual representation, then the
-        // masked row-scan kernel over the unvisited rows.
-        self.ws.pull.load(x);
-        let dense = match which {
-            DenseTarget::Order => &self.ws.order,
-            DenseTarget::Levels => &self.ws.levels,
+        // bitmap-masked row-scan kernel over the unvisited rows (all-visited
+        // words cost one compare each) into the warm output buffer.
+        let ws = &mut self.ws;
+        ws.pull.load(x);
+        let cands = match which {
+            DenseTarget::Order => &ws.unvisited_order,
+            DenseTarget::Levels => &ws.unvisited_levels,
         };
-        let (y, work) = spmspv_pull::<Label, Select2ndMin>(self.a, &self.ws.pull, |r| {
-            dense[r as usize] == UNVISITED
-        });
-        self.spmspv_work += work;
-        y
+        self.spmspv_work +=
+            spmspv_pull::<Label, Select2ndMin>(self.a, &ws.pull, cands, &mut ws.pull_buf);
+        ws.pull_buf.to_sparse(self.n)
     }
 
     fn set_dense(&mut self, which: DenseTarget, x: &SparseVec<Label>) {
-        // Only the active prefix of the warm (possibly longer) buffer.
-        match which {
-            DenseTarget::Order => dense_set(&mut self.ws.order[..self.n], x),
-            DenseTarget::Levels => dense_set(&mut self.ws.levels[..self.n], x),
+        // Only the active prefix of the warm (possibly longer) buffer; the
+        // unvisited bitmap shadows every write.
+        let ws = &mut self.ws;
+        let (dense, bits) = match which {
+            DenseTarget::Order => (&mut ws.order[..self.n], &mut ws.unvisited_order),
+            DenseTarget::Levels => (&mut ws.levels[..self.n], &mut ws.unvisited_levels),
+        };
+        dense_set(dense, x);
+        for &(v, value) in x.entries() {
+            if value == UNVISITED {
+                bits.insert(v);
+            } else {
+                bits.remove(v);
+            }
         }
     }
 
     fn set_dense_at(&mut self, which: DenseTarget, v: Vidx, value: Label) {
-        match which {
-            DenseTarget::Order => self.ws.order[v as usize] = value,
-            DenseTarget::Levels => self.ws.levels[v as usize] = value,
+        let ws = &mut self.ws;
+        let (dense, bits) = match which {
+            DenseTarget::Order => (&mut ws.order, &mut ws.unvisited_order),
+            DenseTarget::Levels => (&mut ws.levels, &mut ws.unvisited_levels),
+        };
+        dense[v as usize] = value;
+        if value == UNVISITED {
+            bits.insert(v);
+        } else {
+            bits.remove(v);
         }
     }
 
@@ -226,6 +272,7 @@ impl RcmRuntime for SerialBackend<'_> {
 
     fn reset_levels(&mut self) {
         self.ws.levels[..self.n].fill(UNVISITED);
+        self.ws.unvisited_levels.reset_ones(self.n);
     }
 
     fn sortperm(
@@ -234,23 +281,18 @@ impl RcmRuntime for SerialBackend<'_> {
         batch: (Label, Label),
         nv: Label,
     ) -> (SparseVec<Label>, usize) {
-        let mut tuples: Vec<(Label, Vidx, Vidx)> = x
-            .entries()
-            .iter()
-            .map(|&(v, value)| {
-                debug_assert!(
-                    value >= batch.0 && value < batch.1,
-                    "SORTPERM: value outside the declared bucket range"
-                );
-                (value, self.ws.degrees[v as usize], v)
-            })
-            .collect();
-        tuples.sort_unstable();
-        let count = tuples.len();
-        let labeled: Vec<(Vidx, Label)> = tuples
+        // Parent labels fall in the previous level's half-open `batch`
+        // range, so a two-pass counting sort keyed on the label replaces
+        // the full (value, degree, vertex) tuple sort — bit-identical
+        // because the per-bucket (degree, vertex) sort is the same
+        // tie-break over unique vertex ids.
+        let ws = &mut self.ws;
+        let sorted = counting_sortperm(x.entries(), batch, &ws.degrees, &mut ws.sort_scratch);
+        let count = sorted.len();
+        let labeled: Vec<(Vidx, Label)> = sorted
             .iter()
             .enumerate()
-            .map(|(k, &(_, _, v))| (v, nv + k as Label))
+            .map(|(k, &(_, v))| (v, nv + k as Label))
             .collect();
         (SparseVec::from_entries(self.n, labeled), count)
     }
@@ -260,10 +302,13 @@ impl RcmRuntime for SerialBackend<'_> {
     }
 
     fn find_unvisited_min_degree(&mut self) -> Option<Vidx> {
-        (0..self.n)
-            .filter(|&v| self.ws.order[v] == UNVISITED)
-            .min_by_key(|&v| (self.ws.degrees[v], v as Vidx))
-            .map(|v| v as Vidx)
+        // Iterate the unvisited bitmap instead of testing every label:
+        // fully visited 64-vertex words cost one compare each, and the
+        // ascending-index iteration keeps the tie-break identical.
+        self.ws
+            .unvisited_order
+            .ones()
+            .min_by_key(|&v| (self.ws.degrees[v as usize], v))
     }
 
     fn spmspv_work(&self) -> usize {

@@ -48,12 +48,14 @@
 //! bottom-up instead: the coordinator scatters the frontier into a dense
 //! per-vertex parent-label array (`Vidx::MAX` = not in frontier), and the
 //! expansion phase claims chunks of the *vertex range* `0..n` — each worker
-//! scans its unvisited rows' adjacencies and takes the minimum frontier
-//! label directly. Because every row is computed by exactly one worker,
-//! pull needs **no atomic dedup at all** (the `fetch_min` claim array sits
-//! idle); the merge phase routes candidates to their parent-range owners
-//! unchanged and the bucket sort is shared verbatim, so a pull level yields
-//! the byte-identical `(parent, degree, vertex)` stream a push level would.
+//! walks the *unvisited bitmap* ([`VertexBitmap`]) over its chunk, so a
+//! fully visited 64-vertex word costs one compare, and scans each surviving
+//! row's adjacency for the minimum frontier label. Because every row is
+//! computed by exactly one worker, pull needs **no atomic dedup at all**
+//! (the `fetch_min` claim array sits idle); the merge phase routes
+//! candidates to their parent-range owners unchanged and the bucket sort is
+//! shared verbatim, so a pull level yields the byte-identical
+//! `(parent, degree, vertex)` stream a push level would.
 //!
 //! **Batch jobs.** Besides level expansions, the gate can post a *batch*
 //! job ([`RcmPool::order_cm_batch`]): workers claim whole matrices
@@ -71,7 +73,7 @@
 
 use crate::backends::serial::{SerialBackend, SerialWorkspace};
 use crate::driver::{drive_cm_directed, DriverStats, ExpandDirection, LabelingMode};
-use rcm_sparse::{CscMatrix, Label, Permutation, Vidx, UNVISITED};
+use rcm_sparse::{CscMatrix, Label, Permutation, VertexBitmap, Vidx, UNVISITED};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Condvar, Mutex, MutexGuard, RwLock};
@@ -257,6 +259,21 @@ struct BatchJob {
     outs: Vec<Mutex<Option<(Permutation, DriverStats)>>>,
 }
 
+/// One worker's outbox for the merge phase: surviving candidates for
+/// destination worker `k` occupy `buf[offs[k]..offs[k + 1]]`.
+///
+/// This used to be `Vec<Vec<Candidate>>` — one push-grown `Vec` per
+/// destination. The flat form is filled by a two-pass counting sort (count
+/// survivors per destination, prefix-sum, scatter), so the merge phase
+/// makes two linear passes over the candidate buffer and never grows more
+/// than one allocation, no matter how many workers it routes to.
+#[derive(Default)]
+struct RouteBox {
+    buf: Vec<Candidate>,
+    /// `nthreads + 1` segment offsets into `buf`.
+    offs: Vec<u32>,
+}
+
 /// Everything the persistent workers share with the coordinator.
 ///
 /// The `RwLock`s are phase-disciplined: writers and readers of the same
@@ -265,13 +282,15 @@ struct BatchJob {
 /// not to arbitrate races.
 struct PoolShared {
     config: PoolConfig,
-    visited: RwLock<Vec<bool>>,
+    /// Not-yet-visited vertices, one bit each — the pull expansion scans
+    /// this a word at a time and the push expansion tests membership.
+    unvisited: RwLock<VertexBitmap>,
     frontier: RwLock<Vec<Vidx>>,
     /// Dense frontier for pull levels: `pull_labels[v]` = parent label of
     /// frontier vertex `v`, `Vidx::MAX` otherwise.
     pull_labels: RwLock<Vec<Vidx>>,
     cands: Vec<RwLock<Vec<Candidate>>>,
-    routes: Vec<RwLock<Vec<Vec<Candidate>>>>,
+    routes: Vec<RwLock<RouteBox>>,
     sorted: Vec<RwLock<Vec<Candidate>>>,
     claims: Vec<AtomicUsize>,
     /// Per-vertex epoch-tagged minimum-parent claims (see [`claim_tag`];
@@ -321,6 +340,7 @@ pub struct PooledWorkspace {
     pub(crate) levels: Vec<Label>,
     pub(crate) touched: Vec<Vidx>,
     pub(crate) cands: Vec<Candidate>,
+    pub(crate) sort_scratch: rcm_sparse::SortpermScratch,
 }
 
 impl PooledWorkspace {
@@ -368,12 +388,12 @@ impl RcmPool {
         let config = PoolConfig { nthreads, ..config };
         let shared = Arc::new(PoolShared {
             config,
-            visited: RwLock::new(Vec::new()),
+            unvisited: RwLock::new(VertexBitmap::new(0)),
             frontier: RwLock::new(Vec::new()),
             pull_labels: RwLock::new(Vec::new()),
             cands: (0..nthreads).map(|_| RwLock::new(Vec::new())).collect(),
             routes: (0..nthreads)
-                .map(|_| RwLock::new(vec![Vec::new(); nthreads]))
+                .map(|_| RwLock::new(RouteBox::default()))
                 .collect(),
             sorted: (0..nthreads).map(|_| RwLock::new(Vec::new())).collect(),
             claims: (0..nthreads).map(|_| AtomicUsize::new(0)).collect(),
@@ -453,12 +473,7 @@ impl RcmPool {
     /// monotone, so stale claims can never match or win again.
     fn install(&mut self, n: usize) {
         let mut grew = false;
-        {
-            let mut visited = self.shared.visited.write().unwrap();
-            grew |= visited.capacity() < n;
-            visited.clear();
-            visited.resize(n, false);
-        }
+        grew |= self.shared.unvisited.write().unwrap().reset_ones(n);
         self.shared.frontier.write().unwrap().clear();
         {
             let mut pull_labels = self.shared.pull_labels.write().unwrap();
@@ -670,13 +685,14 @@ impl LevelExecutor<'_> {
         self.degrees
     }
 
-    /// Mutate the visited set and the current frontier (seed scans, root
-    /// marking, labeling). Scoped so no lock can be held across an
+    /// Mutate the unvisited-vertex bitmap and the current frontier (seed
+    /// scans, root marking, labeling) — marking a vertex visited is
+    /// [`VertexBitmap::remove`]. Scoped so no lock can be held across an
     /// expansion — the workers read both under the same locks.
-    pub fn with_state<R>(&mut self, f: impl FnOnce(&mut Vec<bool>, &mut Vec<Vidx>) -> R) -> R {
-        let mut visited = self.shared.visited.write().unwrap();
+    pub fn with_state<R>(&mut self, f: impl FnOnce(&mut VertexBitmap, &mut Vec<Vidx>) -> R) -> R {
+        let mut unvisited = self.shared.unvisited.write().unwrap();
         let mut frontier = self.shared.frontier.write().unwrap();
-        f(&mut visited, &mut frontier)
+        f(&mut unvisited, &mut frontier)
     }
 
     /// Chunks claimed per worker in the most recent parallel expansion — a
@@ -787,15 +803,15 @@ impl LevelExecutor<'_> {
     /// Single-thread path for small frontiers: emit, sort, dedup, reorder.
     fn expand_sequential(&mut self, base_label: Vidx, out: &mut Vec<Candidate>) {
         let sh = self.shared;
-        let visited_guard = sh.visited.read().unwrap();
-        let visited: &[bool] = &visited_guard;
+        let unvisited_guard = sh.unvisited.read().unwrap();
+        let unvisited: &VertexBitmap = &unvisited_guard;
         let frontier_guard = sh.frontier.read().unwrap();
         let frontier: &[Vidx] = &frontier_guard;
         self.seq_cand.clear();
         for (off, &v) in frontier.iter().enumerate() {
             let parent = base_label + off as Vidx;
             for &w in self.a.col(v as usize) {
-                if !visited[w as usize] {
+                if unvisited.contains(w) {
                     self.seq_cand.push((w, parent, self.degrees[w as usize]));
                 }
             }
@@ -811,29 +827,26 @@ impl LevelExecutor<'_> {
         out.sort_unstable_by_key(|&(v, parent, deg)| (parent, deg, v));
     }
 
-    /// Single-thread pull path: masked scan over the vertex range against
-    /// the dense pull-label array. Each vertex is computed exactly once, so
-    /// no dedup pass is needed — only the final `(parent, degree, vertex)`
-    /// reorder.
+    /// Single-thread pull path: walk the unvisited bitmap (fully visited
+    /// 64-vertex words cost one compare) and scan each surviving row
+    /// against the dense pull-label array. Each vertex is computed exactly
+    /// once, so no dedup pass is needed — only the final
+    /// `(parent, degree, vertex)` reorder.
     fn expand_pull_sequential(&mut self, out: &mut Vec<Candidate>) {
         let sh = self.shared;
-        let visited_guard = sh.visited.read().unwrap();
-        let visited: &[bool] = &visited_guard;
+        let unvisited_guard = sh.unvisited.read().unwrap();
         let labels_guard = sh.pull_labels.read().unwrap();
         let labels: &[Vidx] = &labels_guard;
-        for (v, &vis) in visited.iter().enumerate() {
-            if vis {
-                continue;
-            }
+        for v in unvisited_guard.ones() {
             let mut best = Vidx::MAX;
-            for &w in self.a.col(v) {
+            for &w in self.a.col(v as usize) {
                 let l = labels[w as usize];
                 if l < best {
                     best = l;
                 }
             }
             if best != Vidx::MAX {
-                out.push((v as Vidx, best, self.degrees[v]));
+                out.push((v, best, self.degrees[v as usize]));
             }
         }
         out.sort_unstable_by_key(|&(v, parent, deg)| (parent, deg, v));
@@ -947,12 +960,14 @@ fn run_level(
     // --- Phase 1: dynamic expansion ------------------------------------
     // Push: claim frontier chunks, emit each unvisited neighbour with its
     // parent label and `fetch_min` the minimum-parent claim. Pull: claim
-    // vertex-range chunks, scan each unvisited vertex's adjacency against
-    // the dense frontier-label array — each vertex is computed by exactly
-    // one worker, so no claims are needed.
+    // vertex-range chunks and walk the unvisited bitmap over each chunk —
+    // a fully visited 64-vertex word costs one compare — scanning each
+    // surviving row's adjacency against the dense frontier-label array;
+    // each vertex is computed by exactly one worker, so no claims are
+    // needed.
     let r1 = catch_unwind(AssertUnwindSafe(|| {
-        let visited_guard = shared.visited.read().unwrap();
-        let visited: &[bool] = &visited_guard;
+        let unvisited_guard = shared.unvisited.read().unwrap();
+        let unvisited: &VertexBitmap = &unvisited_guard;
         let frontier_guard = shared.frontier.read().unwrap();
         let frontier: &[Vidx] = &frontier_guard;
         let labels_guard = shared.pull_labels.read().unwrap();
@@ -965,26 +980,23 @@ fn run_level(
         while let Some(range) = shared.queue.claim() {
             claimed += 1;
             if pull {
-                for v in range {
-                    if visited[v] {
-                        continue;
-                    }
+                for v in unvisited.ones_in(range) {
                     let mut min_label = Vidx::MAX;
-                    for &w in a.col(v) {
+                    for &w in a.col(v as usize) {
                         let l = labels[w as usize];
                         if l < min_label {
                             min_label = l;
                         }
                     }
                     if min_label != Vidx::MAX {
-                        cand.push((v as Vidx, min_label, degrees[v]));
+                        cand.push((v, min_label, degrees[v as usize]));
                     }
                 }
             } else {
                 for off in range {
                     let parent = base_label + off as Vidx;
                     for &w in a.col(frontier[off] as usize) {
-                        if !visited[w as usize] {
+                        if unvisited.contains(w) {
                             cand.push((w, parent, degrees[w as usize]));
                             best[w as usize].fetch_min(tag | parent as u64, Ordering::Relaxed);
                         }
@@ -1003,22 +1015,45 @@ fn run_level(
             // worker, so keeping the pairs whose claim survived yields the
             // unique minimum-parent set with no cross-worker comparison at
             // all. Pull: candidates are already unique minima — routing
-            // only.
+            // only. Routing is a two-pass counting sort into the flat
+            // outbox (count survivors per destination, prefix-sum,
+            // scatter) instead of per-destination `Vec` pushes; within a
+            // destination segment the scatter preserves candidate order,
+            // so the stream each owner receives is unchanged.
             let plen = shared.frontier.read().unwrap().len();
             let best_guard = shared.best.read().unwrap();
             let best: &[AtomicU64] = &best_guard;
             let cand = shared.cands[tid].read().unwrap();
+            let survives = |c: &Candidate| {
+                pull || best[c.0 as usize].load(Ordering::Relaxed) == tag | c.1 as u64
+            };
             let mut route = shared.routes[tid].write().unwrap();
-            route.resize_with(nw, Vec::new);
-            for outbox in route.iter_mut() {
-                outbox.clear();
-            }
-            for &c in cand.iter() {
-                if pull || best[c.0 as usize].load(Ordering::Relaxed) == tag | c.1 as u64 {
-                    let off = (c.1 - base_label) as usize;
-                    route[bucket_owner(off, plen, nw)].push(c);
+            let rb = &mut *route;
+            rb.offs.clear();
+            rb.offs.resize(nw + 1, 0);
+            for c in cand.iter() {
+                if survives(c) {
+                    rb.offs[bucket_owner((c.1 - base_label) as usize, plen, nw) + 1] += 1;
                 }
             }
+            for k in 1..=nw {
+                rb.offs[k] += rb.offs[k - 1];
+            }
+            rb.buf.clear();
+            rb.buf.resize(rb.offs[nw] as usize, (0, 0, 0));
+            // Scatter, advancing offs[k] in place; shift back afterwards so
+            // offs[k]..offs[k + 1] is destination k's segment again.
+            for &c in cand.iter() {
+                if survives(&c) {
+                    let k = bucket_owner((c.1 - base_label) as usize, plen, nw);
+                    rb.buf[rb.offs[k] as usize] = c;
+                    rb.offs[k] += 1;
+                }
+            }
+            for k in (1..=nw).rev() {
+                rb.offs[k] = rb.offs[k - 1];
+            }
+            rb.offs[0] = 0;
         }))
     } else {
         Ok(())
@@ -1030,13 +1065,16 @@ fn run_level(
         catch_unwind(AssertUnwindSafe(|| {
             let plen = shared.frontier.read().unwrap().len();
             let routes: Vec<_> = shared.routes.iter().map(|r| r.read().unwrap()).collect();
+            fn inbox(rb: &RouteBox, tid: usize) -> &[Candidate] {
+                &rb.buf[rb.offs[tid] as usize..rb.offs[tid + 1] as usize]
+            }
             let mut sorted = shared.sorted[tid].write().unwrap();
             let range = bucket_range(tid, plen, nw);
             let width = range.len();
             hist.clear();
             hist.resize(width + 1, 0);
-            for inbox in routes.iter().map(|r| &r[tid]) {
-                for &(_, parent, _) in inbox {
+            for rb in routes.iter() {
+                for &(_, parent, _) in inbox(rb, tid) {
                     hist[(parent - base_label) as usize - range.start + 1] += 1;
                 }
             }
@@ -1047,8 +1085,8 @@ fn run_level(
             sorted.resize(hist[width] as usize, (0, 0, 0));
             cursors.clear();
             cursors.extend_from_slice(&hist[..width]);
-            for inbox in routes.iter().map(|r| &r[tid]) {
-                for &c in inbox {
+            for rb in routes.iter() {
+                for &c in inbox(rb, tid) {
                     let b = (c.1 - base_label) as usize - range.start;
                     sorted[cursors[b] as usize] = c;
                     cursors[b] += 1;
@@ -1180,9 +1218,9 @@ mod tests {
         base_label: Vidx,
     ) -> (Vec<Candidate>, bool) {
         pool.run(a, degrees, |exec, _ws| {
-            exec.with_state(|visited, f| {
+            exec.with_state(|unvisited, f| {
                 for &v in frontier {
-                    visited[v as usize] = true;
+                    unvisited.remove(v);
                 }
                 f.extend_from_slice(frontier);
             });
@@ -1312,9 +1350,9 @@ mod tests {
             chunk: 16,
         });
         pool.run(&a, &degrees, |exec, _ws| {
-            exec.with_state(|visited, f| {
+            exec.with_state(|unvisited, f| {
                 for &v in &frontier {
-                    visited[v as usize] = true;
+                    unvisited.remove(v);
                 }
                 f.extend_from_slice(&frontier);
             });

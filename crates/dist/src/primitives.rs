@@ -13,7 +13,7 @@
 use crate::clock::SimClock;
 use crate::matrix::DistCscMatrix;
 use crate::vec::{DistDenseVec, DistSparseVec};
-use rcm_sparse::{Label, Semiring, Vidx, UNVISITED};
+use rcm_sparse::{Label, Semiring, VertexBitmap, Vidx, UNVISITED};
 
 /// Bytes of one `(index, value)` pair on the wire.
 const ENTRY_BYTES: u64 = 16;
@@ -207,16 +207,17 @@ where
     out
 }
 
-/// Pull (bottom-up) expansion fused with `SELECT`: for every row `g` whose
-/// dense companion in `mask` satisfies `pred`, the semiring-sum of
-/// `S::multiply(x[w])` over `g`'s frontier neighbours — the
-/// direction-optimizing dual of [`dist_spmspv`] for symmetric patterns.
+/// Pull (bottom-up) expansion fused with `SELECT`: for every candidate row
+/// `g` (a set bit in `cands`), the semiring-sum of `S::multiply(x[w])` over
+/// `g`'s frontier neighbours — the direction-optimizing dual of
+/// [`dist_spmspv`] for symmetric patterns.
 ///
 /// **Data path.** Bit-identical to
-/// `dist_select(dist_spmspv(a, x), mask, pred)`: for a symmetric `A`,
-/// scanning the column `A(:, g)` enumerates exactly the frontier columns
-/// whose push expansion reaches `g`, and the semiring's
-/// associative/commutative `add` makes the merge order irrelevant.
+/// `dist_select(dist_spmspv(a, x), mask, pred)` when `cands` holds exactly
+/// the rows the mask would keep: for a symmetric `A`, scanning the column
+/// `A(:, g)` enumerates exactly the frontier columns whose push expansion
+/// reaches `g`, and the semiring's associative/commutative `add` makes the
+/// merge order irrelevant.
 ///
 /// **Cost model.** The communication is the Beamer-style trade: instead of
 /// shipping `(index, value)` pairs proportional to the frontier
@@ -229,24 +230,28 @@ where
 /// the *streaming* element rate (`elem_cost`) rather than the irregular
 /// edge rate: the pull scan reads each candidate row's adjacency
 /// sequentially and probes a dense array, with none of push's scattered
-/// accumulator writes; the dense mask scan (`n/p′` per rank) rides along.
-pub fn dist_spmspv_pull<T, S, Y>(
+/// accumulator writes. The candidate sweep itself is a 64-way word scan of
+/// the unvisited bitmap (`⌈n/p′/64⌉` words per rank), so a fully visited
+/// word costs one compare instead of 64 dense-label loads — the shared-
+/// memory kernels' trick, reflected here in the `div_ceil(64)` term.
+pub fn dist_spmspv_pull<T, S>(
     a: &DistCscMatrix,
     x: &DistSparseVec<T>,
-    mask: &DistDenseVec<Y>,
-    pred: impl Fn(Y) -> bool,
+    cands: &VertexBitmap,
     ws: &mut DistSpmspvWorkspace<T>,
     clock: &mut SimClock,
 ) -> DistSparseVec<T>
 where
     T: Copy + Default,
     S: Semiring<T>,
-    Y: Copy,
 {
     let layout = a.layout();
     assert_eq!(*layout, x.layout, "pull SpMSpV: frontier layout mismatch");
-    assert_eq!(*layout, mask.layout, "pull SpMSpV: mask layout mismatch");
     let n = layout.len();
+    assert!(
+        cands.len() >= n,
+        "pull SpMSpV: candidate bitmap shorter than the matrix"
+    );
     let pr = a.grid().pr;
     let p = layout.nprocs();
     ws.ensure(n, pr);
@@ -259,19 +264,18 @@ where
         ws.values[gi] = xv;
     }
 
-    // --- masked row scan, per vector owner --------------------------------
+    // --- candidate row scan, per vector owner -----------------------------
     let mut out = DistSparseVec::empty(layout.clone());
     for rank in 0..p {
         let (s, e) = layout.local_range(rank);
-        for g in s..e {
-            if !pred(mask.parts[rank][g - s]) {
-                continue;
-            }
+        for g in cands.ones_in(s..e.min(n)) {
+            let g = g as usize;
             // Column A(:, g) = row g's neighbours (symmetric pattern),
             // spread over the pr blocks of column strip jc.
             let jc = a.strip_of(g as Vidx);
             let lc = g - a.strip_start(jc);
-            let mut acc: Option<T> = None;
+            let mut acc = S::identity();
+            let mut found = false;
             for ir in 0..pr {
                 let col = a.block(ir, jc).col(lc);
                 if col.is_empty() {
@@ -282,24 +286,21 @@ where
                 for &lr in col {
                     let w = r0 + lr as usize;
                     if ws.stamp[w] == ws.epoch {
-                        let prod = S::multiply(ws.values[w]);
-                        acc = Some(match acc {
-                            Some(old) => S::add(old, prod),
-                            None => prod,
-                        });
+                        acc = S::add(acc, S::multiply(ws.values[w]));
+                        found = true;
                     }
                 }
             }
-            if let Some(v) = acc {
-                out.parts[rank].push((g as Vidx, v));
+            if found {
+                out.parts[rank].push((g as Vidx, acc));
             }
         }
     }
 
     // --- cost -------------------------------------------------------------
     let max_block_work = ws.block_work.iter().copied().max().unwrap_or(0);
-    // Streaming candidate-row scans plus the dense mask sweep.
-    clock.charge_elems(max_block_work + layout.max_local_len());
+    // Streaming candidate-row scans plus the word-level bitmap sweep.
+    clock.charge_elems(max_block_work + layout.max_local_len().div_ceil(64));
     if p > 1 {
         let machine = *clock.machine();
         let dense_bytes = DENSE_LABEL_BYTES * layout.max_local_len() as u64;
@@ -531,6 +532,12 @@ mod tests {
         let entries = vec![(4 as Vidx, 2 as Label), (1, 3)];
         // Mask: a, d visited (label >= 0), the rest unvisited.
         let mask_global: Vec<Label> = vec![0, UNVISITED, UNVISITED, 1, 2, UNVISITED, UNVISITED, 3];
+        let mut cands = VertexBitmap::new(mask_global.len());
+        for (v, &l) in mask_global.iter().enumerate() {
+            if l == UNVISITED {
+                cands.insert(v as Vidx);
+            }
+        }
         for procs in [1usize, 4, 9, 16] {
             let grid = ProcGrid::square(procs).unwrap();
             let d = DistCscMatrix::from_global(grid, &a, None);
@@ -542,14 +549,8 @@ mod tests {
             let selected = dist_select(&push, &mask, |l| l == UNVISITED, &mut clk);
             let expect: Vec<_> = selected.iter_entries().collect();
             let mut pull_clk = clock();
-            let pull = dist_spmspv_pull::<Label, Select2ndMin, Label>(
-                &d,
-                &x,
-                &mask,
-                |l| l == UNVISITED,
-                &mut ws,
-                &mut pull_clk,
-            );
+            let pull =
+                dist_spmspv_pull::<Label, Select2ndMin>(&d, &x, &cands, &mut ws, &mut pull_clk);
             let got: Vec<_> = pull.iter_entries().collect();
             assert_eq!(got, expect, "{procs} procs");
             if procs == 1 {
@@ -573,21 +574,15 @@ mod tests {
         }
         let a = b.build();
         let d = DistCscMatrix::from_global(ProcGrid::square(4).unwrap(), &a, None);
-        let mask = DistDenseVec::filled(d.layout().clone(), UNVISITED);
+        let mut cands = VertexBitmap::new(0);
+        cands.reset_ones(n);
         let mut ws = DistSpmspvWorkspace::new();
         let mut bytes = Vec::new();
         for nnz in [1usize, 32] {
             let entries: Vec<(Vidx, Label)> = (0..nnz).map(|k| (k as Vidx, k as Label)).collect();
             let x = DistSparseVec::from_entries(d.layout().clone(), entries);
             let mut clk = clock();
-            let _ = dist_spmspv_pull::<Label, Select2ndMin, Label>(
-                &d,
-                &x,
-                &mask,
-                |l| l == UNVISITED,
-                &mut ws,
-                &mut clk,
-            );
+            let _ = dist_spmspv_pull::<Label, Select2ndMin>(&d, &x, &cands, &mut ws, &mut clk);
             bytes.push(clk.bytes);
         }
         assert_eq!(bytes[0], bytes[1], "pull volume must not track nnz(x)");

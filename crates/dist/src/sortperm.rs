@@ -1,12 +1,13 @@
 //! The distributed `SORTPERM` step: assign consecutive labels to a frontier
 //! in `(parent label, degree, vertex)` order.
 //!
-//! Two cost models over the identical data path:
+//! Two routes to the bit-identical labeling:
 //!
 //! * [`dist_sortperm`] — the paper's *specialized bucket sort* (§IV-B).
 //!   Parent labels are contiguous (they were assigned consecutively last
 //!   level), so every tuple is routed straight to its bucket owner with one
-//!   AllToAll and placed by streaming — linear local work.
+//!   AllToAll and placed by streaming — linear local work, realized here as
+//!   the same two-pass counting sort the shared-memory kernels use.
 //! * [`dist_sortperm_samplesort`] — the "state-of-the-art general sorting
 //!   library" baseline: a PSRS/HykSort-style sample sort that cannot exploit
 //!   the bucket structure. Same permutation, strictly higher simulated cost
@@ -27,8 +28,9 @@ fn lg(m: usize) -> usize {
     (usize::BITS - m.max(1).leading_zeros()) as usize
 }
 
-/// Shared exact data path: sort `(value, degree, vertex)` lexicographically
-/// and hand out labels `nv, nv+1, …`.
+/// Comparison-sort data path (the general-sort baseline): sort
+/// `(value, degree, vertex)` lexicographically and hand out labels
+/// `nv, nv+1, …`.
 fn sortperm_data(
     x: &DistSparseVec<Label>,
     degrees: &DistDenseVec<Vidx>,
@@ -58,6 +60,57 @@ fn sortperm_data(
     )
 }
 
+/// Bucketed data path of the specialized sort: a two-pass counting sort
+/// keyed on the (contiguous) parent label — count, exclusive prefix sum,
+/// scatter of `(degree, vertex)` pairs into one flat buffer — followed by a
+/// per-bucket `(degree, vertex)` sort. Bit-identical to [`sortperm_data`]'s
+/// full lexicographic sort because vertex ids are unique, but the bucket
+/// placement is the streaming linear pass the cost model charges for.
+fn sortperm_data_counting(
+    x: &DistSparseVec<Label>,
+    degrees: &DistDenseVec<Vidx>,
+    bucket_range: (Label, Label),
+    nv: Label,
+) -> (DistSparseVec<Label>, usize) {
+    assert_eq!(x.layout, degrees.layout, "SORTPERM: layout mismatch");
+    let (lo, hi) = bucket_range;
+    let nb = (hi - lo).max(0) as usize;
+    let mut offs = vec![0usize; nb + 1];
+    let mut count = 0usize;
+    for part in &x.parts {
+        count += part.len();
+        for &(_, value) in part {
+            offs[(value - lo) as usize + 1] += 1;
+        }
+    }
+    for b in 0..nb {
+        offs[b + 1] += offs[b];
+    }
+    let mut buf = vec![(0 as Vidx, 0 as Vidx); count];
+    for (rank, part) in x.parts.iter().enumerate() {
+        let (s, _) = x.layout.local_range(rank);
+        for &(g, value) in part {
+            let b = (value - lo) as usize;
+            buf[offs[b]] = (degrees.parts[rank][g as usize - s], g);
+            offs[b] += 1;
+        }
+    }
+    let mut start = 0usize;
+    for &end in &offs[..nb] {
+        buf[start..end].sort_unstable();
+        start = end;
+    }
+    let labeled: Vec<(Vidx, Label)> = buf
+        .iter()
+        .enumerate()
+        .map(|(k, &(_, g))| (g, nv + k as Label))
+        .collect();
+    (
+        DistSparseVec::from_entries(x.layout.clone(), labeled),
+        count,
+    )
+}
+
 /// The paper's specialized distributed bucket sort.
 ///
 /// `bucket_range` is the half-open label range of the previous frontier
@@ -76,7 +129,7 @@ pub fn dist_sortperm(
             .all(|(_, v)| v >= bucket_range.0 && v < bucket_range.1),
         "SORTPERM: value outside the declared bucket range"
     );
-    let (out, count) = sortperm_data(x, degrees, nv);
+    let (out, count) = sortperm_data_counting(x, degrees, bucket_range, nv);
 
     let p = x.layout.nprocs();
     let max_send = x.max_part_nnz();

@@ -1,0 +1,340 @@
+//! One-bit-per-vertex sets for the cache-shaped expansion kernels.
+//!
+//! The Beamer-style pull scan ([`crate::spmspv_pull`]) spends its time
+//! asking "is row `r` still a candidate?" for every vertex of the matrix.
+//! A `Vec<bool>` answers one vertex per byte; [`VertexBitmap`] packs 64
+//! answers into each `u64` word, so one cache line covers 512 vertices and
+//! a word whose bits are all zero — a fully-visited stretch of the vertex
+//! range — is skipped with a single compare instead of 64 loads. The
+//! iteration order over set bits is ascending vertex index, which is
+//! exactly the row-scan order the pull kernel needs for bit-identical
+//! output.
+//!
+//! Buffers follow the workspace grow-only contract: [`VertexBitmap::ensure`]
+//! never shrinks the backing words, and the O(words) resets
+//! ([`VertexBitmap::reset_ones`] / [`VertexBitmap::reset_zeros`]) report
+//! whether the store had to grow so owners can fold it into their
+//! growth-event counters.
+
+use crate::Vidx;
+use std::ops::Range;
+
+const WORD_BITS: usize = 64;
+
+/// A set of vertices stored one bit per vertex in `u64` words.
+///
+/// Bits at positions `>= len` are kept zero (the *tail invariant*), so word
+/// iteration never reports a phantom vertex even on a warm bitmap whose
+/// backing store once served a larger matrix.
+///
+/// ```
+/// use rcm_sparse::VertexBitmap;
+///
+/// let mut b = VertexBitmap::new(130);
+/// b.insert(3);
+/// b.insert(128);
+/// assert!(b.contains(3) && !b.contains(4));
+/// assert_eq!(b.ones().collect::<Vec<_>>(), vec![3, 128]);
+/// assert_eq!(b.words()[1], 0, "word 1 (bits 64..128) skippable in one compare");
+/// ```
+#[derive(Clone, Debug)]
+pub struct VertexBitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl VertexBitmap {
+    /// An empty set over `n` vertices (all bits clear).
+    pub fn new(n: usize) -> Self {
+        VertexBitmap {
+            words: vec![0; n.div_ceil(WORD_BITS)],
+            len: n,
+        }
+    }
+
+    /// Logical number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of backing words covering the logical length.
+    #[inline]
+    pub fn n_words(&self) -> usize {
+        self.len.div_ceil(WORD_BITS)
+    }
+
+    /// Grow (never shrinks) to at least `n` vertices; new bits are clear.
+    /// Returns whether the backing store had to grow.
+    pub fn ensure(&mut self, n: usize) -> bool {
+        self.len = self.len.max(n);
+        let need = n.div_ceil(WORD_BITS);
+        let grew = self.words.capacity() < need;
+        if self.words.len() < need {
+            self.words.resize(need, 0);
+        }
+        grew
+    }
+
+    /// Re-bind to an `n`-vertex matrix with every vertex *out* of the set.
+    /// O(words); returns whether the backing store had to grow.
+    pub fn reset_zeros(&mut self, n: usize) -> bool {
+        let grew = self.ensure(n);
+        self.len = n;
+        self.words.fill(0);
+        grew
+    }
+
+    /// Re-bind to an `n`-vertex matrix with every vertex *in* the set
+    /// (the "all unvisited" install state). O(words); bits beyond `n` are
+    /// cleared to keep the tail invariant. Returns whether the backing
+    /// store had to grow.
+    pub fn reset_ones(&mut self, n: usize) -> bool {
+        let grew = self.ensure(n);
+        self.len = n;
+        let full = n / WORD_BITS;
+        self.words[..full].fill(u64::MAX);
+        self.words[full..].fill(0);
+        if !n.is_multiple_of(WORD_BITS) {
+            self.words[full] = (1u64 << (n % WORD_BITS)) - 1;
+        }
+        grew
+    }
+
+    /// Put vertex `i` in the set.
+    #[inline]
+    pub fn insert(&mut self, i: Vidx) {
+        let i = i as usize;
+        debug_assert!(i < self.len, "vertex {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Take vertex `i` out of the set.
+    #[inline]
+    pub fn remove(&mut self, i: Vidx) {
+        let i = i as usize;
+        debug_assert!(i < self.len, "vertex {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// O(1) membership test (false beyond the logical length).
+    #[inline]
+    pub fn contains(&self, i: Vidx) -> bool {
+        let i = i as usize;
+        i < self.len && self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// The backing words (64 vertices each, tail bits zero) — the word
+    /// stream the pull kernel scans.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of vertices in the set.
+    pub fn count(&self) -> usize {
+        self.words[..self.n_words()]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// The smallest vertex in word `wi` that is *not* in the set (and is
+    /// within the logical length), if any — the "first unset in word" scan
+    /// used to find an unvisited vertex inside a partially-visited word.
+    pub fn first_unset_in_word(&self, wi: usize) -> Option<Vidx> {
+        let base = wi * WORD_BITS;
+        if base >= self.len {
+            return None;
+        }
+        let limit = (self.len - base).min(WORD_BITS);
+        let mask = if limit == WORD_BITS {
+            u64::MAX
+        } else {
+            (1u64 << limit) - 1
+        };
+        let unset = !self.words[wi] & mask;
+        if unset == 0 {
+            None
+        } else {
+            Some((base + unset.trailing_zeros() as usize) as Vidx)
+        }
+    }
+
+    /// The smallest vertex not in the set, scanning a word at a time
+    /// (all-ones words — fully visited stretches — cost one compare each).
+    pub fn first_unset(&self) -> Option<Vidx> {
+        (0..self.n_words()).find_map(|wi| self.first_unset_in_word(wi))
+    }
+
+    /// Iterate the set vertices in ascending order, skipping empty words
+    /// with one compare each.
+    pub fn ones(&self) -> Ones<'_> {
+        self.ones_in(0..self.len)
+    }
+
+    /// Iterate the set vertices inside `range` (clamped to the logical
+    /// length) in ascending order — the chunk-claiming form the pool's
+    /// pull expansion uses.
+    pub fn ones_in(&self, range: Range<usize>) -> Ones<'_> {
+        let start = range.start.min(self.len);
+        let end = range.end.min(self.len);
+        let mut it = Ones {
+            words: &self.words,
+            wi: start / WORD_BITS,
+            end_word: end.div_ceil(WORD_BITS),
+            cur: 0,
+            start,
+            end,
+        };
+        if start < end {
+            it.cur = it.load(it.wi);
+        } else {
+            it.end_word = it.wi; // empty range: exhaust immediately
+        }
+        it
+    }
+}
+
+/// Iterator over the set bits of a [`VertexBitmap`] within a vertex range.
+pub struct Ones<'a> {
+    words: &'a [u64],
+    wi: usize,
+    end_word: usize,
+    cur: u64,
+    start: usize,
+    end: usize,
+}
+
+impl Ones<'_> {
+    /// Word `wi` masked to the iteration range.
+    fn load(&self, wi: usize) -> u64 {
+        let mut w = self.words[wi];
+        let base = wi * WORD_BITS;
+        if base < self.start {
+            w &= u64::MAX << (self.start - base);
+        }
+        if base + WORD_BITS > self.end {
+            let keep = self.end - base; // > 0 while wi < end_word
+            if keep < WORD_BITS {
+                w &= (1u64 << keep) - 1;
+            }
+        }
+        w
+    }
+}
+
+impl Iterator for Ones<'_> {
+    type Item = Vidx;
+
+    #[inline]
+    fn next(&mut self) -> Option<Vidx> {
+        loop {
+            if self.cur != 0 {
+                let b = self.cur.trailing_zeros() as usize;
+                self.cur &= self.cur - 1;
+                return Some((self.wi * WORD_BITS + b) as Vidx);
+            }
+            self.wi += 1;
+            if self.wi >= self.end_word {
+                return None;
+            }
+            self.cur = self.load(self.wi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_roundtrip() {
+        let mut b = VertexBitmap::new(200);
+        for v in [0u32, 63, 64, 65, 127, 128, 199] {
+            assert!(!b.contains(v));
+            b.insert(v);
+            assert!(b.contains(v));
+        }
+        b.remove(64);
+        assert!(!b.contains(64));
+        assert!(b.contains(63) && b.contains(65));
+        assert_eq!(b.count(), 6);
+    }
+
+    #[test]
+    fn ones_skips_empty_words_and_orders_ascending() {
+        let mut b = VertexBitmap::new(640);
+        let set = [600u32, 5, 130, 128, 7];
+        for &v in &set {
+            b.insert(v);
+        }
+        assert_eq!(b.ones().collect::<Vec<_>>(), vec![5, 7, 128, 130, 600]);
+    }
+
+    #[test]
+    fn ones_in_masks_partial_boundary_words() {
+        let mut b = VertexBitmap::new(256);
+        for v in 0..256u32 {
+            b.insert(v);
+        }
+        assert_eq!(
+            b.ones_in(62..67).collect::<Vec<_>>(),
+            vec![62, 63, 64, 65, 66]
+        );
+        assert_eq!(b.ones_in(100..100).count(), 0);
+        assert_eq!(b.ones_in(250..300).collect::<Vec<_>>().len(), 6);
+    }
+
+    #[test]
+    fn reset_ones_sets_exact_prefix_and_clears_tail() {
+        let mut b = VertexBitmap::new(0);
+        assert!(b.reset_ones(70), "first bind must grow");
+        assert_eq!(b.count(), 70);
+        assert!(b.contains(69) && !b.contains(70));
+        // Re-bind smaller: high-water store, shorter logical length, no
+        // phantom bits from the larger run.
+        assert!(!b.reset_ones(10), "smaller re-bind must not grow");
+        assert_eq!(b.count(), 10);
+        assert_eq!(b.ones().max(), Some(9));
+        assert_eq!(b.words()[1], 0, "tail word cleared");
+    }
+
+    #[test]
+    fn first_unset_scans_past_full_words() {
+        let mut b = VertexBitmap::new(130);
+        b.reset_ones(130);
+        assert_eq!(b.first_unset(), None, "full set has no unset vertex");
+        b.remove(129);
+        assert_eq!(b.first_unset(), Some(129));
+        assert_eq!(b.first_unset_in_word(0), None);
+        assert_eq!(b.first_unset_in_word(2), Some(129));
+        b.remove(70);
+        assert_eq!(b.first_unset(), Some(70));
+    }
+
+    #[test]
+    fn first_unset_respects_logical_length() {
+        // 65 vertices, all set: bit 65 of word 1 is physically zero but
+        // beyond the logical length — it must not be reported.
+        let mut b = VertexBitmap::new(65);
+        b.reset_ones(65);
+        assert_eq!(b.first_unset_in_word(1), None);
+        assert_eq!(b.first_unset(), None);
+    }
+
+    #[test]
+    fn ensure_grows_only() {
+        let mut b = VertexBitmap::new(10);
+        b.insert(3);
+        assert!(b.ensure(500));
+        assert!(b.contains(3), "growth preserves contents");
+        assert!(!b.ensure(100), "shrinking request is a no-op");
+        assert_eq!(b.len(), 500);
+    }
+}

@@ -28,6 +28,7 @@
 //! CombBLAS backend uses.
 
 pub mod bandwidth;
+pub mod bitmap;
 pub mod components;
 pub mod coo;
 pub mod csc;
@@ -37,11 +38,13 @@ pub mod frontier;
 pub mod mm;
 pub mod perm;
 pub mod semiring;
+pub mod sortkernel;
 pub mod spmspv;
 pub mod spvec;
 pub mod spy;
 
 pub use bandwidth::{bandwidth as matrix_bandwidth, envelope_size, BandwidthReport};
+pub use bitmap::VertexBitmap;
 pub use components::{connected_components, Components};
 pub use coo::CooBuilder;
 pub use csc::CscMatrix;
@@ -50,7 +53,8 @@ pub use densevec::{dense_reduce, dense_set, DenseVec};
 pub use frontier::DenseFrontier;
 pub use perm::Permutation;
 pub use semiring::{BoolOr, MinIdx, Select2ndMin, Semiring};
-pub use spmspv::{spmspv, spmspv_pull, spmspv_ref, SpmspvWorkspace};
+pub use sortkernel::{bucket_sortperm_ref, counting_sortperm, SortpermScratch};
+pub use spmspv::{spmspv, spmspv_pull, spmspv_pull_ref, spmspv_ref, PullBuffer, SpmspvWorkspace};
 pub use spvec::SparseVec;
 pub use spy::spy;
 

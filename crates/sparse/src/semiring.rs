@@ -23,6 +23,10 @@ pub trait Semiring<T: Copy> {
     fn multiply(x: T) -> T;
     /// "Addition": merge two products targeting the same output index.
     fn add(a: T, b: T) -> T;
+    /// Additive identity: `add(identity(), x) == x` for every `x`. Lets the
+    /// pull kernel run a branch-light accumulator seeded with the identity
+    /// instead of threading an `Option<T>` through the inner loop.
+    fn identity() -> T;
 }
 
 /// The RCM BFS semiring `(select2nd, min)` of Algorithm 3 / Figure 2.
@@ -40,6 +44,10 @@ impl Semiring<i64> for Select2ndMin {
     fn add(a: i64, b: i64) -> i64 {
         a.min(b)
     }
+    #[inline]
+    fn identity() -> i64 {
+        i64::MAX
+    }
 }
 
 /// Plain boolean BFS semiring: values carry no information, reachability
@@ -52,6 +60,8 @@ impl Semiring<()> for BoolOr {
     fn multiply(_x: ()) {}
     #[inline]
     fn add(_a: (), _b: ()) {}
+    #[inline]
+    fn identity() {}
 }
 
 /// Semiring carrying `(value, index)` pairs and keeping the lexicographic
@@ -66,6 +76,10 @@ impl Semiring<(i64, Vidx)> for MinIdx {
     #[inline]
     fn add(a: (i64, Vidx), b: (i64, Vidx)) -> (i64, Vidx) {
         a.min(b)
+    }
+    #[inline]
+    fn identity() -> (i64, Vidx) {
+        (i64::MAX, Vidx::MAX)
     }
 }
 
@@ -93,6 +107,16 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn identity_is_neutral_for_add() {
+        for &x in &[i64::MIN, -1, 0, 7, i64::MAX] {
+            assert_eq!(Select2ndMin::add(Select2ndMin::identity(), x), x);
+            assert_eq!(Select2ndMin::add(x, Select2ndMin::identity()), x);
+        }
+        let p = (3i64, 4 as Vidx);
+        assert_eq!(MinIdx::add(MinIdx::identity(), p), p);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Two-pass counting sort for SORTPERM's (value, degree, vertex) keys.
+//!
+//! SORTPERM (Table I) ranks the current expansion's vertices by
+//! `(parent label, degree, vertex)`. Parent labels in one Cuthill-McKee
+//! level are drawn from the *previous* level's half-open label range, so
+//! instead of comparison-sorting full tuples — or pushing each vertex into
+//! a per-parent bucket `Vec` whose reallocation and pointer-chasing costs
+//! dominate for small buckets — the kernel counts bucket sizes, prefix-sums
+//! them, and scatters `(degree, vertex)` pairs into one flat buffer: two
+//! linear passes, O(entries + buckets), no per-bucket allocation. Each
+//! bucket is then finished with a tiny `(degree, vertex)` sort, which is
+//! exactly the tie-break order of the tuple sort because vertex ids are
+//! unique.
+//!
+//! The scratch buffers follow the grow-only workspace contract (PR 5): a
+//! warm [`SortpermScratch`] serves any batch no larger than its high-water
+//! mark without allocating.
+
+use crate::{Label, Vidx};
+
+/// Reusable scratch for [`counting_sortperm`]: the bucket histogram /
+/// offset array and the flat scatter buffer.
+#[derive(Default)]
+pub struct SortpermScratch {
+    offs: Vec<usize>,
+    buf: Vec<(Vidx, Vidx)>,
+    growth_events: usize,
+}
+
+impl SortpermScratch {
+    /// Empty scratch (first use counts one growth event per buffer).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times either backing store had to grow — flat once warm.
+    pub fn growth_events(&self) -> usize {
+        self.growth_events
+    }
+
+    /// Pre-grow both backing stores to their `n`-vertex high-water mark
+    /// (≤ `n` entries and ≤ `n + 1` bucket offsets per call, since vertices
+    /// are unique and parent labels are consecutive). Install-time warm-up:
+    /// after this, calls for any level of an `n`-vertex ordering allocate
+    /// nothing, however the per-level shapes fall.
+    pub fn ensure(&mut self, n: usize) {
+        let grew = self.offs.capacity() < n + 1 || self.buf.capacity() < n;
+        self.offs.reserve(n + 1 - self.offs.len().min(n + 1));
+        self.buf.reserve(n - self.buf.len().min(n));
+        if grew {
+            self.growth_events += 1;
+        }
+    }
+}
+
+/// Sort `entries` — `(vertex, value)` pairs with every value inside the
+/// half-open `value_range` — by `(value, degree, vertex)` using a two-pass
+/// counting sort keyed on the value, and return the ordered
+/// `(degree, vertex)` pairs.
+///
+/// Bit-identical to collecting `(value, degrees[vertex], vertex)` tuples
+/// and `sort_unstable`-ing them: the counting pass groups by value in
+/// ascending order, and the per-bucket `(degree, vertex)` sort applies the
+/// same tie-break (unique vertex ids make the comparison total, so
+/// unstable sorting cannot diverge).
+pub fn counting_sortperm<'a>(
+    entries: &[(Vidx, Label)],
+    value_range: (Label, Label),
+    degrees: &[Vidx],
+    scratch: &'a mut SortpermScratch,
+) -> &'a [(Vidx, Vidx)] {
+    let (lo, hi) = value_range;
+    debug_assert!(lo <= hi, "empty or inverted value range {lo}..{hi}");
+    let nbuckets = (hi - lo) as usize;
+    let offs_cap = scratch.offs.capacity();
+    let buf_cap = scratch.buf.capacity();
+
+    // Pass 1: count per-value bucket sizes, then prefix-sum into offsets.
+    scratch.offs.clear();
+    scratch.offs.resize(nbuckets + 1, 0);
+    for &(v, val) in entries {
+        debug_assert!(
+            (lo..hi).contains(&val),
+            "value {val} for vertex {v} outside batch range {lo}..{hi}"
+        );
+        scratch.offs[(val - lo) as usize + 1] += 1;
+    }
+    for k in 1..=nbuckets {
+        scratch.offs[k] += scratch.offs[k - 1];
+    }
+
+    // Pass 2: scatter (degree, vertex) pairs to their bucket slots,
+    // advancing `offs[b]` in place as the live cursor (no extra array);
+    // afterwards `offs[b]` holds bucket `b`'s end.
+    scratch.buf.clear();
+    scratch.buf.resize(entries.len(), (0, 0));
+    for &(v, val) in entries {
+        let b = (val - lo) as usize;
+        scratch.buf[scratch.offs[b]] = (degrees[v as usize], v);
+        scratch.offs[b] += 1;
+    }
+
+    // Finish each bucket with the (degree, vertex) tie-break.
+    let mut start = 0usize;
+    for k in 0..nbuckets {
+        let end = scratch.offs[k];
+        scratch.buf[start..end].sort_unstable();
+        start = end;
+    }
+
+    if scratch.offs.capacity() > offs_cap || scratch.buf.capacity() > buf_cap {
+        scratch.growth_events += 1;
+    }
+    &scratch.buf
+}
+
+/// Per-parent bucket-`Vec` reference implementation — the pre-counting-sort
+/// idiom (push into `Vec<Vec<_>>`, sort each bucket, concatenate), kept for
+/// differential tests and the SORTPERM microbenchmark baseline.
+pub fn bucket_sortperm_ref(
+    entries: &[(Vidx, Label)],
+    value_range: (Label, Label),
+    degrees: &[Vidx],
+) -> Vec<(Vidx, Vidx)> {
+    let (lo, hi) = value_range;
+    let mut buckets: Vec<Vec<(Vidx, Vidx)>> = vec![Vec::new(); (hi - lo) as usize];
+    for &(v, val) in entries {
+        buckets[(val - lo) as usize].push((degrees[v as usize], v));
+    }
+    let mut out = Vec::with_capacity(entries.len());
+    for bucket in &mut buckets {
+        bucket.sort_unstable();
+        out.extend_from_slice(bucket);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple_sort_ref(entries: &[(Vidx, Label)], degrees: &[Vidx]) -> Vec<(Vidx, Vidx)> {
+        let mut tuples: Vec<(Label, Vidx, Vidx)> = entries
+            .iter()
+            .map(|&(v, val)| (val, degrees[v as usize], v))
+            .collect();
+        tuples.sort_unstable();
+        tuples.into_iter().map(|(_, d, v)| (d, v)).collect()
+    }
+
+    #[test]
+    fn matches_tuple_sort_with_duplicates_and_empty_buckets() {
+        let degrees: Vec<Vidx> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3];
+        // Values in 10..15; value 12 bucket left empty; ties on value AND
+        // degree resolved by vertex.
+        let entries: Vec<(Vidx, Label)> = vec![
+            (7, 14),
+            (2, 10),
+            (9, 10),
+            (0, 10),
+            (4, 13),
+            (8, 13),
+            (1, 11),
+            (3, 11),
+        ];
+        let expect = tuple_sort_ref(&entries, &degrees);
+        let mut scratch = SortpermScratch::new();
+        let got = counting_sortperm(&entries, (10, 15), &degrees, &mut scratch);
+        assert_eq!(got, &expect[..]);
+        assert_eq!(bucket_sortperm_ref(&entries, (10, 15), &degrees), expect);
+    }
+
+    #[test]
+    fn empty_input_and_single_bucket() {
+        let degrees: Vec<Vidx> = vec![2, 2, 2];
+        let mut scratch = SortpermScratch::new();
+        assert!(counting_sortperm(&[], (0, 0), &degrees, &mut scratch).is_empty());
+        let entries: Vec<(Vidx, Label)> = vec![(2, 5), (0, 5), (1, 5)];
+        let got = counting_sortperm(&entries, (5, 6), &degrees, &mut scratch);
+        assert_eq!(got, &[(2, 0), (2, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn warm_scratch_stops_growing_at_high_water() {
+        let degrees: Vec<Vidx> = (0..100).map(|v| (v % 7) as Vidx).collect();
+        let big: Vec<(Vidx, Label)> = (0..100).map(|v| (v as Vidx, (v % 20) as Label)).collect();
+        let small: Vec<(Vidx, Label)> = (0..10).map(|v| (v as Vidx, (v % 3) as Label)).collect();
+        let mut scratch = SortpermScratch::new();
+        counting_sortperm(&big, (0, 20), &degrees, &mut scratch);
+        let warm = scratch.growth_events();
+        for _ in 0..5 {
+            counting_sortperm(&small, (0, 3), &degrees, &mut scratch);
+            counting_sortperm(&big, (0, 20), &degrees, &mut scratch);
+        }
+        assert_eq!(scratch.growth_events(), warm);
+    }
+}

@@ -19,8 +19,12 @@
 //! scratchpad plus a stamp array, reusable across calls via
 //! [`SpmspvWorkspace`] so each multiplication allocates nothing. The pull
 //! implementation needs no accumulator at all — each output row is finished
-//! the moment its scan ends.
+//! the moment its scan ends. Its candidate set is a [`VertexBitmap`]
+//! scanned a `u64` word at a time (fully visited 64-vertex stretches cost
+//! one compare), and its output lands in a warm [`PullBuffer`], so a warm
+//! pull level allocates nothing either.
 
+use crate::bitmap::VertexBitmap;
 use crate::csc::CscMatrix;
 use crate::frontier::DenseFrontier;
 use crate::semiring::Semiring;
@@ -128,21 +132,150 @@ where
     (SparseVec::from_sorted_entries(a.n_rows(), entries), work)
 }
 
+/// Warm, workspace-owned output buffer for [`spmspv_pull`].
+///
+/// The pull kernel appends its `(row, value)` results here instead of
+/// allocating a fresh `Vec` every level; once the buffer has reached its
+/// high-water capacity, steady-state calls allocate nothing. Growth is
+/// counted so the engine's grow-only tests can assert the high-water
+/// contract, mirroring [`SpmspvWorkspace::growth_events`] on the push side.
+#[derive(Default)]
+pub struct PullBuffer<T> {
+    entries: Vec<(Vidx, T)>,
+    growth_events: usize,
+}
+
+impl<T: Copy> PullBuffer<T> {
+    /// An empty buffer (first non-trivial use will count one growth event).
+    pub fn new() -> Self {
+        PullBuffer {
+            entries: Vec::new(),
+            growth_events: 0,
+        }
+    }
+
+    /// The kernel's output: candidate rows with at least one frontier
+    /// neighbour, in ascending row order, valid until the next pull call.
+    pub fn entries(&self) -> &[(Vidx, T)] {
+        &self.entries
+    }
+
+    /// Times the backing store had to grow — flat once warm.
+    pub fn growth_events(&self) -> usize {
+        self.growth_events
+    }
+
+    /// Pre-grow the backing store to its `n`-vertex high-water mark (a pull
+    /// never yields more than `n` rows). Install-time warm-up: after this,
+    /// pulls during an `n`-vertex ordering allocate nothing, however the
+    /// per-level result sizes fall.
+    pub fn ensure(&mut self, n: usize) {
+        if self.entries.capacity() < n {
+            self.entries.reserve(n - self.entries.len());
+            self.growth_events += 1;
+        }
+    }
+
+    /// Copy the entries out as a [`SparseVec`] of length `n` (the same
+    /// O(nnz) copy the push kernel pays to package its accumulator).
+    pub fn to_sparse(&self, n: usize) -> SparseVec<T> {
+        SparseVec::from_sorted_entries(n, self.entries.clone())
+    }
+}
+
 /// Pull (bottom-up) expansion over a symmetric pattern: for every row `r`
-/// with `candidate(r)` true, the semiring-sum of `S::multiply(x[w])` over
+/// in the `candidates` bitmap, the semiring-sum of `S::multiply(x[w])` over
 /// the frontier neighbours `w` of `r`.
 ///
 /// This is the masked row-scan dual of [`spmspv`] + `SELECT`: because `a`
 /// is symmetric, scanning `A(:, r)` enumerates exactly the columns whose
-/// push expansion would reach `r`, so
-/// `spmspv_pull(a, x, pred) == spmspv(a, x).select(pred)` **bit for bit**
-/// (the `(select2nd, min)` semiring included) while touching
-/// `Σ_{r: candidate} nnz(A(:, r))` matrix entries instead of
+/// push expansion would reach `r`, so the buffer ends up equal to
+/// `spmspv(a, x).select(candidates)` **bit for bit** (the
+/// `(select2nd, min)` semiring included) while touching
+/// `Σ_{r ∈ candidates} nnz(A(:, r))` matrix entries instead of
 /// `Σ_{k ∈ IND(x)} nnz(A(:, k))`.
+///
+/// The candidate set is consumed a 64-vertex word at a time: an all-zero
+/// word — a fully visited stretch — costs one compare, and within a live
+/// word rows are extracted bit by bit, so the membership test never touches
+/// one byte per vertex the way a `Vec<bool>` mask does. Each row runs a
+/// branch-light accumulator seeded with [`Semiring::identity`] (no
+/// `Option` in the inner loop). Results land in `buf` (cleared first);
+/// nothing is allocated once `buf` is at its high-water capacity.
+///
+/// Returns the number of traversed matrix nonzeros — only the edges of
+/// rows the scan actually visited, which is what `DriverStats` and the
+/// simulator should charge for this kernel.
+pub fn spmspv_pull<T, S>(
+    a: &CscMatrix,
+    x: &DenseFrontier<T>,
+    candidates: &VertexBitmap,
+    buf: &mut PullBuffer<T>,
+) -> usize
+where
+    T: Copy + Default,
+    S: Semiring<T>,
+{
+    let n = a.n_rows();
+    assert_eq!(
+        n,
+        a.n_cols(),
+        "pull expansion needs a square (symmetric) pattern"
+    );
+    // `>=`, not `==`: warm candidate sets and dense frontiers keep their
+    // high-water length across matrices (grow-only contract). The last
+    // scanned word is masked to `n` bits, so stale candidate bits beyond
+    // the matrix are ignored; stale frontier entries belong to older
+    // epochs and are invisible to `get`.
+    assert!(
+        x.len() >= n && candidates.len() >= n,
+        "dimension mismatch in pull SpMSpV: frontier {} / candidates {} < rows {}",
+        x.len(),
+        candidates.len(),
+        n
+    );
+    let cap_before = buf.entries.capacity();
+    buf.entries.clear();
+    let mut work = 0usize;
+    let words = candidates.words();
+    for (wi, &word) in words.iter().enumerate().take(n.div_ceil(64)) {
+        let mut bits = word;
+        if wi == n / 64 && !n.is_multiple_of(64) {
+            bits &= (1u64 << (n % 64)) - 1;
+        }
+        // One compare retires 64 fully-visited vertices.
+        while bits != 0 {
+            let r = wi * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let col = a.col(r);
+            work += col.len();
+            let mut acc = S::identity();
+            let mut found = false;
+            for &w in col {
+                if let Some(xv) = x.get(w) {
+                    acc = S::add(acc, S::multiply(xv));
+                    found = true;
+                }
+            }
+            if found {
+                buf.entries.push((r as Vidx, acc));
+            }
+        }
+    }
+    if buf.entries.capacity() > cap_before {
+        buf.growth_events += 1;
+    }
+    work
+}
+
+/// Closure-masked reference implementation of the pull expansion — the
+/// pre-bitmap kernel, kept for differential tests and as the "old pull"
+/// baseline in the kernel microbenchmarks. Allocates its output and tests
+/// candidacy one row at a time.
 ///
 /// Returns the output (sorted by index, candidate rows with at least one
 /// frontier neighbour only) and the number of traversed matrix nonzeros.
-pub fn spmspv_pull<T, S>(
+pub fn spmspv_pull_ref<T, S>(
     a: &CscMatrix,
     x: &DenseFrontier<T>,
     candidate: impl Fn(Vidx) -> bool,
@@ -156,9 +289,6 @@ where
         a.n_cols(),
         "pull expansion needs a square (symmetric) pattern"
     );
-    // `>=`, not `==`: a warm dense frontier keeps its high-water length
-    // across matrices (grow-only contract). Stale entries beyond — or
-    // below — `n` belong to older epochs and are invisible to `get`.
     assert!(
         x.len() >= a.n_rows(),
         "dimension mismatch in pull SpMSpV: frontier {} < rows {}",
@@ -299,6 +429,17 @@ mod tests {
         assert_eq!(y2.entries(), &[(3, 9)]);
     }
 
+    /// Bitmap over `n` vertices holding exactly the `keep` ones.
+    fn bitmap_where(n: usize, keep: impl Fn(Vidx) -> bool) -> VertexBitmap {
+        let mut b = VertexBitmap::new(n);
+        for v in 0..n as Vidx {
+            if keep(v) {
+                b.insert(v);
+            }
+        }
+        b
+    }
+
     #[test]
     fn pull_matches_push_plus_select_on_figure2() {
         let a = figure2_matrix();
@@ -311,10 +452,17 @@ mod tests {
         let expect = push.select(&visited, |v| !v);
         let mut dense = DenseFrontier::new(8);
         dense.load(&x);
-        let (pull, work) = spmspv_pull::<i64, Select2ndMin>(&a, &dense, |r| !visited[r as usize]);
-        assert_eq!(pull, expect);
+        let cands = bitmap_where(8, |r| !visited[r as usize]);
+        let mut buf = PullBuffer::new();
+        let work = spmspv_pull::<i64, Select2ndMin>(&a, &dense, &cands, &mut buf);
+        assert_eq!(buf.to_sparse(8), expect);
         // Work = Σ deg over candidate rows c, f, g, h = 3 + 2 + 2 + 1.
         assert_eq!(work, 8);
+        // The closure-masked reference kernel agrees entirely.
+        let (pull_ref, work_ref) =
+            spmspv_pull_ref::<i64, Select2ndMin>(&a, &dense, |r| !visited[r as usize]);
+        assert_eq!(pull_ref, expect);
+        assert_eq!(work_ref, work);
     }
 
     #[test]
@@ -324,12 +472,16 @@ mod tests {
         let mut dense = DenseFrontier::new(8);
         dense.load(&x);
         let mut ws = SpmspvWorkspace::new(8);
+        let mut buf = PullBuffer::new();
         let (push, _) = spmspv::<i64, Select2ndMin>(&a, &x, &mut ws);
         for mask_bits in 0u16..256 {
             let keep = |r: Vidx| mask_bits & (1 << r) != 0;
             let expect = push.select(&[0u8, 1, 2, 3, 4, 5, 6, 7], |i| keep(i as Vidx));
-            let (pull, _) = spmspv_pull::<i64, Select2ndMin>(&a, &dense, keep);
-            assert_eq!(pull, expect, "mask {mask_bits:#b} diverged");
+            let cands = bitmap_where(8, keep);
+            spmspv_pull::<i64, Select2ndMin>(&a, &dense, &cands, &mut buf);
+            assert_eq!(buf.to_sparse(8), expect, "mask {mask_bits:#b} diverged");
+            let (pull_ref, _) = spmspv_pull_ref::<i64, Select2ndMin>(&a, &dense, keep);
+            assert_eq!(pull_ref, expect, "mask {mask_bits:#b} diverged (ref)");
         }
     }
 
@@ -337,9 +489,103 @@ mod tests {
     fn pull_on_empty_frontier_scans_but_emits_nothing() {
         let a = figure2_matrix();
         let dense: DenseFrontier<i64> = DenseFrontier::new(8);
-        let (y, work) = spmspv_pull::<i64, Select2ndMin>(&a, &dense, |_| true);
-        assert!(y.is_empty());
+        let mut cands = VertexBitmap::new(8);
+        cands.reset_ones(8);
+        let mut buf = PullBuffer::new();
+        let work = spmspv_pull::<i64, Select2ndMin>(&a, &dense, &cands, &mut buf);
+        assert!(buf.entries().is_empty());
         assert_eq!(work, a.nnz(), "pull pays for every candidate row scanned");
+        let (y, work_ref) = spmspv_pull_ref::<i64, Select2ndMin>(&a, &dense, |_| true);
+        assert!(y.is_empty());
+        assert_eq!(work_ref, work);
+    }
+
+    #[test]
+    fn pull_work_charges_only_scanned_rows() {
+        let a = figure2_matrix();
+        let x = SparseVec::from_entries(8, vec![(4, 2i64)]);
+        let mut dense = DenseFrontier::new(8);
+        dense.load(&x);
+        let mut buf = PullBuffer::new();
+        // No candidates: nothing scanned, zero work.
+        let empty = VertexBitmap::new(8);
+        assert_eq!(
+            spmspv_pull::<i64, Select2ndMin>(&a, &dense, &empty, &mut buf),
+            0
+        );
+        // Candidates {c, f} only: work = deg(c) + deg(f) = 3 + 2, not nnz.
+        let cands = bitmap_where(8, |r| r == 2 || r == 5);
+        assert_eq!(
+            spmspv_pull::<i64, Select2ndMin>(&a, &dense, &cands, &mut buf),
+            5
+        );
+    }
+
+    #[test]
+    fn pull_word_skip_crosses_word_boundaries() {
+        // A 130-vertex path: words 0 and 1 hold no candidates and must be
+        // skipped; candidates live in word 2 only.
+        let n = 130usize;
+        let mut b = CooBuilder::new(n, n);
+        for v in 0..n - 1 {
+            b.push_sym(v as Vidx, v as Vidx + 1);
+        }
+        let a = b.build();
+        let x = SparseVec::from_entries(n, vec![(127, 7i64)]);
+        let mut dense = DenseFrontier::new(n);
+        dense.load(&x);
+        let cands = bitmap_where(n, |r| r >= 128);
+        let mut buf = PullBuffer::new();
+        let work = spmspv_pull::<i64, Select2ndMin>(&a, &dense, &cands, &mut buf);
+        // Scanned rows 128 (deg 2) and 129 (deg 1) only.
+        assert_eq!(work, 3);
+        assert_eq!(buf.entries(), &[(128, 7)]);
+    }
+
+    #[test]
+    fn pull_ignores_stale_candidate_bits_past_the_matrix() {
+        // Warm candidate bitmap from a larger matrix: logical length 130
+        // with bits ≥ the current 66-vertex matrix still set. The kernel
+        // masks its last scanned word to 66 bits and never touches them.
+        let n = 66usize;
+        let mut b = CooBuilder::new(n, n);
+        for v in 0..n - 1 {
+            b.push_sym(v as Vidx, v as Vidx + 1);
+        }
+        let a = b.build();
+        let mut cands = VertexBitmap::new(130);
+        cands.reset_ones(130);
+        let x = SparseVec::from_entries(n, vec![(0, 1i64)]);
+        let mut dense = DenseFrontier::new(130);
+        dense.load(&x);
+        let mut buf = PullBuffer::new();
+        let work = spmspv_pull::<i64, Select2ndMin>(&a, &dense, &cands, &mut buf);
+        assert_eq!(work, a.nnz());
+        // Only vertex 1 neighbours the frontier {0}; in particular no row
+        // past vertex 65 was scanned despite its stale candidate bit.
+        assert_eq!(buf.entries(), &[(1, 1)]);
+    }
+
+    #[test]
+    fn pull_buffer_stops_growing_at_high_water() {
+        let a = figure2_matrix();
+        let x = SparseVec::from_entries(8, vec![(4, 2i64), (1, 3)]);
+        let mut dense = DenseFrontier::new(8);
+        dense.load(&x);
+        let mut cands = VertexBitmap::new(8);
+        cands.reset_ones(8);
+        let mut buf = PullBuffer::new();
+        spmspv_pull::<i64, Select2ndMin>(&a, &dense, &cands, &mut buf);
+        let warm = buf.growth_events();
+        assert!(warm >= 1, "first non-empty output must count a growth");
+        for _ in 0..10 {
+            spmspv_pull::<i64, Select2ndMin>(&a, &dense, &cands, &mut buf);
+        }
+        assert_eq!(
+            buf.growth_events(),
+            warm,
+            "steady-state pull must not grow the warm output buffer"
+        );
     }
 
     #[test]

@@ -3,9 +3,11 @@
 use proptest::prelude::*;
 use proptest::strategy::ValueTree;
 use rcm_sparse::{
-    bandwidth, coo::CooBuilder, envelope_size, spmspv, spmspv_ref, CscMatrix, Permutation,
-    Select2ndMin, SparseVec, SpmspvWorkspace, Vidx,
+    bandwidth, bucket_sortperm_ref, coo::CooBuilder, counting_sortperm, envelope_size, spmspv,
+    spmspv_ref, CscMatrix, Label, Permutation, Select2ndMin, SortpermScratch, SparseVec,
+    SpmspvWorkspace, VertexBitmap, Vidx,
 };
+use std::collections::HashSet;
 
 /// Strategy: a random symmetric pattern matrix with `n` in 1..=max_n.
 fn arb_sym_matrix(max_n: usize, max_edges: usize) -> impl Strategy<Value = CscMatrix> {
@@ -119,6 +121,71 @@ proptest! {
         rcm_sparse::mm::write_pattern(&m, &mut buf).unwrap();
         let back = rcm_sparse::mm::read_pattern(buf.as_slice()).unwrap();
         prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn vertex_bitmap_matches_hashset(
+        n in 1usize..300,
+        ops in proptest::collection::vec((0u8..3, 0usize..300), 0..200),
+        raw_lo in 0usize..300,
+        raw_hi in 0usize..300,
+    ) {
+        // Differential model: the bitmap starts all-unvisited (the install
+        // state every backend uses) and must track a HashSet through any
+        // insert/remove/contains sequence.
+        let mut bm = VertexBitmap::new(0);
+        bm.reset_ones(n);
+        let mut model: HashSet<Vidx> = (0..n as Vidx).collect();
+        for (op, raw) in ops {
+            let v = (raw % n) as Vidx;
+            match op {
+                0 => { bm.insert(v); model.insert(v); }
+                1 => { bm.remove(v); model.remove(&v); }
+                _ => prop_assert_eq!(bm.contains(v), model.contains(&v)),
+            }
+        }
+        prop_assert_eq!(bm.count(), model.len());
+        let mut expect: Vec<Vidx> = model.iter().copied().collect();
+        expect.sort_unstable();
+        let got: Vec<Vidx> = bm.ones().collect();
+        prop_assert_eq!(&got, &expect);
+        // Word-level range iteration masks boundary words correctly.
+        let (lo, hi) = {
+            let a = raw_lo % (n + 1);
+            let b = raw_hi % (n + 1);
+            (a.min(b), a.max(b))
+        };
+        let in_range: Vec<Vidx> = expect
+            .iter()
+            .copied()
+            .filter(|&v| (lo..hi).contains(&(v as usize)))
+            .collect();
+        prop_assert_eq!(bm.ones_in(lo..hi).collect::<Vec<Vidx>>(), in_range);
+        // first_unset is the smallest vertex missing from the model.
+        let expect_unset = (0..n as Vidx).find(|v| !model.contains(v));
+        prop_assert_eq!(bm.first_unset(), expect_unset);
+    }
+
+    #[test]
+    fn counting_sortperm_matches_bucket_reference(
+        nbuckets in 1i64..10,
+        lo in -5i64..5,
+        raw_entries in proptest::collection::vec((0u32..80, 0i64..10), 0..120),
+    ) {
+        // Frontier entries carry unique vertex ids; values (parent labels)
+        // repeat freely and may leave buckets empty.
+        let degrees: Vec<Vidx> = (0..80u32).map(|v| (v * 13 + 5) % 7).collect();
+        let mut seen = HashSet::new();
+        let entries: Vec<(Vidx, Label)> = raw_entries
+            .into_iter()
+            .filter(|&(v, _)| seen.insert(v))
+            .map(|(v, raw)| (v, lo + raw % nbuckets))
+            .collect();
+        let range = (lo, lo + nbuckets);
+        let mut scratch = SortpermScratch::new();
+        let got = counting_sortperm(&entries, range, &degrees, &mut scratch).to_vec();
+        let expect = bucket_sortperm_ref(&entries, range, &degrees);
+        prop_assert_eq!(got, expect);
     }
 
     #[test]
