@@ -16,6 +16,7 @@
 //!   backends   one generic driver on all four RcmRuntime backends
 //!   balance    load-balance permutation ablation (§IV-A)
 //!   throughput warm OrderingEngine vs cold per-call orderings/sec
+//!   service    closed-loop OrderingService: cold vs warm shards vs pattern cache
 //!   kernels    per-edge / per-element kernel microbenchmarks
 //!   all        everything above
 //! ```
@@ -34,15 +35,15 @@ use rcm_bench::{
     ablation_sort_modes, backend_sweep, balance_ablation, compression_table, direction_ablation,
     fig1_cg_solve, fig3_suite_table, fig4_breakdown, fig5_spmspv_split, fig6_flat_vs_hybrid,
     gather_vs_distributed, kernels_table, load_mtx, machine_sensitivity, mtx_table,
-    quality_comparison, run_hybrid_sweep, scaling_summary, shared_scaling, table2_shared_memory,
-    throughput_table, ExpConfig, Table,
+    quality_comparison, run_hybrid_sweep, scaling_summary, service_table, shared_scaling,
+    table2_shared_memory, throughput_table, ExpConfig, Table,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale <mult>] [--quick] [--out <dir>] [--mtx <file.mtx>]... \
          <fig1|fig3|table2|scaling|fig4|fig5|fig6|ablation|direction|backends|balance|quality\
-         |gather|sensitivity|compress|throughput|kernels|all>..."
+         |gather|sensitivity|compress|throughput|service|kernels|all>..."
     );
     std::process::exit(2);
 }
@@ -150,7 +151,7 @@ fn main() {
     }
     // Reject typos up front: a silently-ignored name would let the CI
     // bench-smoke gate pass while measuring nothing.
-    const KNOWN: [&str; 18] = [
+    const KNOWN: [&str; 19] = [
         "fig1",
         "fig3",
         "table2",
@@ -167,6 +168,7 @@ fn main() {
         "sensitivity",
         "compress",
         "throughput",
+        "service",
         "kernels",
         "all",
     ];
@@ -286,6 +288,9 @@ fn main() {
     }
     if want("throughput") {
         ok &= emit(&cfg, &mut manifest, "throughput", &throughput_table(&cfg));
+    }
+    if want("service") {
+        ok &= emit(&cfg, &mut manifest, "service", &service_table(&cfg));
     }
     if want("kernels") {
         ok &= emit(&cfg, &mut manifest, "kernels", &kernels_table(&cfg));

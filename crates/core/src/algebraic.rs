@@ -55,7 +55,13 @@ pub fn algebraic_rcm_directed(
     a: &CscMatrix,
     direction: ExpandDirection,
 ) -> (Permutation, AlgebraicStats) {
-    let raw = order_once(EngineConfig::directed(BackendKind::Serial, direction), a);
+    let raw = order_once(
+        EngineConfig::builder()
+            .backend(BackendKind::Serial)
+            .direction(direction)
+            .build(),
+        a,
+    );
     (
         raw.perm,
         AlgebraicStats {

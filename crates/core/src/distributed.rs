@@ -139,8 +139,11 @@ pub fn dist_rcm(a: &CscMatrix, config: &DistRcmConfig) -> DistRcmResult {
             cores: config.hybrid.cores,
         }
     };
-    let mut engine_cfg = crate::engine::EngineConfig::directed(kind, config.direction);
-    engine_cfg.dist = Some(*config);
+    let engine_cfg = crate::engine::EngineConfig::builder()
+        .backend(kind)
+        .direction(config.direction)
+        .dist(*config)
+        .build();
     crate::engine::OrderingEngine::new(engine_cfg).order_dist(a)
 }
 

@@ -771,7 +771,14 @@ pub fn rcm_with_backend_directed(
     kind: BackendKind,
     direction: ExpandDirection,
 ) -> Permutation {
-    crate::engine::order_once(crate::engine::EngineConfig::directed(kind, direction), a).perm
+    crate::engine::order_once(
+        crate::engine::EngineConfig::builder()
+            .backend(kind)
+            .direction(direction)
+            .build(),
+        a,
+    )
+    .perm
 }
 
 #[cfg(test)]

@@ -49,7 +49,8 @@
 //! };
 //!
 //! // One session object; its workspaces stay warm between calls.
-//! let mut engine = OrderingEngine::new(EngineConfig::new(BackendKind::Serial));
+//! let mut engine =
+//!     OrderingEngine::new(EngineConfig::builder().backend(BackendKind::Serial).build());
 //! let big = path(300);
 //! let small = path(40);
 //! for a in [&big, &small] {
@@ -70,11 +71,54 @@ use crate::distributed::{DistRcmConfig, DistRcmResult, SortMode};
 use crate::driver::{drive_cm_directed, BackendKind, DriverStats, ExpandDirection, LabelingMode};
 use crate::pool::{PoolConfig, RcmPool};
 use crate::quality::ordering_bandwidth;
+use crate::service::{CacheOutcome, CacheStats, PatternCache};
 use rcm_dist::{DistSpmspvWorkspace, HybridConfig, MachineModel};
 use rcm_sparse::{matrix_bandwidth, CscMatrix, Label, Permutation};
 use std::time::Instant;
 
-/// Configuration of an [`OrderingEngine`] session.
+/// Default [`CacheConfig::max_nnz`] bound: ~16M stored pattern nonzeros
+/// (about 128 MiB of cached CSC indices at `u32`), plenty for the synthetic
+/// suite and a visible fraction of a SuiteSparse working set.
+pub const DEFAULT_CACHE_NNZ: usize = 16 << 20;
+
+/// Configuration of a pattern-fingerprint ordering cache
+/// ([`crate::service::PatternCache`]) — attached to an [`OrderingEngine`]
+/// via [`EngineConfigBuilder::cache`], or shared service-wide via
+/// [`crate::service::ServiceConfig::cache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total stored pattern nonzeros the cache may hold; least-recently
+    /// used entries are evicted beyond it.
+    pub max_nnz: usize,
+}
+
+impl CacheConfig {
+    /// A cache bounded at `max_nnz` total stored pattern nonzeros.
+    pub fn new(max_nnz: usize) -> Self {
+        CacheConfig { max_nnz }
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            max_nnz: DEFAULT_CACHE_NNZ,
+        }
+    }
+}
+
+/// Configuration of an [`OrderingEngine`] session. Build it fluently:
+///
+/// ```
+/// use rcm_core::{BackendKind, CacheConfig, EngineConfig, ExpandDirection};
+///
+/// let config = EngineConfig::builder()
+///     .backend(BackendKind::Pooled { threads: 4 })
+///     .direction(ExpandDirection::Adaptive)
+///     .cache(CacheConfig::default())
+///     .build();
+/// assert!(config.cache.is_some());
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
     /// The [`crate::driver::RcmRuntime`] backend every ordering runs on.
@@ -99,24 +143,108 @@ pub struct EngineConfig {
     /// ([`crate::pool::PoolConfig::seq_cutoff`]) — a matrix below it could
     /// never produce a frontier that engages the workers anyway.
     pub batch_small_cutoff: Option<usize>,
+    /// Give the engine a private pattern-fingerprint ordering cache
+    /// ([`crate::service::PatternCache`]): identical patterns return the
+    /// cached permutation in O(nnz) hash time, reports carry
+    /// [`OrderingReport::cache`]. `None` (the default) disables it. The
+    /// [`crate::service::OrderingService`] ignores this field on its shard
+    /// engines — it owns one *shared* cache at the front door instead.
+    pub cache: Option<CacheConfig>,
 }
 
 impl EngineConfig {
-    /// Defaults for a backend: direction from `RCM_DIRECTION`, no
-    /// compression, paper-default distributed model, cutoff from the pool.
-    pub fn new(backend: BackendKind) -> Self {
-        EngineConfig::directed(backend, ExpandDirection::from_env())
+    /// Start building a configuration. Defaults: serial backend, direction
+    /// from `RCM_DIRECTION`, no compression, paper-default distributed
+    /// model, batch cutoff from the pool, no cache.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: EngineConfig {
+                backend: BackendKind::Serial,
+                direction: ExpandDirection::from_env(),
+                compress: false,
+                dist: None,
+                batch_small_cutoff: None,
+                cache: None,
+            },
+        }
     }
 
-    /// [`EngineConfig::new`] with an explicit direction policy.
+    /// Defaults for a backend: direction from `RCM_DIRECTION`, no
+    /// compression, paper-default distributed model, cutoff from the pool.
+    #[deprecated(note = "use `EngineConfig::builder().backend(..).build()`")]
+    pub fn new(backend: BackendKind) -> Self {
+        EngineConfig::builder().backend(backend).build()
+    }
+
+    /// A backend with an explicit direction policy.
+    #[deprecated(note = "use `EngineConfig::builder().backend(..).direction(..).build()`")]
     pub fn directed(backend: BackendKind, direction: ExpandDirection) -> Self {
-        EngineConfig {
-            backend,
-            direction,
-            compress: false,
-            dist: None,
-            batch_small_cutoff: None,
-        }
+        EngineConfig::builder()
+            .backend(backend)
+            .direction(direction)
+            .build()
+    }
+}
+
+/// Fluent builder for [`EngineConfig`] — see [`EngineConfig::builder`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Select the [`crate::driver::RcmRuntime`] backend.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Shorthand for the pooled backend at `threads` workers (clamped to
+    /// ≥ 1) — `builder().threads(4)` ≡ `builder().backend(BackendKind::
+    /// Pooled { threads: 4 })`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.backend = BackendKind::Pooled {
+            threads: threads.max(1),
+        };
+        self
+    }
+
+    /// Set the frontier-expansion direction policy.
+    pub fn direction(mut self, direction: ExpandDirection) -> Self {
+        self.config.direction = direction;
+        self
+    }
+
+    /// Order through supervariable compression
+    /// ([`crate::compress::rcm_compressed`]).
+    pub fn compress(mut self, compress: bool) -> Self {
+        self.config.compress = compress;
+        self
+    }
+
+    /// Supply a full distributed run configuration for the dist/hybrid
+    /// backends (machine model, balance seed, sort mode).
+    pub fn dist(mut self, dist: DistRcmConfig) -> Self {
+        self.config.dist = Some(dist);
+        self
+    }
+
+    /// Set the batch-mode size policy ([`EngineConfig::batch_small_cutoff`]).
+    pub fn batch_small_cutoff(mut self, rows: usize) -> Self {
+        self.config.batch_small_cutoff = Some(rows);
+        self
+    }
+
+    /// Attach a private pattern-fingerprint ordering cache
+    /// ([`EngineConfig::cache`]).
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.config.cache = Some(cache);
+        self
+    }
+
+    /// Finish the configuration.
+    pub fn build(self) -> EngineConfig {
+        self.config
     }
 }
 
@@ -150,6 +278,10 @@ pub struct OrderingReport {
     pub sim: Option<DistRcmResult>,
     /// Compression statistics when [`EngineConfig::compress`] is set.
     pub compress: Option<CompressStats>,
+    /// How a pattern cache participated: `Some(Hit)` = permutation came
+    /// from the cache, `Some(Miss)` = ordered fresh and inserted, `None` =
+    /// no cache in the path (unconfigured engine or bypassed request).
+    pub cache: Option<CacheOutcome>,
 }
 
 impl OrderingReport {
@@ -187,6 +319,7 @@ pub struct OrderingEngine {
     serial_ws: SerialWorkspace,
     pool: Option<RcmPool>,
     dist_ws: DistSpmspvWorkspace<Label>,
+    cache: Option<PatternCache>,
     orderings: usize,
 }
 
@@ -204,6 +337,7 @@ impl OrderingEngine {
             _ => None,
         };
         OrderingEngine {
+            cache: config.cache.map(PatternCache::new),
             config,
             serial_ws: SerialWorkspace::new(),
             pool,
@@ -214,7 +348,7 @@ impl OrderingEngine {
 
     /// Convenience constructor with the backend's defaults.
     pub fn with_backend(backend: BackendKind) -> Self {
-        OrderingEngine::new(EngineConfig::new(backend))
+        OrderingEngine::new(EngineConfig::builder().backend(backend).build())
     }
 
     /// The session configuration.
@@ -239,7 +373,31 @@ impl OrderingEngine {
 
     /// Order one matrix on the warm backend and report the permutation
     /// with its quality metrics, execution record, and timing.
+    ///
+    /// With a configured cache ([`EngineConfigBuilder::cache`]) a
+    /// previously seen pattern returns its cached permutation in O(nnz)
+    /// hash + equality time — no BFS — and the report says which happened
+    /// via [`OrderingReport::cache`].
     pub fn order(&mut self, a: &CscMatrix) -> OrderingReport {
+        if self.cache.is_none() {
+            return self.order_uncached(a);
+        }
+        let t0 = Instant::now();
+        let fp = a.pattern_fingerprint();
+        let cache = self.cache.as_mut().expect("checked above");
+        if let Some(cached) = cache.lookup(fp, a) {
+            self.orderings += 1;
+            return cached.into_report(a, t0.elapsed().as_secs_f64());
+        }
+        let mut report = self.order_uncached(a);
+        report.cache = Some(CacheOutcome::Miss);
+        let cache = self.cache.as_mut().expect("checked above");
+        cache.insert(fp, a, &report);
+        report
+    }
+
+    /// [`OrderingEngine::order`] without cache participation.
+    fn order_uncached(&mut self, a: &CscMatrix) -> OrderingReport {
         let bandwidth_before = matrix_bandwidth(a);
         let t0 = Instant::now();
         let raw = self.order_raw(a);
@@ -255,8 +413,15 @@ impl OrderingEngine {
             wall_seconds,
             sim: raw.sim,
             compress: raw.compress,
+            cache: None,
             perm: raw.perm,
         }
+    }
+
+    /// Counter snapshot of the engine's private pattern cache (`None`
+    /// when the engine was built without one).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(PatternCache::stats)
     }
 
     /// Order a batch of matrices through the warm engine, returning one
@@ -270,9 +435,14 @@ impl OrderingEngine {
     /// workspaces. Permutations are bit-identical to per-matrix
     /// [`OrderingEngine::order`] calls either way.
     pub fn order_batch(&mut self, mats: &[CscMatrix]) -> Vec<OrderingReport> {
-        if let BackendKind::Pooled { threads } = self.config.backend {
-            if threads > 1 && !self.config.compress && mats.len() > 1 {
-                return self.order_batch_pooled(mats);
+        // A caching engine routes per-matrix through `order` so every
+        // matrix participates in the cache — a batch of repeated patterns
+        // collapses to one BFS plus hash-time hits.
+        if self.cache.is_none() {
+            if let BackendKind::Pooled { threads } = self.config.backend {
+                if threads > 1 && !self.config.compress && mats.len() > 1 {
+                    return self.order_batch_pooled(mats);
+                }
             }
         }
         mats.iter().map(|a| self.order(a)).collect()
@@ -307,6 +477,7 @@ impl OrderingEngine {
                 wall_seconds: amortized,
                 sim: None,
                 compress: None,
+                cache: None,
                 perm,
             });
             self.orderings += 1;
@@ -516,8 +687,10 @@ mod tests {
             }
         }
         let a = b.build();
-        let mut cfg = EngineConfig::new(BackendKind::Serial);
-        cfg.compress = true;
+        let cfg = EngineConfig::builder()
+            .backend(BackendKind::Serial)
+            .compress(true)
+            .build();
         let mut engine = OrderingEngine::new(cfg);
         let report = engine.order(&a);
         let stats = report.compress.expect("compression stats attached");
@@ -552,6 +725,39 @@ mod tests {
         // The same engine keeps serving after a batch.
         let again = engine.order(&mats[1]);
         assert_eq!(again.perm, reports[1].perm);
+    }
+
+    #[test]
+    fn caching_engine_hits_on_repeats_and_stays_bit_identical() {
+        let a = scrambled_grid(11, 7);
+        let b = scrambled_grid(8, 3);
+        let mut engine = OrderingEngine::new(
+            EngineConfig::builder()
+                .backend(BackendKind::Serial)
+                .cache(CacheConfig::default())
+                .build(),
+        );
+        let first = engine.order(&a);
+        assert_eq!(first.cache, Some(crate::service::CacheOutcome::Miss));
+        let second = engine.order(&a);
+        assert_eq!(second.cache, Some(crate::service::CacheOutcome::Hit));
+        assert_eq!(first.perm, second.perm);
+        assert_eq!(first.bandwidth_after, second.bandwidth_after);
+        // A batch over repeated + fresh patterns routes through the cache.
+        let reports = engine.order_batch(&[a.clone(), b.clone(), a.clone()]);
+        assert_eq!(reports[0].cache, Some(crate::service::CacheOutcome::Hit));
+        assert_eq!(reports[1].cache, Some(crate::service::CacheOutcome::Miss));
+        assert_eq!(reports[2].cache, Some(crate::service::CacheOutcome::Hit));
+        assert_eq!(reports[1].perm, rcm_with_backend(&b, BackendKind::Serial));
+        let stats = engine.cache_stats().expect("cache configured");
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(engine.orderings(), 5);
+        // An uncached engine reports no cache participation at all.
+        let mut plain = OrderingEngine::with_backend(BackendKind::Serial);
+        assert_eq!(plain.order(&a).cache, None);
+        assert!(plain.cache_stats().is_none());
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod peripheral;
 pub mod pool;
 pub mod quality;
 pub mod serial;
+pub mod service;
 pub mod shared;
 pub mod sloan;
 pub mod unordered;
@@ -62,7 +63,10 @@ pub use driver::{
     drive_cm, drive_cm_directed, rcm_with_backend, rcm_with_backend_directed, BackendKind,
     DenseTarget, DriverStats, ExpandDirection, LabelingMode, RcmRuntime, PULL_ALPHA, PULL_BETA,
 };
-pub use engine::{EngineConfig, OrderingEngine, OrderingReport};
+pub use engine::{
+    CacheConfig, EngineConfig, EngineConfigBuilder, OrderingEngine, OrderingReport,
+    DEFAULT_CACHE_NNZ,
+};
 pub use peripheral::{bfs_level_structure, pseudo_peripheral, LevelStructure, PseudoPeripheral};
 pub use pool::{
     thread_counts_from_env, ChunkQueue, PoolConfig, PooledWorkspace, RcmPool, DEFAULT_CHUNK,
@@ -72,6 +76,10 @@ pub use quality::{
     ordering_bandwidth, ordering_profile, ordering_wavefront, quality_report, OrderingQuality,
 };
 pub use serial::{cuthill_mckee, rcm_from_root, SerialRcmStats};
+pub use service::{
+    CacheOutcome, CacheStats, CachedOrdering, JobHandle, OrderingRequest, OrderingService,
+    PatternCache, ServiceConfig, ServiceStats,
+};
 pub use shared::{
     par_cuthill_mckee, par_cuthill_mckee_with_pool, par_cuthill_mckee_with_pool_directed, par_rcm,
     par_rcm_directed, SharedRcmStats,

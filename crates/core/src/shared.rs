@@ -63,10 +63,10 @@ pub fn par_rcm_directed(
     direction: ExpandDirection,
 ) -> (Permutation, SharedRcmStats) {
     let raw = crate::engine::order_once(
-        crate::engine::EngineConfig::directed(
-            crate::driver::BackendKind::Pooled { threads: nthreads },
-            direction,
-        ),
+        crate::engine::EngineConfig::builder()
+            .backend(crate::driver::BackendKind::Pooled { threads: nthreads })
+            .direction(direction)
+            .build(),
         a,
     );
     (

@@ -231,6 +231,44 @@ impl CscMatrix {
         (0..self.n_cols).flat_map(move |c| self.col(c).iter().map(move |&r| (r, c as Vidx)))
     }
 
+    /// A 64-bit fingerprint of the sparsity *pattern* — dimensions, column
+    /// pointers and row indices, exactly the data [`CscMatrix`] stores.
+    ///
+    /// Two matrices have equal fingerprints iff they hash the same canonical
+    /// CSC form, so any construction route that produces the same pattern —
+    /// COO triplets pushed in a different order, with duplicates, or with
+    /// different numerical values attached upstream — fingerprints
+    /// identically. This is the cache key of the ordering service's
+    /// pattern cache: re-ordering a pattern the service has seen costs one
+    /// O(nnz) hash instead of a BFS. The hash is deterministic across runs
+    /// and platforms (no randomized state), and 64 bits wide, so consumers
+    /// that cannot tolerate a ~2⁻⁶⁴ collision must confirm a hash hit with
+    /// a full pattern comparison (`==` — the service cache does).
+    pub fn pattern_fingerprint(&self) -> u64 {
+        // SplitMix64-style avalanche per word: cheap, high-quality, and
+        // stable — the same mixer the offline rand shim seeds with.
+        #[inline]
+        fn mix(h: u64, w: u64) -> u64 {
+            let mut z = (h ^ w).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut h = mix(0x243F_6A88_85A3_08D3, self.n_rows as u64);
+        h = mix(h, self.n_cols as u64);
+        // col_ptr fixes the per-column layout; row_idx pairs are packed two
+        // per word so the dominant O(nnz) pass mixes half as often.
+        for &p in &self.col_ptr {
+            h = mix(h, p as u64);
+        }
+        for pair in self.row_idx.chunks(2) {
+            let w = (pair[0] as u64) << 32 | pair.get(1).copied().unwrap_or(0) as u64;
+            h = mix(h, w);
+        }
+        // Length-extension guard: [r] vs [r, 0] pack to the same word.
+        mix(h, self.row_idx.len() as u64)
+    }
+
     /// Remove any diagonal entries (self-loops do not affect RCM but skew
     /// degree statistics).
     pub fn without_diagonal(&self) -> CscMatrix {
@@ -342,6 +380,70 @@ mod tests {
         let stripped = m.without_diagonal();
         assert_eq!(stripped.nnz(), 2);
         assert!(stripped.is_symmetric());
+    }
+
+    #[test]
+    fn fingerprint_ignores_construction_route() {
+        // The same pattern assembled from shuffled, duplicated triplets
+        // canonicalizes to the same CSC form, hence the same fingerprint.
+        let a = path_graph(7);
+        let mut b = CooBuilder::new(7, 7);
+        for &(u, v) in &[
+            (5, 6),
+            (1, 0),
+            (2, 3),
+            (1, 2),
+            (3, 4),
+            (4, 5),
+            (2, 1),
+            (1, 2),
+        ] {
+            b.push_sym(u, v);
+        }
+        let c = b.build();
+        assert_eq!(a, c);
+        assert_eq!(a.pattern_fingerprint(), c.pattern_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_separates_nearby_patterns() {
+        let base = path_graph(6);
+        let mut others = vec![
+            path_graph(5),
+            path_graph(7),
+            CscMatrix::empty(6),
+            CscMatrix::eye(6),
+            base.without_diagonal(), // identical here; sanity-checked below
+        ];
+        // Same edges, one vertex more: padding must change the hash.
+        let mut b = CooBuilder::new(7, 7);
+        for v in 0..5 {
+            b.push_sym(v, v + 1);
+        }
+        others.push(b.build());
+        assert_eq!(others[4].pattern_fingerprint(), base.pattern_fingerprint());
+        others.remove(4);
+        for o in &others {
+            assert_ne!(
+                o.pattern_fingerprint(),
+                base.pattern_fingerprint(),
+                "distinct patterns must fingerprint apart"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_guards_against_length_extension() {
+        // [r] in one column vs [r, 0] split over two: the odd-length tail
+        // packs a zero, so only the length guard separates them.
+        let mut b1 = CooBuilder::new(3, 3);
+        b1.push(1, 0);
+        let one = b1.build();
+        let mut b2 = CooBuilder::new(3, 3);
+        b2.push(1, 0);
+        b2.push(0, 0);
+        let two = b2.build();
+        assert_ne!(one.pattern_fingerprint(), two.pattern_fingerprint());
     }
 
     #[test]

@@ -46,6 +46,49 @@ proptest! {
     }
 
     #[test]
+    fn fingerprint_is_a_pattern_invariant(
+        n in 1usize..30,
+        pairs in proptest::collection::vec((0usize..30, 0usize..30), 0..80),
+        extra_dups in 0usize..10,
+    ) {
+        // Build the same edge set twice: once as given, once reversed with
+        // a prefix of the edges pushed again (duplicates collapse in the
+        // canonical CSC form). Fingerprints must agree; a genuinely
+        // different pattern (one more edge) must disagree.
+        let edges: Vec<(Vidx, Vidx)> = pairs
+            .into_iter()
+            .map(|(u, v)| ((u % n) as Vidx, (v % n) as Vidx))
+            .collect();
+        let mut b1 = CooBuilder::new(n, n);
+        for &(u, v) in &edges {
+            b1.push_sym(u, v);
+        }
+        let a = b1.build();
+        let mut b2 = CooBuilder::new(n, n);
+        for &(u, v) in edges.iter().rev() {
+            b2.push_sym(v, u);
+        }
+        for &(u, v) in edges.iter().take(extra_dups) {
+            b2.push_sym(u, v);
+        }
+        let c = b2.build();
+        prop_assert_eq!(&a, &c);
+        prop_assert_eq!(a.pattern_fingerprint(), c.pattern_fingerprint());
+        // Adding a previously absent edge changes the pattern and the hash.
+        if n >= 2 {
+            let (u, v) = (0 as Vidx, (n - 1) as Vidx);
+            if !a.contains(u, v) {
+                let mut b3 = CooBuilder::new(n, n);
+                for &(x, y) in &edges {
+                    b3.push_sym(x, y);
+                }
+                b3.push_sym(u, v);
+                prop_assert_ne!(b3.build().pattern_fingerprint(), a.pattern_fingerprint());
+            }
+        }
+    }
+
+    #[test]
     fn transpose_is_involution(m in arb_sym_matrix(30, 80)) {
         prop_assert_eq!(m.transpose().transpose(), m.clone());
         // Symmetric matrices equal their transpose.

@@ -8,6 +8,7 @@
 //! Defaults: `ldoor` on 1, 24, 216 and 1014 cores (hybrid, 6 threads per
 //! MPI process, Edison machine model).
 
+use distributed_rcm::dist::Phase;
 use distributed_rcm::prelude::*;
 
 fn main() {

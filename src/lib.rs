@@ -39,18 +39,20 @@ pub use rcm_graphgen as graphgen;
 pub use rcm_solver as solver;
 pub use rcm_sparse as sparse;
 
-/// One-stop imports for applications.
+/// One-stop imports for applications: the per-call entry points, the warm
+/// engine tier, and the service tier (submit/poll front door, pattern
+/// cache). Lower-level items (level structures, quality breakdowns, the
+/// simulated runtime's internals) stay behind their modules.
 pub mod prelude {
     pub use rcm_core::{
-        algebraic_rcm, dist_rcm, ordering_bandwidth, ordering_profile, ordering_wavefront, par_rcm,
-        pseudo_peripheral, quality_report, rcm, rcm_with_backend, rcm_with_backend_directed, sloan,
-        BackendKind, DistRcmConfig, DistRcmResult, EngineConfig, ExpandDirection, OrderingEngine,
-        OrderingReport, RcmRuntime, SortMode,
+        algebraic_rcm, dist_rcm, ordering_bandwidth, par_rcm, quality_report, rcm,
+        rcm_with_backend, sloan, BackendKind, CacheConfig, CacheOutcome, CacheStats, DistRcmConfig,
+        DistRcmResult, EngineConfig, EngineConfigBuilder, ExpandDirection, JobHandle,
+        OrderingEngine, OrderingReport, OrderingRequest, OrderingService, RcmRuntime,
+        ServiceConfig, ServiceStats, SortMode,
     };
-    pub use rcm_dist::{HybridConfig, MachineModel, Phase, ProcGrid, SimClock};
+    pub use rcm_dist::{HybridConfig, MachineModel};
     pub use rcm_graphgen::{suite, suite_matrix, SuiteMatrix};
-    pub use rcm_solver::{cg_iteration_cost, pcg, BlockJacobi, IdentityPrecond, Preconditioner};
-    pub use rcm_sparse::{
-        matrix_bandwidth, CooBuilder, CscMatrix, CsrNumeric, Permutation, SparseVec,
-    };
+    pub use rcm_solver::{cg_iteration_cost, pcg, BlockJacobi, Preconditioner};
+    pub use rcm_sparse::{matrix_bandwidth, CooBuilder, CscMatrix, CsrNumeric, Permutation};
 }

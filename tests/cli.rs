@@ -178,6 +178,108 @@ fn multiple_inputs_order_through_one_warm_engine() {
 }
 
 #[test]
+fn cache_flag_reports_per_file_hit_miss_and_totals() {
+    let dir = std::env::temp_dir().join("rcm-order-test-cache");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path_a = dir.join("a.mtx");
+    let path_b = dir.join("b.mtx");
+    let pattern = "%%MatrixMarket matrix coordinate pattern symmetric\n5 5 4\n2 1\n3 2\n4 3\n5 4\n";
+    std::fs::write(&path_a, pattern).unwrap();
+    // Same pattern under a different file name: the second ordering must be
+    // served from the cache.
+    std::fs::write(&path_b, pattern).unwrap();
+    let out = rcm_order()
+        .args([
+            path_a.to_str().unwrap(),
+            path_b.to_str().unwrap(),
+            path_a.to_str().unwrap(),
+            "--cache",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("cache miss").count(), 1, "{stdout}");
+    assert_eq!(stdout.matches("cache hit").count(), 2, "{stdout}");
+    assert!(
+        stdout.contains("cache: 2 hits, 1 misses"),
+        "multi-input runs must print cache totals: {stdout}"
+    );
+    // All three reports describe the bit-identical ordering.
+    let bandwidth_lines: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.contains("bandwidth:"))
+        .collect();
+    assert_eq!(bandwidth_lines.len(), 3);
+    assert!(bandwidth_lines.iter().all(|l| l == &bandwidth_lines[0]));
+}
+
+#[test]
+fn cache_flag_without_repeats_reports_only_misses() {
+    let out = rcm_order()
+        .args(["suite:nd24k", "--scale", "0.005", "--cache"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cache miss"), "{stdout}");
+    // Single input: no totals line.
+    assert!(!stdout.contains("cache:"), "{stdout}");
+}
+
+#[test]
+fn cache_flag_rejects_non_rcm_methods() {
+    let out = rcm_order()
+        .args([
+            "suite:nd24k",
+            "--scale",
+            "0.005",
+            "--method",
+            "sloan",
+            "--cache",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--cache applies only to --method rcm"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn cache_flag_with_bad_input_still_exits_2_naming_it() {
+    let dir = std::env::temp_dir().join("rcm-order-test-cachebad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("fine.mtx");
+    std::fs::write(
+        &good,
+        "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n",
+    )
+    .unwrap();
+    let bad = dir.join("corrupt.mtx");
+    std::fs::write(&bad, "still not a matrix\n").unwrap();
+    let out = rcm_order()
+        .args([good.to_str().unwrap(), bad.to_str().unwrap(), "--cache"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("corrupt.mtx"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("bandwidth:"), "{stdout}");
+}
+
+#[test]
 fn first_bad_input_of_many_exits_2_naming_it() {
     let dir = std::env::temp_dir().join("rcm-order-test-multibad");
     std::fs::create_dir_all(&dir).unwrap();

@@ -104,7 +104,7 @@ fn backend_kinds() -> Vec<BackendKind> {
 fn warm_engine_survives_the_hostile_sequence_on_every_backend() {
     let sequence = hostile_sequence();
     for kind in backend_kinds() {
-        let mut engine = OrderingEngine::new(EngineConfig::new(kind));
+        let mut engine = OrderingEngine::new(EngineConfig::builder().backend(kind).build());
         for (name, a) in &sequence {
             let report = engine.order(a);
             let fresh = rcm_with_backend(a, kind);
@@ -126,7 +126,7 @@ fn warm_engine_batch_matches_single_shot_on_the_hostile_sequence() {
     let mats: Vec<CscMatrix> = hostile_sequence().into_iter().map(|(_, a)| a).collect();
     for threads in thread_counts_from_env(&[1, 2, 8]) {
         let kind = BackendKind::Pooled { threads };
-        let mut engine = OrderingEngine::new(EngineConfig::new(kind));
+        let mut engine = OrderingEngine::new(EngineConfig::builder().backend(kind).build());
         // Two rounds through the same engine: batch state must not leak
         // into the next batch either.
         for round in 0..2 {
@@ -140,6 +140,29 @@ fn warm_engine_batch_matches_single_shot_on_the_hostile_sequence() {
                 );
             }
         }
+    }
+}
+
+/// The deprecated constructors must keep building configurations identical
+/// to their builder replacements — downstream code migrating at its own
+/// pace sees no behavior change.
+#[test]
+#[allow(deprecated)]
+fn deprecated_constructors_match_the_builder() {
+    let a = grid_graph(9, 4);
+    for kind in backend_kinds() {
+        let legacy = EngineConfig::new(kind);
+        let built = EngineConfig::builder().backend(kind).build();
+        assert_eq!(legacy.backend, built.backend);
+        assert_eq!(legacy.direction, built.direction);
+        assert_eq!(legacy.compress, built.compress);
+        assert!(legacy.cache.is_none());
+        let directed = EngineConfig::directed(kind, ExpandDirection::Push);
+        assert_eq!(directed.direction, ExpandDirection::Push);
+        assert_eq!(
+            OrderingEngine::new(legacy).order(&a).perm,
+            OrderingEngine::new(built).order(&a).perm
+        );
     }
 }
 
@@ -158,7 +181,7 @@ fn warm_engine_growth_events_stop_at_the_high_water_mark() {
             .map(|threads| BackendKind::Pooled { threads }),
     );
     for kind in kinds {
-        let mut engine = OrderingEngine::new(EngineConfig::new(kind));
+        let mut engine = OrderingEngine::new(EngineConfig::builder().backend(kind).build());
         engine.order(&big);
         let warm = engine.growth_events();
         assert!(warm > 0, "{}: first install must grow", kind.name());
@@ -214,7 +237,7 @@ proptest! {
         let small_b = random_graph(n / 5 + 2, deg.min(3), seed ^ 0x5A5A);
         let sequence = [&big, &small_a, &small_b, &big];
         for kind in backend_kinds() {
-            let mut engine = OrderingEngine::new(EngineConfig::new(kind));
+            let mut engine = OrderingEngine::new(EngineConfig::builder().backend(kind).build());
             for (i, a) in sequence.iter().enumerate() {
                 let warm = engine.order(a).perm;
                 let fresh = rcm_with_backend(a, kind);

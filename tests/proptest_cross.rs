@@ -1,6 +1,8 @@
 //! Workspace-level property tests: random graphs through the full pipeline.
 
-use distributed_rcm::core::{algebraic_rcm, dist_rcm, par_rcm, DistRcmConfig, SortMode};
+use distributed_rcm::core::{
+    algebraic_rcm, dist_rcm, par_rcm, pseudo_peripheral, DistRcmConfig, SortMode,
+};
 use distributed_rcm::dist::{HybridConfig, MachineModel};
 use distributed_rcm::prelude::*;
 use proptest::prelude::*;

@@ -3,6 +3,7 @@
 //! distributed time.
 
 use distributed_rcm::prelude::*;
+use distributed_rcm::solver::IdentityPrecond;
 use distributed_rcm::sparse::CsrNumeric;
 
 fn thermal_pattern() -> CscMatrix {
