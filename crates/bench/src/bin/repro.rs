@@ -18,6 +18,7 @@
 //!   throughput warm OrderingEngine vs cold per-call orderings/sec
 //!   service    closed-loop OrderingService: cold vs warm shards vs pattern cache
 //!   kernels    per-edge / per-element kernel microbenchmarks
+//!   components component-parallel split+schedule+stitch vs the sequential driver
 //!   all        everything above
 //! ```
 //!
@@ -32,18 +33,18 @@
 
 use rcm_bench::report::json_str;
 use rcm_bench::{
-    ablation_sort_modes, backend_sweep, balance_ablation, compression_table, direction_ablation,
-    fig1_cg_solve, fig3_suite_table, fig4_breakdown, fig5_spmspv_split, fig6_flat_vs_hybrid,
-    gather_vs_distributed, kernels_table, load_mtx, machine_sensitivity, mtx_table,
-    quality_comparison, run_hybrid_sweep, scaling_summary, service_table, shared_scaling,
-    table2_shared_memory, throughput_table, ExpConfig, Table,
+    ablation_sort_modes, backend_sweep, balance_ablation, components_table, compression_table,
+    direction_ablation, fig1_cg_solve, fig3_suite_table, fig4_breakdown, fig5_spmspv_split,
+    fig6_flat_vs_hybrid, gather_vs_distributed, kernels_table, load_mtx, machine_sensitivity,
+    mtx_table, quality_comparison, run_hybrid_sweep, scaling_summary, service_table,
+    shared_scaling, table2_shared_memory, throughput_table, ExpConfig, Table,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale <mult>] [--quick] [--out <dir>] [--mtx <file.mtx>]... \
          <fig1|fig3|table2|scaling|fig4|fig5|fig6|ablation|direction|backends|balance|quality\
-         |gather|sensitivity|compress|throughput|service|kernels|all>..."
+         |gather|sensitivity|compress|throughput|service|kernels|components|all>..."
     );
     std::process::exit(2);
 }
@@ -151,7 +152,7 @@ fn main() {
     }
     // Reject typos up front: a silently-ignored name would let the CI
     // bench-smoke gate pass while measuring nothing.
-    const KNOWN: [&str; 19] = [
+    const KNOWN: [&str; 20] = [
         "fig1",
         "fig3",
         "table2",
@@ -170,6 +171,7 @@ fn main() {
         "throughput",
         "service",
         "kernels",
+        "components",
         "all",
     ];
     for w in &wanted {
@@ -294,6 +296,9 @@ fn main() {
     }
     if want("kernels") {
         ok &= emit(&cfg, &mut manifest, "kernels", &kernels_table(&cfg));
+    }
+    if want("components") {
+        ok &= emit(&cfg, &mut manifest, "components", &components_table(&cfg));
     }
     match write_summary(&cfg, &manifest) {
         Ok(path) => println!("[summary] {}", path.display()),

@@ -18,6 +18,7 @@
 //! | [`mtx_table`] | real Matrix Market inputs (`repro --mtx`) next to the suite |
 //! | [`throughput_table`] | warm `OrderingEngine` vs cold per-call orderings/sec |
 //! | [`service_table`] | `OrderingService` closed-loop load: cold vs warm shards vs cache |
+//! | [`components_table`] | component-parallel split+schedule+stitch vs the sequential driver |
 //! | [`kernels_table`] | per-edge / per-element kernel microbenchmarks |
 //!
 //! Absolute times come from the calibrated Edison model and will not match
@@ -38,13 +39,13 @@ use rcm_core::{
 use rcm_dist::{
     Breakdown, DistCscMatrix, MachineModel, Phase, PAPER_FLAT_CORES, PAPER_HYBRID_CORES,
 };
-use rcm_graphgen::{suite, suite_matrix, SuiteMatrix};
+use rcm_graphgen::{block_diag, forest, multi_body, suite, suite_matrix, SuiteMatrix};
 use rcm_solver::{cg_iteration_cost, pcg, BlockJacobi};
 use rcm_sparse::{
-    bucket_sortperm_ref, counting_sortperm, matrix_bandwidth, mm, spmspv, spmspv_pull,
-    spmspv_pull_ref, CooBuilder, CscMatrix, CsrNumeric, DenseFrontier, Label, Permutation,
-    PullBuffer, Select2ndMin, SortpermScratch, SparseVec, SpmspvWorkspace, VertexBitmap, Vidx,
-    UNVISITED,
+    bucket_sortperm_ref, connected_components, counting_sortperm, matrix_bandwidth, mm, spmspv,
+    spmspv_pull, spmspv_pull_ref, CooBuilder, CscMatrix, CsrNumeric, DenseFrontier, Label,
+    Permutation, PullBuffer, Select2ndMin, SortpermScratch, SparseVec, SpmspvWorkspace,
+    VertexBitmap, Vidx, UNVISITED,
 };
 
 use crate::report::{fmt_count, fmt_secs, Table};
@@ -1018,6 +1019,186 @@ pub fn service_table(cfg: &ExpConfig) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// Component-parallel ordering — split + schedule + stitch vs sequential
+// ---------------------------------------------------------------------------
+
+/// One `(class, backend, threads)` row of the `repro components`
+/// experiment, in raw numbers (the table formats them).
+pub struct ComponentRow {
+    /// Multi-component class name (`forest`, `multi_body`, `block_diag`).
+    pub class: String,
+    /// Backend measured (`serial` or `pooled`).
+    pub backend: &'static str,
+    /// Pool worker threads (1 on the serial row).
+    pub threads: usize,
+    /// Vertices in the class matrix.
+    pub n: usize,
+    /// Stored entries in the class matrix.
+    pub nnz: usize,
+    /// Connected components in the class matrix.
+    pub components: usize,
+    /// Best-of-reps wall seconds per ordering for the sequential driver
+    /// (one warm engine, `split_components` off): every component pays a
+    /// full unvisited-minimum scan and, pooled, per-level worker sync.
+    pub seq_secs: f64,
+    /// Best-of-reps wall seconds per ordering with component splitting on:
+    /// detect once, order each sub-matrix as an independent job (small
+    /// components whole-per-worker), stitch.
+    pub split_secs: f64,
+    /// The split ordering matched the sequential driver bit for bit — on
+    /// the measured backend every rep, and on all four backends checked
+    /// once per class.
+    pub identical: bool,
+}
+
+/// The three multi-component classes of the `repro components` experiment.
+///
+/// Component *count* is the driving dimension — the sequential driver pays
+/// one full unvisited-minimum scan per component and, pooled, per-level
+/// sync inside every tiny component — so quick mode keeps fixed
+/// many-component shapes (~10³ vertices, cheap enough for CI) rather than
+/// scaling the components away; full mode grows with `scale_mult`.
+fn component_classes(cfg: &ExpConfig) -> Vec<(&'static str, CscMatrix)> {
+    if cfg.quick {
+        vec![
+            ("forest", forest(24, 40, 11)),
+            ("multi_body", multi_body(6, 10, 12)),
+            ("block_diag", block_diag(4, 7, 13)),
+        ]
+    } else {
+        let k = |base: usize| ((base as f64 * cfg.scale_mult).round() as usize).max(2);
+        vec![
+            ("forest", forest(k(64), 120, 11)),
+            ("multi_body", multi_body(k(10), 22, 12)),
+            ("block_diag", block_diag(k(8), 12, 13)),
+        ]
+    }
+}
+
+/// Measure component-parallel ordering per multi-component class: one warm
+/// engine with `split_components` off (the sequential driver) against one
+/// with it on, per backend — serial plus pooled at each `RCM_THREADS`
+/// count — timed best-of-`reps` with the two drivers interleaved within
+/// each rep so ambient load hits both alike. Bit-equality of the split
+/// ordering is checked against the plain serial reference on all four
+/// backends once per class, and against the measured backend every rep.
+pub fn component_measurements(cfg: &ExpConfig) -> Vec<ComponentRow> {
+    let reps = if cfg.quick { 3 } else { 5 };
+    let inner = if cfg.quick { 4 } else { 2 };
+    let thread_counts = rcm_core::thread_counts_from_env(&[1, 4]);
+    let mut rows = Vec::new();
+    for (class, a) in component_classes(cfg) {
+        let components = connected_components(&a).count();
+        let serial_ref = rcm_with_backend(&a, BackendKind::Serial);
+        // Bit-equality of the split path across all four backends, checked
+        // once per class (the dist/hybrid simulations are the expensive
+        // part), shared by every measured row of the class.
+        let mut four_way_identical = true;
+        for kind in [
+            BackendKind::Serial,
+            BackendKind::Pooled { threads: 4 },
+            BackendKind::Dist { cores: 16 },
+            BackendKind::Hybrid {
+                cores: 24,
+                threads_per_proc: 6,
+            },
+        ] {
+            let mut split_engine = rcm_core::OrderingEngine::new(
+                rcm_core::EngineConfig::builder()
+                    .backend(kind)
+                    .split_components(true)
+                    .build(),
+            );
+            four_way_identical &= split_engine.order(&a).perm == serial_ref;
+        }
+        let mut backends: Vec<(&'static str, usize, BackendKind)> =
+            vec![("serial", 1, BackendKind::Serial)];
+        for &t in &thread_counts {
+            backends.push(("pooled", t, BackendKind::Pooled { threads: t }));
+        }
+        for (backend, threads, kind) in backends {
+            let mut seq = rcm_core::OrderingEngine::with_backend(kind);
+            let mut split = rcm_core::OrderingEngine::new(
+                rcm_core::EngineConfig::builder()
+                    .backend(kind)
+                    .split_components(true)
+                    .build(),
+            );
+            // Warms both engines (workspaces, pool spawn) and pins the
+            // per-backend equality before any timing.
+            let mut identical = four_way_identical && split.order(&a).perm == seq.order(&a).perm;
+            let mut seq_best = f64::INFINITY;
+            let mut split_best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                for _ in 0..inner {
+                    let report = seq.order(&a);
+                    assert_eq!(report.perm.len(), a.n_rows());
+                }
+                seq_best = seq_best.min(t0.elapsed().as_secs_f64() / inner as f64);
+                let t0 = Instant::now();
+                for _ in 0..inner {
+                    let report = split.order(&a);
+                    assert_eq!(report.perm.len(), a.n_rows());
+                }
+                split_best = split_best.min(t0.elapsed().as_secs_f64() / inner as f64);
+                identical &= split.order(&a).perm == seq.order(&a).perm;
+            }
+            rows.push(ComponentRow {
+                class: class.to_string(),
+                backend,
+                threads,
+                n: a.n_rows(),
+                nnz: a.nnz(),
+                components,
+                seq_secs: seq_best,
+                split_secs: split_best,
+                identical,
+            });
+        }
+    }
+    rows
+}
+
+/// The `repro components` table: sequential-driver vs component-parallel
+/// wall time per multi-component class and backend. The bench tests assert
+/// split ≥ sequential throughput on every pooled row (whole-component
+/// batch scheduling is what the split path exists for) and that every
+/// split ordering stayed bit-identical to the sequential driver.
+pub fn components_table(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "Component-parallel ordering — split+schedule+stitch vs sequential driver",
+        &[
+            "class",
+            "backend",
+            "threads",
+            "n",
+            "nnz",
+            "comps",
+            "seq ms",
+            "split ms",
+            "speedup",
+            "identical",
+        ],
+    );
+    for row in component_measurements(cfg) {
+        t.row(vec![
+            row.class.clone(),
+            row.backend.to_string(),
+            row.threads.to_string(),
+            fmt_count(row.n as u64),
+            fmt_count(row.nnz as u64),
+            row.components.to_string(),
+            format!("{:.3}", row.seq_secs * 1e3),
+            format!("{:.3}", row.split_secs * 1e3),
+            format!("{:.2}x", row.seq_secs / row.split_secs.max(1e-12)),
+            row.identical.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
 // Kernel microbenchmarks — push vs pull vs old pull, counting vs bucket sort
 // ---------------------------------------------------------------------------
 
@@ -1922,6 +2103,55 @@ mod tests {
             eprintln!("service attempt {attempt} under load: {last_failure}");
         }
         panic!("all {ATTEMPTS} service attempts failed; last: {last_failure}");
+    }
+
+    #[test]
+    fn split_ordering_beats_the_sequential_driver_on_pooled_rows() {
+        // The acceptance gate of the component-parallel path: on every
+        // multi-component class, the splitting engine must order at least
+        // as fast as the sequential driver on every pooled row — the
+        // driver pays per-level worker sync inside every tiny component
+        // where the split path schedules whole components one-per-worker —
+        // and every split ordering must stay bit-identical to the
+        // sequential driver on all four backends.
+        // Wall-clock relation, so measure over independent attempts:
+        // best-of-reps absorbs most ambient load, but sibling test
+        // binaries of a parallel `cargo test` run can steal the cores for
+        // one attempt. Bit-equality and component counts are deterministic
+        // and asserted on every attempt unconditionally.
+        const ATTEMPTS: usize = 4;
+        let mut last_failure = String::new();
+        for attempt in 0..ATTEMPTS {
+            let rows = component_measurements(&quick_cfg());
+            assert!(rows.len() >= 6, "serial + pooled rows per class");
+            last_failure.clear();
+            for row in &rows {
+                assert!(
+                    row.identical,
+                    "{} {}@{}: split ordering diverged from the sequential driver",
+                    row.class, row.backend, row.threads
+                );
+                assert!(
+                    row.components > 1,
+                    "{}: class must be multi-component",
+                    row.class
+                );
+                if row.backend == "pooled" && row.split_secs > row.seq_secs {
+                    last_failure = format!(
+                        "{} pooled@{}: split {:.3} ms slower than sequential {:.3} ms",
+                        row.class,
+                        row.threads,
+                        row.split_secs * 1e3,
+                        row.seq_secs * 1e3
+                    );
+                }
+            }
+            if last_failure.is_empty() {
+                return;
+            }
+            eprintln!("components attempt {attempt} under load: {last_failure}");
+        }
+        panic!("all {ATTEMPTS} components attempts failed; last: {last_failure}");
     }
 
     #[test]

@@ -10,11 +10,12 @@ pub mod experiments;
 pub mod report;
 
 pub use experiments::{
-    ablation_sort_modes, backend_sweep, balance_ablation, compression_table, direction_ablation,
-    fig1_cg_solve, fig3_suite_table, fig4_breakdown, fig5_spmspv_split, fig6_flat_vs_hybrid,
-    gather_vs_distributed, kernel_measurements, kernels_table, load_mtx, machine_sensitivity,
-    mtx_table, quality_comparison, run_hybrid_sweep, scaling_summary, service_measurements,
-    service_table, shared_scaling, table2_shared_memory, throughput_measurements, throughput_table,
-    ExpConfig, KernelRow, MtxInput, ServiceRow, SweepPanel, ThroughputRow, SCALING_THREADS,
+    ablation_sort_modes, backend_sweep, balance_ablation, component_measurements, components_table,
+    compression_table, direction_ablation, fig1_cg_solve, fig3_suite_table, fig4_breakdown,
+    fig5_spmspv_split, fig6_flat_vs_hybrid, gather_vs_distributed, kernel_measurements,
+    kernels_table, load_mtx, machine_sensitivity, mtx_table, quality_comparison, run_hybrid_sweep,
+    scaling_summary, service_measurements, service_table, shared_scaling, table2_shared_memory,
+    throughput_measurements, throughput_table, ComponentRow, ExpConfig, KernelRow, MtxInput,
+    ServiceRow, SweepPanel, ThroughputRow, SCALING_THREADS,
 };
 pub use report::{fmt_count, fmt_secs, Table};

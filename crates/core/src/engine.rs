@@ -73,7 +73,10 @@ use crate::pool::{PoolConfig, RcmPool};
 use crate::quality::ordering_bandwidth;
 use crate::service::{CacheOutcome, CacheStats, PatternCache};
 use rcm_dist::{DistSpmspvWorkspace, HybridConfig, MachineModel};
-use rcm_sparse::{matrix_bandwidth, CscMatrix, Label, Permutation};
+use rcm_sparse::{
+    connected_components, matrix_bandwidth, ComponentSplit, Components, CscMatrix, Label,
+    Permutation, Vidx,
+};
 use std::time::Instant;
 
 /// Default [`CacheConfig::max_nnz`] bound: ~16M stored pattern nonzeros
@@ -150,6 +153,20 @@ pub struct EngineConfig {
     /// [`crate::service::OrderingService`] ignores this field on its shard
     /// engines — it owns one *shared* cache at the front door instead.
     pub cache: Option<CacheConfig>,
+    /// Schedule connected components as independent ordering jobs: detect
+    /// components up front ([`rcm_sparse::connected_components`]), carve the
+    /// matrix with a warm [`rcm_sparse::ComponentSplit`], order each piece
+    /// on the configured backend (on the pooled backend pieces go
+    /// whole-per-worker through the batch job; a piece runs level-parallel
+    /// only when it is a true giant holding a strict majority of the
+    /// vertices), and stitch the local permutations back together.
+    /// The result is **bit-identical** to the sequential whole-matrix
+    /// driver — the stitcher replays its deterministic component order (the
+    /// unvisited minimum-(degree, id) seed). Connected matrices pay one
+    /// O(n + nnz) detection pass and take the ordinary path; the
+    /// compression path ignores this flag (the quotient pipeline has its
+    /// own traversal).
+    pub split_components: bool,
 }
 
 impl EngineConfig {
@@ -165,6 +182,7 @@ impl EngineConfig {
                 dist: None,
                 batch_small_cutoff: None,
                 cache: None,
+                split_components: false,
             },
         }
     }
@@ -239,6 +257,13 @@ impl EngineConfigBuilder {
     /// ([`EngineConfig::cache`]).
     pub fn cache(mut self, cache: CacheConfig) -> Self {
         self.config.cache = Some(cache);
+        self
+    }
+
+    /// Schedule connected components as independent ordering jobs
+    /// ([`EngineConfig::split_components`]).
+    pub fn split_components(mut self, split: bool) -> Self {
+        self.config.split_components = split;
         self
     }
 
@@ -319,6 +344,7 @@ pub struct OrderingEngine {
     serial_ws: SerialWorkspace,
     pool: Option<RcmPool>,
     dist_ws: DistSpmspvWorkspace<Label>,
+    splitter: ComponentSplit,
     cache: Option<PatternCache>,
     orderings: usize,
 }
@@ -342,6 +368,7 @@ impl OrderingEngine {
             serial_ws: SerialWorkspace::new(),
             pool,
             dist_ws: DistSpmspvWorkspace::new(),
+            splitter: ComponentSplit::new(),
             orderings: 0,
         }
     }
@@ -362,13 +389,15 @@ impl OrderingEngine {
     }
 
     /// Times any install-managed warm buffer (serial workspace, pool
-    /// arenas, distributed SpMSpV accumulator) had to grow. Re-ordering
-    /// matrices no larger than any this engine has seen leaves the count
-    /// unchanged — the growth-event tests assert exactly that.
+    /// arenas, distributed SpMSpV accumulator, component splitter) had to
+    /// grow. Re-ordering matrices no larger than any this engine has seen
+    /// leaves the count unchanged — the growth-event tests assert exactly
+    /// that.
     pub fn growth_events(&self) -> usize {
         self.serial_ws.growth_events()
             + self.pool.as_ref().map_or(0, |p| p.growth_events())
             + self.dist_ws.growth_events()
+            + self.splitter.growth_events()
     }
 
     /// Order one matrix on the warm backend and report the permutation
@@ -437,8 +466,10 @@ impl OrderingEngine {
     pub fn order_batch(&mut self, mats: &[CscMatrix]) -> Vec<OrderingReport> {
         // A caching engine routes per-matrix through `order` so every
         // matrix participates in the cache — a batch of repeated patterns
-        // collapses to one BFS plus hash-time hits.
-        if self.cache.is_none() {
+        // collapses to one BFS plus hash-time hits. A splitting engine
+        // routes per-matrix too: each matrix decomposes into its own
+        // component jobs.
+        if self.cache.is_none() && !self.config.split_components {
             if let BackendKind::Pooled { threads } = self.config.backend {
                 if threads > 1 && !self.config.compress && mats.len() > 1 {
                     return self.order_batch_pooled(mats);
@@ -506,6 +537,12 @@ impl OrderingEngine {
                 compress: Some(stats),
             };
         }
+        if self.config.split_components {
+            let comps = connected_components(a);
+            if comps.count() > 1 {
+                return self.order_split(a, &comps);
+            }
+        }
         match self.config.backend {
             BackendKind::Serial => {
                 let ws = std::mem::take(&mut self.serial_ws);
@@ -552,6 +589,148 @@ impl OrderingEngine {
                     compress: None,
                 }
             }
+        }
+    }
+
+    /// The component-parallel path of [`OrderingEngine::order_raw`]:
+    /// split → schedule → stitch.
+    ///
+    /// The sequential driver reseeds every component at the globally
+    /// unvisited vertex minimizing `(degree, id)`; since degrees never
+    /// cross component boundaries, that is exactly ascending order of each
+    /// component's own `(degree, id)` minimum — a schedule this method can
+    /// compute up front and replay. Each piece keeps its vertices in
+    /// ascending global-id order (see [`rcm_sparse::ComponentSplit`]), so
+    /// every tie-break inside a piece matches the whole-matrix run and the
+    /// stitched permutation is bit-identical to the sequential one: piece
+    /// `c` at schedule offset `o` with local unreversed-CM labels `cm`
+    /// contributes global RCM labels `n - 1 - o - cm[u]`.
+    ///
+    /// Per-piece stats merge in schedule order (`components` sums to the
+    /// piece count, level traces concatenate); on the dist/hybrid backends
+    /// the pieces run as independent simulated jobs and the report carries
+    /// no aggregate simulated result.
+    fn order_split(&mut self, a: &CscMatrix, comps: &Components) -> RawOrdering {
+        let n = a.n_rows();
+        let k = comps.count();
+        let mut splitter = std::mem::take(&mut self.splitter);
+        let pieces = splitter.split(a, comps);
+
+        // Deterministic schedule: ascending (degree, id) minimum per piece.
+        let mut best: Vec<(Vidx, Vidx)> = vec![(Vidx::MAX, Vidx::MAX); k];
+        for v in 0..n {
+            let c = comps.component_of[v] as usize;
+            let mut d = a.col_nnz(v) as Vidx;
+            if a.col(v).binary_search(&(v as Vidx)).is_ok() {
+                d -= 1; // structural diagonal is not a graph neighbour
+            }
+            if d < best[c].0 {
+                best[c] = (d, v as Vidx);
+            }
+        }
+        let mut schedule: Vec<usize> = (0..k).collect();
+        schedule.sort_unstable_by_key(|&c| best[c]);
+
+        // Order every piece on the warm backend. Results are unreversed CM
+        // permutations in local ids, indexed by component id.
+        let mut results: Vec<Option<(Permutation, DriverStats)>> = (0..k).map(|_| None).collect();
+        let mut parallel_levels = 0usize;
+        match self.config.backend {
+            BackendKind::Serial => {
+                for (c, piece) in pieces.iter().enumerate() {
+                    let ws = std::mem::take(&mut self.serial_ws);
+                    let mut rt = SerialBackend::warm(&piece.matrix, ws);
+                    let stats =
+                        drive_cm_directed(&mut rt, LabelingMode::PerLevel, self.config.direction);
+                    let (cm, ws) = rt.finish();
+                    self.serial_ws = ws;
+                    results[c] = Some((cm, stats));
+                }
+            }
+            BackendKind::Pooled { .. } => {
+                let pool = self.pool.as_mut().expect("pooled engine owns a pool");
+                let cutoff = self
+                    .config
+                    .batch_small_cutoff
+                    .unwrap_or(pool.config().seq_cutoff);
+                // Pieces go whole-per-worker through the pool's batch job
+                // unless one is a true giant — above the level cutoff AND
+                // holding a strict majority of the vertices. Only then can
+                // level parallelism beat component parallelism: with the
+                // work spread over several comparable pieces, running them
+                // whole on separate workers is sync-free and keeps every
+                // worker busy, while the level pipeline would serialize
+                // the pieces and pay per-level sync on narrow frontiers.
+                let small_idx: Vec<usize> = (0..k)
+                    .filter(|&c| {
+                        let rows = pieces[c].matrix.n_rows();
+                        rows < cutoff || 2 * rows <= n
+                    })
+                    .collect();
+                let smalls: Vec<&CscMatrix> =
+                    small_idx.iter().map(|&c| &pieces[c].matrix).collect();
+                let small_cm = pool.order_cm_batch(&smalls, self.config.direction);
+                for (&c, res) in small_idx.iter().zip(small_cm) {
+                    results[c] = Some(res);
+                }
+                for (c, slot) in results.iter_mut().enumerate() {
+                    if slot.is_none() {
+                        let (cm, stats, levels) = crate::shared::pooled_cm_raw(
+                            &pieces[c].matrix,
+                            pool,
+                            self.config.direction,
+                        );
+                        parallel_levels += levels;
+                        *slot = Some((cm, stats));
+                    }
+                }
+            }
+            BackendKind::Dist { .. } | BackendKind::Hybrid { .. } => {
+                for (c, piece) in pieces.iter().enumerate() {
+                    let result = self.order_dist(&piece.matrix);
+                    let stats = DriverStats {
+                        components: result.components,
+                        peripheral_bfs: result.peripheral_bfs,
+                        levels: result.levels,
+                        spmspv_work: 0,
+                        push_expands: result.push_expands,
+                        pull_expands: result.pull_expands,
+                        level_stats: result.level_stats.clone(),
+                    };
+                    results[c] = Some((result.perm.reversed(), stats));
+                }
+            }
+        }
+
+        // Stitch: pieces take consecutive CM label blocks in schedule
+        // order; the global permutation is the reversal of that CM.
+        let mut new_of_old = vec![0 as Vidx; n];
+        let mut offset = 0usize;
+        let mut stats = DriverStats::default();
+        for &c in &schedule {
+            let piece = &pieces[c];
+            let (cm, piece_stats) = results[c].take().expect("every piece ordered");
+            let labels = cm.as_new_of_old();
+            for (u, &g) in piece.vertices.iter().enumerate() {
+                new_of_old[g as usize] = (n - 1 - offset - labels[u] as usize) as Vidx;
+            }
+            offset += piece.matrix.n_rows();
+            stats.components += piece_stats.components;
+            stats.peripheral_bfs += piece_stats.peripheral_bfs;
+            stats.levels += piece_stats.levels;
+            stats.spmspv_work += piece_stats.spmspv_work;
+            stats.push_expands += piece_stats.push_expands;
+            stats.pull_expands += piece_stats.pull_expands;
+            stats.level_stats.extend(piece_stats.level_stats);
+        }
+        self.splitter = splitter;
+        RawOrdering {
+            perm: Permutation::from_new_of_old(new_of_old)
+                .expect("stitched component labels form a bijection"),
+            stats,
+            parallel_levels,
+            sim: None,
+            compress: None,
         }
     }
 
@@ -758,6 +937,90 @@ mod tests {
         let mut plain = OrderingEngine::with_backend(BackendKind::Serial);
         assert_eq!(plain.order(&a).cache, None);
         assert!(plain.cache_stats().is_none());
+    }
+
+    /// Several scrambled grids as one matrix, with vertex ids strewn across
+    /// components by a stride scramble of the block-diagonal composite.
+    fn multi_component(sides: &[(usize, usize)]) -> CscMatrix {
+        let blocks: Vec<CscMatrix> = sides
+            .iter()
+            .map(|&(side, stride)| scrambled_grid(side, stride))
+            .collect();
+        let n: usize = blocks.iter().map(|b| b.n_rows()).sum();
+        let mut builder = CooBuilder::new(n, n);
+        let mut offset = 0;
+        for block in &blocks {
+            for (r, c) in block.iter_entries() {
+                builder.push(r + offset as Vidx, c + offset as Vidx);
+            }
+            offset += block.n_rows();
+        }
+        let gcd = |mut a: usize, mut b: usize| {
+            while b != 0 {
+                (a, b) = (b, a % b);
+            }
+            a
+        };
+        let stride = (2..).find(|&s| gcd(s, n) == 1).unwrap();
+        let perm: Vec<Vidx> = (0..n).map(|i| ((i * stride) % n) as Vidx).collect();
+        builder
+            .build()
+            .permute_sym(&Permutation::from_new_of_old(perm).unwrap())
+    }
+
+    #[test]
+    fn split_engine_is_bit_identical_to_sequential_on_every_backend() {
+        let a = multi_component(&[(9, 1), (5, 2), (7, 3), (3, 4)]);
+        assert!(rcm_sparse::connected_components(&a).count() >= 4);
+        for kind in [
+            BackendKind::Serial,
+            BackendKind::Pooled { threads: 3 },
+            BackendKind::Dist { cores: 4 },
+            BackendKind::Hybrid {
+                cores: 24,
+                threads_per_proc: 6,
+            },
+        ] {
+            let sequential = rcm_with_backend(&a, kind);
+            let mut engine = OrderingEngine::new(
+                EngineConfig::builder()
+                    .backend(kind)
+                    .split_components(true)
+                    .build(),
+            );
+            let report = engine.order(&a);
+            assert_eq!(
+                report.perm,
+                sequential,
+                "{} split path diverged from the sequential driver",
+                kind.name()
+            );
+            assert_eq!(report.stats.components, 4);
+            // A connected matrix takes the ordinary path under the flag.
+            let connected = scrambled_grid(6, 7);
+            assert_eq!(
+                engine.order(&connected).perm,
+                rcm_with_backend(&connected, kind)
+            );
+        }
+    }
+
+    #[test]
+    fn split_engine_growth_stays_flat_on_resplits() {
+        let a = multi_component(&[(8, 5), (6, 5), (4, 7)]);
+        let mut engine = OrderingEngine::new(
+            EngineConfig::builder()
+                .backend(BackendKind::Pooled { threads: 3 })
+                .split_components(true)
+                .build(),
+        );
+        engine.order(&a);
+        let warm = engine.growth_events();
+        assert!(warm > 0);
+        for _ in 0..3 {
+            engine.order(&a);
+        }
+        assert_eq!(engine.growth_events(), warm);
     }
 
     #[test]

@@ -31,6 +31,9 @@
 //!                │                         (O(nnz))        │ yes       complete
 //!                │ miss                                    │           immediately
 //!                ▼                                         │
+//!        identical job in flight? ── yes: coalesce onto its result
+//!                │ no                 (no queue, no shard, no BFS)
+//!                ▼
 //!        bounded job queue  ◄──────── back-pressure: submit blocks when full
 //!           │         │
 //!     admission policy: runs of small jobs group into order_batch
@@ -518,6 +521,11 @@ pub struct ServiceStats {
     pub completed: usize,
     /// Jobs that ran inside a batch group of ≥ 2.
     pub batched: usize,
+    /// Submits coalesced onto an identical in-flight computation: the
+    /// pattern had already missed the cache for an earlier, still-running
+    /// job, so the later handle waits for that job's result instead of
+    /// enqueueing a redundant BFS.
+    pub coalesced: usize,
     /// Pattern-cache hits (lookups returning a cached permutation).
     pub cache_hits: usize,
     /// Pattern-cache misses.
@@ -550,16 +558,28 @@ struct QueueState {
     open: bool,
 }
 
+/// One in-flight cache-participating computation: the pattern (kept for
+/// collision-proof equality, exactly like the cache itself) plus the
+/// handles of later identical submits coalesced onto it.
+struct InFlight {
+    pattern: CscMatrix,
+    waiters: Vec<Arc<JobSlot>>,
+}
+
 struct ServiceInner {
     queue: Mutex<QueueState>,
     not_empty: Condvar,
     not_full: Condvar,
     config: ServiceConfig,
     cache: Option<Mutex<PatternCache>>,
+    /// Cache-participating jobs submitted but not yet completed, keyed by
+    /// fingerprint — the coalescing point for concurrent identical submits.
+    in_flight: Mutex<HashMap<u64, Vec<InFlight>>>,
     next_id: AtomicU64,
     submitted: AtomicUsize,
     completed: AtomicUsize,
     batched: AtomicUsize,
+    coalesced: AtomicUsize,
     per_shard: Vec<AtomicUsize>,
 }
 
@@ -607,10 +627,12 @@ impl OrderingService {
             not_full: Condvar::new(),
             config,
             cache,
+            in_flight: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(0),
             submitted: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
             batched: AtomicUsize::new(0),
+            coalesced: AtomicUsize::new(0),
             per_shard: (0..config.shards).map(|_| AtomicUsize::new(0)).collect(),
         });
         // Shard engines never cache privately: the shared front-door cache
@@ -667,6 +689,23 @@ impl OrderingService {
                     slot.complete(cached.into_report(&matrix, t0.elapsed().as_secs_f64()));
                     return handle;
                 }
+                // The pattern missed, but an identical job may already be
+                // queued or running: coalesce onto it instead of computing
+                // the same ordering twice. Equality on the stored pattern
+                // keeps this collision-proof, exactly like the cache.
+                let mut in_flight = inner.in_flight.lock().expect("in-flight map poisoned");
+                if let Some(entry) = in_flight
+                    .get_mut(&fp)
+                    .and_then(|bucket| bucket.iter_mut().find(|e| e.pattern == matrix))
+                {
+                    entry.waiters.push(Arc::clone(&slot));
+                    inner.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return handle;
+                }
+                in_flight.entry(fp).or_default().push(InFlight {
+                    pattern: matrix.clone(),
+                    waiters: Vec::new(),
+                });
                 Some(fp)
             }
             _ => None,
@@ -713,6 +752,7 @@ impl OrderingService {
             submitted: inner.submitted.load(Ordering::Relaxed),
             completed: inner.completed.load(Ordering::Relaxed),
             batched: inner.batched.load(Ordering::Relaxed),
+            coalesced: inner.coalesced.load(Ordering::Relaxed),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
@@ -793,17 +833,46 @@ fn worker_loop(inner: Arc<ServiceInner>, engine_config: EngineConfig, shard: usi
     }
 }
 
-/// Stamp the cache outcome, publish the ordering to the shared cache, and
-/// resolve the job's handle.
+/// Stamp the cache outcome, publish the ordering to the shared cache,
+/// resolve the job's handle, and complete every submit that coalesced onto
+/// this computation while it was in flight.
 fn store_and_finish(inner: &ServiceInner, shard: usize, job: &Job, report: &mut OrderingReport) {
     if let (Some(cache), Some(fp)) = (&inner.cache, job.fingerprint) {
         report.cache = Some(CacheOutcome::Miss);
+        // Insert before retiring the in-flight entry: a concurrent submit
+        // always sees either the cache entry or the in-flight entry.
         cache
             .lock()
             .expect("pattern cache poisoned")
             .insert(fp, &job.matrix, report);
     }
     inner.finish(shard, job, report.clone());
+    let Some(fp) = job.fingerprint else { return };
+    let waiters = {
+        let mut in_flight = inner.in_flight.lock().expect("in-flight map poisoned");
+        let Some(bucket) = in_flight.get_mut(&fp) else {
+            return;
+        };
+        let Some(idx) = bucket.iter().position(|e| e.pattern == job.matrix) else {
+            return;
+        };
+        let entry = bucket.swap_remove(idx);
+        if bucket.is_empty() {
+            in_flight.remove(&fp);
+        }
+        entry.waiters
+    };
+    if waiters.is_empty() {
+        return;
+    }
+    // Waiters never touched the queue or a shard: they complete here as
+    // cache hits served by the job that did the work.
+    let mut hit = report.clone();
+    hit.cache = Some(CacheOutcome::Hit);
+    for waiter in waiters {
+        inner.completed.fetch_add(1, Ordering::Relaxed);
+        waiter.complete(hit.clone());
+    }
 }
 
 #[cfg(test)]
@@ -997,6 +1066,103 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.insertions, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_submits_coalesce_onto_one_computation() {
+        // One shard kept busy by a few large distinct jobs, so the repeated
+        // pattern is still in flight when its duplicates arrive.
+        let config =
+            ServiceConfig::new(EngineConfig::builder().backend(BackendKind::Serial).build())
+                .shards(1);
+        let service = OrderingService::start(config);
+        let busywork: Vec<JobHandle> = [13, 17, 19, 21]
+            .iter()
+            .map(|&stride| service.submit(OrderingRequest::new(scrambled_grid(40, stride))))
+            .collect();
+        let a = scrambled_grid(9, 7);
+        let primary = service.submit(OrderingRequest::new(a.clone()));
+        let dups: Vec<JobHandle> = (0..5)
+            .map(|_| service.submit(OrderingRequest::new(a.clone())))
+            .collect();
+        let expected = primary.wait();
+        assert_eq!(expected.cache, Some(CacheOutcome::Miss));
+        for d in &dups {
+            let report = d.wait();
+            assert_eq!(report.perm, expected.perm);
+            assert_eq!(report.cache, Some(CacheOutcome::Hit));
+        }
+        for h in &busywork {
+            h.wait();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.coalesced, 5, "{stats:?}");
+        assert_eq!(stats.submitted, 10);
+        assert_eq!(stats.completed, 10);
+        // The duplicates never reached a shard: 4 busywork + 1 primary.
+        assert_eq!(stats.per_shard.iter().sum::<usize>(), 5);
+        // They found the computation in flight, not in the cache.
+        assert_eq!(stats.cache_hits, 0, "{stats:?}");
+        // A post-completion submit is an ordinary cache hit, not coalesced.
+        let late = service.submit(OrderingRequest::new(a.clone())).wait();
+        assert_eq!(late.cache, Some(CacheOutcome::Hit));
+        let stats = service.stats();
+        assert_eq!(stats.coalesced, 5);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn bypassing_submits_do_not_coalesce() {
+        let service = serial_service(Some(CacheConfig::default()));
+        let a = scrambled_grid(8, 5);
+        let handles: Vec<JobHandle> = (0..3)
+            .map(|_| service.submit(OrderingRequest::new(a.clone()).bypass_cache()))
+            .collect();
+        let first = handles[0].wait();
+        for h in &handles {
+            let report = h.wait();
+            assert_eq!(report.cache, None);
+            assert_eq!(report.perm, first.perm);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.coalesced, 0);
+        assert_eq!(stats.per_shard.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn split_component_shards_match_the_sequential_driver() {
+        // Two disjoint scrambled paths interleaved over odd/even ids.
+        let n = 60;
+        let mut b = CooBuilder::new(n, n);
+        for v in (0..n as u32 - 2).step_by(2) {
+            b.push_sym(v, v + 2); // even path
+        }
+        for v in (1..n as u32 - 2).step_by(2) {
+            b.push_sym(v, v + 2); // odd path
+        }
+        let a = b.build();
+        let config = ServiceConfig::new(
+            EngineConfig::builder()
+                .backend(BackendKind::Pooled { threads: 2 })
+                .split_components(true)
+                .build(),
+        )
+        .shards(2);
+        let service = OrderingService::start(config);
+        let report = service
+            .submit(OrderingRequest::new(a.clone()).bypass_cache())
+            .wait();
+        assert_eq!(
+            report.perm,
+            rcm_with_backend(&a, BackendKind::Pooled { threads: 2 })
+        );
+        assert_eq!(report.stats.components, 2);
+        // Cached resubmission of a split-ordered pattern stays identical.
+        let first = service.submit(OrderingRequest::new(a.clone())).wait();
+        let second = service.submit(OrderingRequest::new(a.clone())).wait();
+        assert_eq!(first.perm, report.perm);
+        assert_eq!(second.perm, report.perm);
+        assert_eq!(second.cache, Some(CacheOutcome::Hit));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 pub mod grid;
 pub mod kkt;
+pub mod multi;
 pub mod random;
 pub mod shuffle;
 pub mod stats;
@@ -31,6 +32,7 @@ pub mod suite;
 
 pub use grid::{grid2d_5pt, grid2d_9pt, grid3d_27pt, grid3d_7pt, grid3d_stencil, StencilSpec};
 pub use kkt::kkt_3d;
+pub use multi::{block_diag, forest, multi_body};
 pub use random::{chained_er, erdos_renyi_connected, rmat, watts_strogatz};
 pub use shuffle::{random_permutation, shuffled};
 pub use stats::{graph_stats, GraphStats};

@@ -1,0 +1,141 @@
+//! Multi-component matrix classes for the component-parallel ordering path.
+//!
+//! Real SuiteSparse inputs are frequently disconnected: forests from
+//! elimination trees and power grids, multi-body contact problems where each
+//! body meshes independently, and block-diagonal KKT systems from decoupled
+//! optimization subproblems. These generators produce structural stand-ins
+//! for those three shapes — many components of varying sizes — and then
+//! apply the usual seeded vertex shuffle so component ids interleave across
+//! the whole index range (a component-blind natural ordering, exactly what
+//! an assembler would emit).
+
+use crate::grid::{grid2d_5pt, grid3d_7pt};
+use crate::shuffle::shuffled;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcm_sparse::{CooBuilder, CscMatrix, Vidx};
+
+/// Append `block`'s entries to `b` at vertex offset `at`, returning the
+/// offset past the block.
+fn append_block(b: &mut CooBuilder, block: &CscMatrix, at: usize) -> usize {
+    for (r, c) in block.iter_entries() {
+        b.push(r + at as Vidx, c + at as Vidx);
+    }
+    at + block.n_rows()
+}
+
+/// A forest of `trees` uniformly random trees with `tree_verts` vertices
+/// each, vertex-shuffled. Random attachment (vertex `i` picks a uniform
+/// parent among `0..i`) yields shallow, irregular trees; with every
+/// component both small and plentiful this is the extreme case for
+/// component scheduling — the sequential driver pays one full unvisited
+/// minimum-degree scan per tree.
+pub fn forest(trees: usize, tree_verts: usize, seed: u64) -> CscMatrix {
+    assert!(trees >= 1 && tree_verts >= 1);
+    let n = trees * tree_verts;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CooBuilder::with_capacity(n, n, 2 * n);
+    for t in 0..trees {
+        let at = t * tree_verts;
+        for i in 1..tree_verts {
+            let parent = rng.gen_range(0..i);
+            b.push_sym((at + parent) as Vidx, (at + i) as Vidx);
+        }
+    }
+    shuffled(&b.build(), seed ^ 0xF0F0)
+}
+
+/// A multi-body contact-style problem: `bodies` disjoint 2D 5-point meshes
+/// of varying side lengths, one body twice the base size (the "giant"
+/// component that should run level-parallel while the small bodies batch),
+/// vertex-shuffled.
+pub fn multi_body(bodies: usize, base_side: usize, seed: u64) -> CscMatrix {
+    assert!(bodies >= 1 && base_side >= 1);
+    let sides: Vec<usize> = (0..bodies)
+        .map(|i| {
+            if i == 0 {
+                2 * base_side
+            } else {
+                base_side + (i % 3) * base_side / 4
+            }
+        })
+        .collect();
+    let n: usize = sides.iter().map(|s| s * s).sum();
+    let mut b = CooBuilder::with_capacity(n, n, 10 * n);
+    let mut at = 0;
+    for &side in &sides {
+        at = append_block(&mut b, &grid2d_5pt(side, side), at);
+    }
+    shuffled(&b.build(), seed)
+}
+
+/// A block-diagonal system: `blocks` identical disjoint 3D 7-point meshes
+/// (`side`³ vertices each), vertex-shuffled — the decoupled-subproblem KKT
+/// shape. Identical blocks make per-component work perfectly uniform, the
+/// best case for whole-component batch scheduling.
+pub fn block_diag(blocks: usize, side: usize, seed: u64) -> CscMatrix {
+    assert!(blocks >= 1 && side >= 1);
+    let block = grid3d_7pt(side, side, side);
+    let n = blocks * block.n_rows();
+    let mut b = CooBuilder::with_capacity(n, n, blocks * block.nnz());
+    let mut at = 0;
+    for _ in 0..blocks {
+        at = append_block(&mut b, &block, at);
+    }
+    shuffled(&b.build(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcm_sparse::connected_components;
+
+    #[test]
+    fn forest_has_one_component_per_tree() {
+        let a = forest(12, 30, 1);
+        assert_eq!(a.n_rows(), 360);
+        let comps = connected_components(&a);
+        assert_eq!(comps.count(), 12);
+        assert!(comps.sizes.iter().all(|&s| s == 30));
+        // Trees: one edge per non-root vertex.
+        assert_eq!(a.nnz(), 2 * 12 * 29);
+    }
+
+    #[test]
+    fn multi_body_has_one_giant_and_varied_smalls() {
+        let a = multi_body(6, 8, 2);
+        let comps = connected_components(&a);
+        assert_eq!(comps.count(), 6);
+        assert_eq!(comps.largest(), 16 * 16);
+        let smalls = comps.sizes.iter().filter(|&&s| s < 16 * 16).count();
+        assert_eq!(smalls, 5);
+    }
+
+    #[test]
+    fn block_diag_components_are_identical_cubes() {
+        let a = block_diag(5, 4, 3);
+        let comps = connected_components(&a);
+        assert_eq!(comps.count(), 5);
+        assert!(comps.sizes.iter().all(|&s| s == 64));
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(forest(5, 20, 9), forest(5, 20, 9));
+        assert_ne!(forest(5, 20, 9), forest(5, 20, 10));
+        assert_eq!(multi_body(4, 6, 9), multi_body(4, 6, 9));
+        assert_eq!(block_diag(3, 3, 9), block_diag(3, 3, 9));
+    }
+
+    #[test]
+    fn shuffle_interleaves_component_ids() {
+        // After the shuffle, the first component's vertices should not be a
+        // contiguous prefix of the id range.
+        let a = block_diag(4, 4, 7);
+        let comps = connected_components(&a);
+        let first: Vec<usize> = (0..a.n_rows())
+            .filter(|&v| comps.component_of[v] == comps.component_of[0])
+            .collect();
+        assert!(first.iter().any(|&v| v >= 64), "ids not interleaved");
+    }
+}

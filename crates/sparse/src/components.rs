@@ -52,7 +52,12 @@ pub fn connected_components(a: &CscMatrix) -> Components {
         component_of[v] = id;
         queue.clear();
         queue.push(v as Vidx);
-        while let Some(u) = queue.pop() {
+        // True FIFO frontier: `head` walks forward over the queue instead of
+        // popping from the back, so vertices are visited in breadth order.
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
             for &w in a.col(u as usize) {
                 if component_of[w as usize] == Vidx::MAX {
                     component_of[w as usize] = id;
@@ -111,6 +116,62 @@ mod tests {
         let c = connected_components(&CscMatrix::empty(0));
         assert_eq!(c.count(), 0);
         assert!(c.is_connected());
+    }
+
+    /// Labeling must not depend on traversal order: a DFS reference walk
+    /// (LIFO frontier) over the same graph produces the identical labeling,
+    /// because ids are assigned by smallest vertex and membership is a graph
+    /// property, not a visitation artifact.
+    #[test]
+    fn labeling_is_traversal_order_independent() {
+        fn dfs_reference(a: &CscMatrix) -> Components {
+            let n = a.n_rows();
+            let mut component_of = vec![Vidx::MAX; n];
+            let mut sizes = Vec::new();
+            let mut stack: Vec<Vidx> = Vec::new();
+            for v in 0..n {
+                if component_of[v] != Vidx::MAX {
+                    continue;
+                }
+                let id = sizes.len() as Vidx;
+                let mut size = 1usize;
+                component_of[v] = id;
+                stack.clear();
+                stack.push(v as Vidx);
+                while let Some(u) = stack.pop() {
+                    for &w in a.col(u as usize) {
+                        if component_of[w as usize] == Vidx::MAX {
+                            component_of[w as usize] = id;
+                            size += 1;
+                            stack.push(w);
+                        }
+                    }
+                }
+                sizes.push(size);
+            }
+            Components {
+                component_of,
+                sizes,
+            }
+        }
+
+        // An irregular multi-component graph: a path, a star, a triangle with
+        // a pendant, and isolated vertices, with ids interleaved.
+        let mut b = CooBuilder::new(16, 16);
+        b.push_sym(0, 4);
+        b.push_sym(4, 8);
+        b.push_sym(8, 12); // path 0-4-8-12
+        b.push_sym(1, 5);
+        b.push_sym(1, 9);
+        b.push_sym(1, 13); // star at 1
+        b.push_sym(2, 6);
+        b.push_sym(6, 10);
+        b.push_sym(2, 10);
+        b.push_sym(10, 14); // triangle + pendant
+        let a = b.build();
+        let bfs = connected_components(&a);
+        assert_eq!(bfs, dfs_reference(&a));
+        assert_eq!(bfs.count(), 3 + 4); // three shapes + {3,7,11,15}
     }
 
     #[test]

@@ -47,6 +47,14 @@ impl CscMatrix {
         }
     }
 
+    /// Decompose into `(n_rows, n_cols, col_ptr, row_idx)` — the inverse of
+    /// [`CscMatrix::from_parts`]. Hands the backing buffers to the caller so
+    /// warm workspaces (e.g. the component splitter) can recycle them
+    /// instead of reallocating.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<Vidx>) {
+        (self.n_rows, self.n_cols, self.col_ptr, self.row_idx)
+    }
+
     /// An `n × n` matrix with no nonzeros.
     pub fn empty(n: usize) -> Self {
         CscMatrix {

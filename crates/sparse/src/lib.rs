@@ -39,6 +39,7 @@ pub mod mm;
 pub mod perm;
 pub mod semiring;
 pub mod sortkernel;
+pub mod split;
 pub mod spmspv;
 pub mod spvec;
 pub mod spy;
@@ -54,6 +55,7 @@ pub use frontier::DenseFrontier;
 pub use perm::Permutation;
 pub use semiring::{BoolOr, MinIdx, Select2ndMin, Semiring};
 pub use sortkernel::{bucket_sortperm_ref, counting_sortperm, SortpermScratch};
+pub use split::{ComponentPiece, ComponentSplit};
 pub use spmspv::{spmspv, spmspv_pull, spmspv_pull_ref, spmspv_ref, PullBuffer, SpmspvWorkspace};
 pub use spvec::SparseVec;
 pub use spy::spy;

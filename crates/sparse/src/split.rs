@@ -1,0 +1,299 @@
+//! Component extraction: carve a multi-component matrix into per-component
+//! sub-matrices that can be ordered as independent jobs.
+//!
+//! RCM on a disconnected graph is embarrassingly parallel — each connected
+//! component is its own BFS universe — but the sequential driver discovers
+//! that one component at a time, paying an `O(n)` unvisited-minimum-degree
+//! scan per reseed. [`ComponentSplit`] does the decomposition up front: given
+//! a matrix and its [`Components`] labeling it produces one sub-CSC per
+//! component together with the local↔global vertex maps a scheduler needs to
+//! stitch per-component orderings back into a global permutation.
+//!
+//! Local ids are assigned in ascending global-id order, so every (degree,
+//! vertex-id) tie-break inside a component is preserved verbatim: ordering a
+//! sub-matrix replays exactly the labels the sequential whole-matrix driver
+//! would have produced for that component. That is what makes the engine's
+//! component-parallel path bit-identical to the sequential one.
+//!
+//! Like the other kernels, the splitter is a warm workspace: all scratch and
+//! all per-piece buffers are grow-only and recycled across calls (the
+//! sub-matrices' own backing vectors round-trip through
+//! [`CscMatrix::into_parts`]), so re-splitting matrices no larger than
+//! already seen performs zero steady-state allocation —
+//! [`ComponentSplit::growth_events`] exposes when buffers last had to grow.
+
+use crate::components::Components;
+use crate::csc::CscMatrix;
+use crate::Vidx;
+
+/// One connected component extracted from a larger matrix.
+#[derive(Clone, Debug)]
+pub struct ComponentPiece {
+    /// The component's adjacency structure in local (0-based, dense) ids.
+    pub matrix: CscMatrix,
+    /// `vertices[u]` is the global id of local vertex `u`, sorted ascending —
+    /// the local→global map. Its inverse lives in
+    /// [`ComponentSplit::local_of_global`].
+    pub vertices: Vec<Vidx>,
+}
+
+impl ComponentPiece {
+    fn empty() -> Self {
+        ComponentPiece {
+            matrix: CscMatrix::empty(0),
+            vertices: Vec::new(),
+        }
+    }
+}
+
+/// Recycled working buffers for one piece, between splits.
+#[derive(Default)]
+struct PieceBufs {
+    col_ptr: Vec<usize>,
+    row_idx: Vec<Vidx>,
+    vertices: Vec<Vidx>,
+}
+
+/// Warm extractor turning (matrix, [`Components`]) into per-component
+/// [`ComponentPiece`]s. See the module docs for the contract.
+#[derive(Default)]
+pub struct ComponentSplit {
+    /// Global→local vertex map of the most recent split (length `n`).
+    local_of_global: Vec<Vidx>,
+    /// Per-component nonzero tallies (length `k`).
+    comp_nnz: Vec<usize>,
+    /// Finished pieces, one slot per component, recycled across calls.
+    pieces: Vec<ComponentPiece>,
+    /// Buffers in flight between reclaim and rebuild.
+    work: Vec<PieceBufs>,
+    growth_events: usize,
+}
+
+impl ComponentSplit {
+    /// A splitter with no warm buffers yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of times any install-managed buffer had to grow. Flat across
+    /// calls once the splitter has seen the largest matrix it will serve.
+    pub fn growth_events(&self) -> usize {
+        self.growth_events
+    }
+
+    /// The global→local vertex map of the most recent [`ComponentSplit::split`]
+    /// call: `local_of_global()[v]` is the local id of global vertex `v`
+    /// inside its piece.
+    pub fn local_of_global(&self) -> &[Vidx] {
+        &self.local_of_global
+    }
+
+    fn grow_to<T: Clone>(buf: &mut Vec<T>, len: usize, fill: T, events: &mut usize) {
+        if buf.capacity() < len {
+            *events += 1;
+        }
+        buf.clear();
+        buf.resize(len, fill);
+    }
+
+    /// Split `a` into one sub-matrix per component of `comps`. The returned
+    /// slice has exactly `comps.count()` pieces, indexed by component id
+    /// (components are numbered by smallest global vertex id). Sub-matrices
+    /// keep every entry of `a`, including structural diagonals.
+    pub fn split(&mut self, a: &CscMatrix, comps: &Components) -> &[ComponentPiece] {
+        let n = a.n_rows();
+        assert_eq!(a.n_cols(), n, "component split needs a square matrix");
+        assert_eq!(comps.component_of.len(), n, "labeling/matrix size mismatch");
+        let k = comps.count();
+        let mut events = self.growth_events;
+
+        Self::grow_to(&mut self.local_of_global, n, 0, &mut events);
+        Self::grow_to(&mut self.comp_nnz, k, 0, &mut events);
+
+        // Pass 1: assign local ids in ascending global order and tally each
+        // component's nonzeros. `comp_nnz` doubles as the fill cursor.
+        let mut next_local = std::mem::take(&mut self.comp_nnz);
+        for v in 0..n {
+            let c = comps.component_of[v] as usize;
+            self.local_of_global[v] = next_local[c] as Vidx;
+            next_local[c] += 1;
+        }
+        self.comp_nnz = next_local;
+        debug_assert!((0..k).all(|c| self.comp_nnz[c] == comps.sizes[c]));
+        for c in self.comp_nnz.iter_mut() {
+            *c = 0;
+        }
+        for v in 0..n {
+            self.comp_nnz[comps.component_of[v] as usize] += a.col_nnz(v);
+        }
+
+        // Reclaim buffers from the previous round's pieces (slot-for-slot, so
+        // re-splitting the same matrix finds capacities that already fit).
+        while self.pieces.len() < k {
+            self.growth_events += 1;
+            self.pieces.push(ComponentPiece::empty());
+        }
+        while self.work.len() < k {
+            // Bookkeeping only — PieceBufs start empty; real growth is
+            // counted per buffer below.
+            self.work.push(PieceBufs::default());
+        }
+        for c in 0..k {
+            let slot = std::mem::replace(&mut self.pieces[c], ComponentPiece::empty());
+            let (_, _, col_ptr, row_idx) = slot.matrix.into_parts();
+            let w = &mut self.work[c];
+            w.col_ptr = col_ptr;
+            w.row_idx = row_idx;
+            w.vertices = slot.vertices;
+            let size = comps.sizes[c];
+            w.col_ptr.clear();
+            if w.col_ptr.capacity() < size + 1 {
+                events += 1;
+                w.col_ptr.reserve(size + 1);
+            }
+            if w.row_idx.capacity() < self.comp_nnz[c] {
+                events += 1;
+                w.row_idx.reserve(self.comp_nnz[c]);
+            }
+            if w.vertices.capacity() < size {
+                events += 1;
+                w.vertices.reserve(size);
+            }
+            w.row_idx.clear();
+            w.vertices.clear();
+            w.col_ptr.push(0);
+        }
+
+        // Pass 2: one global column scan appends each column to its piece.
+        // Within a component, ascending global order == ascending local
+        // order, and neighbours relabel monotonically, so every local column
+        // lands sorted — the CSC invariants hold by construction.
+        for v in 0..n {
+            let c = comps.component_of[v] as usize;
+            let w = &mut self.work[c];
+            w.vertices.push(v as Vidx);
+            for &r in a.col(v) {
+                w.row_idx.push(self.local_of_global[r as usize]);
+            }
+            w.col_ptr.push(w.row_idx.len());
+        }
+
+        // Rebuild the pieces from the filled buffers.
+        for c in 0..k {
+            let w = std::mem::take(&mut self.work[c]);
+            let size = comps.sizes[c];
+            self.pieces[c] = ComponentPiece {
+                matrix: CscMatrix::from_parts(size, size, w.col_ptr, w.row_idx),
+                vertices: w.vertices,
+            };
+        }
+        self.growth_events = events;
+        &self.pieces[..k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+    use crate::coo::CooBuilder;
+
+    fn two_paths_interleaved() -> CscMatrix {
+        // Path A over even ids {0,2,4,6}, path B over odd ids {1,3,5}.
+        let mut b = CooBuilder::new(7, 7);
+        b.push_sym(0, 2);
+        b.push_sym(2, 4);
+        b.push_sym(4, 6);
+        b.push_sym(1, 3);
+        b.push_sym(3, 5);
+        b.build()
+    }
+
+    #[test]
+    fn splits_interleaved_paths() {
+        let a = two_paths_interleaved();
+        let comps = connected_components(&a);
+        let mut sp = ComponentSplit::new();
+        let pieces = sp.split(&a, &comps);
+        assert_eq!(pieces.len(), 2);
+        assert_eq!(pieces[0].vertices, vec![0, 2, 4, 6]);
+        assert_eq!(pieces[1].vertices, vec![1, 3, 5]);
+        // Piece 0 is a 4-path in local ids 0-1-2-3.
+        let m0 = &pieces[0].matrix;
+        assert_eq!(m0.n_rows(), 4);
+        assert_eq!(m0.nnz(), 6);
+        assert!(m0.contains(1, 0) && m0.contains(2, 1) && m0.contains(3, 2));
+        // Piece 1 is a 3-path.
+        let m1 = &pieces[1].matrix;
+        assert_eq!(m1.n_rows(), 3);
+        assert!(m1.contains(1, 0) && m1.contains(2, 1));
+        // The inverse map matches `vertices`.
+        let vertex_lists: Vec<Vec<Vidx>> = pieces.iter().map(|p| p.vertices.clone()).collect();
+        for (c, verts) in vertex_lists.iter().enumerate() {
+            for (u, &g) in verts.iter().enumerate() {
+                assert_eq!(sp.local_of_global()[g as usize], u as Vidx);
+                assert_eq!(comps.component_of[g as usize] as usize, c);
+            }
+        }
+    }
+
+    #[test]
+    fn preserves_structural_diagonals() {
+        let mut b = CooBuilder::new(4, 4);
+        b.push_sym(0, 2);
+        b.push(2, 2); // self-loop in component {0, 2}
+        b.push(1, 1); // self-loop on the singleton 1
+        let a = b.build();
+        let comps = connected_components(&a);
+        let mut sp = ComponentSplit::new();
+        let pieces = sp.split(&a, &comps);
+        assert_eq!(pieces.len(), 3); // {0,2}, {1}, {3}
+        assert!(pieces[0].matrix.contains(1, 1)); // global (2,2)
+        assert!(pieces[1].matrix.contains(0, 0)); // global (1,1)
+        assert_eq!(pieces[2].matrix.nnz(), 0);
+        let total: usize = pieces.iter().map(|p| p.matrix.nnz()).sum();
+        assert_eq!(total, a.nnz());
+    }
+
+    #[test]
+    fn isolated_vertices_become_singletons() {
+        let a = CscMatrix::empty(5);
+        let comps = connected_components(&a);
+        let mut sp = ComponentSplit::new();
+        let pieces = sp.split(&a, &comps);
+        assert_eq!(pieces.len(), 5);
+        for (c, p) in pieces.iter().enumerate() {
+            assert_eq!(p.matrix.n_rows(), 1);
+            assert_eq!(p.vertices, vec![c as Vidx]);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_yields_no_pieces() {
+        let a = CscMatrix::empty(0);
+        let comps = connected_components(&a);
+        let mut sp = ComponentSplit::new();
+        assert!(sp.split(&a, &comps).is_empty());
+    }
+
+    #[test]
+    fn resplitting_is_allocation_free() {
+        let a = two_paths_interleaved();
+        let comps = connected_components(&a);
+        let mut sp = ComponentSplit::new();
+        sp.split(&a, &comps);
+        let warm = sp.growth_events();
+        assert!(warm > 0, "first split must install buffers");
+        for _ in 0..3 {
+            sp.split(&a, &comps);
+        }
+        assert_eq!(sp.growth_events(), warm, "warm re-splits must not grow");
+        // A strictly smaller matrix fits in the same buffers.
+        let mut b = CooBuilder::new(3, 3);
+        b.push_sym(0, 2);
+        let small = b.build();
+        let small_comps = connected_components(&small);
+        sp.split(&small, &small_comps);
+        assert_eq!(sp.growth_events(), warm);
+    }
+}

@@ -3,9 +3,9 @@
 use proptest::prelude::*;
 use proptest::strategy::ValueTree;
 use rcm_sparse::{
-    bandwidth, bucket_sortperm_ref, coo::CooBuilder, counting_sortperm, envelope_size, spmspv,
-    spmspv_ref, CscMatrix, Label, Permutation, Select2ndMin, SortpermScratch, SparseVec,
-    SpmspvWorkspace, VertexBitmap, Vidx,
+    bandwidth, bucket_sortperm_ref, connected_components, coo::CooBuilder, counting_sortperm,
+    envelope_size, spmspv, spmspv_ref, ComponentSplit, CscMatrix, Label, Permutation, Select2ndMin,
+    SortpermScratch, SparseVec, SpmspvWorkspace, VertexBitmap, Vidx,
 };
 use std::collections::HashSet;
 
@@ -229,6 +229,33 @@ proptest! {
         let got = counting_sortperm(&entries, range, &degrees, &mut scratch).to_vec();
         let expect = bucket_sortperm_ref(&entries, range, &degrees);
         prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn component_split_round_trips(m in arb_sym_matrix(30, 40)) {
+        // Splitting and stitching back with the identity map must recover
+        // the original matrix exactly: pieces partition the vertex set, and
+        // every entry reappears at its global coordinates.
+        let comps = connected_components(&m);
+        let mut sp = ComponentSplit::new();
+        let pieces = sp.split(&m, &comps);
+        prop_assert_eq!(pieces.len(), comps.count());
+        let n = m.n_rows();
+        let mut seen = vec![false; n];
+        let mut b = CooBuilder::new(n, n);
+        for piece in pieces {
+            prop_assert_eq!(piece.matrix.n_rows(), piece.vertices.len());
+            prop_assert!(piece.vertices.windows(2).all(|w| w[0] < w[1]));
+            for &g in &piece.vertices {
+                prop_assert!(!seen[g as usize], "vertex in two pieces");
+                seen[g as usize] = true;
+            }
+            for (r, c) in piece.matrix.iter_entries() {
+                b.push(piece.vertices[r as usize], piece.vertices[c as usize]);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "pieces must cover every vertex");
+        prop_assert_eq!(b.build(), m.clone());
     }
 
     #[test]

@@ -54,5 +54,8 @@ pub mod prelude {
     pub use rcm_dist::{HybridConfig, MachineModel};
     pub use rcm_graphgen::{suite, suite_matrix, SuiteMatrix};
     pub use rcm_solver::{cg_iteration_cost, pcg, BlockJacobi, Preconditioner};
-    pub use rcm_sparse::{matrix_bandwidth, CooBuilder, CscMatrix, CsrNumeric, Permutation};
+    pub use rcm_sparse::{
+        connected_components, matrix_bandwidth, ComponentSplit, CooBuilder, CscMatrix, CsrNumeric,
+        Permutation,
+    };
 }

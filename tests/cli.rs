@@ -472,3 +472,122 @@ fn reads_matrix_market_files() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("5 rows"), "{stdout}");
 }
+
+#[test]
+fn split_components_flag_matches_the_plain_run_and_reports_components() {
+    // Two disjoint 4-vertex paths, interleaved ids: {1,3,5,7} and {2,4,6,8}
+    // in 1-based Matrix Market numbering.
+    let dir = std::env::temp_dir().join("rcm-order-test-split");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("two-paths.mtx");
+    std::fs::write(
+        &input,
+        "%%MatrixMarket matrix coordinate pattern symmetric\n\
+         8 8 6\n3 1\n5 3\n7 5\n4 2\n6 4\n8 6\n",
+    )
+    .unwrap();
+    let perm_plain = dir.join("plain.txt");
+    let perm_split = dir.join("split.txt");
+    let plain = rcm_order()
+        .args([
+            input.to_str().unwrap(),
+            "--write-perm",
+            perm_plain.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        plain.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&plain.stderr)
+    );
+    let split = rcm_order()
+        .args([
+            input.to_str().unwrap(),
+            "--split-components",
+            "--write-perm",
+            perm_split.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        split.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&split.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&split.stdout);
+    assert!(
+        stdout.contains("components: 2 (scheduled as independent jobs)"),
+        "{stdout}"
+    );
+    // The split ordering is bit-identical to the whole-matrix driver.
+    assert_eq!(
+        std::fs::read_to_string(&perm_plain).unwrap(),
+        std::fs::read_to_string(&perm_split).unwrap()
+    );
+}
+
+#[test]
+fn split_components_flag_composes_with_every_backend() {
+    for backend in ["serial", "pooled", "dist", "hybrid"] {
+        let out = rcm_order()
+            .args([
+                "suite:nd24k",
+                "--scale",
+                "0.005",
+                "--split-components",
+                "--backend",
+                backend,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "backend {backend} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("components:"), "{backend}: {stdout}");
+    }
+}
+
+#[test]
+fn split_components_flag_rejects_non_rcm_methods() {
+    let out = rcm_order()
+        .args([
+            "suite:nd24k",
+            "--scale",
+            "0.005",
+            "--method",
+            "sloan",
+            "--split-components",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--split-components applies only to --method rcm"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn split_components_flag_rejects_compress() {
+    let out = rcm_order()
+        .args([
+            "suite:nd24k",
+            "--scale",
+            "0.005",
+            "--compress",
+            "--split-components",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--split-components does not compose with --compress"),
+        "{stderr}"
+    );
+}
