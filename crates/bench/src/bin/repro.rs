@@ -19,6 +19,7 @@
 //!   service    closed-loop OrderingService: cold vs warm shards vs pattern cache
 //!   kernels    per-edge / per-element kernel microbenchmarks
 //!   components component-parallel split+schedule+stitch vs the sequential driver
+//!   startnode  start-node strategy ablation: george-liu vs bi-criteria vs min-degree
 //!   all        everything above
 //! ```
 //!
@@ -37,14 +38,14 @@ use rcm_bench::{
     direction_ablation, fig1_cg_solve, fig3_suite_table, fig4_breakdown, fig5_spmspv_split,
     fig6_flat_vs_hybrid, gather_vs_distributed, kernels_table, load_mtx, machine_sensitivity,
     mtx_table, quality_comparison, run_hybrid_sweep, scaling_summary, service_table,
-    shared_scaling, table2_shared_memory, throughput_table, ExpConfig, Table,
+    shared_scaling, startnode_table, table2_shared_memory, throughput_table, ExpConfig, Table,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale <mult>] [--quick] [--out <dir>] [--mtx <file.mtx>]... \
          <fig1|fig3|table2|scaling|fig4|fig5|fig6|ablation|direction|backends|balance|quality\
-         |gather|sensitivity|compress|throughput|service|kernels|components|all>..."
+         |gather|sensitivity|compress|throughput|service|kernels|components|startnode|all>..."
     );
     std::process::exit(2);
 }
@@ -152,7 +153,7 @@ fn main() {
     }
     // Reject typos up front: a silently-ignored name would let the CI
     // bench-smoke gate pass while measuring nothing.
-    const KNOWN: [&str; 20] = [
+    const KNOWN: [&str; 21] = [
         "fig1",
         "fig3",
         "table2",
@@ -172,6 +173,7 @@ fn main() {
         "service",
         "kernels",
         "components",
+        "startnode",
         "all",
     ];
     for w in &wanted {
@@ -299,6 +301,9 @@ fn main() {
     }
     if want("components") {
         ok &= emit(&cfg, &mut manifest, "components", &components_table(&cfg));
+    }
+    if want("startnode") {
+        ok &= emit(&cfg, &mut manifest, "startnode", &startnode_table(&cfg));
     }
     match write_summary(&cfg, &manifest) {
         Ok(path) => println!("[summary] {}", path.display()),

@@ -19,6 +19,7 @@
 //! | [`throughput_table`] | warm `OrderingEngine` vs cold per-call orderings/sec |
 //! | [`service_table`] | `OrderingService` closed-loop load: cold vs warm shards vs cache |
 //! | [`components_table`] | component-parallel split+schedule+stitch vs the sequential driver |
+//! | [`startnode_table`] | start-node strategy ablation: george-liu vs bi-criteria vs min-degree |
 //! | [`kernels_table`] | per-edge / per-element kernel microbenchmarks |
 //!
 //! Absolute times come from the calibrated Edison model and will not match
@@ -32,9 +33,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use rcm_core::{
-    algebraic_rcm_directed, dist_rcm, ordering_bandwidth, ordering_profile, ordering_wavefront,
-    par_rcm, par_rcm_directed, pseudo_peripheral, rcm, rcm_compressed, rcm_globalsort, rcm_nosort,
-    rcm_with_backend, sloan, BackendKind, DistRcmConfig, ExpandDirection, SortMode,
+    algebraic_rcm_directed, bfs_level_structure, dist_rcm, ordering_bandwidth, ordering_profile,
+    ordering_wavefront, par_rcm, par_rcm_directed, pseudo_peripheral, rcm, rcm_compressed,
+    rcm_globalsort, rcm_nosort, rcm_with_backend, sloan, BackendKind, DistRcmConfig,
+    ExpandDirection, SortMode, StartNode,
 };
 use rcm_dist::{
     Breakdown, DistCscMatrix, MachineModel, Phase, PAPER_FLAT_CORES, PAPER_HYBRID_CORES,
@@ -1199,6 +1201,166 @@ pub fn components_table(cfg: &ExpConfig) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// Start-node strategy ablation — george-liu vs bi-criteria vs min-degree
+// ---------------------------------------------------------------------------
+
+/// The three environment-selectable strategies the `repro startnode`
+/// ablation compares (`Fixed` is excluded: its cost is trivially zero and
+/// its quality is whatever the caller pinned).
+pub const START_NODE_STRATEGIES: [StartNode; 3] = [
+    StartNode::GeorgeLiu,
+    StartNode::BiCriteria,
+    StartNode::MinDegree,
+];
+
+/// One (class × backend × strategy) row of the `repro startnode`
+/// experiment, in raw numbers (the table formats them).
+#[derive(Clone, Debug)]
+pub struct StartNodeRow {
+    /// Suite class name.
+    pub class: String,
+    /// Backend measured (`serial`, `pooled`, `dist`, `hybrid`).
+    pub backend: &'static str,
+    /// Strategy name ([`StartNode::name`]).
+    pub strategy: &'static str,
+    /// Vertices in the class matrix.
+    pub n: usize,
+    /// Stored entries in the class matrix.
+    pub nnz: usize,
+    /// Pseudo-peripheral BFS sweeps summed over every component (0 for the
+    /// zero-sweep min-degree baseline).
+    pub sweeps: usize,
+    /// BFS levels traversed by those sweeps (the α–β cost driver: each
+    /// level is a frontier expansion round).
+    pub levels: usize,
+    /// Final eccentricity of the first component's chosen start vertex.
+    pub eccentricity: usize,
+    /// Width (max level size) of the BFS level structure rooted at the
+    /// first component's chosen start vertex — the quality proxy the
+    /// peripheral search minimizes indirectly.
+    pub width: usize,
+    /// Post-RCM bandwidth under this strategy's ordering.
+    pub bandwidth: usize,
+    /// Best-of-reps wall seconds per ordering (warm engine).
+    pub wall_secs: f64,
+    /// Simulated seconds on the dist/hybrid backends (0.0 elsewhere).
+    pub sim_secs: f64,
+    /// This backend's ordering matched the serial backend under the same
+    /// strategy bit for bit (per-strategy cross-backend determinism).
+    pub deterministic: bool,
+}
+
+/// Measure every start-node strategy on every suite class and backend:
+/// one warm engine per (class, backend, strategy), best-of-`reps` wall
+/// time, sweep/level/eccentricity counts from
+/// [`rcm_core::DriverStats::peripheral_stats`], level-structure width of
+/// the chosen start, and post-RCM bandwidth. The serial backend under the
+/// same strategy is the determinism reference for the other three.
+pub fn startnode_measurements(cfg: &ExpConfig) -> Vec<StartNodeRow> {
+    let reps = if cfg.quick { 2 } else { 3 };
+    let backends: [(&'static str, BackendKind); 4] = [
+        ("serial", BackendKind::Serial),
+        ("pooled", BackendKind::Pooled { threads: 4 }),
+        ("dist", BackendKind::Dist { cores: 16 }),
+        (
+            "hybrid",
+            BackendKind::Hybrid {
+                cores: 24,
+                threads_per_proc: 6,
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for m in cfg.matrices() {
+        let a = cfg.generate(&m);
+        for strategy in START_NODE_STRATEGIES {
+            let mut serial_engine = rcm_core::OrderingEngine::new(
+                rcm_core::EngineConfig::builder()
+                    .start_node(strategy)
+                    .build(),
+            );
+            let serial_ref = serial_engine.order(&a);
+            for (backend, kind) in backends {
+                let mut engine = rcm_core::OrderingEngine::new(
+                    rcm_core::EngineConfig::builder()
+                        .backend(kind)
+                        .start_node(strategy)
+                        .build(),
+                );
+                let mut wall_best = f64::INFINITY;
+                let mut report = None;
+                for _ in 0..reps {
+                    let r = engine.order(&a);
+                    wall_best = wall_best.min(r.wall_seconds);
+                    report = Some(r);
+                }
+                let report = report.expect("reps >= 1");
+                let first = report.peripheral_first().copied().unwrap_or_default();
+                rows.push(StartNodeRow {
+                    class: m.name.to_string(),
+                    backend,
+                    strategy: strategy.name(),
+                    n: a.n_rows(),
+                    nnz: a.nnz(),
+                    sweeps: report.peripheral_sweeps(),
+                    levels: report.stats.peripheral_stats.iter().map(|p| p.levels).sum(),
+                    eccentricity: first.eccentricity,
+                    width: bfs_level_structure(&a, first.start).width(),
+                    bandwidth: report.bandwidth_after,
+                    wall_secs: wall_best,
+                    sim_secs: report.sim_seconds(),
+                    deterministic: report.perm == serial_ref.perm,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// The `repro startnode` table: the bench tests assert that bi-criteria
+/// never runs more sweeps than George–Liu on any class or backend, that
+/// its post-RCM bandwidth stays within a small tolerance, and that every
+/// strategy is deterministic across the four backends.
+pub fn startnode_table(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "Start-node strategy ablation — sweeps saved vs ordering quality",
+        &[
+            "class",
+            "backend",
+            "strategy",
+            "n",
+            "nnz",
+            "sweeps",
+            "levels",
+            "ecc",
+            "width",
+            "bandwidth",
+            "wall ms",
+            "sim s",
+            "deterministic",
+        ],
+    );
+    for row in startnode_measurements(cfg) {
+        t.row(vec![
+            row.class.clone(),
+            row.backend.to_string(),
+            row.strategy.to_string(),
+            fmt_count(row.n as u64),
+            fmt_count(row.nnz as u64),
+            row.sweeps.to_string(),
+            row.levels.to_string(),
+            row.eccentricity.to_string(),
+            fmt_count(row.width as u64),
+            fmt_count(row.bandwidth as u64),
+            format!("{:.3}", row.wall_secs * 1e3),
+            format!("{:.4}", row.sim_secs),
+            row.deterministic.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
 // Kernel microbenchmarks — push vs pull vs old pull, counting vs bucket sort
 // ---------------------------------------------------------------------------
 
@@ -1920,6 +2082,84 @@ mod tests {
         assert_eq!(f5.len(), 3);
         let summary = scaling_summary(&panels);
         assert_eq!(summary.len(), 3);
+    }
+
+    /// The `repro startnode` acceptance gate: on every quick-suite class
+    /// and every backend, the bi-criteria finder runs no more sweeps than
+    /// George–Liu (by construction: identical sweep trajectory, weaker
+    /// continuation test) with post-RCM bandwidth within 10%, min-degree
+    /// runs zero sweeps, every strategy is deterministic across backends,
+    /// and the default George–Liu orderings stay bit-identical to the
+    /// classical serial reference (the pre-strategy output).
+    #[test]
+    fn startnode_bicriteria_saves_sweeps_without_losing_bandwidth() {
+        let cfg = quick_cfg();
+        let rows = startnode_measurements(&cfg);
+        assert_eq!(rows.len(), 3 * 3 * 4); // classes × strategies × backends
+        for row in &rows {
+            assert!(
+                row.deterministic,
+                "{} {} {}",
+                row.class, row.backend, row.strategy
+            );
+            if row.strategy == "min-degree" {
+                assert_eq!(row.sweeps, 0, "{} {}", row.class, row.backend);
+            }
+        }
+        for class in ["nd24k", "ldoor", "Li7Nmax6"] {
+            for backend in ["serial", "pooled", "dist", "hybrid"] {
+                let find = |strategy: &str| {
+                    rows.iter()
+                        .find(|r| {
+                            r.class == class && r.backend == backend && r.strategy == strategy
+                        })
+                        .unwrap_or_else(|| panic!("missing {class} {backend} {strategy} row"))
+                };
+                let gl = find("george-liu");
+                let bc = find("bi-criteria");
+                assert!(
+                    bc.sweeps <= gl.sweeps,
+                    "{class} {backend}: bi-criteria ran {} sweeps vs george-liu {}",
+                    bc.sweeps,
+                    gl.sweeps
+                );
+                assert!(
+                    bc.bandwidth as f64 <= gl.bandwidth as f64 * 1.10,
+                    "{class} {backend}: bi-criteria bandwidth {} vs george-liu {}",
+                    bc.bandwidth,
+                    gl.bandwidth
+                );
+            }
+        }
+        // Default-strategy bit-identity with the classical serial RCM on
+        // all four backends.
+        for m in cfg.matrices() {
+            let a = cfg.generate(&m);
+            let reference = rcm(&a);
+            for kind in [
+                BackendKind::Serial,
+                BackendKind::Pooled { threads: 4 },
+                BackendKind::Dist { cores: 16 },
+                BackendKind::Hybrid {
+                    cores: 24,
+                    threads_per_proc: 6,
+                },
+            ] {
+                let mut engine = rcm_core::OrderingEngine::new(
+                    rcm_core::EngineConfig::builder()
+                        .backend(kind)
+                        .start_node(StartNode::GeorgeLiu)
+                        .build(),
+                );
+                assert_eq!(
+                    engine.order(&a).perm,
+                    reference,
+                    "{}: default george-liu diverged from classical RCM on {}",
+                    m.name,
+                    kind.name()
+                );
+            }
+        }
     }
 
     #[test]

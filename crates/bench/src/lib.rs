@@ -14,8 +14,9 @@ pub use experiments::{
     compression_table, direction_ablation, fig1_cg_solve, fig3_suite_table, fig4_breakdown,
     fig5_spmspv_split, fig6_flat_vs_hybrid, gather_vs_distributed, kernel_measurements,
     kernels_table, load_mtx, machine_sensitivity, mtx_table, quality_comparison, run_hybrid_sweep,
-    scaling_summary, service_measurements, service_table, shared_scaling, table2_shared_memory,
-    throughput_measurements, throughput_table, ComponentRow, ExpConfig, KernelRow, MtxInput,
-    ServiceRow, SweepPanel, ThroughputRow, SCALING_THREADS,
+    scaling_summary, service_measurements, service_table, shared_scaling, startnode_measurements,
+    startnode_table, table2_shared_memory, throughput_measurements, throughput_table, ComponentRow,
+    ExpConfig, KernelRow, MtxInput, ServiceRow, StartNodeRow, SweepPanel, ThroughputRow,
+    SCALING_THREADS, START_NODE_STRATEGIES,
 };
 pub use report::{fmt_count, fmt_secs, Table};

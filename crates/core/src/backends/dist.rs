@@ -124,6 +124,7 @@ impl DistBackend {
             push_expands: stats.push_expands,
             pull_expands: stats.pull_expands,
             level_stats: stats.level_stats,
+            peripheral_stats: stats.peripheral_stats,
         };
         (result, self.ws)
     }

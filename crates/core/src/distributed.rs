@@ -19,8 +19,8 @@
 //! `(degree, id)` tie-breaks; quality is unaffected but exact orderings may
 //! differ.
 
-use crate::driver::ExpandDirection;
-pub use crate::driver::LevelStat;
+use crate::driver::{ExpandDirection, StartNode};
+pub use crate::driver::{LevelStat, PeripheralStat};
 use rcm_dist::{HybridConfig, MachineModel};
 use rcm_sparse::{CscMatrix, Permutation};
 
@@ -59,6 +59,10 @@ pub struct DistRcmConfig {
     /// Beamer-style adaptive switch). Every policy produces the identical
     /// permutation; the constructors default it from `RCM_DIRECTION`.
     pub direction: ExpandDirection,
+    /// Start-node selection strategy (George–Liu sweep, RCM++ bi-criteria,
+    /// a fixed vertex, or zero-sweep min-degree). The constructors default
+    /// it from `RCM_START_NODE`.
+    pub start_node: StartNode,
 }
 
 impl DistRcmConfig {
@@ -70,6 +74,7 @@ impl DistRcmConfig {
             balance_seed: None,
             sort_mode: SortMode::Full,
             direction: ExpandDirection::from_env(),
+            start_node: StartNode::from_env(),
         }
     }
 
@@ -81,6 +86,7 @@ impl DistRcmConfig {
             balance_seed: None,
             sort_mode: SortMode::Full,
             direction: ExpandDirection::from_env(),
+            start_node: StartNode::from_env(),
         }
     }
 }
@@ -116,6 +122,9 @@ pub struct DistRcmResult {
     /// Per-level trace of the ordering passes (concatenated across
     /// components), including the direction chosen per level.
     pub level_stats: Vec<LevelStat>,
+    /// Per-component peripheral-search trace (start vertex, sweeps run,
+    /// BFS levels traversed, final eccentricity).
+    pub peripheral_stats: Vec<PeripheralStat>,
 }
 
 /// Run distributed RCM on a symmetric pattern matrix.
@@ -142,6 +151,7 @@ pub fn dist_rcm(a: &CscMatrix, config: &DistRcmConfig) -> DistRcmResult {
     let engine_cfg = crate::engine::EngineConfig::builder()
         .backend(kind)
         .direction(config.direction)
+        .start_node(config.start_node)
         .dist(*config)
         .build();
     crate::engine::OrderingEngine::new(engine_cfg).order_dist(a)
@@ -187,6 +197,7 @@ mod tests {
             balance_seed: None,
             sort_mode: SortMode::Full,
             direction: ExpandDirection::from_env(),
+            start_node: StartNode::GeorgeLiu,
         }
     }
 

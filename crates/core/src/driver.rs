@@ -89,6 +89,60 @@
 //! assert_eq!(rcm_sparse::matrix_bandwidth(&reordered), 1);
 //! ```
 //!
+//! # Pluggable start-node selection
+//!
+//! Every component is ordered from a start vertex, and the quality/cost
+//! trade-off of finding that vertex is its own axis: the George–Liu search
+//! (Algorithm 4) runs one full BFS per sweep, and the paper's Fig. 4
+//! breakdown shows the peripheral phase as a visible slice of distributed
+//! runtime — every sweep saved is a direct α–β communication win. The
+//! driver therefore takes the selection as a [`StartNodeStrategy`]
+//! ([`drive_cm_with`]); [`StartNode`] ships four implementations
+//! (George–Liu, the RCM++-style bi-criteria early-terminating finder,
+//! a fixed user vertex, and the zero-sweep minimum-degree baseline).
+//!
+//! ```
+//! use rcm_core::backends::SerialBackend;
+//! use rcm_core::driver::{drive_cm_with, ExpandDirection, LabelingMode, StartNode};
+//! use rcm_sparse::CooBuilder;
+//!
+//! let mut b = CooBuilder::new(6, 6);
+//! for (u, v) in [(0, 3), (3, 1), (1, 4), (4, 2), (2, 5)] {
+//!     b.push_sym(u, v);
+//! }
+//! let a = b.build();
+//!
+//! // The bi-criteria finder follows the same sweep trajectory as
+//! // George–Liu but stops as soon as the eccentricity gain falls below
+//! // its threshold — never more sweeps, often fewer.
+//! let mut gl = SerialBackend::new(&a);
+//! let gl_stats = drive_cm_with(
+//!     &mut gl,
+//!     LabelingMode::PerLevel,
+//!     ExpandDirection::Push,
+//!     &StartNode::GeorgeLiu,
+//! );
+//! let mut bc = SerialBackend::new(&a);
+//! let bc_stats = drive_cm_with(
+//!     &mut bc,
+//!     LabelingMode::PerLevel,
+//!     ExpandDirection::Push,
+//!     &StartNode::BiCriteria,
+//! );
+//! assert!(bc_stats.peripheral_bfs <= gl_stats.peripheral_bfs);
+//! assert_eq!(gl_stats.peripheral_stats[0].eccentricity, 5); // a true path end
+//!
+//! // The zero-sweep baseline orders straight from the min-degree seed.
+//! let mut md = SerialBackend::new(&a);
+//! let md_stats = drive_cm_with(
+//!     &mut md,
+//!     LabelingMode::PerLevel,
+//!     ExpandDirection::Push,
+//!     &StartNode::MinDegree,
+//! );
+//! assert_eq!(md_stats.peripheral_bfs, 0);
+//! ```
+//!
 //! [`SerialBackend`]: crate::backends::SerialBackend
 //! [`PooledBackend`]: crate::backends::PooledBackend
 //! [`DistBackend`]: crate::backends::DistBackend
@@ -230,6 +284,197 @@ pub enum LabelingMode {
     GlobalAtEnd,
 }
 
+/// Bi-criteria continuation threshold: a sweep must grow the eccentricity
+/// by at least `max(1, previous_eccentricity / BI_CRITERIA_GAIN_DIV)`
+/// levels for the search to continue. George–Liu demands a gain of exactly
+/// 1 level; requiring a fraction of the current eccentricity instead stops
+/// the search once sweeps stop paying for themselves — each skipped sweep
+/// is a full BFS (and, distributed, its α–β communication).
+pub const BI_CRITERIA_GAIN_DIV: i64 = 8;
+
+/// The start-node selection strategy — how the driver turns a component's
+/// min-degree seed into the vertex the ordering pass starts from.
+///
+/// Enters the driver through [`drive_cm_with`] (or
+/// `EngineConfig::builder().start_node(..)`, `rcm-order --start-node`,
+/// `DistRcmConfig::start_node`), or through the `RCM_START_NODE`
+/// environment variable (`george-liu`, `bi-criteria`, `min-degree`,
+/// `fixed:N`) for the env-driven entry points. Each variant implements
+/// [`StartNodeStrategy`]; custom strategies implement the trait directly.
+///
+/// | strategy | sweeps | start vertex |
+/// |---|---|---|
+/// | [`StartNode::GeorgeLiu`] (default) | until eccentricity stops growing | pseudo-peripheral |
+/// | [`StartNode::BiCriteria`] | ≤ George–Liu (early-terminating) | near-peripheral |
+/// | [`StartNode::MinDegree`] | 0 | the min-degree seed |
+/// | [`StartNode::Fixed`] | 0 (its component) | user-supplied |
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StartNode {
+    /// Algorithm 4, the classical George–Liu search: sweep until the
+    /// eccentricity stops growing. The default — bit-identical to the
+    /// pre-strategy driver.
+    #[default]
+    GeorgeLiu,
+    /// The RCM++-style bi-criteria finder (arXiv 2409.04171): the
+    /// candidate set is the last BFS level scored by degree×eccentricity,
+    /// and the sweep loop terminates early once a sweep grows the
+    /// eccentricity by less than `1/`[`BI_CRITERIA_GAIN_DIV`] of its
+    /// previous value. All last-level candidates share their distance from
+    /// the sweep root, so the degree×eccentricity score ranks them exactly
+    /// like the degree `REDUCE` George–Liu already performs — the two
+    /// strategies walk the *same* root trajectory, and the stronger
+    /// continuation test means bi-criteria never runs **more** sweeps than
+    /// George–Liu on any input (and the saved sweeps' α–β communication is
+    /// never charged on the distributed backends).
+    BiCriteria,
+    /// Zero-sweep baseline: order straight from the min-degree seed.
+    MinDegree,
+    /// A user-supplied start vertex. Applies to the component containing
+    /// the vertex (scheduled first); every other component — or the whole
+    /// run, when the vertex is out of range — falls back to George–Liu
+    /// from its seed.
+    Fixed(
+        /// The requested start vertex (original numbering).
+        Vidx,
+    ),
+}
+
+impl StartNode {
+    /// Short display name (`george-liu`, `bi-criteria`, `min-degree`,
+    /// `fixed`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StartNode::GeorgeLiu => "george-liu",
+            StartNode::BiCriteria => "bi-criteria",
+            StartNode::MinDegree => "min-degree",
+            StartNode::Fixed(_) => "fixed",
+        }
+    }
+
+    /// Parse a strategy spec (the `RCM_START_NODE` / `--start-node`
+    /// vocabulary): `george-liu`, `bi-criteria`, `min-degree`, or
+    /// `fixed:N` (also a bare vertex number).
+    pub fn parse(s: &str) -> Option<StartNode> {
+        let s = s.trim().to_ascii_lowercase();
+        match s.as_str() {
+            "george-liu" | "georgeliu" | "gl" => Some(StartNode::GeorgeLiu),
+            "bi-criteria" | "bicriteria" | "rcm++" => Some(StartNode::BiCriteria),
+            "min-degree" | "mindegree" => Some(StartNode::MinDegree),
+            other => {
+                let v = other.strip_prefix("fixed:").unwrap_or(other);
+                v.parse::<Vidx>().ok().map(StartNode::Fixed)
+            }
+        }
+    }
+
+    /// The strategy selected by the `RCM_START_NODE` environment variable,
+    /// falling back to [`StartNode::GeorgeLiu`] when unset or
+    /// unrecognized. CI sweeps this to enforce per-strategy determinism on
+    /// every PR.
+    pub fn from_env() -> StartNode {
+        std::env::var("RCM_START_NODE")
+            .ok()
+            .and_then(|s| StartNode::parse(&s))
+            .unwrap_or(StartNode::GeorgeLiu)
+    }
+
+    /// A discriminant folded into pattern-cache keys: two orderings of the
+    /// same pattern under different strategies must never alias
+    /// (`crate::service::PatternCache`). George–Liu salts with 0 so
+    /// default-strategy keys match the pre-strategy cache layout.
+    pub fn cache_salt(&self) -> u64 {
+        match self {
+            StartNode::GeorgeLiu => 0,
+            StartNode::BiCriteria => 0x9e37_79b9_7f4a_7c15,
+            StartNode::MinDegree => 0xc2b2_ae3d_27d4_eb4f,
+            StartNode::Fixed(v) => {
+                0xd6e8_feb8_6659_fd93 ^ (*v as u64).wrapping_mul(0x0000_0100_0000_01b3)
+            }
+        }
+    }
+}
+
+/// Per-component record of the start-node selection phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PeripheralStat {
+    /// The vertex the ordering pass started from.
+    pub start: Vidx,
+    /// BFS sweeps the strategy ran (0 for the zero-sweep strategies).
+    pub sweeps: usize,
+    /// Total BFS levels traversed across those sweeps.
+    pub levels: usize,
+    /// Final eccentricity measured from the returned vertex (0 when no
+    /// sweep ran).
+    pub eccentricity: usize,
+}
+
+/// A start-node selection strategy, generic over the runtime: given the
+/// component's min-degree seed, produce the vertex the ordering pass
+/// starts from.
+///
+/// Implementations run entirely on the Table-I primitives (any BFS sweeps
+/// go through the same [`RcmRuntime`] surface as the ordering pass, so
+/// the distributed backends charge — or save — the real α–β cost), must
+/// return a vertex in `seed`'s component that is still unvisited in `R`,
+/// and must be deterministic: the returned vertex may depend only on the
+/// graph and `seed`, never on execution order. [`StartNode`] implements
+/// this trait; [`drive_cm_with`] consumes it.
+pub trait StartNodeStrategy {
+    /// Select the start vertex for the component seeded at `seed`,
+    /// returning it with the phase's execution record (the driver appends
+    /// the record to [`DriverStats::peripheral_stats`]).
+    fn select<R: RcmRuntime>(
+        &self,
+        rt: &mut R,
+        seed: Vidx,
+        policy: ExpandDirection,
+        stats: &mut DriverStats,
+    ) -> (Vidx, PeripheralStat);
+}
+
+impl StartNodeStrategy for StartNode {
+    fn select<R: RcmRuntime>(
+        &self,
+        rt: &mut R,
+        seed: Vidx,
+        policy: ExpandDirection,
+        stats: &mut DriverStats,
+    ) -> (Vidx, PeripheralStat) {
+        match self {
+            StartNode::GeorgeLiu => peripheral_sweeps(rt, seed, policy, stats, |_| 1),
+            StartNode::BiCriteria => peripheral_sweeps(rt, seed, policy, stats, |nlvl| {
+                (nlvl / BI_CRITERIA_GAIN_DIV).max(1)
+            }),
+            StartNode::MinDegree => (
+                seed,
+                PeripheralStat {
+                    start: seed,
+                    ..PeripheralStat::default()
+                },
+            ),
+            StartNode::Fixed(v) => {
+                // Honor the request only when the vertex exists and is
+                // still unvisited (i.e. this is its component's turn);
+                // otherwise run the default search from the seed.
+                if (*v as usize) < rt.n() {
+                    let x = rt.singleton(*v, 0);
+                    let kept = rt.select_unvisited(&x, DenseTarget::Order);
+                    if rt.is_nonempty(&kept) {
+                        return (
+                            *v,
+                            PeripheralStat {
+                                start: *v,
+                                ..PeripheralStat::default()
+                            },
+                        );
+                    }
+                }
+                peripheral_sweeps(rt, seed, policy, stats, |_| 1)
+            }
+        }
+    }
+}
+
 /// Per-BFS-level execution record of the ordering pass (level-synchronous
 /// behaviour made visible: frontier width and simulated time per level).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -263,6 +508,9 @@ pub struct DriverStats {
     /// Per-level trace of the ordering passes, concatenated across
     /// components (empty in [`LabelingMode::GlobalAtEnd`]).
     pub level_stats: Vec<LevelStat>,
+    /// Per-component record of the start-node selection phase, in
+    /// component processing order.
+    pub peripheral_stats: Vec<PeripheralStat>,
 }
 
 /// The Table-I primitives a backend must supply to run RCM.
@@ -470,18 +718,26 @@ fn expand_frontier<R: RcmRuntime>(
     }
 }
 
-/// Algorithm 4: the George–Liu pseudo-peripheral search from `start`,
-/// generically. Returns `(vertex, eccentricity)` and bumps
-/// `stats.peripheral_bfs` once per full BFS sweep.
-fn pseudo_peripheral<R: RcmRuntime>(
+/// Algorithm 4's sweep loop, generically, parameterized by the
+/// continuation threshold: after a sweep of eccentricity `ecc`, the search
+/// continues only while `ecc - nlvl >= min_gain(nlvl)` (`nlvl` being the
+/// previous sweep's eccentricity, `-1` before the first). George–Liu is
+/// `min_gain ≡ 1` — `ecc - nlvl < 1 ⟺ ecc ≤ nlvl`, the classical "stopped
+/// growing" test, bit for bit. The bi-criteria finder demands a larger
+/// gain; since every `min_gain ≥ 1`, any such strategy stops no later than
+/// George–Liu on the identical root trajectory. Returns the final root and
+/// the phase record; bumps `stats.peripheral_bfs` once per full BFS sweep.
+fn peripheral_sweeps<R: RcmRuntime>(
     rt: &mut R,
     start: Vidx,
     policy: ExpandDirection,
     stats: &mut DriverStats,
-) -> (Vidx, usize) {
+    min_gain: impl Fn(i64) -> i64,
+) -> (Vidx, PeripheralStat) {
     let n = rt.n();
     let mut r = start;
     let mut nlvl: i64 = -1;
+    let mut pstat = PeripheralStat::default();
     loop {
         // One full level-synchronous BFS from r, levels tracked in L.
         rt.set_phase(Phase::PeripheralOther);
@@ -524,10 +780,14 @@ fn pseudo_peripheral<R: RcmRuntime>(
             remaining -= cur_nnz;
             cur = next;
         }
-        // Converged: the eccentricity did not grow.
-        if ecc <= nlvl {
+        pstat.sweeps += 1;
+        pstat.levels += ecc as usize;
+        pstat.start = r;
+        pstat.eccentricity = ecc as usize;
+        // Converged: the eccentricity gain fell below the threshold.
+        if ecc - nlvl < min_gain(nlvl) {
             rt.end_peripheral_search();
-            return (r, ecc as usize);
+            return (r, pstat);
         }
         nlvl = ecc;
         // r ← REDUCE(L_cur, D): minimum-degree vertex of the last level.
@@ -535,7 +795,7 @@ fn pseudo_peripheral<R: RcmRuntime>(
         let v = rt.argmin_degree(&cur).unwrap_or(r);
         if v == r {
             rt.end_peripheral_search();
-            return (r, ecc as usize);
+            return (r, pstat);
         }
         r = v;
     }
@@ -677,27 +937,48 @@ fn label_component_global_sort<R: RcmRuntime>(
 /// Run the full Cuthill-McKee pipeline (Algorithms 3 + 4, per connected
 /// component) on any backend, with the direction policy taken from the
 /// `RCM_DIRECTION` environment variable ([`ExpandDirection::from_env`],
-/// default [`ExpandDirection::Adaptive`]). See [`drive_cm_directed`].
+/// default [`ExpandDirection::Adaptive`]) and the start-node strategy from
+/// `RCM_START_NODE` ([`StartNode::from_env`], default
+/// [`StartNode::GeorgeLiu`]). See [`drive_cm_with`].
 pub fn drive_cm<R: RcmRuntime>(rt: &mut R, mode: LabelingMode) -> DriverStats {
-    drive_cm_directed(rt, mode, ExpandDirection::from_env())
+    drive_cm_with(
+        rt,
+        mode,
+        ExpandDirection::from_env(),
+        &StartNode::from_env(),
+    )
 }
 
 /// Run the full Cuthill-McKee pipeline (Algorithms 3 + 4, per connected
-/// component) on any backend under an explicit frontier-direction policy.
-/// On return the backend's ordering vector `R` holds the unreversed CM
-/// labels; extraction (reversal, mapping back to original ids) is
-/// backend-specific.
-///
-/// Components are seeded at the unvisited vertex of minimum
-/// `(degree, vertex)` and refined to a pseudo-peripheral vertex, exactly
-/// like the classical driver — all backends therefore produce the identical
-/// label assignment, under **every** direction policy (the pull expansion
-/// is specified to reproduce the push pair bit for bit; only the cost
-/// differs).
+/// component) on any backend under an explicit frontier-direction policy
+/// and the default George–Liu start-node search — the classical driver,
+/// bit for bit. See [`drive_cm_with`] for a pluggable strategy.
 pub fn drive_cm_directed<R: RcmRuntime>(
     rt: &mut R,
     mode: LabelingMode,
     policy: ExpandDirection,
+) -> DriverStats {
+    drive_cm_with(rt, mode, policy, &StartNode::GeorgeLiu)
+}
+
+/// Run the full Cuthill-McKee pipeline (Algorithm 3 per connected
+/// component) on any backend under an explicit frontier-direction policy
+/// and an explicit [`StartNodeStrategy`]. On return the backend's ordering
+/// vector `R` holds the unreversed CM labels; extraction (reversal,
+/// mapping back to original ids) is backend-specific.
+///
+/// Components are seeded at the unvisited vertex of minimum
+/// `(degree, vertex)` and handed to the strategy for refinement (the
+/// default [`StartNode::GeorgeLiu`] runs Algorithm 4, exactly like the
+/// classical driver) — all backends therefore produce the identical label
+/// assignment for a given strategy, under **every** direction policy (the
+/// pull expansion is specified to reproduce the push pair bit for bit;
+/// only the cost differs).
+pub fn drive_cm_with<R: RcmRuntime, S: StartNodeStrategy + ?Sized>(
+    rt: &mut R,
+    mode: LabelingMode,
+    policy: ExpandDirection,
+    strategy: &S,
 ) -> DriverStats {
     let n = rt.n();
     let mut stats = DriverStats::default();
@@ -707,7 +988,8 @@ pub fn drive_cm_directed<R: RcmRuntime>(
         let seed = rt
             .find_unvisited_min_degree()
             .expect("an unvisited vertex exists");
-        let (root, _ecc) = pseudo_peripheral(rt, seed, policy, &mut stats);
+        let (root, pstat) = strategy.select(rt, seed, policy, &mut stats);
+        stats.peripheral_stats.push(pstat);
         stats.components += 1;
         label_component(rt, root, &mut nv, mode, policy, &mut stats);
     }
@@ -930,6 +1212,145 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn startnode_names_parse_and_roundtrip() {
+        for s in [
+            StartNode::GeorgeLiu,
+            StartNode::BiCriteria,
+            StartNode::MinDegree,
+        ] {
+            assert_eq!(StartNode::parse(s.name()), Some(s));
+        }
+        assert_eq!(StartNode::parse("RCM++"), Some(StartNode::BiCriteria));
+        assert_eq!(StartNode::parse("fixed:7"), Some(StartNode::Fixed(7)));
+        assert_eq!(StartNode::parse("7"), Some(StartNode::Fixed(7)));
+        assert_eq!(StartNode::parse("sideways"), None);
+        assert_eq!(StartNode::default(), StartNode::GeorgeLiu);
+    }
+
+    #[test]
+    fn cache_salts_distinguish_every_strategy() {
+        let salts = [
+            StartNode::GeorgeLiu.cache_salt(),
+            StartNode::BiCriteria.cache_salt(),
+            StartNode::MinDegree.cache_salt(),
+            StartNode::Fixed(0).cache_salt(),
+            StartNode::Fixed(1).cache_salt(),
+        ];
+        for i in 0..salts.len() {
+            for j in i + 1..salts.len() {
+                assert_ne!(salts[i], salts[j], "salt {i} aliases salt {j}");
+            }
+        }
+        assert_eq!(StartNode::GeorgeLiu.cache_salt(), 0);
+    }
+
+    #[test]
+    fn george_liu_strategy_is_the_classical_driver_bit_for_bit() {
+        use crate::backends::SerialBackend;
+        let a = crate::testutil::scrambled_grid(9, 7);
+        let (classical, classical_stats) = {
+            let mut rt = SerialBackend::new(&a);
+            let stats = drive_cm_directed(&mut rt, LabelingMode::PerLevel, ExpandDirection::Push);
+            (rt.into_order(), stats)
+        };
+        let mut rt = SerialBackend::new(&a);
+        let stats = drive_cm_with(
+            &mut rt,
+            LabelingMode::PerLevel,
+            ExpandDirection::Push,
+            &StartNode::GeorgeLiu,
+        );
+        assert_eq!(rt.into_order(), classical);
+        assert_eq!(stats.peripheral_bfs, classical_stats.peripheral_bfs);
+        assert_eq!(stats.peripheral_stats.len(), stats.components);
+        let p = &stats.peripheral_stats[0];
+        assert!(p.sweeps >= 1 && p.levels >= p.eccentricity && p.eccentricity >= 1);
+    }
+
+    #[test]
+    fn bi_criteria_never_runs_more_sweeps_than_george_liu() {
+        use crate::backends::SerialBackend;
+        for a in [
+            path(200),
+            crate::testutil::scrambled_grid(16, 5),
+            crate::testutil::scrambled_grid(40, 11),
+        ] {
+            let run = |s: StartNode| {
+                let mut rt = SerialBackend::new(&a);
+                let stats =
+                    drive_cm_with(&mut rt, LabelingMode::PerLevel, ExpandDirection::Push, &s);
+                (rt.into_order(), stats)
+            };
+            let (_, gl) = run(StartNode::GeorgeLiu);
+            let (_, bc) = run(StartNode::BiCriteria);
+            assert!(
+                bc.peripheral_bfs <= gl.peripheral_bfs,
+                "bi-criteria ran {} sweeps vs george-liu's {}",
+                bc.peripheral_bfs,
+                gl.peripheral_bfs
+            );
+        }
+    }
+
+    #[test]
+    fn min_degree_orders_with_zero_sweeps() {
+        use crate::backends::SerialBackend;
+        let a = crate::testutil::scrambled_grid(8, 3);
+        let mut rt = SerialBackend::new(&a);
+        let stats = drive_cm_with(
+            &mut rt,
+            LabelingMode::PerLevel,
+            ExpandDirection::Push,
+            &StartNode::MinDegree,
+        );
+        assert_eq!(stats.peripheral_bfs, 0);
+        assert!(stats
+            .peripheral_stats
+            .iter()
+            .all(|p| p.sweeps == 0 && p.eccentricity == 0));
+        // Still a valid bijective labeling.
+        let order = rt.into_order();
+        let mut seen = vec![false; order.len()];
+        for &l in &order {
+            assert!((l as usize) < order.len() && !seen[l as usize]);
+            seen[l as usize] = true;
+        }
+    }
+
+    #[test]
+    fn fixed_vertex_is_honored_and_out_of_range_falls_back() {
+        use crate::backends::SerialBackend;
+        let a = path(9);
+        let mut rt = SerialBackend::new(&a);
+        let stats = drive_cm_with(
+            &mut rt,
+            LabelingMode::PerLevel,
+            ExpandDirection::Push,
+            &StartNode::Fixed(4),
+        );
+        assert_eq!(stats.peripheral_stats[0].start, 4);
+        assert_eq!(stats.peripheral_bfs, 0);
+        // The requested vertex gets the first CM label.
+        assert_eq!(rt.into_order()[4], 0);
+
+        // Out of range: identical to George–Liu.
+        let reference = {
+            let mut rt = SerialBackend::new(&a);
+            drive_cm_directed(&mut rt, LabelingMode::PerLevel, ExpandDirection::Push);
+            rt.into_order()
+        };
+        let mut rt = SerialBackend::new(&a);
+        let stats = drive_cm_with(
+            &mut rt,
+            LabelingMode::PerLevel,
+            ExpandDirection::Push,
+            &StartNode::Fixed(99),
+        );
+        assert!(stats.peripheral_bfs >= 1);
+        assert_eq!(rt.into_order(), reference);
     }
 
     #[test]

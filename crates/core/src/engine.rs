@@ -68,7 +68,10 @@
 use crate::backends::{DistBackend, HybridBackend, SerialBackend, SerialWorkspace};
 use crate::compress::{rcm_compressed, CompressStats};
 use crate::distributed::{DistRcmConfig, DistRcmResult, SortMode};
-use crate::driver::{drive_cm_directed, BackendKind, DriverStats, ExpandDirection, LabelingMode};
+use crate::driver::{
+    drive_cm_with, BackendKind, DriverStats, ExpandDirection, LabelingMode, PeripheralStat,
+    StartNode,
+};
 use crate::pool::{PoolConfig, RcmPool};
 use crate::quality::ordering_bandwidth;
 use crate::service::{CacheOutcome, CacheStats, PatternCache};
@@ -129,6 +132,11 @@ pub struct EngineConfig {
     /// Frontier-expansion direction policy (bit-identical permutations for
     /// every setting; see [`crate::driver::ExpandDirection`]).
     pub direction: ExpandDirection,
+    /// Start-node selection strategy per component (see
+    /// [`crate::driver::StartNode`]; the George–Liu default reproduces the
+    /// classical driver bit for bit, and each strategy is deterministic
+    /// across backends, directions, and thread counts).
+    pub start_node: StartNode,
     /// Order through supervariable compression
     /// ([`crate::compress::rcm_compressed`]): detect indistinguishable
     /// vertices, order the quotient, expand. Reports go out with
@@ -171,13 +179,15 @@ pub struct EngineConfig {
 
 impl EngineConfig {
     /// Start building a configuration. Defaults: serial backend, direction
-    /// from `RCM_DIRECTION`, no compression, paper-default distributed
-    /// model, batch cutoff from the pool, no cache.
+    /// from `RCM_DIRECTION`, start node from `RCM_START_NODE`, no
+    /// compression, paper-default distributed model, batch cutoff from the
+    /// pool, no cache.
     pub fn builder() -> EngineConfigBuilder {
         EngineConfigBuilder {
             config: EngineConfig {
                 backend: BackendKind::Serial,
                 direction: ExpandDirection::from_env(),
+                start_node: StartNode::from_env(),
                 compress: false,
                 dist: None,
                 batch_small_cutoff: None,
@@ -230,6 +240,13 @@ impl EngineConfigBuilder {
     /// Set the frontier-expansion direction policy.
     pub fn direction(mut self, direction: ExpandDirection) -> Self {
         self.config.direction = direction;
+        self
+    }
+
+    /// Set the start-node selection strategy
+    /// ([`EngineConfig::start_node`]).
+    pub fn start_node(mut self, start_node: StartNode) -> Self {
+        self.config.start_node = start_node;
         self
     }
 
@@ -313,6 +330,18 @@ impl OrderingReport {
     /// Simulated seconds (0.0 on backends without a clock).
     pub fn sim_seconds(&self) -> f64 {
         self.sim.as_ref().map_or(0.0, |r| r.sim_seconds)
+    }
+
+    /// Total pseudo-peripheral BFS sweeps across every component (0 for
+    /// zero-sweep strategies, cache hits, and the compression path).
+    pub fn peripheral_sweeps(&self) -> usize {
+        self.stats.peripheral_stats.iter().map(|p| p.sweeps).sum()
+    }
+
+    /// The first component's start-node record (schedule order), when the
+    /// algebraic driver ran.
+    pub fn peripheral_first(&self) -> Option<&PeripheralStat> {
+        self.stats.peripheral_stats.first()
     }
 }
 
@@ -414,14 +443,14 @@ impl OrderingEngine {
         let t0 = Instant::now();
         let fp = a.pattern_fingerprint();
         let cache = self.cache.as_mut().expect("checked above");
-        if let Some(cached) = cache.lookup(fp, a) {
+        if let Some(cached) = cache.lookup(fp, a, self.config.start_node) {
             self.orderings += 1;
             return cached.into_report(a, t0.elapsed().as_secs_f64());
         }
         let mut report = self.order_uncached(a);
         report.cache = Some(CacheOutcome::Miss);
         let cache = self.cache.as_mut().expect("checked above");
-        cache.insert(fp, a, &report);
+        cache.insert(fp, a, &report, self.config.start_node);
         report
     }
 
@@ -491,7 +520,7 @@ impl OrderingEngine {
             .collect();
         let smalls: Vec<&CscMatrix> = small_idx.iter().map(|&i| &mats[i]).collect();
         let t0 = Instant::now();
-        let small_cm = pool.order_cm_batch(&smalls, self.config.direction);
+        let small_cm = pool.order_cm_batch(&smalls, self.config.direction, self.config.start_node);
         let amortized = t0.elapsed().as_secs_f64() / small_cm.len().max(1) as f64;
         let mut out: Vec<Option<OrderingReport>> = (0..mats.len()).map(|_| None).collect();
         for (&i, (cm, stats)) in small_idx.iter().zip(small_cm) {
@@ -547,8 +576,12 @@ impl OrderingEngine {
             BackendKind::Serial => {
                 let ws = std::mem::take(&mut self.serial_ws);
                 let mut rt = SerialBackend::warm(a, ws);
-                let stats =
-                    drive_cm_directed(&mut rt, LabelingMode::PerLevel, self.config.direction);
+                let stats = drive_cm_with(
+                    &mut rt,
+                    LabelingMode::PerLevel,
+                    self.config.direction,
+                    &self.config.start_node,
+                );
                 let (cm, ws) = rt.finish();
                 self.serial_ws = ws;
                 RawOrdering {
@@ -561,8 +594,12 @@ impl OrderingEngine {
             }
             BackendKind::Pooled { .. } => {
                 let pool = self.pool.as_mut().expect("pooled engine owns a pool");
-                let (cm, stats, parallel_levels) =
-                    crate::shared::pooled_cm_raw(a, pool, self.config.direction);
+                let (cm, stats, parallel_levels) = crate::shared::pooled_cm_raw(
+                    a,
+                    pool,
+                    self.config.direction,
+                    self.config.start_node,
+                );
                 RawOrdering {
                     perm: cm.reversed(),
                     stats,
@@ -583,6 +620,7 @@ impl OrderingEngine {
                         push_expands: result.push_expands,
                         pull_expands: result.pull_expands,
                         level_stats: result.level_stats.clone(),
+                        peripheral_stats: result.peripheral_stats.clone(),
                     },
                     parallel_levels: 0,
                     sim: Some(result),
@@ -631,6 +669,30 @@ impl OrderingEngine {
         let mut schedule: Vec<usize> = (0..k).collect();
         schedule.sort_unstable_by_key(|&c| best[c]);
 
+        // Per-piece start-node strategy. The uniform strategies apply to
+        // every piece unchanged (each piece's min-degree seed is the same
+        // vertex the sequential reseeding would pick). A `Fixed` vertex
+        // applies only to the piece holding it — translated to the piece's
+        // local numbering, with that piece hoisted to the front of the
+        // schedule (the sequential driver labels the fixed vertex's
+        // component first) — while every other piece, or the whole run when
+        // the vertex is out of range, falls back to George–Liu.
+        let mut piece_strategy: Vec<StartNode> = vec![self.config.start_node; k];
+        if let StartNode::Fixed(v) = self.config.start_node {
+            piece_strategy = vec![StartNode::GeorgeLiu; k];
+            if (v as usize) < n {
+                let c = comps.component_of[v as usize] as usize;
+                let local = pieces[c]
+                    .vertices
+                    .binary_search(&v)
+                    .expect("fixed vertex lies in its component's piece");
+                piece_strategy[c] = StartNode::Fixed(local as Vidx);
+                let pos = schedule.iter().position(|&x| x == c).expect("c < k");
+                schedule.remove(pos);
+                schedule.insert(0, c);
+            }
+        }
+
         // Order every piece on the warm backend. Results are unreversed CM
         // permutations in local ids, indexed by component id.
         let mut results: Vec<Option<(Permutation, DriverStats)>> = (0..k).map(|_| None).collect();
@@ -640,8 +702,12 @@ impl OrderingEngine {
                 for (c, piece) in pieces.iter().enumerate() {
                     let ws = std::mem::take(&mut self.serial_ws);
                     let mut rt = SerialBackend::warm(&piece.matrix, ws);
-                    let stats =
-                        drive_cm_directed(&mut rt, LabelingMode::PerLevel, self.config.direction);
+                    let stats = drive_cm_with(
+                        &mut rt,
+                        LabelingMode::PerLevel,
+                        self.config.direction,
+                        &piece_strategy[c],
+                    );
                     let (cm, ws) = rt.finish();
                     self.serial_ws = ws;
                     results[c] = Some((cm, stats));
@@ -661,15 +727,22 @@ impl OrderingEngine {
                 // whole on separate workers is sync-free and keeps every
                 // worker busy, while the level pipeline would serialize
                 // the pieces and pay per-level sync on narrow frontiers.
+                // The batch job runs one strategy for all its pieces, so a
+                // piece with a divergent (fixed-vertex) strategy takes the
+                // level-parallel path below instead.
+                let batch_strategy = match self.config.start_node {
+                    StartNode::Fixed(_) => StartNode::GeorgeLiu,
+                    uniform => uniform,
+                };
                 let small_idx: Vec<usize> = (0..k)
                     .filter(|&c| {
                         let rows = pieces[c].matrix.n_rows();
-                        rows < cutoff || 2 * rows <= n
+                        piece_strategy[c] == batch_strategy && (rows < cutoff || 2 * rows <= n)
                     })
                     .collect();
                 let smalls: Vec<&CscMatrix> =
                     small_idx.iter().map(|&c| &pieces[c].matrix).collect();
-                let small_cm = pool.order_cm_batch(&smalls, self.config.direction);
+                let small_cm = pool.order_cm_batch(&smalls, self.config.direction, batch_strategy);
                 for (&c, res) in small_idx.iter().zip(small_cm) {
                     results[c] = Some(res);
                 }
@@ -679,6 +752,7 @@ impl OrderingEngine {
                             &pieces[c].matrix,
                             pool,
                             self.config.direction,
+                            piece_strategy[c],
                         );
                         parallel_levels += levels;
                         *slot = Some((cm, stats));
@@ -687,7 +761,7 @@ impl OrderingEngine {
             }
             BackendKind::Dist { .. } | BackendKind::Hybrid { .. } => {
                 for (c, piece) in pieces.iter().enumerate() {
-                    let result = self.order_dist(&piece.matrix);
+                    let result = self.order_dist_with(&piece.matrix, piece_strategy[c]);
                     let stats = DriverStats {
                         components: result.components,
                         peripheral_bfs: result.peripheral_bfs,
@@ -696,6 +770,7 @@ impl OrderingEngine {
                         push_expands: result.push_expands,
                         pull_expands: result.pull_expands,
                         level_stats: result.level_stats.clone(),
+                        peripheral_stats: result.peripheral_stats.clone(),
                     };
                     results[c] = Some((result.perm.reversed(), stats));
                 }
@@ -722,6 +797,14 @@ impl OrderingEngine {
             stats.push_expands += piece_stats.push_expands;
             stats.pull_expands += piece_stats.pull_expands;
             stats.level_stats.extend(piece_stats.level_stats);
+            // Peripheral records carry piece-local start vertices; report
+            // them in the caller's (global) numbering.
+            stats
+                .peripheral_stats
+                .extend(piece_stats.peripheral_stats.into_iter().map(|mut p| {
+                    p.start = piece.vertices[p.start as usize];
+                    p
+                }));
         }
         self.splitter = splitter;
         RawOrdering {
@@ -738,7 +821,14 @@ impl OrderingEngine {
     /// simulated result directly — the [`crate::dist_rcm`] shim's body,
     /// which needs no second copy of the permutation or level trace.
     pub(crate) fn order_dist(&mut self, a: &CscMatrix) -> DistRcmResult {
-        let dcfg = self.dist_config();
+        self.order_dist_with(a, self.config.start_node)
+    }
+
+    /// [`OrderingEngine::order_dist`] under an explicit start-node strategy
+    /// (the split path orders pieces under per-piece strategies).
+    fn order_dist_with(&mut self, a: &CscMatrix, start_node: StartNode) -> DistRcmResult {
+        let mut dcfg = self.dist_config();
+        dcfg.start_node = start_node;
         let mode = if dcfg.sort_mode == SortMode::GlobalSortAtEnd {
             LabelingMode::GlobalAtEnd
         } else {
@@ -747,11 +837,11 @@ impl OrderingEngine {
         let ws = std::mem::take(&mut self.dist_ws);
         let (result, ws) = if dcfg.hybrid.threads_per_proc > 1 {
             let mut rt = HybridBackend::warm(a, &dcfg, ws);
-            let stats = drive_cm_directed(&mut rt, mode, dcfg.direction);
+            let stats = drive_cm_with(&mut rt, mode, dcfg.direction, &dcfg.start_node);
             rt.into_result_warm(stats)
         } else {
             let mut rt = DistBackend::warm(a, &dcfg, ws);
-            let stats = drive_cm_directed(&mut rt, mode, dcfg.direction);
+            let stats = drive_cm_with(&mut rt, mode, dcfg.direction, &dcfg.start_node);
             rt.into_result_warm(stats)
         };
         self.dist_ws = ws;
@@ -778,9 +868,11 @@ impl OrderingEngine {
             balance_seed: None,
             sort_mode: SortMode::Full,
             direction: self.config.direction,
+            start_node: self.config.start_node,
         });
         cfg.hybrid = hybrid;
         cfg.direction = self.config.direction;
+        cfg.start_node = self.config.start_node;
         cfg
     }
 }

@@ -60,8 +60,9 @@ pub use backends::{DistBackend, HybridBackend, PooledBackend, SerialBackend, Ser
 pub use compress::{find_supervariables, rcm_compressed, CompressStats};
 pub use distributed::{dist_rcm, DistRcmConfig, DistRcmResult, LevelStat, SortMode};
 pub use driver::{
-    drive_cm, drive_cm_directed, rcm_with_backend, rcm_with_backend_directed, BackendKind,
-    DenseTarget, DriverStats, ExpandDirection, LabelingMode, RcmRuntime, PULL_ALPHA, PULL_BETA,
+    drive_cm, drive_cm_directed, drive_cm_with, rcm_with_backend, rcm_with_backend_directed,
+    BackendKind, DenseTarget, DriverStats, ExpandDirection, LabelingMode, PeripheralStat,
+    RcmRuntime, StartNode, StartNodeStrategy, BI_CRITERIA_GAIN_DIV, PULL_ALPHA, PULL_BETA,
 };
 pub use engine::{
     CacheConfig, EngineConfig, EngineConfigBuilder, OrderingEngine, OrderingReport,

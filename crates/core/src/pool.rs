@@ -72,7 +72,7 @@
 //! the workers.
 
 use crate::backends::serial::{SerialBackend, SerialWorkspace};
-use crate::driver::{drive_cm_directed, DriverStats, ExpandDirection, LabelingMode};
+use crate::driver::{drive_cm_with, DriverStats, ExpandDirection, LabelingMode, StartNode};
 use rcm_sparse::{CscMatrix, Label, Permutation, VertexBitmap, Vidx, UNVISITED};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -256,6 +256,7 @@ unsafe impl Send for JobData {}
 struct BatchJob {
     mats: Vec<*const CscMatrix>,
     direction: ExpandDirection,
+    start_node: StartNode,
     outs: Vec<Mutex<Option<(Permutation, DriverStats)>>>,
 }
 
@@ -560,6 +561,7 @@ impl RcmPool {
         &mut self,
         mats: &[&CscMatrix],
         direction: ExpandDirection,
+        start_node: StartNode,
     ) -> Vec<(Permutation, DriverStats)> {
         if mats.is_empty() {
             return Vec::new();
@@ -567,12 +569,13 @@ impl RcmPool {
         if self.config.nthreads == 1 || mats.len() == 1 {
             return mats
                 .iter()
-                .map(|a| order_serial_cm(a, &mut self.batch_ws, direction))
+                .map(|a| order_serial_cm(a, &mut self.batch_ws, direction, start_node))
                 .collect();
         }
         let job = BatchJob {
             mats: mats.iter().map(|a| *a as *const CscMatrix).collect(),
             direction,
+            start_node,
             outs: mats.iter().map(|_| Mutex::new(None)).collect(),
         };
         self.shared.queue.reset_chunked(mats.len(), 1);
@@ -597,7 +600,7 @@ impl RcmPool {
             while let Some(range) = self.shared.queue.claim() {
                 for i in range {
                     let a = unsafe { &*job.mats[i] };
-                    let result = order_serial_cm(a, batch_ws, direction);
+                    let result = order_serial_cm(a, batch_ws, direction, start_node);
                     *job.outs[i].lock().unwrap() = Some(result);
                 }
             }
@@ -652,9 +655,10 @@ fn order_serial_cm(
     a: &CscMatrix,
     ws: &mut SerialWorkspace,
     direction: ExpandDirection,
+    start_node: StartNode,
 ) -> (Permutation, DriverStats) {
     let mut rt = SerialBackend::warm(a, std::mem::take(ws));
-    let stats = drive_cm_directed(&mut rt, LabelingMode::PerLevel, direction);
+    let stats = drive_cm_with(&mut rt, LabelingMode::PerLevel, direction, &start_node);
     let (perm, warm) = rt.finish();
     *ws = warm;
     (perm, stats)
@@ -917,7 +921,7 @@ fn run_batch_share(
         while let Some(range) = shared.queue.claim() {
             for i in range {
                 let a = unsafe { &*job.mats[i] };
-                let result = order_serial_cm(a, ws, job.direction);
+                let result = order_serial_cm(a, ws, job.direction, job.start_node);
                 *job.outs[i].lock().unwrap() = Some(result);
             }
         }
@@ -1421,7 +1425,7 @@ mod tests {
             // Two rounds through the same warm pool: batch state must not
             // leak between batches.
             for round in 0..2 {
-                let got = pool.order_cm_batch(&refs, ExpandDirection::Push);
+                let got = pool.order_cm_batch(&refs, ExpandDirection::Push, StartNode::GeorgeLiu);
                 assert_eq!(got.len(), mats.len());
                 for (i, (perm, stats)) in got.iter().enumerate() {
                     assert_eq!(

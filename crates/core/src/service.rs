@@ -89,7 +89,7 @@
 //! assert_eq!(stats.cache_hits, 1); // the repeated pattern hit the cache
 //! ```
 
-use crate::driver::DriverStats;
+use crate::driver::{DriverStats, StartNode};
 use crate::engine::{CacheConfig, EngineConfig, OrderingEngine, OrderingReport};
 use crate::pool::DEFAULT_SEQ_CUTOFF;
 use rcm_sparse::{CscMatrix, Permutation};
@@ -106,6 +106,7 @@ use std::time::{Duration, Instant};
 /// hash hit) plus everything a report needs.
 struct CacheEntry {
     pattern: CscMatrix,
+    start_node: StartNode,
     perm: Permutation,
     bandwidth_before: usize,
     bandwidth_after: usize,
@@ -220,15 +221,32 @@ impl PatternCache {
         }
     }
 
-    /// Look up the ordering for pattern `a` under `fingerprint`. On a hash
-    /// hit the stored pattern is compared for full equality; only an equal
-    /// pattern counts as a hit (collisions are misses for `a` and leave
+    /// Fold the start-node strategy into the bucket key: the same pattern
+    /// ordered under different strategies yields different permutations, so
+    /// the entries must never alias. George–Liu salts with 0, keeping
+    /// default-strategy keys identical to the raw fingerprint.
+    fn keyed(fingerprint: u64, start_node: StartNode) -> u64 {
+        fingerprint ^ start_node.cache_salt()
+    }
+
+    /// Look up the ordering for pattern `a` under `fingerprint`, as ordered
+    /// by `start_node`. On a hash hit the stored pattern is compared for
+    /// full equality and the stored strategy for exact equality; only both
+    /// matching counts as a hit (collisions are misses for `a` and leave
     /// the colliding entry untouched).
-    pub fn lookup(&mut self, fingerprint: u64, a: &CscMatrix) -> Option<CachedOrdering> {
+    pub fn lookup(
+        &mut self,
+        fingerprint: u64,
+        a: &CscMatrix,
+        start_node: StartNode,
+    ) -> Option<CachedOrdering> {
         self.clock += 1;
         let clock = self.clock;
-        if let Some(bucket) = self.buckets.get_mut(&fingerprint) {
-            if let Some(entry) = bucket.iter_mut().find(|e| e.pattern == *a) {
+        if let Some(bucket) = self.buckets.get_mut(&Self::keyed(fingerprint, start_node)) {
+            if let Some(entry) = bucket
+                .iter_mut()
+                .find(|e| e.start_node == start_node && e.pattern == *a)
+            {
                 entry.last_used = clock;
                 self.hits += 1;
                 return Some(CachedOrdering {
@@ -248,10 +266,17 @@ impl PatternCache {
     /// heavier than the whole bound is not cached (it would evict
     /// everything and immediately overflow); re-inserting an already
     /// cached pattern refreshes its recency instead of duplicating it.
-    pub fn insert(&mut self, fingerprint: u64, a: &CscMatrix, report: &OrderingReport) {
+    pub fn insert(
+        &mut self,
+        fingerprint: u64,
+        a: &CscMatrix,
+        report: &OrderingReport,
+        start_node: StartNode,
+    ) {
         self.clock += 1;
         let entry = CacheEntry {
             pattern: a.clone(),
+            start_node,
             perm: report.perm.clone(),
             bandwidth_before: report.bandwidth_before,
             bandwidth_after: report.bandwidth_after,
@@ -262,8 +287,14 @@ impl PatternCache {
         if weight > self.max_nnz {
             return;
         }
-        let bucket = self.buckets.entry(fingerprint).or_default();
-        if let Some(existing) = bucket.iter_mut().find(|e| e.pattern == entry.pattern) {
+        let bucket = self
+            .buckets
+            .entry(Self::keyed(fingerprint, start_node))
+            .or_default();
+        if let Some(existing) = bucket
+            .iter_mut()
+            .find(|e| e.start_node == start_node && e.pattern == entry.pattern)
+        {
             existing.last_used = self.clock;
             return;
         }
@@ -680,10 +711,11 @@ impl OrderingService {
             (Some(cache), true) => {
                 let t0 = Instant::now();
                 let fp = matrix.pattern_fingerprint();
-                let hit = cache
-                    .lock()
-                    .expect("pattern cache poisoned")
-                    .lookup(fp, &matrix);
+                let hit = cache.lock().expect("pattern cache poisoned").lookup(
+                    fp,
+                    &matrix,
+                    inner.config.engine.start_node,
+                );
                 if let Some(cached) = hit {
                     inner.completed.fetch_add(1, Ordering::Relaxed);
                     slot.complete(cached.into_report(&matrix, t0.elapsed().as_secs_f64()));
@@ -841,10 +873,12 @@ fn store_and_finish(inner: &ServiceInner, shard: usize, job: &Job, report: &mut 
         report.cache = Some(CacheOutcome::Miss);
         // Insert before retiring the in-flight entry: a concurrent submit
         // always sees either the cache entry or the in-flight entry.
-        cache
-            .lock()
-            .expect("pattern cache poisoned")
-            .insert(fp, &job.matrix, report);
+        cache.lock().expect("pattern cache poisoned").insert(
+            fp,
+            &job.matrix,
+            report,
+            inner.config.engine.start_node,
+        );
     }
     inner.finish(shard, job, report.clone());
     let Some(fp) = job.fingerprint else { return };
@@ -1009,16 +1043,28 @@ mod tests {
         let report_a = OrderingEngine::new(EngineConfig::builder().build()).order(&a);
         let report_b = OrderingEngine::new(EngineConfig::builder().build()).order(&b);
         let fp = 0xDEAD_BEEF; // deliberately shared, unlike the real hashes
-        cache.insert(fp, &a, &report_a);
+        cache.insert(fp, &a, &report_a, StartNode::GeorgeLiu);
         assert!(
-            cache.lookup(fp, &b).is_none(),
+            cache.lookup(fp, &b, StartNode::GeorgeLiu).is_none(),
             "a colliding pattern must not return the wrong permutation"
         );
         assert_eq!(cache.stats().misses, 1);
-        cache.insert(fp, &b, &report_b);
+        cache.insert(fp, &b, &report_b, StartNode::GeorgeLiu);
         // Both patterns now coexist under one fingerprint.
-        assert_eq!(cache.lookup(fp, &a).expect("entry a").perm, report_a.perm);
-        assert_eq!(cache.lookup(fp, &b).expect("entry b").perm, report_b.perm);
+        assert_eq!(
+            cache
+                .lookup(fp, &a, StartNode::GeorgeLiu)
+                .expect("entry a")
+                .perm,
+            report_a.perm
+        );
+        assert_eq!(
+            cache
+                .lookup(fp, &b, StartNode::GeorgeLiu)
+                .expect("entry b")
+                .perm,
+            report_b.perm
+        );
         assert_eq!(cache.stats().entries, 2);
     }
 
@@ -1030,16 +1076,22 @@ mod tests {
         // Room for roughly two path patterns (~62 nnz, weight ≥ n+1 each).
         let mut cache = PatternCache::new(CacheConfig::new(160));
         for (a, r) in mats.iter().zip(&reports) {
-            cache.insert(a.pattern_fingerprint(), a, r);
+            cache.insert(a.pattern_fingerprint(), a, r, StartNode::GeorgeLiu);
         }
         let stats = cache.stats();
         assert!(stats.evictions > 0, "bound must force evictions: {stats:?}");
         assert!(stats.stored_nnz <= 160, "{stats:?}");
         // The most recently inserted pattern survived; the first is gone.
         let last = mats.last().expect("non-empty");
-        assert!(cache.lookup(last.pattern_fingerprint(), last).is_some());
         assert!(cache
-            .lookup(mats[0].pattern_fingerprint(), &mats[0])
+            .lookup(last.pattern_fingerprint(), last, StartNode::GeorgeLiu)
+            .is_some());
+        assert!(cache
+            .lookup(
+                mats[0].pattern_fingerprint(),
+                &mats[0],
+                StartNode::GeorgeLiu
+            )
             .is_none());
     }
 
@@ -1049,7 +1101,7 @@ mod tests {
         let mut engine = OrderingEngine::new(EngineConfig::builder().build());
         let report = engine.order(&a);
         let mut cache = PatternCache::new(CacheConfig::new(50));
-        cache.insert(a.pattern_fingerprint(), &a, &report);
+        cache.insert(a.pattern_fingerprint(), &a, &report, StartNode::GeorgeLiu);
         assert_eq!(cache.stats().entries, 0);
         assert_eq!(cache.stats().insertions, 0);
     }
@@ -1061,11 +1113,55 @@ mod tests {
         let report = engine.order(&a);
         let mut cache = PatternCache::new(CacheConfig::new(1 << 20));
         let fp = a.pattern_fingerprint();
-        cache.insert(fp, &a, &report);
-        cache.insert(fp, &a, &report);
+        cache.insert(fp, &a, &report, StartNode::GeorgeLiu);
+        cache.insert(fp, &a, &report, StartNode::GeorgeLiu);
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.insertions, 1);
+    }
+
+    #[test]
+    fn cache_misses_across_start_node_strategies() {
+        // One pattern, four strategies: an entry stored under one strategy
+        // must never satisfy a lookup under another — the permutations
+        // differ. Same strategy still hits.
+        let a = scrambled_grid(7, 5);
+        let fp = a.pattern_fingerprint();
+        let mut cache = PatternCache::new(CacheConfig::new(1 << 20));
+        let report = OrderingEngine::new(
+            EngineConfig::builder()
+                .start_node(StartNode::GeorgeLiu)
+                .build(),
+        )
+        .order(&a);
+        cache.insert(fp, &a, &report, StartNode::GeorgeLiu);
+        for other in [
+            StartNode::BiCriteria,
+            StartNode::MinDegree,
+            StartNode::Fixed(3),
+        ] {
+            assert!(
+                cache.lookup(fp, &a, other).is_none(),
+                "a {} lookup must miss an entry cached under george-liu",
+                other.name()
+            );
+        }
+        assert!(cache.lookup(fp, &a, StartNode::GeorgeLiu).is_some());
+        // Each strategy caches independently; all four coexist.
+        for strategy in [
+            StartNode::BiCriteria,
+            StartNode::MinDegree,
+            StartNode::Fixed(3),
+        ] {
+            let r =
+                OrderingEngine::new(EngineConfig::builder().start_node(strategy).build()).order(&a);
+            cache.insert(fp, &a, &r, strategy);
+            assert_eq!(
+                cache.lookup(fp, &a, strategy).expect("own entry").perm,
+                r.perm
+            );
+        }
+        assert_eq!(cache.stats().entries, 4);
     }
 
     #[test]

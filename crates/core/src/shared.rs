@@ -15,7 +15,7 @@
 //! [`crate::pool::thread_counts_from_env`]).
 
 use crate::backends::PooledBackend;
-use crate::driver::{drive_cm_directed, ExpandDirection, LabelingMode};
+use crate::driver::{drive_cm_with, ExpandDirection, LabelingMode, StartNode};
 use crate::pool::{PoolConfig, RcmPool};
 use rcm_sparse::{CscMatrix, Permutation};
 
@@ -104,7 +104,7 @@ pub fn par_cuthill_mckee_with_pool_directed(
     pool: &mut RcmPool,
     direction: ExpandDirection,
 ) -> (Permutation, SharedRcmStats) {
-    let (perm, stats, parallel_levels) = pooled_cm_raw(a, pool, direction);
+    let (perm, stats, parallel_levels) = pooled_cm_raw(a, pool, direction, StartNode::from_env());
     (
         perm,
         SharedRcmStats {
@@ -127,11 +127,12 @@ pub(crate) fn pooled_cm_raw(
     a: &CscMatrix,
     pool: &mut RcmPool,
     direction: ExpandDirection,
+    start_node: StartNode,
 ) -> (Permutation, crate::driver::DriverStats, usize) {
     assert_eq!(a.n_rows(), a.n_cols());
     pool.run_warm(a, |exec, ws| {
         let mut rt = PooledBackend::new(exec, ws);
-        let stats = drive_cm_directed(&mut rt, LabelingMode::PerLevel, direction);
+        let stats = drive_cm_with(&mut rt, LabelingMode::PerLevel, direction, &start_node);
         let (perm, parallel_levels) = rt.into_cm_permutation();
         (perm, stats, parallel_levels)
     })

@@ -19,6 +19,11 @@
 //!                          O(nnz) hash time, each summary line reports
 //!                          cache hit/miss, and a multi-input run prints
 //!                          the cache totals at the end
+//!   --start-node <s>       start-node selection strategy for --method rcm:
+//!                          george-liu (default), bi-criteria (RCM++,
+//!                          fewer sweeps), min-degree (zero sweeps), or
+//!                          fixed:N / a bare vertex number; overrides
+//!                          RCM_START_NODE
 //!   --split-components     schedule connected components as independent
 //!                          ordering jobs (--method rcm only, not
 //!                          composable with --compress): detect, order
@@ -45,6 +50,7 @@
 //! (push|pull|adaptive, default adaptive); every setting produces the
 //! identical ordering.
 
+use distributed_rcm::core::driver::StartNode;
 use distributed_rcm::core::{
     cuthill_mckee, ordering_wavefront, rcm_globalsort, rcm_nosort, thread_counts_from_env,
     CacheOutcome, EngineConfig, OrderingEngine,
@@ -60,6 +66,7 @@ struct Options {
     compress: bool,
     cache: bool,
     split: bool,
+    start_node: Option<StartNode>,
     scale: Option<f64>,
     write_perm: Option<String>,
     write_matrix: Option<String>,
@@ -73,6 +80,7 @@ fn usage() -> ! {
          \x20                [--method rcm|cm|sloan|nosort|globalsort]\n\
          \x20                [--backend serial|pooled|dist|hybrid] [--compress] [--cache]\n\
          \x20                [--split-components]\n\
+         \x20                [--start-node george-liu|bi-criteria|min-degree|fixed:N]\n\
          \x20                [--scale f] [--write-perm FILE] [--write-matrix FILE]\n\
          \x20                [--simulate CORES,CORES,...] [--threads T]"
     );
@@ -94,6 +102,7 @@ fn parse_args() -> Options {
         compress: false,
         cache: false,
         split: false,
+        start_node: None,
         scale: None,
         write_perm: None,
         write_matrix: None,
@@ -108,6 +117,16 @@ fn parse_args() -> Options {
             "--compress" => opts.compress = true,
             "--cache" => opts.cache = true,
             "--split-components" => opts.split = true,
+            "--start-node" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                opts.start_node = Some(StartNode::parse(&spec).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown start-node strategy {spec}: valid strategies are \
+                         george-liu|bi-criteria|min-degree|fixed:N"
+                    );
+                    std::process::exit(2);
+                }));
+            }
             "--scale" => {
                 opts.scale = Some(
                     args.next()
@@ -234,6 +253,14 @@ fn main() {
         );
         std::process::exit(2);
     }
+    if opts.start_node.is_some() && opts.method != "rcm" {
+        eprintln!(
+            "--start-node applies only to --method rcm (got {}): the other heuristics \
+             pick their own start vertices",
+            opts.method
+        );
+        std::process::exit(2);
+    }
     if opts.split && opts.compress {
         eprintln!(
             "--split-components does not compose with --compress: the quotient \
@@ -256,6 +283,9 @@ fn main() {
             .backend(backend_kind.unwrap_or(BackendKind::Serial))
             .compress(opts.compress)
             .split_components(opts.split);
+        if let Some(sn) = opts.start_node {
+            builder = builder.start_node(sn);
+        }
         if opts.cache {
             builder = builder.cache(CacheConfig::default());
         }
@@ -329,6 +359,16 @@ fn main() {
                     report.stats.components
                 );
             }
+            if let Some(p) = report.peripheral_first() {
+                let strategy = opts.start_node.unwrap_or_else(StartNode::from_env);
+                println!(
+                    "  peripheral: {} strategy, {} sweep(s), start vertex {}, eccentricity {}",
+                    strategy.name(),
+                    report.peripheral_sweeps(),
+                    p.start,
+                    p.eccentricity
+                );
+            }
         }
         println!(
             "  bandwidth: {} -> {}",
@@ -368,6 +408,7 @@ fn main() {
                     balance_seed: Some(1),
                     sort_mode: SortMode::Full,
                     direction: ExpandDirection::from_env(),
+                    start_node: opts.start_node.unwrap_or_else(StartNode::from_env),
                 };
                 if cfg.hybrid.grid().is_none() {
                     println!(

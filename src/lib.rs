@@ -48,8 +48,8 @@ pub mod prelude {
         algebraic_rcm, dist_rcm, ordering_bandwidth, par_rcm, quality_report, rcm,
         rcm_with_backend, sloan, BackendKind, CacheConfig, CacheOutcome, CacheStats, DistRcmConfig,
         DistRcmResult, EngineConfig, EngineConfigBuilder, ExpandDirection, JobHandle,
-        OrderingEngine, OrderingReport, OrderingRequest, OrderingService, RcmRuntime,
-        ServiceConfig, ServiceStats, SortMode,
+        OrderingEngine, OrderingReport, OrderingRequest, OrderingService, PeripheralStat,
+        RcmRuntime, ServiceConfig, ServiceStats, SortMode, StartNode,
     };
     pub use rcm_dist::{HybridConfig, MachineModel};
     pub use rcm_graphgen::{suite, suite_matrix, SuiteMatrix};

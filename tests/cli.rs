@@ -591,3 +591,102 @@ fn split_components_flag_rejects_compress() {
         "{stderr}"
     );
 }
+
+#[test]
+fn start_node_flag_reports_the_peripheral_phase() {
+    for strategy in ["george-liu", "bi-criteria", "min-degree", "fixed:0"] {
+        let out = rcm_order()
+            .args(["suite:nd24k", "--scale", "0.005", "--start-node", strategy])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{strategy} failed");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("peripheral:"),
+            "{strategy}: missing peripheral summary line\n{stdout}"
+        );
+        let expected = strategy.split(':').next().unwrap();
+        assert!(
+            stdout.contains(&format!("{expected} strategy")),
+            "{strategy}: summary does not name the strategy\n{stdout}"
+        );
+        if strategy == "min-degree" || strategy == "fixed:0" {
+            assert!(
+                stdout.contains("0 sweep(s)"),
+                "{strategy}: zero-sweep strategy reported sweeps\n{stdout}"
+            );
+        }
+    }
+}
+
+#[test]
+fn start_node_strategies_produce_identical_or_valid_orderings_per_backend() {
+    // Per-strategy determinism end to end: the same strategy on every
+    // backend must write the identical permutation.
+    let dir = std::env::temp_dir().join("rcm-order-test-startnode");
+    std::fs::create_dir_all(&dir).unwrap();
+    for strategy in ["bi-criteria", "min-degree"] {
+        let mut perms = Vec::new();
+        for backend in ["serial", "pooled", "dist", "hybrid"] {
+            let perm_path = dir.join(format!("{strategy}-{backend}.txt"));
+            let out = rcm_order()
+                .args([
+                    "suite:nd24k",
+                    "--scale",
+                    "0.005",
+                    "--start-node",
+                    strategy,
+                    "--backend",
+                    backend,
+                    "--write-perm",
+                    perm_path.to_str().unwrap(),
+                ])
+                .output()
+                .unwrap();
+            assert!(out.status.success(), "{strategy} on {backend} failed");
+            perms.push(std::fs::read_to_string(&perm_path).unwrap());
+        }
+        assert!(
+            perms.windows(2).all(|w| w[0] == w[1]),
+            "{strategy}: backends disagree"
+        );
+    }
+}
+
+#[test]
+fn start_node_flag_rejects_bad_specs_and_non_rcm_methods() {
+    let out = rcm_order()
+        .args([
+            "suite:nd24k",
+            "--scale",
+            "0.005",
+            "--start-node",
+            "centroid",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown start-node strategy centroid"),
+        "{stderr}"
+    );
+    let out = rcm_order()
+        .args([
+            "suite:nd24k",
+            "--scale",
+            "0.005",
+            "--method",
+            "sloan",
+            "--start-node",
+            "bi-criteria",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--start-node applies only to --method rcm"),
+        "{stderr}"
+    );
+}

@@ -144,6 +144,7 @@ fn hybrid_and_flat_share_the_data_path_at_every_scale() {
             balance_seed: None,
             sort_mode: SortMode::Full,
             direction: ExpandDirection::from_env(),
+            start_node: StartNode::GeorgeLiu,
         };
         let hybrid = dist_rcm(&a, &cfg);
         assert_eq!(hybrid.perm, flat.perm, "{threads} threads/proc diverged");
@@ -170,6 +171,7 @@ fn load_balance_permutation_keeps_quality() {
             balance_seed: Some(42),
             sort_mode: SortMode::Full,
             direction: ExpandDirection::from_env(),
+            start_node: StartNode::GeorgeLiu,
         };
         let r = dist_rcm(&a, &cfg);
         let bw = ordering_bandwidth(&a, &r.perm);

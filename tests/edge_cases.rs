@@ -13,6 +13,7 @@ fn dist_cfg(procs: usize) -> DistRcmConfig {
         balance_seed: None,
         sort_mode: SortMode::Full,
         direction: ExpandDirection::from_env(),
+        start_node: StartNode::GeorgeLiu,
     }
 }
 

@@ -40,6 +40,7 @@ proptest! {
             balance_seed: None,
             sort_mode: SortMode::Full,
             direction: ExpandDirection::from_env(),
+            start_node: StartNode::GeorgeLiu,
         };
         let dist = dist_rcm(&a, &cfg);
         prop_assert_eq!(&serial, &dist.perm);
@@ -126,6 +127,7 @@ proptest! {
                 balance_seed: None,
                 sort_mode: mode,
                 direction: ExpandDirection::from_env(),
+                start_node: StartNode::GeorgeLiu,
             };
             let r = dist_rcm(&a, &cfg);
             prop_assert_eq!(r.perm.len(), n);
@@ -154,6 +156,7 @@ proptest! {
                 balance_seed: Some(7),
                 sort_mode: SortMode::Full,
                 direction: ExpandDirection::from_env(),
+                start_node: StartNode::GeorgeLiu,
             };
             let r = dist_rcm(&a, &cfg);
             match &reference {

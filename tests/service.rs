@@ -170,10 +170,22 @@ fn forced_fingerprint_collision_cannot_cross_backends() {
     let (ra, rb) = (engine.order(&a), engine.order(&b));
     let mut cache = PatternCache::new(CacheConfig::default());
     let fp = 0x00DD_BA11; // deliberately shared
-    cache.insert(fp, &a, &ra);
-    cache.insert(fp, &b, &rb);
-    assert_eq!(cache.lookup(fp, &a).expect("entry a").perm, ra.perm);
-    assert_eq!(cache.lookup(fp, &b).expect("entry b").perm, rb.perm);
+    cache.insert(fp, &a, &ra, StartNode::GeorgeLiu);
+    cache.insert(fp, &b, &rb, StartNode::GeorgeLiu);
+    assert_eq!(
+        cache
+            .lookup(fp, &a, StartNode::GeorgeLiu)
+            .expect("entry a")
+            .perm,
+        ra.perm
+    );
+    assert_eq!(
+        cache
+            .lookup(fp, &b, StartNode::GeorgeLiu)
+            .expect("entry b")
+            .perm,
+        rb.perm
+    );
     assert_eq!(cache.stats().entries, 2);
 }
 
